@@ -1,0 +1,70 @@
+#ifndef GSV_BENCH_BENCH_UTIL_H_
+#define GSV_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harnesses: fixed-width table printing
+// in the style of the tables EXPERIMENTS.md records, and a tiny timing
+// helper. (The micro-benchmarks use google-benchmark; the experiment
+// binaries print domain-specific cost tables instead.)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace gsv::bench {
+
+inline void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+void Check(const Result<T>& result) {
+  if (!result.ok()) Check(result.status());
+}
+
+// Prints a header and rows with '|' separators, each column 12 wide.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    for (const std::string& column : columns_) {
+      std::printf("| %12s ", column.c_str());
+    }
+    std::printf("|\n");
+    for (size_t i = 0; i < columns_.size(); ++i) std::printf("|%s", "-------------:");
+    std::printf("|\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const std::string& cell : cells) {
+      std::printf("| %12s ", cell.c_str());
+    }
+    std::printf("|\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+inline std::string Num(int64_t v) { return std::to_string(v); }
+inline std::string Num(size_t v) { return std::to_string(v); }
+inline std::string Micros(double us) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", us);
+  return buffer;
+}
+inline std::string Ratio(double r) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2fx", r);
+  return buffer;
+}
+
+}  // namespace gsv::bench
+
+#endif  // GSV_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,136 @@
+// M0 — micro-benchmarks of the substrates (google-benchmark): store
+// operations, path evaluation, query parsing/evaluation, and a single
+// Algorithm 1 maintenance step.
+
+#include <benchmark/benchmark.h>
+
+#include "core/algorithm1.h"
+#include "core/materialized_view.h"
+#include "core/view_definition.h"
+#include "oem/store.h"
+#include "path/navigate.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "workload/person_db.h"
+#include "workload/tree_gen.h"
+
+namespace gsv {
+namespace {
+
+void BM_StorePutGet(benchmark::State& state) {
+  ObjectStore store;
+  int64_t i = 0;
+  for (auto _ : state) {
+    Oid oid("o" + std::to_string(i++));
+    benchmark::DoNotOptimize(store.PutAtomic(oid, "age", Value::Int(i)));
+    benchmark::DoNotOptimize(store.Get(oid));
+  }
+}
+BENCHMARK(BM_StorePutGet);
+
+void BM_StoreInsertDelete(benchmark::State& state) {
+  ObjectStore store;
+  (void)store.PutSet(Oid("P"), "parent");
+  (void)store.PutAtomic(Oid("C"), "child", Value::Int(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Insert(Oid("P"), Oid("C")));
+    benchmark::DoNotOptimize(store.Delete(Oid("P"), Oid("C")));
+  }
+}
+BENCHMARK(BM_StoreInsertDelete);
+
+void BM_OidSetInsertContains(benchmark::State& state) {
+  OidSet set;
+  for (int i = 0; i < 1000; ++i) set.Insert(Oid("o" + std::to_string(i)));
+  Oid probe("o500");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.Contains(probe));
+  }
+}
+BENCHMARK(BM_OidSetInsertContains);
+
+void BM_EvalPathByDepth(benchmark::State& state) {
+  ObjectStore store;
+  TreeGenOptions options;
+  options.levels = static_cast<size_t>(state.range(0));
+  options.fanout = 3;
+  auto tree = GenerateTree(&store, options);
+  std::string text;
+  for (int64_t d = 1; d < state.range(0); ++d) {
+    if (!text.empty()) text += ".";
+    text += "n" + std::to_string(d) + "_0";
+  }
+  text += text.empty() ? "age" : ".age";
+  Path path = *Path::Parse(text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalPath(store, tree->root, path));
+  }
+}
+BENCHMARK(BM_EvalPathByDepth)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_EvalExpressionStar(benchmark::State& state) {
+  ObjectStore store;
+  TreeGenOptions options;
+  options.levels = 4;
+  options.fanout = 3;
+  auto tree = GenerateTree(&store, options);
+  PathExpression star = *PathExpression::Parse("*");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalExpression(store, tree->root, star));
+  }
+}
+BENCHMARK(BM_EvalExpressionStar);
+
+void BM_ParseQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseQuery(
+        "SELECT ROOT.professor X WHERE X.age > 40 AND X.name = 'John' "
+        "WITHIN PERSON ANS INT D1"));
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_EvaluateQuery(benchmark::State& state) {
+  ObjectStore store;
+  (void)BuildPersonDb(&store);
+  Query query = *ParseQuery("SELECT ROOT.professor X WHERE X.age > 40");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateQuery(store, query));
+  }
+}
+BENCHMARK(BM_EvaluateQuery);
+
+void BM_Algorithm1ModifyFlip(benchmark::State& state) {
+  ObjectStore store;
+  (void)BuildPersonDb(&store);
+  auto def = ViewDefinition::Parse(
+      "define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45");
+  ObjectStore view_store;
+  MaterializedView view(&view_store, *def);
+  (void)view.Initialize(store);
+  LocalAccessor accessor(&store);
+  Algorithm1Maintainer maintainer(&view, &accessor, *def,
+                                  person_db::Root());
+  store.AddListener(&maintainer);
+  int64_t i = 0;
+  for (auto _ : state) {
+    // Alternates P1 in and out of the view: a full maintenance round trip.
+    benchmark::DoNotOptimize(
+        store.Modify(person_db::A1(), Value::Int(i++ % 2 == 0 ? 50 : 40)));
+  }
+}
+BENCHMARK(BM_Algorithm1ModifyFlip);
+
+void BM_PathExpressionContains(benchmark::State& state) {
+  auto lhs = *PathExpression::Parse("a.*.b.?");
+  auto rhs = *PathExpression::Parse("a.x.*.y.b.c");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lhs.Contains(rhs));
+  }
+}
+BENCHMARK(BM_PathExpressionContains);
+
+}  // namespace
+}  // namespace gsv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E12 — Deferred event processing and queue compaction.
+//
+// Sources are autonomous (§5.1): events arrive asynchronously while the
+// source keeps changing. This experiment measures (a) that a deferred
+// warehouse converges to the same view as an inline one, and (b) what
+// compacting the pending queue (merging modify chains, cancelling
+// insert/delete pairs) saves in events processed and query-backs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/consistency.h"
+#include "oem/store.h"
+#include "util/stopwatch.h"
+#include "warehouse/warehouse.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+int main() {
+  using namespace gsv;         // NOLINT(build/namespaces)
+  using namespace gsv::bench;  // NOLINT(build/namespaces)
+
+  const size_t kBatches = 20;
+  const size_t kBatchSize = 100;
+  std::printf(
+      "E12: deferred drains with and without queue compaction\n"
+      "modify-heavy stream, %zu batches of %zu updates, level-2 events\n\n",
+      kBatches, kBatchSize);
+
+  TablePrinter table({"mode", "events", "compacted", "queries", "us/batch",
+                      "correct"});
+
+  for (int mode = 0; mode < 4; ++mode) {
+    const char* name = mode == 0   ? "inline"
+                       : mode == 1 ? "deferred"
+                       : mode == 2 ? "defer+compact"
+                                   : "defer+cmp+cache";
+    ObjectStore source;
+    TreeGenOptions tree_options;
+    tree_options.levels = 3;
+    tree_options.fanout = 5;
+    tree_options.seed = 61;
+    auto tree = GenerateTree(&source, tree_options);
+    bench::Check(tree.status().ok() ? Status::Ok() : tree.status());
+
+    ObjectStore warehouse_store;
+    Warehouse warehouse(&warehouse_store);
+    bench::Check(warehouse.ConnectSource(&source, tree->root,
+                                         ReportingLevel::kWithValues));
+    bench::Check(warehouse.DefineView(
+        TreeViewDefinition("WV", tree->root, 2, 3, 50),
+        mode == 3 ? Warehouse::CacheMode::kFull : Warehouse::CacheMode::kNone));
+    warehouse.costs().Reset();
+    warehouse.set_deferred(mode > 0);
+
+    UpdateGenOptions gen_options;
+    gen_options.seed = 67;
+    gen_options.p_modify = 0.7;
+    gen_options.p_insert = 0.15;
+    gen_options.p_delete = 0.15;
+    UpdateGenerator generator(&source, tree->root, gen_options);
+
+    size_t compacted = 0;
+    Stopwatch watch;
+    for (size_t batch = 0; batch < kBatches; ++batch) {
+      bench::Check(generator.Run(kBatchSize).status().ok()
+                       ? Status::Ok()
+                       : Status::Internal("stream failed"));
+      if (mode >= 2) compacted += warehouse.CompactPending();
+      if (mode > 0) bench::Check(warehouse.ProcessPending());
+    }
+    double us_per_batch =
+        static_cast<double>(watch.ElapsedMicros()) / kBatches;
+    bench::Check(warehouse.last_status());
+
+    ConsistencyReport report =
+        CheckViewConsistency(*warehouse.view("WV"), source);
+    table.Row({name, Num(warehouse.costs().events_received), Num(compacted),
+               Num(warehouse.costs().source_queries), Micros(us_per_batch),
+               report.consistent ? "yes" : "NO"});
+  }
+
+  std::printf(
+      "\nExpected shape: every mode converges to the correct view. The\n"
+      "drain's member-verification sweep makes uncached deferral cost about\n"
+      "as many query-backs as inline processing; compaction trims events,\n"
+      "and the full auxiliary cache answers both events and the sweep\n"
+      "locally — deferral is effectively free with it.\n");
+  return 0;
+}

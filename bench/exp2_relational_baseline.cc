@@ -1,0 +1,167 @@
+// E2 — GSDB-native incremental maintenance vs the relational flattening
+// baseline (§4.4 question 2, Example 8).
+//
+// Paper claim: flattening the graph into OID_LABEL / PARENT_CHILD /
+// OID_VALUE and using relational incremental view maintenance is "not very
+// effective": one object update becomes several table updates, the view
+// needs a chain of self-joins, and "the path semantics are hidden in the
+// relations" so every edge delta pays one delta term per join position.
+//
+// Workload: Example 7's relational-style GSDB; the same update stream is
+// maintained by (a) Algorithm 1 on the graph, (b) counting-based IVM over
+// the flattened tables, and (c) full relational re-evaluation.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/algorithm1.h"
+#include "core/materialized_view.h"
+#include "core/view_definition.h"
+#include "oem/store.h"
+#include "relational/counting.h"
+#include "relational/flatten.h"
+#include "relational/spj_view.h"
+#include "util/stopwatch.h"
+#include "workload/relational_gen.h"
+
+namespace gsv {
+namespace {
+
+// One shared workload driver: applies `updates` mixed updates.
+template <typename Fn>
+void ApplyWorkload(ObjectStore* store, const GeneratedRelational& rel,
+                   size_t updates, Fn per_update) {
+  size_t counter = 2000000;
+  for (size_t i = 0; i < updates; ++i) {
+    switch (i % 3) {
+      case 0: {
+        auto tuple = MakeTuple(store, "N", &counter, (i * 13) % 100, 3);
+        bench::Check(tuple.status().ok() ? Status::Ok() : tuple.status());
+        bench::Check(store->Insert(rel.relation_oids[i % 2], *tuple));
+        break;
+      }
+      case 1: {
+        const Oid& tuple = rel.tuple_oids[i % rel.tuple_oids.size()];
+        const Object* tuple_obj = store->Get(tuple);
+        for (const Oid& field : tuple_obj->children()) {
+          const Object* field_obj = store->Get(field);
+          if (field_obj != nullptr && field_obj->label() == "age") {
+            bench::Check(store->Modify(field, Value::Int((i * 37) % 100)));
+            break;
+          }
+        }
+        break;
+      }
+      default: {
+        const Oid& tuple = rel.tuple_oids[i % rel.tuple_oids.size()];
+        if (store->Get(rel.relation_oids[0])->children().Contains(tuple)) {
+          bench::Check(store->Delete(rel.relation_oids[0], tuple));
+          bench::Check(store->Insert(rel.relation_oids[0], tuple));
+        }
+        break;
+      }
+    }
+    per_update();
+  }
+}
+
+}  // namespace
+}  // namespace gsv
+
+int main() {
+  using namespace gsv;         // NOLINT(build/namespaces)
+  using namespace gsv::bench;  // NOLINT(build/namespaces)
+
+  std::printf(
+      "E2: graph-native Algorithm 1 vs relational flattening (Example 8)\n"
+      "updates: 150 per trial\n\n");
+
+  TablePrinter table({"tuples", "gsdb us/upd", "cnt us/upd", "rel-rec us",
+                      "cnt tuples", "cnt terms", "tbl updates"});
+
+  for (size_t tuples : {100, 1000, 5000}) {
+    const size_t updates = 150;
+
+    // (a) GSDB-native Algorithm 1.
+    double gsdb_us = 0;
+    {
+      ObjectStore store;
+      RelationalGenOptions options;
+      options.tuples_per_relation = tuples;
+      options.seed = 7;
+      auto rel = GenerateRelationalGsdb(&store, options);
+      auto def = ViewDefinition::Parse(
+          RelationalViewDefinition("SEL", rel->root, 50));
+      ObjectStore view_store;
+      MaterializedView view(&view_store, *def);
+      bench::Check(view.Initialize(store));
+      LocalAccessor accessor(&store);
+      Algorithm1Maintainer maintainer(&view, &accessor, *def, rel->root);
+      store.AddListener(&maintainer);
+      Stopwatch watch;
+      ApplyWorkload(&store, *rel, updates, [] {});
+      gsdb_us = static_cast<double>(watch.ElapsedMicros()) / updates;
+      bench::Check(maintainer.last_status());
+    }
+
+    // (b) Relational counting IVM over the flattened tables.
+    double counting_us = 0;
+    int64_t tuples_examined = 0;
+    int64_t delta_terms = 0;
+    int64_t table_updates = 0;
+    {
+      ObjectStore store;
+      RelationalGenOptions options;
+      options.tuples_per_relation = tuples;
+      options.seed = 7;
+      auto rel = GenerateRelationalGsdb(&store, options);
+      RelationalMirror mirror;
+      bench::Check(mirror.SyncFromStore(store));
+      store.AddListener(&mirror);
+      auto def = ViewDefinition::Parse(
+          RelationalViewDefinition("SEL", rel->root, 50));
+      auto spec = ChainSpec::FromDefinition(*def);
+      CountingViewMaintainer counting(&mirror, *spec);
+      bench::Check(counting.Initialize());
+      mirror.metrics().Reset();
+      Stopwatch watch;
+      ApplyWorkload(&store, *rel, updates, [] {});
+      counting_us = static_cast<double>(watch.ElapsedMicros()) / updates;
+      tuples_examined = mirror.metrics().tuples_examined;
+      delta_terms = counting.stats().delta_terms;
+      table_updates = mirror.metrics().table_updates;
+      bench::Check(counting.last_status());
+    }
+
+    // (c) Relational full re-evaluation per update.
+    double rel_recompute_us = 0;
+    {
+      ObjectStore store;
+      RelationalGenOptions options;
+      options.tuples_per_relation = tuples;
+      options.seed = 7;
+      auto rel = GenerateRelationalGsdb(&store, options);
+      RelationalMirror mirror;
+      bench::Check(mirror.SyncFromStore(store));
+      store.AddListener(&mirror);
+      auto def = ViewDefinition::Parse(
+          RelationalViewDefinition("SEL", rel->root, 50));
+      auto spec = ChainSpec::FromDefinition(*def);
+      Stopwatch watch;
+      ApplyWorkload(&store, *rel, updates,
+                    [&] { EvaluateChain(mirror, *spec); });
+      rel_recompute_us = static_cast<double>(watch.ElapsedMicros()) / updates;
+    }
+
+    table.Row({Num(tuples), Micros(gsdb_us), Micros(counting_us),
+               Micros(rel_recompute_us), Num(tuples_examined),
+               Num(delta_terms), Num(table_updates)});
+  }
+
+  std::printf(
+      "\nExpected shape (paper §4.4): the graph-native maintainer beats the\n"
+      "counting baseline (delta terms per update = chain length, multiple\n"
+      "table updates per object update), and both beat per-update\n"
+      "relational re-evaluation, whose cost scales with the data size.\n");
+  return 0;
+}

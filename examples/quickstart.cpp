@@ -1,0 +1,98 @@
+// Quickstart: build a tiny graph-structured database, define a materialized
+// view over it, and watch Algorithm 1 keep the view current as the base
+// changes.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/algorithm1.h"
+#include "core/consistency.h"
+#include "core/materialized_view.h"
+#include "core/view_definition.h"
+#include "oem/store.h"
+#include "query/evaluator.h"
+
+namespace {
+
+void Check(const gsv::Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void PrintView(const gsv::MaterializedView& view) {
+  std::printf("  view %s = {", view.def().name().c_str());
+  bool first = true;
+  for (const gsv::Oid& member : view.BaseMembers()) {
+    std::printf("%s%s", first ? "" : ", ", member.str().c_str());
+    first = false;
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace gsv;  // NOLINT(build/namespaces): example brevity
+
+  // 1. A GSDB is a collection of <OID, label, type, value> objects whose
+  //    set values are the graph edges.
+  ObjectStore store;
+  Check(store.PutAtomic(Oid("N1"), "name", Value::Str("Ada")));
+  Check(store.PutAtomic(Oid("A1"), "age", Value::Int(36)));
+  Check(store.PutAtomic(Oid("N2"), "name", Value::Str("Grace")));
+  Check(store.PutAtomic(Oid("A2"), "age", Value::Int(52)));
+  Check(store.PutSet(Oid("P1"), "engineer", {Oid("N1"), Oid("A1")}));
+  Check(store.PutSet(Oid("P2"), "engineer", {Oid("N2"), Oid("A2")}));
+  Check(store.PutSet(Oid("ROOT"), "team", {Oid("P1"), Oid("P2")}));
+
+  std::printf("objects:\n");
+  for (const char* oid : {"ROOT", "P1", "N1", "A1", "P2", "N2", "A2"}) {
+    std::printf("  %s\n", store.Get(Oid(oid))->ToString().c_str());
+  }
+
+  // 2. Queries select objects by path, with conditions on subobject values.
+  auto young = EvaluateQueryText(
+      store, "SELECT ROOT.engineer X WHERE X.age < 40");
+  Check(young.status().ok() ? Status::Ok() : young.status());
+  std::printf("\nSELECT ROOT.engineer X WHERE X.age < 40  ->  %s\n",
+              MakeAnswerObject(Oid("ANS"), *young).ToString().c_str());
+
+  // 3. A materialized view stores delegate copies ("MV.P1") of the
+  //    selected objects and is itself an ordinary queryable database.
+  auto def = ViewDefinition::Parse(
+      "define mview YOUNG as: SELECT ROOT.engineer X WHERE X.age < 40");
+  Check(def.ok() ? Status::Ok() : def.status());
+  MaterializedView view(&store, *def);
+  Check(view.Initialize(store));
+  std::printf("\nmaterialized:\n");
+  PrintView(view);
+  std::printf("  delegate %s\n",
+              store.Get(Oid("YOUNG.P1"))->ToString().c_str());
+
+  // 4. Algorithm 1 maintains the view incrementally under the three basic
+  //    updates: insert(N1,N2), delete(N1,N2), modify(N,old,new).
+  LocalAccessor accessor(&store);
+  Algorithm1Maintainer maintainer(&view, &accessor, *def, Oid("ROOT"));
+  store.AddListener(&maintainer);
+
+  std::printf("\nmodify(A2, 52 -> 29):\n");
+  Check(store.Modify(Oid("A2"), Value::Int(29)));
+  PrintView(view);
+
+  std::printf("delete(ROOT, P1):\n");
+  Check(store.Delete(Oid("ROOT"), Oid("P1")));
+  PrintView(view);
+
+  std::printf("insert(ROOT, P1):\n");
+  Check(store.Insert(Oid("ROOT"), Oid("P1")));
+  PrintView(view);
+
+  // 5. The view provably matches a from-scratch recomputation.
+  ConsistencyReport report = CheckViewConsistency(view, store);
+  std::printf("\nconsistency check: %s\n", report.ToString().c_str());
+  return report.consistent ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+#ifndef GSV_CORE_AGGREGATE_VIEW_H_
+#define GSV_CORE_AGGREGATE_VIEW_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/algorithm1.h"
+#include "core/base_accessor.h"
+#include "core/view_definition.h"
+#include "core/view_storage.h"
+#include "oem/store.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Aggregate views — the §6 open issue "views in which the value of one
+// delegate object is obtained from more than one base objects, for
+// example, aggregate views".
+//
+// Membership is an ordinary simple view (maintained by Algorithm 1), but
+// each member Y's delegate is a *synthetic* atomic object
+//
+//   <AG.Y, <aggregate-name>, aggregate over Y.agg_path>
+//
+// e.g. the number of students of each professor, or the sum of their
+// salaries. The view object <AG, mview, set, {AG.*}> is queryable like any
+// database. Maintenance refreshes a member's aggregate whenever an update
+// touches its agg_path cone (membership changes are handled by the inner
+// Algorithm 1 maintainer; fresh members get their aggregate computed on
+// insertion).
+//
+// Centralized-only for now: the aggregate recomputation reads the base
+// store directly (a warehouse realization would meter the same reads
+// through a wrapper).
+class AggregateView {
+ public:
+  enum class Kind {
+    kCount,  // number of objects in Y.agg_path
+    kSum,    // sum of their numeric values (non-numeric objects ignored)
+    kMin,    // minimum numeric value; delegate value 0 when none
+    kMax,    // maximum numeric value; delegate value 0 when none
+  };
+
+  static const char* KindName(Kind kind);
+
+  // `membership_def` must be a simple view (Algorithm 1's shape) whose
+  // entry resolves to `root` in `base`. `agg_path` is evaluated from each
+  // member. Both stores must outlive the view.
+  AggregateView(ObjectStore* base, ObjectStore* view_store, std::string name,
+                ViewDefinition membership_def, Oid root, Path agg_path,
+                Kind kind);
+  ~AggregateView();
+
+  // Creates the view object, evaluates the membership query, and computes
+  // every member's aggregate. Call once.
+  Status Initialize();
+
+  // Processes one applied base update; or register listener() on the base.
+  Status Maintain(const Update& update);
+  UpdateListener* listener() { return &listener_; }
+
+  const Oid& view_oid() const { return view_oid_; }
+  OidSet Members() const;
+  // The member's current aggregate value (kNotFound if not a member).
+  Result<Value> AggregateOf(const Oid& member) const;
+  Oid DelegateOid(const Oid& member) const {
+    return Oid::Delegate(view_oid_, member);
+  }
+
+  const Status& last_status() const { return last_status_; }
+
+ private:
+  class Storage;  // ViewStorage adapter creating aggregate delegates
+
+  // Computes the aggregate of `member` from the current base state.
+  Result<Value> ComputeAggregate(const Oid& member) const;
+  // Refreshes the delegates of members whose agg_path cone may contain the
+  // updated object(s).
+  Status RefreshAffected(const Update& update);
+
+  class Listener : public UpdateListener {
+   public:
+    explicit Listener(AggregateView* owner) : owner_(owner) {}
+    void OnUpdate(const ObjectStore& store, const Update& update) override {
+      (void)store;
+      Status status = owner_->Maintain(update);
+      if (!status.ok()) owner_->last_status_ = status;
+    }
+
+   private:
+    AggregateView* owner_;
+  };
+
+  ObjectStore* base_;
+  ObjectStore* store_;
+  std::string name_;
+  Oid view_oid_;
+  ViewDefinition def_;
+  Oid root_;
+  Path agg_path_;
+  Kind kind_;
+  std::unique_ptr<Storage> storage_;
+  std::unique_ptr<LocalAccessor> accessor_;
+  std::unique_ptr<Algorithm1Maintainer> membership_;
+  Listener listener_;
+  Status last_status_;
+  bool initialized_ = false;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_CORE_AGGREGATE_VIEW_H_

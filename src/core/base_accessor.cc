@@ -1,0 +1,5 @@
+#include "core/base_accessor.h"
+
+// BaseAccessor is an interface; see local_accessor.cc for the centralized
+// implementation and warehouse/remote_accessor.cc for the warehouse one.
+namespace gsv {}  // namespace gsv

@@ -1,0 +1,99 @@
+#include "core/consistency.h"
+
+#include <sstream>
+
+#include "core/virtual_view.h"
+
+namespace gsv {
+
+std::string ConsistencyReport::ToString() const {
+  if (consistent) return "consistent";
+  std::ostringstream out;
+  out << problems.size() << " problem(s):";
+  for (const std::string& problem : problems) out << "\n  - " << problem;
+  return out.str();
+}
+
+ConsistencyReport CheckViewConsistency(const MaterializedView& view,
+                                       const ObjectStore& base) {
+  ConsistencyReport report;
+  const Oid& view_oid = view.view_oid();
+
+  // 1. Membership equals the defining query's answer on the current base.
+  Result<OidSet> expected = EvaluateView(base, view.def());
+  if (!expected.ok()) {
+    report.AddProblem("view query failed: " + expected.status().ToString());
+    return report;
+  }
+  OidSet members = view.BaseMembers();
+  for (const Oid& oid : *expected) {
+    if (!members.Contains(oid)) {
+      report.AddProblem("missing delegate for selected object " + oid.str());
+    }
+  }
+  for (const Oid& oid : members) {
+    if (!expected->Contains(oid)) {
+      report.AddProblem("extra delegate for unselected object " + oid.str());
+    }
+  }
+
+  // 2–3. Delegates exist and mirror their originals.
+  for (const Oid& base_oid : members) {
+    Oid delegate_oid = view.DelegateOid(base_oid);
+    const Object* delegate = view.store().Get(delegate_oid);
+    if (delegate == nullptr) {
+      report.AddProblem("delegate object " + delegate_oid.str() + " missing");
+      continue;
+    }
+    const Object* original = base.Get(base_oid);
+    if (original == nullptr) {
+      report.AddProblem("base object " + base_oid.str() +
+                        " missing for delegate " + delegate_oid.str());
+      continue;
+    }
+    if (delegate->label() != original->label()) {
+      report.AddProblem("delegate " + delegate_oid.str() + " label '" +
+                        delegate->label() + "' != base label '" +
+                        original->label() + "'");
+    }
+    if (view.options().sync_values) {
+      if (delegate->type() != original->type()) {
+        report.AddProblem("delegate " + delegate_oid.str() +
+                          " type differs from base");
+      } else if (delegate->IsSet()) {
+        // Map swizzled edges back to base OIDs before comparing.
+        OidSet unswizzled;
+        for (const Oid& child : delegate->children()) {
+          unswizzled.Insert(child.IsDelegateOf(view_oid)
+                                ? child.BaseIn(view_oid)
+                                : child);
+        }
+        if (unswizzled != original->children()) {
+          report.AddProblem("delegate " + delegate_oid.str() +
+                            " value drifted from base value");
+        }
+      } else if (delegate->value() != original->value()) {
+        report.AddProblem("delegate " + delegate_oid.str() +
+                          " atomic value drifted from base value");
+      }
+    }
+  }
+
+  // 4. The view object lists exactly the delegates.
+  const Object* view_object = view.store().Get(view_oid);
+  if (view_object == nullptr || !view_object->IsSet()) {
+    report.AddProblem("view object " + view_oid.str() +
+                      " missing or not a set");
+  } else {
+    OidSet expected_children;
+    for (const Oid& base_oid : members) {
+      expected_children.Insert(view.DelegateOid(base_oid));
+    }
+    if (view_object->children() != expected_children) {
+      report.AddProblem("view object value does not match delegate set");
+    }
+  }
+  return report;
+}
+
+}  // namespace gsv

@@ -1,0 +1,37 @@
+#ifndef GSV_CORE_CONSISTENCY_H_
+#define GSV_CORE_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/materialized_view.h"
+#include "oem/store.h"
+
+namespace gsv {
+
+// Result of a materialized-view consistency audit.
+struct ConsistencyReport {
+  bool consistent = true;
+  std::vector<std::string> problems;
+
+  void AddProblem(std::string problem) {
+    consistent = false;
+    problems.push_back(std::move(problem));
+  }
+  std::string ToString() const;
+};
+
+// Audits `view` against `base` per the paper's correctness criterion
+// (§4.3): "the delegates of all view objects are in MV, and there are no
+// extra objects in MV" — plus the stored-copy invariants of §3.2:
+//   1. membership: delegate set == the defining query's current answer;
+//   2. every delegate exists, with its base object's label;
+//   3. when value sync is on, each delegate's value equals its base
+//      object's value (swizzled edges are mapped back before comparing);
+//   4. the view object's value lists exactly the delegate OIDs.
+ConsistencyReport CheckViewConsistency(const MaterializedView& view,
+                                       const ObjectStore& base);
+
+}  // namespace gsv
+
+#endif  // GSV_CORE_CONSISTENCY_H_

@@ -1,0 +1,156 @@
+#include "core/general_maintainer.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace gsv {
+
+GeneralMaintainer::GeneralMaintainer(ViewStorage* view,
+                                     const ObjectStore* base,
+                                     const ViewDefinition& def, Oid root,
+                                     Options options)
+    : view_(view),
+      base_(base),
+      def_(def),
+      options_(options),
+      root_(std::move(root)) {
+  cond_reach_ = 0;
+  for (const Predicate* pred : def_.query().where.Predicates()) {
+    int64_t max_len = pred->path.MaxLength();
+    if (max_len < 0) {
+      cond_reach_ = SIZE_MAX;
+      break;
+    }
+    cond_reach_ = std::max(cond_reach_, static_cast<size_t>(max_len));
+  }
+}
+
+OidFilter GeneralMaintainer::MakeFilter() const {
+  if (!def_.query().within_db.has_value()) return nullptr;
+  const ObjectStore* base = base_;
+  std::string within = *def_.query().within_db;
+  Oid root = root_;
+  return [base, within, root](const Oid& oid) {
+    return oid == root || base->InDatabase(within, oid);
+  };
+}
+
+void GeneralMaintainer::CollectConditionCandidates(const Oid& n,
+                                                   OidSet* candidates) const {
+  // Upward BFS from n, depth-bounded by the condition reach. A node at
+  // distance d from n can only be affected if some predicate path has an
+  // instance of length >= d.
+  if (base_->Contains(n)) candidates->Insert(n);
+  size_t limit = cond_reach_ == SIZE_MAX
+                     ? options_.max_depth
+                     : std::min(cond_reach_, options_.max_depth);
+  std::unordered_set<std::string> seen{n.str()};
+  std::deque<Oid> frontier{n};
+  for (size_t depth = 0; depth < limit && !frontier.empty(); ++depth) {
+    std::deque<Oid> next;
+    for (const Oid& oid : frontier) {
+      for (const Oid& parent : base_->Parents(oid)) {
+        if (seen.insert(parent.str()).second) {
+          candidates->Insert(parent);
+          next.push_back(parent);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+void GeneralMaintainer::CollectReachabilityCandidates(
+    const Oid& n2, OidSet* candidates) const {
+  // Descendants of n2 (including n2): their root-paths may have changed.
+  if (!base_->Contains(n2)) return;
+  candidates->Insert(n2);
+  std::unordered_set<std::string> seen{n2.str()};
+  std::deque<Oid> frontier{n2};
+  size_t depth = 0;
+  while (!frontier.empty() && depth < options_.max_depth) {
+    std::deque<Oid> next;
+    for (const Oid& oid : frontier) {
+      const Object* object = base_->Get(oid);
+      if (object == nullptr || !object->IsSet()) continue;
+      for (const Oid& child : object->children()) {
+        if (base_->Contains(child) && seen.insert(child.str()).second) {
+          candidates->Insert(child);
+          next.push_back(child);
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+}
+
+bool GeneralMaintainer::IsSelected(const Oid& y) const {
+  OidFilter filter = MakeFilter();
+  // Some derivation path root→y must match the select expression...
+  std::vector<Path> paths =
+      PathsFromTo(*base_, root_, y, options_.max_paths_per_check,
+                  options_.max_depth, filter);
+  bool reachable = false;
+  for (const Path& path : paths) {
+    if (def_.query().select_path.Matches(path)) {
+      reachable = true;
+      break;
+    }
+  }
+  if (!reachable) return false;
+  // ...and the condition must hold on y.
+  return def_.query().where.Evaluate(*base_, y, filter);
+}
+
+Status GeneralMaintainer::Recheck(const Oid& y) {
+  ++stats_.candidates_checked;
+  bool selected = IsSelected(y);
+  bool present = view_->ContainsBase(y);
+  if (selected && !present) {
+    const Object* object = base_->Get(y);
+    if (object == nullptr) {
+      return Status::Internal("selected object " + y.str() + " missing");
+    }
+    GSV_RETURN_IF_ERROR(view_->VInsert(*object));
+    ++stats_.v_inserts;
+  } else if (!selected && present) {
+    GSV_RETURN_IF_ERROR(view_->VDelete(y));
+    ++stats_.v_deletes;
+  }
+  return Status::Ok();
+}
+
+Status GeneralMaintainer::Maintain(const Update& update) {
+  ++stats_.updates;
+  GSV_RETURN_IF_ERROR(view_->SyncUpdate(update));
+
+  OidSet candidates;
+  switch (update.kind) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete:
+      CollectReachabilityCandidates(update.child, &candidates);
+      CollectConditionCandidates(update.parent, &candidates);
+      // Condition witnesses below the edge endpoint may now be (un)reachable
+      // from ancestors above it — those ancestors are condition candidates
+      // of N2 as well.
+      CollectConditionCandidates(update.child, &candidates);
+      break;
+    case UpdateKind::kModify:
+      CollectConditionCandidates(update.parent, &candidates);
+      break;
+  }
+  for (const Oid& y : candidates) {
+    GSV_RETURN_IF_ERROR(Recheck(y));
+  }
+  return Status::Ok();
+}
+
+void GeneralMaintainer::OnUpdate(const ObjectStore& store,
+                                 const Update& update) {
+  (void)store;
+  Status status = Maintain(update);
+  if (!status.ok()) last_status_ = status;
+}
+
+}  // namespace gsv

@@ -1,0 +1,90 @@
+#ifndef GSV_CORE_GENERAL_MAINTAINER_H_
+#define GSV_CORE_GENERAL_MAINTAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/view_definition.h"
+#include "core/view_storage.h"
+#include "oem/store.h"
+#include "oem/update.h"
+#include "path/navigate.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Incremental maintenance for the generalized views of §6: select and
+// condition paths may be path expressions with wildcards, the WHERE clause
+// may combine predicates with AND/OR, and the base may be a DAG (multiple
+// derivations per object). WITHIN-scoped views are supported.
+//
+// Strategy (candidate-recheck): each base update can only change the
+// membership of
+//   * descendants of the inserted/deleted edge's child N2 (their
+//     reachability from ROOT via sel_path may change), and
+//   * ancestors of the updated object within condition-path distance
+//     (their condition witnesses may change).
+// The maintainer enumerates exactly these candidates and re-derives each
+// one: Y is in the view iff some path ROOT→Y matches sel_path (§6's path
+// containment test, applied to concrete derivation paths) and the WHERE
+// condition holds on Y. This costs more than Algorithm 1 — the point of
+// experiment E8/E9 — but handles every §6 relaxation, and degenerates to a
+// small candidate set for simple views.
+class GeneralMaintainer : public UpdateListener {
+ public:
+  struct Options {
+    // Cap on derivation paths examined per candidate (DAG safety).
+    size_t max_paths_per_check = 64;
+    // Cap on the upward climb depth (cycle safety; condition '*' paths).
+    size_t max_depth = 256;
+  };
+
+  struct Stats {
+    int64_t updates = 0;
+    int64_t candidates_checked = 0;
+    int64_t v_inserts = 0;
+    int64_t v_deletes = 0;
+  };
+
+  // The maintainer reads the base store directly (centralized setting).
+  // All pointers must outlive the maintainer.
+  GeneralMaintainer(ViewStorage* view, const ObjectStore* base,
+                    const ViewDefinition& def, Oid root)
+      : GeneralMaintainer(view, base, def, std::move(root), Options{}) {}
+  GeneralMaintainer(ViewStorage* view, const ObjectStore* base,
+                    const ViewDefinition& def, Oid root, Options options);
+
+  Status Maintain(const Update& update);
+
+  void OnUpdate(const ObjectStore& store, const Update& update) override;
+
+  const Stats& stats() const { return stats_; }
+  const Status& last_status() const { return last_status_; }
+
+ private:
+  // Candidates whose condition may be affected: ancestors of `n` (and `n`)
+  // within the condition reach.
+  void CollectConditionCandidates(const Oid& n, OidSet* candidates) const;
+  // Candidates whose reachability may be affected: descendants of `n2`.
+  void CollectReachabilityCandidates(const Oid& n2, OidSet* candidates) const;
+
+  // Re-derives `y` and fixes its view membership.
+  Status Recheck(const Oid& y);
+  bool IsSelected(const Oid& y) const;
+
+  OidFilter MakeFilter() const;
+
+  ViewStorage* view_;
+  const ObjectStore* base_;
+  ViewDefinition def_;
+  Options options_;
+  Oid root_;
+  size_t cond_reach_;       // max labels any predicate path can span;
+                            // SIZE_MAX when some predicate has '*'
+  Stats stats_;
+  Status last_status_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_CORE_GENERAL_MAINTAINER_H_

@@ -1,0 +1,46 @@
+#include "core/base_accessor.h"
+#include "path/navigate.h"
+
+namespace gsv {
+
+std::vector<Path> LocalAccessor::PathsFromRoot(const Oid& root, const Oid& n) {
+  ++stats_.paths_from_root;
+  return PathsFromTo(*store_, root, n);
+}
+
+std::vector<Oid> LocalAccessor::Ancestors(const Oid& n, const Path& p) {
+  ++stats_.ancestor_calls;
+  return AncestorsByPath(*store_, n, p);
+}
+
+std::vector<Oid> LocalAccessor::Eval(const Oid& n, const Path& p,
+                                     const std::optional<Predicate>& pred) {
+  ++stats_.eval_calls;
+  std::vector<Oid> out;
+  for (const Oid& oid : EvalPath(*store_, n, p)) {
+    const Object* object = store_->Get(oid);
+    if (object == nullptr) continue;
+    if (!pred.has_value()) {
+      out.push_back(oid);
+    } else if (object->IsAtomic() && pred->Holds(object->value())) {
+      out.push_back(oid);
+    }
+  }
+  return out;
+}
+
+bool LocalAccessor::VerifyPath(const Oid& root, const Oid& y, const Path& p) {
+  ++stats_.verify_calls;
+  return HasPathFromTo(*store_, root, y, p);
+}
+
+Result<Object> LocalAccessor::Fetch(const Oid& oid) {
+  ++stats_.fetches;
+  const Object* object = store_->Get(oid);
+  if (object == nullptr) {
+    return Status::NotFound("object " + oid.str() + " not found in base");
+  }
+  return *object;
+}
+
+}  // namespace gsv

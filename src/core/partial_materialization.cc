@@ -1,0 +1,91 @@
+#include "core/partial_materialization.h"
+
+#include <deque>
+#include <unordered_set>
+#include <utility>
+
+namespace gsv {
+
+Status PartialMaterialization::Expand(const ObjectStore& base) {
+  ObjectStore& store = view_->mutable_store();
+  const Oid& view_oid = view_->view_oid();
+
+  // BFS from the members, `depth_` levels down. Collect the set of base
+  // objects that will be locally available (members + expansion).
+  OidSet local = view_->BaseMembers();
+  std::deque<std::pair<Oid, size_t>> frontier;
+  for (const Oid& member : view_->BaseMembers()) frontier.emplace_back(member, 0);
+  std::unordered_set<std::string> seen;
+  for (const Oid& member : view_->BaseMembers()) seen.insert(member.str());
+
+  std::vector<Oid> to_copy;
+  while (!frontier.empty()) {
+    auto [oid, level] = frontier.front();
+    frontier.pop_front();
+    if (level >= depth_) continue;
+    const Object* object = base.Get(oid);
+    if (object == nullptr || !object->IsSet()) continue;
+    for (const Oid& child : object->children()) {
+      if (!base.Contains(child)) continue;
+      if (!seen.insert(child.str()).second) continue;
+      local.Insert(child);
+      if (!view_->ContainsBase(child)) to_copy.push_back(child);
+      frontier.emplace_back(child, level + 1);
+    }
+  }
+
+  // Copy the expansion objects.
+  for (const Oid& oid : to_copy) {
+    const Object* object = base.Get(oid);
+    if (object == nullptr) continue;
+    Oid delegate_oid = Oid::Delegate(view_oid, oid);
+    if (!store.Contains(delegate_oid)) {
+      GSV_RETURN_IF_ERROR(
+          store.Put(Object(delegate_oid, object->label(), object->value())));
+    }
+    expansion_.Insert(oid);
+  }
+
+  // Swizzle edges between locally-available objects; leave the rest as
+  // pointers back to base data.
+  for (const Oid& oid : local) {
+    Oid delegate_oid = Oid::Delegate(view_oid, oid);
+    const Object* delegate = store.Get(delegate_oid);
+    if (delegate == nullptr || !delegate->IsSet()) continue;
+    std::vector<Oid> children = delegate->children().elements();
+    for (const Oid& child : children) {
+      if (local.Contains(child)) {
+        GSV_RETURN_IF_ERROR(store.ReplaceChildRaw(
+            delegate_oid, child, Oid::Delegate(view_oid, child)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status PartialMaterialization::Clear() {
+  ObjectStore& store = view_->mutable_store();
+  const Oid& view_oid = view_->view_oid();
+  for (const Oid& oid : expansion_) {
+    Oid delegate_oid = Oid::Delegate(view_oid, oid);
+    if (store.Contains(delegate_oid)) {
+      GSV_RETURN_IF_ERROR(store.Remove(delegate_oid));
+    }
+  }
+  expansion_.clear();
+  return Status::Ok();
+}
+
+Status PartialMaterialization::Refresh(const ObjectStore& base) {
+  GSV_RETURN_IF_ERROR(Clear());
+  // Member delegates may hold swizzled edges to dropped expansion objects;
+  // re-copy their values from base, then re-expand.
+  for (const Oid& member : view_->BaseMembers()) {
+    const Object* object = base.Get(member);
+    if (object == nullptr) continue;
+    GSV_RETURN_IF_ERROR(view_->RefreshDelegate(*object));
+  }
+  return Expand(base);
+}
+
+}  // namespace gsv

@@ -1,0 +1,53 @@
+#ifndef GSV_CORE_PARTIAL_MATERIALIZATION_H_
+#define GSV_CORE_PARTIAL_MATERIALIZATION_H_
+
+#include <cstddef>
+
+#include "core/materialized_view.h"
+#include "oem/store.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Partially materialized views (paper §6, future-work list): "views that
+// materialize a few levels of objects and leave the rest as pointers back
+// to base data. This type of view may be useful for caching some but not
+// all data of interest."
+//
+// Expand() copies the descendants of every view member down to `depth`
+// additional levels into the delegate store, using the same semantic OID
+// scheme ("MV.<base>"). Edges between materialized objects are swizzled so
+// local traversals stay local; edges at the frontier keep base OIDs — the
+// "pointers back to base data". Refresh() re-derives the expansion after
+// base changes (expansion maintenance is recompute-style; only the selected
+// members themselves are maintained incrementally by Algorithm 1).
+class PartialMaterialization {
+ public:
+  // `view` must outlive this object; depth >= 0 (0 = no expansion beyond
+  // the members the view already materializes).
+  PartialMaterialization(MaterializedView* view, size_t depth)
+      : view_(view), depth_(depth) {}
+
+  // Materializes the expansion from the current base state.
+  Status Expand(const ObjectStore& base);
+
+  // Drops the previous expansion and re-expands from the current base.
+  Status Refresh(const ObjectStore& base);
+
+  // Number of expansion delegates (excluding the view's own members).
+  size_t expanded_count() const { return expansion_.size(); }
+  bool IsExpanded(const Oid& base_oid) const {
+    return expansion_.Contains(base_oid);
+  }
+
+ private:
+  Status Clear();
+
+  MaterializedView* view_;
+  size_t depth_;
+  OidSet expansion_;  // base OIDs materialized beyond the members
+};
+
+}  // namespace gsv
+
+#endif  // GSV_CORE_PARTIAL_MATERIALIZATION_H_

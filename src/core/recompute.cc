@@ -1,0 +1,45 @@
+#include "core/recompute.h"
+
+#include "core/virtual_view.h"
+
+namespace gsv {
+
+Status RecomputeMaintainer::Recompute() {
+  ++stats_.recomputes;
+  GSV_ASSIGN_OR_RETURN(OidSet expected, EvaluateView(*base_, view_->def()));
+  OidSet current = view_->BaseMembers();
+
+  // Remove stale delegates.
+  for (const Oid& oid : current) {
+    if (!expected.Contains(oid)) {
+      GSV_RETURN_IF_ERROR(view_->VDelete(oid));
+      ++stats_.delegates_removed;
+    }
+  }
+  // Add new delegates and re-copy survivors' values.
+  for (const Oid& oid : expected) {
+    const Object* object = base_->Get(oid);
+    if (object == nullptr) {
+      return Status::Internal("view member " + oid.str() +
+                              " missing from base store");
+    }
+    if (current.Contains(oid)) {
+      GSV_RETURN_IF_ERROR(view_->RefreshDelegate(*object));
+      ++stats_.delegates_refreshed;
+    } else {
+      GSV_RETURN_IF_ERROR(view_->VInsert(*object));
+      ++stats_.delegates_created;
+    }
+  }
+  return Status::Ok();
+}
+
+void RecomputeMaintainer::OnUpdate(const ObjectStore& store,
+                                   const Update& update) {
+  (void)store;
+  (void)update;
+  Status status = Recompute();
+  if (!status.ok()) last_status_ = status;
+}
+
+}  // namespace gsv

@@ -1,0 +1,50 @@
+#ifndef GSV_CORE_RECOMPUTE_H_
+#define GSV_CORE_RECOMPUTE_H_
+
+#include <cstdint>
+
+#include "core/materialized_view.h"
+#include "oem/store.h"
+#include "oem/update.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// The full-recomputation baseline of §4.4: after each base update,
+// re-evaluate the defining query, diff against the current delegates, and
+// re-copy the values of surviving delegates (a from-scratch materialization
+// that reuses unchanged delegate objects). This is the alternative that
+// Algorithm 1 is compared against in experiment E1, and it doubles as the
+// correctness oracle in the property tests.
+class RecomputeMaintainer : public UpdateListener {
+ public:
+  struct Stats {
+    int64_t recomputes = 0;
+    int64_t delegates_created = 0;
+    int64_t delegates_removed = 0;
+    int64_t delegates_refreshed = 0;
+  };
+
+  // Pointers must outlive the maintainer.
+  RecomputeMaintainer(MaterializedView* view, const ObjectStore* base)
+      : view_(view), base_(base) {}
+
+  // Performs one full recomputation.
+  Status Recompute();
+
+  // UpdateListener hookup: recompute after every base update.
+  void OnUpdate(const ObjectStore& store, const Update& update) override;
+
+  const Stats& stats() const { return stats_; }
+  const Status& last_status() const { return last_status_; }
+
+ private:
+  MaterializedView* view_;
+  const ObjectStore* base_;
+  Stats stats_;
+  Status last_status_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_CORE_RECOMPUTE_H_

@@ -1,0 +1,95 @@
+#include "core/swizzle.h"
+
+#include <vector>
+
+namespace gsv {
+namespace {
+
+// Applies `fn(delegate_oid, child_oid)` to every edge of every delegate.
+template <typename Fn>
+Status ForEachDelegateEdge(MaterializedView& view, Fn fn) {
+  const Oid& view_oid = view.view_oid();
+  for (const Oid& base_oid : view.BaseMembers()) {
+    Oid delegate_oid = Oid::Delegate(view_oid, base_oid);
+    const Object* delegate = view.store().Get(delegate_oid);
+    if (delegate == nullptr) {
+      return Status::Internal("delegate " + delegate_oid.str() + " missing");
+    }
+    if (!delegate->IsSet()) continue;
+    // Copy: fn may rewrite the delegate's child set.
+    std::vector<Oid> children = delegate->children().elements();
+    for (const Oid& child : children) {
+      GSV_RETURN_IF_ERROR(fn(delegate_oid, child));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<int64_t> SwizzleAll(MaterializedView& view) {
+  int64_t rewritten = 0;
+  Status status = ForEachDelegateEdge(
+      view, [&](const Oid& delegate_oid, const Oid& child) -> Status {
+        if (!view.ContainsBase(child)) return Status::Ok();
+        Oid swizzled = view.DelegateOid(child);
+        if (swizzled == child) return Status::Ok();
+        GSV_RETURN_IF_ERROR(
+            view.mutable_store().ReplaceChildRaw(delegate_oid, child, swizzled));
+        ++rewritten;
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  return rewritten;
+}
+
+Result<int64_t> UnswizzleAll(MaterializedView& view) {
+  const Oid& view_oid = view.view_oid();
+  int64_t rewritten = 0;
+  Status status = ForEachDelegateEdge(
+      view, [&](const Oid& delegate_oid, const Oid& child) -> Status {
+        if (!child.IsDelegateOf(view_oid)) return Status::Ok();
+        Oid base = child.BaseIn(view_oid);
+        GSV_RETURN_IF_ERROR(
+            view.mutable_store().ReplaceChildRaw(delegate_oid, child, base));
+        ++rewritten;
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  return rewritten;
+}
+
+Result<int64_t> StripBaseReferences(MaterializedView& view) {
+  const Oid& view_oid = view.view_oid();
+  int64_t removed = 0;
+  Status status = ForEachDelegateEdge(
+      view, [&](const Oid& delegate_oid, const Oid& child) -> Status {
+        if (child.IsDelegateOf(view_oid)) return Status::Ok();
+        GSV_RETURN_IF_ERROR(
+            view.mutable_store().RemoveChildRaw(delegate_oid, child));
+        ++removed;
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  return removed;
+}
+
+ReferenceCounts CountReferences(const MaterializedView& view) {
+  ReferenceCounts counts;
+  const Oid& view_oid = view.view_oid();
+  for (const Oid& base_oid : view.BaseMembers()) {
+    const Object* delegate =
+        view.store().Get(Oid::Delegate(view_oid, base_oid));
+    if (delegate == nullptr || !delegate->IsSet()) continue;
+    for (const Oid& child : delegate->children()) {
+      if (child.IsDelegateOf(view_oid)) {
+        ++counts.delegate_refs;
+      } else {
+        ++counts.base_refs;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace gsv

@@ -1,0 +1,42 @@
+#ifndef GSV_CORE_SWIZZLE_H_
+#define GSV_CORE_SWIZZLE_H_
+
+#include <cstdint>
+
+#include "core/materialized_view.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Bulk edge-swizzling operations on a materialized view (paper §3.2).
+// Swizzling replaces a base OID inside a delegate's value by the OID of
+// that base object's delegate, when one exists in the same view. It "should
+// not affect the results of queries" — tests assert this — but it lets
+// queries with WITHIN MV run against local objects only.
+
+// Swizzles every delegate edge whose target has a delegate in `view`.
+// Returns the number of edges rewritten.
+Result<int64_t> SwizzleAll(MaterializedView& view);
+
+// Reverts every swizzled edge to its base OID form.
+Result<int64_t> UnswizzleAll(MaterializedView& view);
+
+// The §3.2 "access control" modification: after swizzling, removes every
+// remaining base OID from delegate values, so queries starting inside the
+// view can never reach base data. Returns the number of references removed.
+// This makes the view no longer value-consistent with the base (by design);
+// automatic maintenance of such an edited view is unsupported.
+Result<int64_t> StripBaseReferences(MaterializedView& view);
+
+// Diagnostics: number of delegate-value references that still point at
+// base objects (i.e., would require remote access when the view lives at
+// a different site) and at delegates.
+struct ReferenceCounts {
+  int64_t base_refs = 0;
+  int64_t delegate_refs = 0;
+};
+ReferenceCounts CountReferences(const MaterializedView& view);
+
+}  // namespace gsv
+
+#endif  // GSV_CORE_SWIZZLE_H_

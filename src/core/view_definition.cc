@@ -1,0 +1,57 @@
+#include "core/view_definition.h"
+
+#include "query/parser.h"
+
+namespace gsv {
+
+ViewDefinition::ViewDefinition(std::string name, bool materialized,
+                               Query query)
+    : name_(std::move(name)),
+      view_oid_(name_),
+      materialized_(materialized),
+      query_(std::move(query)) {}
+
+Result<ViewDefinition> ViewDefinition::Create(std::string name,
+                                              bool materialized, Query query) {
+  if (name.empty()) {
+    return Status::InvalidArgument("view name must not be empty");
+  }
+  if (name.find('.') != std::string::npos) {
+    return Status::InvalidArgument(
+        "view name '" + name +
+        "' must not contain '.' (reserved for delegate OIDs)");
+  }
+  return ViewDefinition(std::move(name), materialized, std::move(query));
+}
+
+Result<ViewDefinition> ViewDefinition::Parse(std::string_view text) {
+  GSV_ASSIGN_OR_RETURN(DefineStatement stmt, ParseDefine(text));
+  return Create(std::move(stmt.name), stmt.materialized, std::move(stmt.query));
+}
+
+bool ViewDefinition::IsSimple() const {
+  return query_.IsSimple() && query_.select_path.size() > 0;
+}
+
+Path ViewDefinition::sel_path() const { return query_.select_path.ToPath(); }
+
+Path ViewDefinition::cond_path() const {
+  if (query_.where.IsTrivial()) return Path();
+  return query_.where.simple_predicate().path.ToPath();
+}
+
+std::optional<Predicate> ViewDefinition::predicate() const {
+  if (query_.where.IsTrivial()) return std::nullopt;
+  return query_.where.simple_predicate();
+}
+
+Path ViewDefinition::full_path() const {
+  return sel_path().Concat(cond_path());
+}
+
+std::string ViewDefinition::ToString() const {
+  return std::string("define ") + (materialized_ ? "mview " : "view ") +
+         name_ + " as: " + query_.ToString();
+}
+
+}  // namespace gsv

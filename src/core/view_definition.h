@@ -1,0 +1,60 @@
+#ifndef GSV_CORE_VIEW_DEFINITION_H_
+#define GSV_CORE_VIEW_DEFINITION_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "oem/oid.h"
+#include "path/path.h"
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// A named view over a GSDB (paper §3): a name, whether it is materialized,
+// and the defining query. The view OID equals the name, so delegate OIDs
+// ("MVJ.P1") can be split unambiguously; names therefore must not contain
+// a dot.
+class ViewDefinition {
+ public:
+  // Builds a definition from parsed parts. Validates the name.
+  static Result<ViewDefinition> Create(std::string name, bool materialized,
+                                       Query query);
+
+  // Parses a full "define [m]view NAME as: SELECT ..." statement.
+  static Result<ViewDefinition> Parse(std::string_view text);
+
+  const std::string& name() const { return name_; }
+  const Oid& view_oid() const { return view_oid_; }
+  bool materialized() const { return materialized_; }
+  const Query& query() const { return query_; }
+
+  // The "simple view" shape maintained by Algorithm 1 (§4.2): constant
+  // non-empty select path; WHERE absent or a single constant-path predicate.
+  bool IsSimple() const;
+
+  // Accessors for Algorithm 1 (require IsSimple()).
+  Path sel_path() const;
+  // Empty when the WHERE clause is absent.
+  Path cond_path() const;
+  // The single predicate, or nullopt when the WHERE clause is absent (a
+  // missing condition behaves as "always true").
+  std::optional<Predicate> predicate() const;
+  // sel_path.cond_path concatenated (the algorithm's matching target).
+  Path full_path() const;
+
+  std::string ToString() const;
+
+ private:
+  ViewDefinition(std::string name, bool materialized, Query query);
+
+  std::string name_;
+  Oid view_oid_;
+  bool materialized_ = false;
+  Query query_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_CORE_VIEW_DEFINITION_H_

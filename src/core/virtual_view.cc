@@ -1,0 +1,27 @@
+#include "core/virtual_view.h"
+
+#include "query/evaluator.h"
+
+namespace gsv {
+
+Result<OidSet> EvaluateView(const ObjectStore& store,
+                            const ViewDefinition& def) {
+  return EvaluateQuery(store, def.query());
+}
+
+Status RegisterVirtualView(ObjectStore& store, const ViewDefinition& def) {
+  GSV_ASSIGN_OR_RETURN(OidSet members, EvaluateView(store, def));
+  GSV_RETURN_IF_ERROR(
+      store.Put(Object(def.view_oid(), "view", Value::Set(members))));
+  return store.RegisterDatabase(def.name(), def.view_oid());
+}
+
+Status RefreshVirtualView(ObjectStore& store, const ViewDefinition& def) {
+  if (!store.Contains(def.view_oid())) {
+    return Status::NotFound("virtual view " + def.name() + " is not registered");
+  }
+  GSV_ASSIGN_OR_RETURN(OidSet members, EvaluateView(store, def));
+  return store.SetValueRaw(def.view_oid(), Value::Set(std::move(members)));
+}
+
+}  // namespace gsv

@@ -1,0 +1,31 @@
+#ifndef GSV_CORE_VIRTUAL_VIEW_H_
+#define GSV_CORE_VIRTUAL_VIEW_H_
+
+#include "core/view_definition.h"
+#include "oem/store.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Virtual views (paper §3.1): a view is the result of its defining query.
+// EvaluateView computes the member set; RegisterVirtualView additionally
+// stores the view object <V, view, set, value(V)> and registers it as a
+// database, so the view can be used as a query entry point ("SELECT VJ.?.age")
+// and in WITHIN / ANS INT clauses — the two usage modes of §3.1.
+
+// The OIDs selected by the view's query.
+Result<OidSet> EvaluateView(const ObjectStore& store,
+                            const ViewDefinition& def);
+
+// Evaluates and stores <view_oid, "view", set, members>, registered as a
+// database under the view's name. Fails if the OID or name already exists.
+Status RegisterVirtualView(ObjectStore& store, const ViewDefinition& def);
+
+// Re-evaluates the query of a registered virtual view and replaces the view
+// object's value. (Virtual views are computed on demand; this refresh is
+// what "querying the view" conceptually does, §3.3.)
+Status RefreshVirtualView(ObjectStore& store, const ViewDefinition& def);
+
+}  // namespace gsv
+
+#endif  // GSV_CORE_VIRTUAL_VIEW_H_

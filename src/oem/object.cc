@@ -1,0 +1,14 @@
+#include "oem/object.h"
+
+#include <sstream>
+
+namespace gsv {
+
+std::string Object::ToString() const {
+  std::ostringstream out;
+  out << '<' << oid_.str() << ", " << label_ << ", "
+      << ValueTypeName(type()) << ", " << value_.ToString() << '>';
+  return out.str();
+}
+
+}  // namespace gsv

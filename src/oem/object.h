@@ -1,0 +1,52 @@
+#ifndef GSV_OEM_OBJECT_H_
+#define GSV_OEM_OBJECT_H_
+
+#include <string>
+#include <utility>
+
+#include "oem/oid.h"
+#include "oem/value.h"
+
+namespace gsv {
+
+// An OEM object (paper §2): <OID, label, type, value>. The type field is
+// derived from the value alternative, as the paper notes for atomic objects
+// ("we omit the type since it can be inferred by its value").
+class Object {
+ public:
+  Object() = default;
+  Object(Oid oid, std::string label, Value value)
+      : oid_(std::move(oid)), label_(std::move(label)), value_(std::move(value)) {}
+
+  const Oid& oid() const { return oid_; }
+  const std::string& label() const { return label_; }
+  ValueType type() const { return value_.type(); }
+  const Value& value() const { return value_; }
+  Value& mutable_value() { return value_; }
+
+  bool IsAtomic() const { return value_.IsAtomic(); }
+  bool IsSet() const { return value_.IsSet(); }
+
+  // Children of a set object. Requires IsSet().
+  const OidSet& children() const { return value_.AsSet(); }
+  OidSet& mutable_children() { return value_.MutableSet(); }
+
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  // Paper notation: <OID, label, type, value>.
+  std::string ToString() const;
+
+  bool operator==(const Object& other) const {
+    return oid_ == other.oid_ && label_ == other.label_ &&
+           value_ == other.value_;
+  }
+
+ private:
+  Oid oid_;
+  std::string label_;
+  Value value_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_OBJECT_H_

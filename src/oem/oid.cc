@@ -1,0 +1,5 @@
+#include "oem/oid.h"
+
+// Oid is header-only; this file exists so every module has a .cc anchor
+// (keeps the library layout uniform and link-time symbols predictable).
+namespace gsv {}  // namespace gsv

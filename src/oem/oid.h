@@ -1,0 +1,65 @@
+#ifndef GSV_OEM_OID_H_
+#define GSV_OEM_OID_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gsv {
+
+// A universally unique object identifier (paper §2).
+//
+// OIDs are opaque strings. Materialized views give each delegate a *semantic*
+// OID formed by concatenating the view OID and the base OID with a dot
+// (paper §3.2: the delegate of P1 in view MV is "MV.P1"). So that delegate
+// OIDs can be split unambiguously — including for views over views, where a
+// base OID may itself be a delegate OID ("MV2.MV1.P1") — view OIDs must not
+// contain '.'; MaterializedView enforces this at creation.
+class Oid {
+ public:
+  // An invalid (empty) OID; valid() is false.
+  Oid() = default;
+
+  explicit Oid(std::string repr) : repr_(std::move(repr)) {}
+  explicit Oid(const char* repr) : repr_(repr) {}
+
+  // The delegate OID of `base` inside view `view`: "<view>.<base>".
+  static Oid Delegate(const Oid& view, const Oid& base) {
+    return Oid(view.repr_ + "." + base.repr_);
+  }
+
+  bool valid() const { return !repr_.empty(); }
+  const std::string& str() const { return repr_; }
+
+  // True if this OID has the "<view>.<rest>" shape for the given view.
+  bool IsDelegateOf(const Oid& view) const {
+    return repr_.size() > view.repr_.size() + 1 &&
+           repr_.compare(0, view.repr_.size(), view.repr_) == 0 &&
+           repr_[view.repr_.size()] == '.';
+  }
+
+  // For a delegate OID, the base OID it was derived from ("MV.P1" -> "P1").
+  // Requires IsDelegateOf(view).
+  Oid BaseIn(const Oid& view) const {
+    return Oid(repr_.substr(view.repr_.size() + 1));
+  }
+
+  bool operator==(const Oid& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Oid& other) const { return repr_ != other.repr_; }
+  bool operator<(const Oid& other) const { return repr_ < other.repr_; }
+
+ private:
+  std::string repr_;
+};
+
+struct OidHash {
+  size_t operator()(const Oid& oid) const {
+    return std::hash<std::string>()(oid.str());
+  }
+};
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_OID_H_

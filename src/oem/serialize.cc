@@ -1,0 +1,195 @@
+#include "oem/serialize.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace gsv {
+namespace {
+
+std::string EscapeString(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// Parses a quoted string starting at (*pos); advances *pos past it.
+Result<std::string> UnescapeString(const std::string& line, size_t* pos) {
+  if (*pos >= line.size() || line[*pos] != '"') {
+    return Status::InvalidArgument("expected '\"' in: " + line);
+  }
+  std::string out;
+  for (size_t i = *pos + 1; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) {
+        return Status::InvalidArgument("dangling escape in: " + line);
+      }
+      char next = line[++i];
+      out += next == 'n' ? '\n' : next;
+    } else if (c == '"') {
+      *pos = i + 1;
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  return Status::InvalidArgument("unterminated string in: " + line);
+}
+
+// Splits on single spaces, no empty tokens.
+std::vector<std::string> Tokens(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) out.push_back(token);
+  return out;
+}
+
+}  // namespace
+
+Status WriteStore(const ObjectStore& store, std::ostream& out) {
+  std::vector<const Object*> objects;
+  store.ForEach([&](const Object& object) { objects.push_back(&object); });
+  std::sort(objects.begin(), objects.end(),
+            [](const Object* a, const Object* b) { return a->oid() < b->oid(); });
+
+  out << "# gsview store: " << objects.size() << " objects\n";
+  for (const Object* object : objects) {
+    out << "obj " << object->oid().str() << ' ' << object->label() << ' ';
+    switch (object->type()) {
+      case ValueType::kInt:
+        out << "int " << object->value().AsInt();
+        break;
+      case ValueType::kReal:
+        out << "real " << object->value().AsReal();
+        break;
+      case ValueType::kString:
+        out << "string " << EscapeString(object->value().AsString());
+        break;
+      case ValueType::kBool:
+        out << "bool " << (object->value().AsBool() ? "true" : "false");
+        break;
+      case ValueType::kSet: {
+        out << "set";
+        for (const Oid& child : object->children()) {
+          out << ' ' << child.str();
+        }
+        break;
+      }
+    }
+    out << '\n';
+  }
+  for (const std::string& name : store.DatabaseNames()) {
+    out << "db " << name << ' ' << store.DatabaseOid(name).str() << '\n';
+  }
+  if (!out.good()) return Status::Internal("stream write failed");
+  return Status::Ok();
+}
+
+Status ReadStore(std::istream& in, ObjectStore* store) {
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    auto fail = [&](const std::string& message) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": " + message);
+    };
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.rfind("obj ", 0) == 0) {
+      // obj <oid> <label> <type> <payload...>
+      std::vector<std::string> head = Tokens(line.substr(0, line.find('"')));
+      if (head.size() < 4) return fail("malformed object record");
+      const Oid oid(head[1]);
+      const std::string& label = head[2];
+      const std::string& type = head[3];
+      Status status;
+      if (type == "int") {
+        if (head.size() != 5) return fail("int record needs one value");
+        std::optional<int64_t> value = ParseInt64(head[4]);
+        if (!value.has_value()) return fail("bad integer '" + head[4] + "'");
+        status = store->PutAtomic(oid, label, Value::Int(*value));
+      } else if (type == "real") {
+        if (head.size() != 5) return fail("real record needs one value");
+        std::optional<double> value = ParseDouble(head[4]);
+        if (!value.has_value()) return fail("bad real '" + head[4] + "'");
+        status = store->PutAtomic(oid, label, Value::Real(*value));
+      } else if (type == "bool") {
+        if (head.size() != 5) return fail("bool record needs one value");
+        status = store->PutAtomic(oid, label, Value::Bool(head[4] == "true"));
+      } else if (type == "string") {
+        size_t pos = line.find('"');
+        if (pos == std::string::npos) return fail("string record needs quotes");
+        GSV_ASSIGN_OR_RETURN(std::string text, UnescapeString(line, &pos));
+        status = store->PutAtomic(oid, label, Value::Str(std::move(text)));
+      } else if (type == "set") {
+        std::vector<Oid> children;
+        for (size_t i = 4; i < head.size(); ++i) {
+          children.push_back(Oid(head[i]));
+        }
+        status = store->PutSet(oid, label, std::move(children));
+      } else {
+        return fail("unknown type '" + type + "'");
+      }
+      GSV_RETURN_IF_ERROR(status);
+    } else if (line.rfind("db ", 0) == 0) {
+      std::vector<std::string> head = Tokens(line);
+      if (head.size() != 3) return fail("malformed db record");
+      GSV_RETURN_IF_ERROR(store->RegisterDatabase(head[1], Oid(head[2])));
+    } else {
+      return fail("unknown record '" + line + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Status SaveStoreToFile(const ObjectStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  return WriteStore(store, out);
+}
+
+Status LoadStoreFromFile(const std::string& path, ObjectStore* store) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return ReadStore(in, store);
+}
+
+std::string StoreToString(const ObjectStore& store) {
+  std::ostringstream out;
+  (void)WriteStore(store, out);
+  return out.str();
+}
+
+Status StoreFromString(const std::string& text, ObjectStore* store) {
+  std::istringstream in(text);
+  return ReadStore(in, store);
+}
+
+}  // namespace gsv

@@ -1,0 +1,45 @@
+#ifndef GSV_OEM_SERIALIZE_H_
+#define GSV_OEM_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "oem/store.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Plain-text persistence for GSDBs in (a machine-readable variant of) the
+// paper's object notation. Each line is one record:
+//
+//   obj <oid> <label> int <value>
+//   obj <oid> <label> real <value>
+//   obj <oid> <label> string "<escaped>"
+//   obj <oid> <label> bool true|false
+//   obj <oid> <label> set <child> <child> ...
+//   db  <name> <oid>
+//
+// OIDs and labels are written verbatim and therefore must not contain
+// whitespace (true throughout this library); strings are quoted with
+// backslash escapes for '"', '\' and newline. Lines starting with '#' and
+// blank lines are ignored on load.
+
+// Writes every object (sorted by OID for determinism) and every database
+// registration.
+Status WriteStore(const ObjectStore& store, std::ostream& out);
+
+// Parses records into `store` (which may already hold objects; duplicate
+// OIDs fail with kAlreadyExists). Children may be forward references.
+Status ReadStore(std::istream& in, ObjectStore* store);
+
+// Convenience: file round trips.
+Status SaveStoreToFile(const ObjectStore& store, const std::string& path);
+Status LoadStoreFromFile(const std::string& path, ObjectStore* store);
+
+// String round trips (testing, tooling).
+std::string StoreToString(const ObjectStore& store);
+Status StoreFromString(const std::string& text, ObjectStore* store);
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_SERIALIZE_H_

@@ -1,0 +1,37 @@
+#include "oem/set_ops.h"
+
+namespace gsv {
+namespace {
+
+// Validates the operands and builds the result object.
+Result<Oid> Combine(ObjectStore* store, const Oid& s1, const Oid& s2,
+                    const Oid& result_oid, bool intersect) {
+  const Object* lhs = store->Get(s1);
+  const Object* rhs = store->Get(s2);
+  if (lhs == nullptr || rhs == nullptr) {
+    return Status::NotFound("set operation operand missing");
+  }
+  if (!lhs->IsSet() || !rhs->IsSet()) {
+    return Status::FailedPrecondition(
+        "set operations require set objects (§2)");
+  }
+  OidSet value = intersect ? OidSet::Intersect(lhs->children(), rhs->children())
+                           : OidSet::Union(lhs->children(), rhs->children());
+  GSV_RETURN_IF_ERROR(
+      store->Put(Object(result_oid, lhs->label(), Value::Set(std::move(value)))));
+  return result_oid;
+}
+
+}  // namespace
+
+Result<Oid> UnionObjects(ObjectStore* store, const Oid& s1, const Oid& s2,
+                         const Oid& result_oid) {
+  return Combine(store, s1, s2, result_oid, /*intersect=*/false);
+}
+
+Result<Oid> IntersectObjects(ObjectStore* store, const Oid& s1,
+                             const Oid& s2, const Oid& result_oid) {
+  return Combine(store, s1, s2, result_oid, /*intersect=*/true);
+}
+
+}  // namespace gsv

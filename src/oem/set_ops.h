@@ -1,0 +1,27 @@
+#ifndef GSV_OEM_SET_OPS_H_
+#define GSV_OEM_SET_OPS_H_
+
+#include "oem/store.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// The set operations of paper §2: "let S1 and S2 be two set objects. We
+// define union(S1,S2) to be an object whose value is value(S1) ∪ value(S2),
+// and define int(S1,S2) to be an object whose value is value(S1) ∩
+// value(S2). We assume that these resulting objects have an arbitrary
+// unique OID and take on the label of S1. These operations are mainly used
+// to manipulate database objects and query answers."
+//
+// The caller supplies the fresh OID (this library never invents OIDs
+// behind the caller's back); both inputs must be set objects in `store`.
+
+Result<Oid> UnionObjects(ObjectStore* store, const Oid& s1, const Oid& s2,
+                         const Oid& result_oid);
+
+Result<Oid> IntersectObjects(ObjectStore* store, const Oid& s1,
+                             const Oid& s2, const Oid& result_oid);
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_SET_OPS_H_

@@ -1,0 +1,385 @@
+#include "oem/store.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+namespace gsv {
+
+const char* UpdateKindName(UpdateKind kind) {
+  switch (kind) {
+    case UpdateKind::kInsert:
+      return "insert";
+    case UpdateKind::kDelete:
+      return "delete";
+    case UpdateKind::kModify:
+      return "modify";
+  }
+  return "unknown";
+}
+
+std::string Update::ToString() const {
+  std::ostringstream out;
+  switch (kind) {
+    case UpdateKind::kInsert:
+    case UpdateKind::kDelete:
+      out << UpdateKindName(kind) << '(' << parent.str() << ", " << child.str()
+          << ')';
+      break;
+    case UpdateKind::kModify:
+      out << "modify(" << parent.str() << ", " << old_value.ToString() << ", "
+          << new_value.ToString() << ')';
+      break;
+  }
+  return out.str();
+}
+
+Status ObjectStore::Put(Object object) {
+  if (!object.oid().valid()) {
+    return Status::InvalidArgument("object has an invalid OID");
+  }
+  auto [it, inserted] = objects_.emplace(object.oid(), std::move(object));
+  ++metrics_.lookups;
+  if (!inserted) {
+    return Status::AlreadyExists("object " + it->first.str() +
+                                 " already exists");
+  }
+  if (options_.enable_parent_index && it->second.IsSet()) {
+    IndexChildren(it->second);
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::PutAtomic(const Oid& oid, std::string label, Value value) {
+  if (value.IsSet()) {
+    return Status::InvalidArgument("PutAtomic called with a set value");
+  }
+  return Put(Object(oid, std::move(label), std::move(value)));
+}
+
+Status ObjectStore::PutSet(const Oid& oid, std::string label,
+                           std::vector<Oid> children) {
+  return Put(Object(oid, std::move(label), Value::SetOf(std::move(children))));
+}
+
+Status ObjectStore::Remove(const Oid& oid) {
+  auto it = objects_.find(oid);
+  ++metrics_.lookups;
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + oid.str() + " does not exist");
+  }
+  if (options_.enable_parent_index && it->second.IsSet()) {
+    UnindexChildren(it->second);
+  }
+  parent_index_.erase(oid);
+  objects_.erase(it);
+  for (auto db = databases_.begin(); db != databases_.end();) {
+    if (db->second == oid) {
+      db = databases_.erase(db);
+    } else {
+      ++db;
+    }
+  }
+  return Status::Ok();
+}
+
+const Object* ObjectStore::Get(const Oid& oid) const {
+  ++metrics_.lookups;
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+bool ObjectStore::Contains(const Oid& oid) const {
+  ++metrics_.lookups;
+  return objects_.count(oid) > 0;
+}
+
+std::vector<Oid> ObjectStore::Parents(const Oid& oid) const {
+  if (options_.enable_parent_index) {
+    ++metrics_.parent_lookups;
+    auto it = parent_index_.find(oid);
+    if (it == parent_index_.end()) return {};
+    return it->second.elements();
+  }
+  // No inverse index: scan every set object (§4.4: "evaluating the same
+  // function may require a traversal").
+  std::vector<Oid> parents;
+  for (const auto& [parent_oid, object] : objects_) {
+    ++metrics_.objects_scanned;
+    if (object.IsSet() && object.children().Contains(oid)) {
+      parents.push_back(parent_oid);
+    }
+  }
+  std::sort(parents.begin(), parents.end());
+  return parents;
+}
+
+void ObjectStore::ForEach(
+    const std::function<void(const Object&)>& fn) const {
+  for (const auto& [oid, object] : objects_) {
+    ++metrics_.objects_scanned;
+    fn(object);
+  }
+}
+
+Status ObjectStore::Insert(const Oid& parent, const Oid& child) {
+  auto it = objects_.find(parent);
+  ++metrics_.lookups;
+  if (it == objects_.end()) {
+    return Status::NotFound("insert: parent " + parent.str() + " not found");
+  }
+  if (!it->second.IsSet()) {
+    return Status::FailedPrecondition("insert: parent " + parent.str() +
+                                      " is not a set object");
+  }
+  if (!Contains(child)) {
+    return Status::NotFound("insert: child " + child.str() + " not found");
+  }
+  if (!it->second.mutable_children().Insert(child)) {
+    return Status::Ok();  // already a child: no-op, no notification
+  }
+  if (options_.enable_parent_index) {
+    parent_index_[child].Insert(parent);
+  }
+  Notify(Update::Insert(parent, child));
+  return Status::Ok();
+}
+
+Status ObjectStore::Delete(const Oid& parent, const Oid& child) {
+  auto it = objects_.find(parent);
+  ++metrics_.lookups;
+  if (it == objects_.end()) {
+    return Status::NotFound("delete: parent " + parent.str() + " not found");
+  }
+  if (!it->second.IsSet()) {
+    return Status::FailedPrecondition("delete: parent " + parent.str() +
+                                      " is not a set object");
+  }
+  if (!it->second.mutable_children().Erase(child)) {
+    return Status::NotFound("delete: " + child.str() + " is not a child of " +
+                            parent.str());
+  }
+  if (options_.enable_parent_index) {
+    auto pit = parent_index_.find(child);
+    if (pit != parent_index_.end()) {
+      pit->second.Erase(parent);
+      if (pit->second.empty()) parent_index_.erase(pit);
+    }
+  }
+  Notify(Update::Delete(parent, child));
+  return Status::Ok();
+}
+
+Status ObjectStore::Modify(const Oid& oid, Value new_value) {
+  auto it = objects_.find(oid);
+  ++metrics_.lookups;
+  if (it == objects_.end()) {
+    return Status::NotFound("modify: object " + oid.str() + " not found");
+  }
+  if (!it->second.IsAtomic()) {
+    return Status::FailedPrecondition(
+        "modify: " + oid.str() +
+        " is a set object; change sets via insert/delete");
+  }
+  if (new_value.IsSet()) {
+    return Status::InvalidArgument("modify: new value must be atomic");
+  }
+  Value old_value = it->second.value();
+  it->second.mutable_value() = new_value;
+  Notify(Update::Modify(oid, std::move(old_value), std::move(new_value)));
+  return Status::Ok();
+}
+
+Status ObjectStore::Apply(const Update& update) {
+  switch (update.kind) {
+    case UpdateKind::kInsert:
+      return Insert(update.parent, update.child);
+    case UpdateKind::kDelete:
+      return Delete(update.parent, update.child);
+    case UpdateKind::kModify:
+      return Modify(update.parent, update.new_value);
+  }
+  return Status::InvalidArgument("unknown update kind");
+}
+
+Status ObjectStore::AddChildRaw(const Oid& parent, const Oid& child) {
+  auto it = objects_.find(parent);
+  ++metrics_.lookups;
+  if (it == objects_.end()) {
+    return Status::NotFound("raw add: parent " + parent.str() + " not found");
+  }
+  if (!it->second.IsSet()) {
+    return Status::FailedPrecondition("raw add: parent " + parent.str() +
+                                      " is not a set object");
+  }
+  if (it->second.mutable_children().Insert(child) &&
+      options_.enable_parent_index) {
+    parent_index_[child].Insert(parent);
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::RemoveChildRaw(const Oid& parent, const Oid& child) {
+  auto it = objects_.find(parent);
+  ++metrics_.lookups;
+  if (it == objects_.end()) {
+    return Status::NotFound("raw remove: parent " + parent.str() +
+                            " not found");
+  }
+  if (!it->second.IsSet()) {
+    return Status::FailedPrecondition("raw remove: parent " + parent.str() +
+                                      " is not a set object");
+  }
+  if (it->second.mutable_children().Erase(child) &&
+      options_.enable_parent_index) {
+    auto pit = parent_index_.find(child);
+    if (pit != parent_index_.end()) {
+      pit->second.Erase(parent);
+      if (pit->second.empty()) parent_index_.erase(pit);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::ReplaceChildRaw(const Oid& parent, const Oid& from,
+                                    const Oid& to) {
+  auto it = objects_.find(parent);
+  ++metrics_.lookups;
+  if (it == objects_.end()) {
+    return Status::NotFound("raw replace: parent " + parent.str() +
+                            " not found");
+  }
+  if (!it->second.IsSet()) {
+    return Status::FailedPrecondition("raw replace: parent " + parent.str() +
+                                      " is not a set object");
+  }
+  if (!it->second.children().Contains(from)) return Status::Ok();
+  GSV_RETURN_IF_ERROR(RemoveChildRaw(parent, from));
+  return AddChildRaw(parent, to);
+}
+
+Status ObjectStore::SetValueRaw(const Oid& oid, Value value) {
+  auto it = objects_.find(oid);
+  ++metrics_.lookups;
+  if (it == objects_.end()) {
+    return Status::NotFound("raw set: object " + oid.str() + " not found");
+  }
+  if (options_.enable_parent_index && it->second.IsSet()) {
+    UnindexChildren(it->second);
+  }
+  it->second.mutable_value() = std::move(value);
+  if (options_.enable_parent_index && it->second.IsSet()) {
+    IndexChildren(it->second);
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::CreateDatabase(const std::string& name, const Oid& oid,
+                                   std::string label) {
+  GSV_RETURN_IF_ERROR(PutSet(oid, std::move(label)));
+  return RegisterDatabase(name, oid);
+}
+
+Status ObjectStore::RegisterDatabase(const std::string& name, const Oid& oid) {
+  const Object* object = Get(oid);
+  if (object == nullptr) {
+    return Status::NotFound("database object " + oid.str() + " not found");
+  }
+  if (!object->IsSet()) {
+    return Status::FailedPrecondition("database object " + oid.str() +
+                                      " must have set type");
+  }
+  auto [it, inserted] = databases_.emplace(name, oid);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("database " + name + " already registered");
+  }
+  return Status::Ok();
+}
+
+Oid ObjectStore::DatabaseOid(const std::string& name) const {
+  auto it = databases_.find(name);
+  return it == databases_.end() ? Oid() : it->second;
+}
+
+bool ObjectStore::InDatabase(const std::string& name, const Oid& oid) const {
+  auto it = databases_.find(name);
+  if (it == databases_.end()) return false;
+  const Object* db = Get(it->second);
+  return db != nullptr && db->IsSet() && db->children().Contains(oid);
+}
+
+std::vector<std::string> ObjectStore::DatabaseNames() const {
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [name, oid] : databases_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void ObjectStore::AddListener(UpdateListener* listener) {
+  listeners_.push_back(listener);
+}
+
+void ObjectStore::RemoveListener(UpdateListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+size_t ObjectStore::CollectGarbage(const std::vector<Oid>& extra_roots) {
+  std::unordered_set<std::string> reachable;
+  std::deque<Oid> frontier;
+  auto add_root = [&](const Oid& oid) {
+    if (Contains(oid) && reachable.insert(oid.str()).second) {
+      frontier.push_back(oid);
+    }
+  };
+  for (const auto& [name, oid] : databases_) add_root(oid);
+  for (const Oid& oid : extra_roots) add_root(oid);
+
+  while (!frontier.empty()) {
+    Oid current = frontier.front();
+    frontier.pop_front();
+    const Object* object = Get(current);
+    if (object == nullptr || !object->IsSet()) continue;
+    for (const Oid& child : object->children()) {
+      ++metrics_.edges_traversed;
+      if (Contains(child) && reachable.insert(child.str()).second) {
+        frontier.push_back(child);
+      }
+    }
+  }
+
+  std::vector<Oid> doomed;
+  for (const auto& [oid, object] : objects_) {
+    if (reachable.find(oid.str()) == reachable.end()) doomed.push_back(oid);
+  }
+  for (const Oid& oid : doomed) Remove(oid);
+  return doomed.size();
+}
+
+void ObjectStore::Notify(const Update& update) {
+  // Copy: a listener may add/remove listeners while being notified.
+  std::vector<UpdateListener*> listeners = listeners_;
+  for (UpdateListener* listener : listeners) {
+    listener->OnUpdate(*this, update);
+  }
+}
+
+void ObjectStore::IndexChildren(const Object& object) {
+  for (const Oid& child : object.children()) {
+    parent_index_[child].Insert(object.oid());
+  }
+}
+
+void ObjectStore::UnindexChildren(const Object& object) {
+  for (const Oid& child : object.children()) {
+    auto it = parent_index_.find(child);
+    if (it == parent_index_.end()) continue;
+    it->second.Erase(object.oid());
+    if (it->second.empty()) parent_index_.erase(it);
+  }
+}
+
+}  // namespace gsv

@@ -1,0 +1,164 @@
+#ifndef GSV_OEM_STORE_H_
+#define GSV_OEM_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "oem/object.h"
+#include "oem/oid.h"
+#include "oem/update.h"
+#include "oem/value.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Cost counters for the access-pattern analyses of §4.4 / §5. All graph
+// navigation in the library runs through the store and is metered here.
+struct StoreMetrics {
+  int64_t edges_traversed = 0;   // child links followed
+  int64_t parent_lookups = 0;    // ancestor steps via the inverse index
+  int64_t objects_scanned = 0;   // objects visited by full scans
+  int64_t lookups = 0;           // OID hash-table probes
+
+  void Reset() { *this = StoreMetrics(); }
+};
+
+// The graph-structured database engine (paper §2). Holds OEM objects,
+// applies the basic updates of §4.1, groups objects into named databases,
+// and maintains an optional inverse (parent) index — the index whose
+// presence §4.4 identifies as the key cost factor for ancestor().
+//
+// Thread-compatible: const methods are safe to call concurrently; mutating
+// methods require external synchronization.
+class ObjectStore {
+ public:
+  struct Options {
+    // Maintain a child -> parents index. Without it, Parents() falls back
+    // to a full scan (metered in StoreMetrics::objects_scanned).
+    bool enable_parent_index = true;
+  };
+
+  ObjectStore() : ObjectStore(Options()) {}
+  explicit ObjectStore(Options options) : options_(options) {}
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  // ---- Object creation ----
+
+  // Adds a new object. Fails with kAlreadyExists on a duplicate OID.
+  Status Put(Object object);
+
+  // Conveniences building the Object in place.
+  Status PutAtomic(const Oid& oid, std::string label, Value value);
+  Status PutSet(const Oid& oid, std::string label,
+                std::vector<Oid> children = {});
+
+  // Removes an object outright (not a paper basic update; used by GC and
+  // materialized-view storage). Also removes it from the parent index and
+  // from any databases. Edges *to* it from other objects are left dangling,
+  // matching the paper's remark that GC is out of scope.
+  Status Remove(const Oid& oid);
+
+  // ---- Lookup ----
+
+  // Returns the object or nullptr. Pointers are invalidated by Put/Remove.
+  const Object* Get(const Oid& oid) const;
+  bool Contains(const Oid& oid) const;
+  size_t size() const { return objects_.size(); }
+
+  // All parents of `oid` (objects whose set value contains it). Uses the
+  // inverse index when enabled, otherwise a metered full scan.
+  std::vector<Oid> Parents(const Oid& oid) const;
+
+  // Iterates every object (unspecified order).
+  void ForEach(const std::function<void(const Object&)>& fn) const;
+
+  // ---- Basic updates (paper §4.1) ----
+
+  // insert(N1,N2): adds N2 to value(N1). N1 must be a set object; N2 must
+  // exist. Inserting an already-present child is a no-op (no notification).
+  Status Insert(const Oid& parent, const Oid& child);
+
+  // delete(N1,N2): removes N2 from value(N1). Fails with kNotFound if N2
+  // was not a child of N1 (state unchanged, no notification).
+  Status Delete(const Oid& parent, const Oid& child);
+
+  // modify(N, old, new): replaces the value of atomic object N. The new
+  // value must be atomic too (changing a set is modeled as inserts/deletes,
+  // §4.1). A modify to an equal value still notifies listeners.
+  Status Modify(const Oid& oid, Value new_value);
+
+  // Applies any basic update.
+  Status Apply(const Update& update);
+
+  // ---- Raw edits (view-storage bookkeeping; NOT basic updates) ----
+  //
+  // These mutate objects without notifying listeners and without requiring
+  // the referenced child to exist in this store (delegate values may hold
+  // OIDs of remote base objects, §3.2). MaterializedView and SwizzleManager
+  // use them; application code should use the basic updates above.
+
+  // Adds `child` to set object `parent`; no-op if already present.
+  Status AddChildRaw(const Oid& parent, const Oid& child);
+  // Removes `child` from set object `parent`; no-op if absent.
+  Status RemoveChildRaw(const Oid& parent, const Oid& child);
+  // Replaces `from` with `to` inside set object `parent` (edge swizzling).
+  // No-op if `from` is absent.
+  Status ReplaceChildRaw(const Oid& parent, const Oid& from, const Oid& to);
+  // Replaces the whole value of `oid` (any type -> any type).
+  Status SetValueRaw(const Oid& oid, Value value);
+
+  // ---- Databases (paper §2) ----
+
+  // A database is an ordinary set object whose value lists the members.
+  // CreateDatabase makes the object and registers the name; RegisterDatabase
+  // names an existing set object.
+  Status CreateDatabase(const std::string& name, const Oid& oid,
+                        std::string label = "database");
+  Status RegisterDatabase(const std::string& name, const Oid& oid);
+  // OID of the named database object, or invalid Oid if unknown.
+  Oid DatabaseOid(const std::string& name) const;
+  // True if `oid` is a member of the named database.
+  bool InDatabase(const std::string& name, const Oid& oid) const;
+  std::vector<std::string> DatabaseNames() const;
+
+  // ---- Listeners ----
+
+  // Listeners are notified after each applied basic update, in registration
+  // order. Not owned. Remove before destroying the listener.
+  void AddListener(UpdateListener* listener);
+  void RemoveListener(UpdateListener* listener);
+
+  // ---- Garbage collection ----
+
+  // Mark-and-sweep from the given roots plus all database objects; removes
+  // unreachable objects. Returns the number collected. (Paper §4.1 notes GC
+  // is possible after delete; we provide it as an explicit operation.)
+  size_t CollectGarbage(const std::vector<Oid>& extra_roots = {});
+
+  // ---- Metrics ----
+  StoreMetrics& metrics() const { return metrics_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  void Notify(const Update& update);
+  void IndexChildren(const Object& object);
+  void UnindexChildren(const Object& object);
+
+  Options options_;
+  std::unordered_map<Oid, Object, OidHash> objects_;
+  // child -> parents. Maintained only when options_.enable_parent_index.
+  std::unordered_map<Oid, OidSet, OidHash> parent_index_;
+  std::unordered_map<std::string, Oid> databases_;
+  std::vector<UpdateListener*> listeners_;
+  mutable StoreMetrics metrics_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_STORE_H_

@@ -1,0 +1,76 @@
+#include "oem/transaction.h"
+
+namespace gsv {
+
+Update Transaction::Inverse(const Update& applied) {
+  switch (applied.kind) {
+    case UpdateKind::kInsert:
+      return Update::Delete(applied.parent, applied.child);
+    case UpdateKind::kDelete:
+      return Update::Insert(applied.parent, applied.child);
+    case UpdateKind::kModify:
+      return Update::Modify(applied.parent, applied.new_value,
+                            applied.old_value);
+  }
+  return Update();
+}
+
+Status Transaction::Commit() {
+  if (committed_) {
+    return Status::FailedPrecondition("transaction already committed");
+  }
+  std::vector<Update> applied;
+  applied.reserve(updates_.size());
+
+  Status failure;
+  for (const Update& update : updates_) {
+    if (update.kind == UpdateKind::kModify) {
+      // Capture the true old value so the rollback (and the listener
+      // notification) carries it.
+      const Object* object = store_->Get(update.parent);
+      if (object == nullptr || !object->IsAtomic()) {
+        failure = Status::FailedPrecondition(
+            "modify target " + update.parent.str() + " missing or not atomic");
+        break;
+      }
+      Update with_old = Update::Modify(update.parent, object->value(),
+                                       update.new_value);
+      failure = store_->Apply(with_old);
+      if (!failure.ok()) break;
+      applied.push_back(std::move(with_old));
+    } else {
+      // A duplicate insert is a silent store no-op; replaying its inverse
+      // would wrongly delete the pre-existing edge, so skip buffer entries
+      // that change nothing.
+      if (update.kind == UpdateKind::kInsert) {
+        const Object* parent = store_->Get(update.parent);
+        if (parent != nullptr && parent->IsSet() &&
+            parent->children().Contains(update.child)) {
+          continue;
+        }
+      }
+      failure = store_->Apply(update);
+      if (!failure.ok()) break;
+      applied.push_back(update);
+    }
+  }
+
+  if (failure.ok()) {
+    committed_ = true;
+    updates_.clear();
+    return Status::Ok();
+  }
+
+  // Roll back the applied prefix in reverse order; inverse updates notify
+  // listeners, compensating the prefix notifications.
+  for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+    Status undo = store_->Apply(Inverse(*it));
+    if (!undo.ok()) {
+      return Status::Internal("rollback failed (" + undo.ToString() +
+                              ") after commit error: " + failure.ToString());
+    }
+  }
+  return failure;
+}
+
+}  // namespace gsv

@@ -1,0 +1,69 @@
+#ifndef GSV_OEM_TRANSACTION_H_
+#define GSV_OEM_TRANSACTION_H_
+
+#include <vector>
+
+#include "oem/store.h"
+#include "oem/update.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// A buffered batch of basic updates applied atomically at Commit():
+// nothing touches the store — and no listener (maintainer, monitor) is
+// notified — until the whole batch has been validated and applied. The
+// paper's §4.3 remark that "view maintenance can be performed by the same
+// transaction as the triggering update" corresponds to listeners running
+// per update inside the commit, in order.
+//
+// Commit validates updates against the evolving state (an insert may rely
+// on an earlier buffered insert), applying them one at a time; if any
+// update fails, the already-applied prefix is rolled back with inverse
+// updates — listener notifications for the prefix are compensated by the
+// inverse notifications, so convergent maintainers (all maintainers in
+// this library) end where they started.
+//
+// Buffered reads are not provided: queries inside a transaction see the
+// pre-transaction state until Commit.
+class Transaction {
+ public:
+  // `store` must outlive the transaction.
+  explicit Transaction(ObjectStore* store) : store_(store) {}
+
+  // Buffer basic updates (validated only at Commit).
+  void Insert(const Oid& parent, const Oid& child) {
+    updates_.push_back(Update::Insert(parent, child));
+  }
+  void Delete(const Oid& parent, const Oid& child) {
+    updates_.push_back(Update::Delete(parent, child));
+  }
+  // The old value recorded in the notification is the store's value at
+  // commit time, not at buffering time.
+  void Modify(const Oid& oid, Value new_value) {
+    updates_.push_back(Update::Modify(oid, Value(), std::move(new_value)));
+  }
+  void Add(const Update& update) { updates_.push_back(update); }
+
+  size_t size() const { return updates_.size(); }
+  bool committed() const { return committed_; }
+
+  // Applies the batch. On failure, rolls back the applied prefix and
+  // returns the original error; the store (and every convergent listener)
+  // is back in its pre-commit state. A committed transaction cannot be
+  // reused.
+  Status Commit();
+
+  // Discards the buffer without touching the store.
+  void Abort() { updates_.clear(); }
+
+ private:
+  static Update Inverse(const Update& applied);
+
+  ObjectStore* store_;
+  std::vector<Update> updates_;
+  bool committed_ = false;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_TRANSACTION_H_

@@ -1,0 +1,72 @@
+#ifndef GSV_OEM_UPDATE_H_
+#define GSV_OEM_UPDATE_H_
+
+#include <string>
+
+#include "oem/oid.h"
+#include "oem/value.h"
+
+namespace gsv {
+
+// The three basic updates of a GSDB (paper §4.1).
+enum class UpdateKind {
+  kInsert = 0,  // insert(N1,N2): add edge N1 -> N2
+  kDelete,      // delete(N1,N2): remove edge N1 -> N2
+  kModify,      // modify(N, old, new): change an atomic object's value
+};
+
+const char* UpdateKindName(UpdateKind kind);
+
+// One applied basic update, as seen by update listeners and (in the
+// warehouse architecture) reported by source monitors.
+struct Update {
+  UpdateKind kind = UpdateKind::kInsert;
+
+  // insert/delete: the edge endpoints. modify: target is in `parent`.
+  Oid parent;  // N1, or N for modify
+  Oid child;   // N2; invalid for modify
+
+  // modify only: the value before and after.
+  Value old_value;
+  Value new_value;
+
+  static Update Insert(Oid parent, Oid child) {
+    Update u;
+    u.kind = UpdateKind::kInsert;
+    u.parent = std::move(parent);
+    u.child = std::move(child);
+    return u;
+  }
+  static Update Delete(Oid parent, Oid child) {
+    Update u;
+    u.kind = UpdateKind::kDelete;
+    u.parent = std::move(parent);
+    u.child = std::move(child);
+    return u;
+  }
+  static Update Modify(Oid target, Value old_value, Value new_value) {
+    Update u;
+    u.kind = UpdateKind::kModify;
+    u.parent = std::move(target);
+    u.old_value = std::move(old_value);
+    u.new_value = std::move(new_value);
+    return u;
+  }
+
+  std::string ToString() const;
+};
+
+class ObjectStore;
+
+// Observer of applied updates. The store invokes listeners *after* applying
+// each update, matching the paper's "the algorithm uses the base databases
+// right after the triggering update and before any further updates" (§4.3).
+class UpdateListener {
+ public:
+  virtual ~UpdateListener() = default;
+  virtual void OnUpdate(const ObjectStore& store, const Update& update) = 0;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_UPDATE_H_

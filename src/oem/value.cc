@@ -1,0 +1,133 @@
+#include "oem/value.h"
+
+#include <sstream>
+
+namespace gsv {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "integer";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kSet:
+      return "set";
+  }
+  return "unknown";
+}
+
+OidSet::OidSet(std::vector<Oid> oids) : oids_(std::move(oids)) {
+  std::sort(oids_.begin(), oids_.end());
+  oids_.erase(std::unique(oids_.begin(), oids_.end()), oids_.end());
+}
+
+bool OidSet::Insert(const Oid& oid) {
+  auto it = std::lower_bound(oids_.begin(), oids_.end(), oid);
+  if (it != oids_.end() && *it == oid) return false;
+  oids_.insert(it, oid);
+  return true;
+}
+
+bool OidSet::Erase(const Oid& oid) {
+  auto it = std::lower_bound(oids_.begin(), oids_.end(), oid);
+  if (it == oids_.end() || *it != oid) return false;
+  oids_.erase(it);
+  return true;
+}
+
+bool OidSet::Contains(const Oid& oid) const {
+  return std::binary_search(oids_.begin(), oids_.end(), oid);
+}
+
+OidSet OidSet::Union(const OidSet& a, const OidSet& b) {
+  OidSet out;
+  out.oids_.reserve(a.size() + b.size());
+  std::set_union(a.oids_.begin(), a.oids_.end(), b.oids_.begin(),
+                 b.oids_.end(), std::back_inserter(out.oids_));
+  return out;
+}
+
+OidSet OidSet::Intersect(const OidSet& a, const OidSet& b) {
+  OidSet out;
+  std::set_intersection(a.oids_.begin(), a.oids_.end(), b.oids_.begin(),
+                        b.oids_.end(), std::back_inserter(out.oids_));
+  return out;
+}
+
+Value::CompareResult Value::Compare(const Value& other) const {
+  CompareResult result;
+  if (IsSet() || other.IsSet()) return result;
+
+  auto numeric = [](const Value& v, double* out) {
+    switch (v.type()) {
+      case ValueType::kInt:
+        *out = static_cast<double>(v.AsInt());
+        return true;
+      case ValueType::kReal:
+        *out = v.AsReal();
+        return true;
+      default:
+        return false;
+    }
+  };
+
+  double lhs_num = 0;
+  double rhs_num = 0;
+  if (numeric(*this, &lhs_num) && numeric(other, &rhs_num)) {
+    result.comparable = true;
+    result.order = lhs_num < rhs_num ? -1 : (lhs_num > rhs_num ? 1 : 0);
+    return result;
+  }
+  if (type() != other.type()) return result;
+
+  switch (type()) {
+    case ValueType::kString: {
+      int cmp = AsString().compare(other.AsString());
+      result.comparable = true;
+      result.order = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+      return result;
+    }
+    case ValueType::kBool:
+      result.comparable = true;
+      result.order = static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+      return result;
+    default:
+      return result;
+  }
+}
+
+std::string Value::ToString() const {
+  std::ostringstream out;
+  switch (type()) {
+    case ValueType::kInt:
+      out << AsInt();
+      break;
+    case ValueType::kReal:
+      out << AsReal();
+      break;
+    case ValueType::kString:
+      out << '\'' << AsString() << '\'';
+      break;
+    case ValueType::kBool:
+      out << (AsBool() ? "true" : "false");
+      break;
+    case ValueType::kSet: {
+      out << '{';
+      bool first = true;
+      for (const Oid& oid : AsSet()) {
+        if (!first) out << ',';
+        first = false;
+        out << oid.str();
+      }
+      out << '}';
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace gsv

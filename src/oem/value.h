@@ -1,0 +1,114 @@
+#ifndef GSV_OEM_VALUE_H_
+#define GSV_OEM_VALUE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "oem/oid.h"
+
+namespace gsv {
+
+// The type field of an object (paper §2). Atomic objects carry a scalar;
+// set objects carry the OIDs of their children (the graph edges).
+enum class ValueType {
+  kInt = 0,
+  kReal,
+  kString,
+  kBool,
+  kSet,
+};
+
+const char* ValueTypeName(ValueType type);
+
+// A duplicate-free, order-insensitive collection of OIDs, stored sorted so
+// that membership tests are O(log n) and set comparison is O(n).
+// This is the value of a set object; its elements are the object's children.
+class OidSet {
+ public:
+  OidSet() = default;
+  explicit OidSet(std::vector<Oid> oids);
+
+  // Inserts `oid`; returns false (and leaves the set unchanged) if present.
+  bool Insert(const Oid& oid);
+  // Removes `oid`; returns false if it was not present.
+  bool Erase(const Oid& oid);
+  bool Contains(const Oid& oid) const;
+
+  size_t size() const { return oids_.size(); }
+  bool empty() const { return oids_.empty(); }
+  void clear() { oids_.clear(); }
+
+  const std::vector<Oid>& elements() const { return oids_; }
+  std::vector<Oid>::const_iterator begin() const { return oids_.begin(); }
+  std::vector<Oid>::const_iterator end() const { return oids_.end(); }
+
+  // Set operations of paper §2: union(S1,S2) and int(S1,S2).
+  static OidSet Union(const OidSet& a, const OidSet& b);
+  static OidSet Intersect(const OidSet& a, const OidSet& b);
+
+  bool operator==(const OidSet& other) const { return oids_ == other.oids_; }
+  bool operator!=(const OidSet& other) const { return oids_ != other.oids_; }
+
+ private:
+  std::vector<Oid> oids_;  // sorted, unique
+};
+
+// The value of an object: one of the atomic scalars or an OidSet.
+// The paper's object "type" field is derived from the value alternative.
+class Value {
+ public:
+  // Default: empty set (a set object with no children).
+  Value() : value_(OidSet()) {}
+
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Real(double v) { return Value(Repr(v)); }
+  static Value Str(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Set(OidSet v) { return Value(Repr(std::move(v))); }
+  // Builds a set value from a plain OID list (sorted, deduplicated).
+  static Value SetOf(std::vector<Oid> oids) {
+    return Value(Repr(OidSet(std::move(oids))));
+  }
+
+  ValueType type() const { return static_cast<ValueType>(value_.index()); }
+  bool IsAtomic() const { return type() != ValueType::kSet; }
+  bool IsSet() const { return type() == ValueType::kSet; }
+
+  // Accessors; each requires the matching type().
+  int64_t AsInt() const { return std::get<int64_t>(value_); }
+  double AsReal() const { return std::get<double>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  bool AsBool() const { return std::get<bool>(value_); }
+  const OidSet& AsSet() const { return std::get<OidSet>(value_); }
+  OidSet& MutableSet() { return std::get<OidSet>(value_); }
+
+  // Three-way comparison for atomic values used by query conditions.
+  // Int and Real compare numerically with each other; otherwise the two
+  // values must have the same type. Returns false (via `comparable`) when
+  // the values cannot be ordered (e.g. string vs int, or any set).
+  struct CompareResult {
+    bool comparable = false;
+    int order = 0;  // <0, 0, >0 — valid only when comparable
+  };
+  CompareResult Compare(const Value& other) const;
+
+  // Structural equality (sets compare as sets).
+  bool operator==(const Value& other) const { return value_ == other.value_; }
+  bool operator!=(const Value& other) const { return value_ != other.value_; }
+
+  // Human-readable form: 45, 3.5, 'John', true, {P1,P2}.
+  std::string ToString() const;
+
+ private:
+  using Repr = std::variant<int64_t, double, std::string, bool, OidSet>;
+  explicit Value(Repr repr) : value_(std::move(repr)) {}
+
+  Repr value_;  // alternative order must match ValueType
+};
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_VALUE_H_

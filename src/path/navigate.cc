@@ -1,0 +1,184 @@
+#include "path/navigate.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+namespace gsv {
+
+OidSet EvalPath(const ObjectStore& store, const Oid& start, const Path& path,
+                const OidFilter& filter) {
+  OidSet frontier;
+  if (store.Contains(start)) frontier.Insert(start);
+  for (size_t i = 0; i < path.size() && !frontier.empty(); ++i) {
+    OidSet next;
+    for (const Oid& oid : frontier) {
+      const Object* object = store.Get(oid);
+      if (object == nullptr || !object->IsSet()) continue;
+      for (const Oid& child_oid : object->children()) {
+        store.metrics().edges_traversed++;
+        if (filter && !filter(child_oid)) continue;
+        const Object* child = store.Get(child_oid);
+        if (child != nullptr && child->label() == path.label(i)) {
+          next.Insert(child_oid);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+OidSet EvalExpression(const ObjectStore& store, const Oid& start,
+                      const PathExpression& expr, const OidFilter& filter) {
+  using path_internal::PathNfa;
+  PathNfa nfa(expr);
+
+  OidSet result;
+  if (!store.Contains(start)) return result;
+
+  // BFS over (object, NFA state) pairs; the visited set makes this safe on
+  // cyclic graphs ('*' over a cycle would otherwise never terminate).
+  std::unordered_set<std::string> visited;
+  std::deque<std::pair<Oid, int>> frontier;
+  auto push = [&](const Oid& oid, int state) {
+    std::string key = oid.str() + "#" + std::to_string(state);
+    if (visited.insert(std::move(key)).second) {
+      frontier.emplace_back(oid, state);
+      if (nfa.IsAccepting(state)) result.Insert(oid);
+    }
+  };
+  for (int state : nfa.start_states()) push(start, state);
+
+  while (!frontier.empty()) {
+    auto [oid, state] = frontier.front();
+    frontier.pop_front();
+    const Object* object = store.Get(oid);
+    if (object == nullptr || !object->IsSet()) continue;
+    for (const Oid& child_oid : object->children()) {
+      store.metrics().edges_traversed++;
+      if (filter && !filter(child_oid)) continue;
+      const Object* child = store.Get(child_oid);
+      if (child == nullptr) continue;
+      for (int next : nfa.Step(state, child->label())) {
+        push(child_oid, next);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Oid> AncestorsByPath(const ObjectStore& store, const Oid& n,
+                                 const Path& path) {
+  if (path.empty()) {
+    return store.Contains(n) ? std::vector<Oid>{n} : std::vector<Oid>{};
+  }
+  const Object* target = store.Get(n);
+  if (target == nullptr || target->label() != path.back()) return {};
+
+  // Climb: after step j, `frontier` holds the nodes reached by the suffix
+  // path.label(j)..path.back() ending at n; they must carry label(j).
+  OidSet frontier;
+  frontier.Insert(n);
+  for (size_t j = path.size(); j-- > 1;) {
+    OidSet next;
+    for (const Oid& oid : frontier) {
+      for (const Oid& parent_oid : store.Parents(oid)) {
+        const Object* parent = store.Get(parent_oid);
+        if (parent != nullptr && parent->label() == path.label(j - 1)) {
+          next.Insert(parent_oid);
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return {};
+  }
+
+  // The ancestors are the parents of the label(0)-nodes; their own label is
+  // unconstrained (the path starts at the label of X's direct child).
+  OidSet ancestors;
+  for (const Oid& oid : frontier) {
+    for (const Oid& parent_oid : store.Parents(oid)) {
+      if (store.Contains(parent_oid)) ancestors.Insert(parent_oid);
+    }
+  }
+  return ancestors.elements();
+}
+
+namespace {
+
+void PathsFromToRec(const ObjectStore& store, const Oid& from,
+                    const Oid& current, std::vector<std::string>* labels_rev,
+                    std::unordered_set<std::string>* on_stack,
+                    size_t max_paths, size_t max_depth, const OidFilter& filter,
+                    std::vector<Path>* out) {
+  if (out->size() >= max_paths) return;
+  if (current == from) {
+    std::vector<std::string> labels(labels_rev->rbegin(), labels_rev->rend());
+    out->push_back(Path(std::move(labels)));
+    return;
+  }
+  if (filter && !filter(current)) return;  // hidden by WITHIN scoping
+  if (labels_rev->size() >= max_depth) return;
+  const Object* object = store.Get(current);
+  if (object == nullptr) return;
+  if (!on_stack->insert(current.str()).second) return;  // cycle guard
+  labels_rev->push_back(object->label());
+  for (const Oid& parent : store.Parents(current)) {
+    PathsFromToRec(store, from, parent, labels_rev, on_stack, max_paths,
+                   max_depth, filter, out);
+    if (out->size() >= max_paths) break;
+  }
+  labels_rev->pop_back();
+  on_stack->erase(current.str());
+}
+
+}  // namespace
+
+std::vector<Path> PathsFromTo(const ObjectStore& store, const Oid& from,
+                              const Oid& to, size_t max_paths,
+                              size_t max_depth, const OidFilter& filter) {
+  std::vector<Path> out;
+  if (!store.Contains(from) || !store.Contains(to)) return out;
+  std::vector<std::string> labels_rev;
+  std::unordered_set<std::string> on_stack;
+  PathsFromToRec(store, from, to, &labels_rev, &on_stack, max_paths, max_depth,
+                 filter, &out);
+  std::sort(out.begin(), out.end(), [](const Path& a, const Path& b) {
+    return a.ToString() < b.ToString();
+  });
+  return out;
+}
+
+bool HasPathFromTo(const ObjectStore& store, const Oid& from, const Oid& to,
+                   const Path& path) {
+  if (path.empty()) return from == to && store.Contains(from);
+  const Object* target = store.Get(to);
+  if (target == nullptr || target->label() != path.back()) return false;
+
+  OidSet frontier;
+  frontier.Insert(to);
+  for (size_t j = path.size(); j-- > 1;) {
+    OidSet next;
+    for (const Oid& oid : frontier) {
+      for (const Oid& parent_oid : store.Parents(oid)) {
+        const Object* parent = store.Get(parent_oid);
+        if (parent != nullptr && parent->label() == path.label(j - 1)) {
+          next.Insert(parent_oid);
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return false;
+  }
+  for (const Oid& oid : frontier) {
+    for (const Oid& parent_oid : store.Parents(oid)) {
+      if (parent_oid == from) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gsv

@@ -1,0 +1,69 @@
+#include "path/path.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace gsv {
+namespace {
+
+bool ValidLabel(std::string_view label) {
+  if (label.empty()) return false;
+  for (char c : label) {
+    if (c == '.' || c == '*' || c == '?' || std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Path> Path::Parse(std::string_view text) {
+  if (text.empty()) return Path();
+  std::vector<std::string> labels = Split(text, '.');
+  for (const std::string& label : labels) {
+    if (!ValidLabel(label)) {
+      return Status::InvalidArgument("invalid path label '" + label +
+                                     "' in path '" + std::string(text) + "'");
+    }
+  }
+  return Path(std::move(labels));
+}
+
+Path Path::Prefix(size_t n) const {
+  return Path(std::vector<std::string>(labels_.begin(),
+                                       labels_.begin() + std::min(n, size())));
+}
+
+Path Path::Suffix(size_t n) const {
+  return Path(std::vector<std::string>(labels_.begin() + std::min(n, size()),
+                                       labels_.end()));
+}
+
+Path Path::Concat(const Path& other) const {
+  std::vector<std::string> labels = labels_;
+  labels.insert(labels.end(), other.labels_.begin(), other.labels_.end());
+  return Path(std::move(labels));
+}
+
+bool Path::StartsWith(const Path& prefix) const {
+  if (prefix.size() > size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (labels_[i] != prefix.labels_[i]) return false;
+  }
+  return true;
+}
+
+bool Path::EndsWith(const Path& suffix) const {
+  if (suffix.size() > size()) return false;
+  size_t offset = size() - suffix.size();
+  for (size_t i = 0; i < suffix.size(); ++i) {
+    if (labels_[offset + i] != suffix.labels_[i]) return false;
+  }
+  return true;
+}
+
+std::string Path::ToString() const { return Join(labels_, "."); }
+
+}  // namespace gsv

@@ -1,0 +1,57 @@
+#ifndef GSV_PATH_PATH_H_
+#define GSV_PATH_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gsv {
+
+// A path: a sequence of zero or more object labels separated by dots
+// (paper §2), e.g. "professor.student". The empty path is allowed and means
+// "stay at the current object" (N.∅ = {N}).
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+
+  // Parses "a.b.c". "" parses to the empty path. Labels must be non-empty
+  // and must not contain '.', whitespace, or the wildcard characters.
+  static Result<Path> Parse(std::string_view text);
+
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::string& label(size_t i) const { return labels_[i]; }
+  const std::string& front() const { return labels_.front(); }
+  const std::string& back() const { return labels_.back(); }
+
+  // First `n` labels / labels from position `n` to the end.
+  Path Prefix(size_t n) const;
+  Path Suffix(size_t n) const;
+
+  // this followed by other (paper: N3 ∈ N1.p1.p2).
+  Path Concat(const Path& other) const;
+
+  void Append(std::string label) { labels_.push_back(std::move(label)); }
+
+  // True if `prefix` is a (possibly equal, possibly empty) prefix of this.
+  bool StartsWith(const Path& prefix) const;
+  // True if `suffix` is a (possibly equal, possibly empty) suffix of this.
+  bool EndsWith(const Path& suffix) const;
+
+  bool operator==(const Path& other) const { return labels_ == other.labels_; }
+  bool operator!=(const Path& other) const { return labels_ != other.labels_; }
+
+  // Dotted form; the empty path prints as "".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_PATH_PATH_H_

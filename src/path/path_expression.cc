@@ -1,0 +1,246 @@
+#include "path/path_expression.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace gsv {
+
+Result<PathExpression> PathExpression::Parse(std::string_view text) {
+  if (text.empty()) return PathExpression();
+  std::vector<PathAtom> atoms;
+  for (const std::string& piece : Split(text, '.')) {
+    if (piece == "*") {
+      atoms.push_back(PathAtom::AnyPath());
+    } else if (piece == "?") {
+      atoms.push_back(PathAtom::AnyLabel());
+    } else {
+      GSV_ASSIGN_OR_RETURN(Path single, Path::Parse(piece));
+      if (single.size() != 1) {
+        return Status::InvalidArgument("invalid path expression component '" +
+                                       piece + "' in '" + std::string(text) +
+                                       "'");
+      }
+      atoms.push_back(PathAtom::Label(single.label(0)));
+    }
+  }
+  return PathExpression(std::move(atoms));
+}
+
+PathExpression PathExpression::FromPath(const Path& path) {
+  std::vector<PathAtom> atoms;
+  atoms.reserve(path.size());
+  for (const std::string& label : path.labels()) {
+    atoms.push_back(PathAtom::Label(label));
+  }
+  return PathExpression(std::move(atoms));
+}
+
+bool PathExpression::IsConstant() const {
+  return std::all_of(atoms_.begin(), atoms_.end(), [](const PathAtom& a) {
+    return a.kind == PathAtom::Kind::kLabel;
+  });
+}
+
+Path PathExpression::ToPath() const {
+  std::vector<std::string> labels;
+  labels.reserve(atoms_.size());
+  for (const PathAtom& atom : atoms_) labels.push_back(atom.label);
+  return Path(std::move(labels));
+}
+
+bool PathExpression::Matches(const Path& path) const {
+  // DP over (atom index, label index): dp[i][j] = atoms [i..) match
+  // labels [j..). Rolling one-dimensional variant, right to left.
+  const size_t m = atoms_.size();
+  const size_t n = path.size();
+  // dp[j] for atom row i+1; next[j] for row i.
+  std::vector<char> dp(n + 1, 0);
+  dp[n] = 1;
+  for (size_t i = m; i-- > 0;) {
+    std::vector<char> next(n + 1, 0);
+    const PathAtom& atom = atoms_[i];
+    switch (atom.kind) {
+      case PathAtom::Kind::kAnyPath:
+        // next[j] = dp[j] || next[j+1]  (consume zero, or one label and
+        // stay on this atom). Compute right to left.
+        for (size_t j = n + 1; j-- > 0;) {
+          next[j] = dp[j] || (j < n && next[j + 1]);
+        }
+        break;
+      case PathAtom::Kind::kAnyLabel:
+        for (size_t j = 0; j < n; ++j) next[j] = dp[j + 1];
+        break;
+      case PathAtom::Kind::kLabel:
+        for (size_t j = 0; j < n; ++j) {
+          next[j] = dp[j + 1] && path.label(j) == atom.label;
+        }
+        break;
+    }
+    dp = std::move(next);
+  }
+  return dp[0] != 0;
+}
+
+namespace path_internal {
+
+PathNfa::PathNfa(const PathExpression& expr)
+    : expr_(&expr), atom_count_(expr.size()) {
+  start_ = EpsilonClosure(0);
+}
+
+bool PathNfa::IsAccepting(int state) const {
+  return static_cast<size_t>(state) == atom_count_;
+}
+
+std::vector<int> PathNfa::EpsilonClosure(int state) const {
+  // '*' atoms can be skipped without consuming a label.
+  std::vector<int> closure;
+  int s = state;
+  closure.push_back(s);
+  while (static_cast<size_t>(s) < atom_count_ &&
+         expr_->atoms()[s].kind == PathAtom::Kind::kAnyPath) {
+    ++s;
+    closure.push_back(s);
+  }
+  return closure;
+}
+
+std::vector<int> PathNfa::Step(int state, const std::string& label) const {
+  std::vector<int> out;
+  if (static_cast<size_t>(state) >= atom_count_) return out;
+  const PathAtom& atom = expr_->atoms()[state];
+  switch (atom.kind) {
+    case PathAtom::Kind::kAnyPath: {
+      // Stay on the '*' (consume one label); epsilon closure re-adds the
+      // states after it.
+      for (int s : EpsilonClosure(state)) {
+        if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+      }
+      return out;
+    }
+    case PathAtom::Kind::kAnyLabel:
+      return EpsilonClosure(state + 1);
+    case PathAtom::Kind::kLabel:
+      if (atom.label == label) return EpsilonClosure(state + 1);
+      return out;
+  }
+  return out;
+}
+
+std::vector<int> PathNfa::StepAll(const std::vector<int>& states,
+                                  const std::string& label) const {
+  std::vector<int> out;
+  for (int state : states) {
+    for (int next : Step(state, label)) {
+      if (std::find(out.begin(), out.end(), next) == out.end()) {
+        out.push_back(next);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool PathNfa::AnyAccepting(const std::vector<int>& states) const {
+  return std::any_of(states.begin(), states.end(),
+                     [this](int s) { return IsAccepting(s); });
+}
+
+}  // namespace path_internal
+
+bool PathExpression::Contains(const PathExpression& other) const {
+  // Decide L(other) ⊆ L(this) by a product search over
+  // (states of other-NFA, states of this-NFA). Wildcards treat every label
+  // not mentioned in either expression identically, so it suffices to try
+  // the mentioned labels plus one fresh symbol.
+  using path_internal::PathNfa;
+  PathNfa sub(other);
+  PathNfa super(*this);
+
+  std::vector<std::string> alphabet;
+  auto collect = [&alphabet](const PathExpression& e) {
+    for (const PathAtom& atom : e.atoms()) {
+      if (atom.kind == PathAtom::Kind::kLabel) alphabet.push_back(atom.label);
+    }
+  };
+  collect(*this);
+  collect(other);
+  std::sort(alphabet.begin(), alphabet.end());
+  alphabet.erase(std::unique(alphabet.begin(), alphabet.end()),
+                 alphabet.end());
+  alphabet.push_back("\x01__fresh__");  // cannot be a user label
+
+  auto key = [](const std::vector<int>& a, const std::vector<int>& b) {
+    std::string k;
+    for (int s : a) k += std::to_string(s) + ",";
+    k += "|";
+    for (int s : b) k += std::to_string(s) + ",";
+    return k;
+  };
+
+  std::unordered_set<std::string> seen;
+  std::vector<std::pair<std::vector<int>, std::vector<int>>> stack;
+  std::vector<int> sub_start = sub.start_states();
+  std::vector<int> super_start = super.start_states();
+  std::sort(sub_start.begin(), sub_start.end());
+  std::sort(super_start.begin(), super_start.end());
+  stack.emplace_back(sub_start, super_start);
+  seen.insert(key(sub_start, super_start));
+
+  while (!stack.empty()) {
+    auto [sub_states, super_states] = stack.back();
+    stack.pop_back();
+    if (sub.AnyAccepting(sub_states) && !super.AnyAccepting(super_states)) {
+      return false;  // witness word in L(other) \ L(this)
+    }
+    for (const std::string& label : alphabet) {
+      std::vector<int> next_sub = sub.StepAll(sub_states, label);
+      if (next_sub.empty()) continue;  // dead for `other`: irrelevant
+      std::vector<int> next_super = super.StepAll(super_states, label);
+      std::string k = key(next_sub, next_super);
+      if (seen.insert(k).second) stack.emplace_back(next_sub, next_super);
+    }
+  }
+  return true;
+}
+
+size_t PathExpression::MinLength() const {
+  size_t n = 0;
+  for (const PathAtom& atom : atoms_) {
+    if (atom.kind != PathAtom::Kind::kAnyPath) ++n;
+  }
+  return n;
+}
+
+int64_t PathExpression::MaxLength() const {
+  int64_t n = 0;
+  for (const PathAtom& atom : atoms_) {
+    if (atom.kind == PathAtom::Kind::kAnyPath) return -1;
+    ++n;
+  }
+  return n;
+}
+
+std::string PathExpression::ToString() const {
+  std::vector<std::string> pieces;
+  pieces.reserve(atoms_.size());
+  for (const PathAtom& atom : atoms_) {
+    switch (atom.kind) {
+      case PathAtom::Kind::kLabel:
+        pieces.push_back(atom.label);
+        break;
+      case PathAtom::Kind::kAnyLabel:
+        pieces.push_back("?");
+        break;
+      case PathAtom::Kind::kAnyPath:
+        pieces.push_back("*");
+        break;
+    }
+  }
+  return Join(pieces, ".");
+}
+
+}  // namespace gsv

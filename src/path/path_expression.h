@@ -1,0 +1,118 @@
+#ifndef GSV_PATH_PATH_EXPRESSION_H_
+#define GSV_PATH_PATH_EXPRESSION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "path/path.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// One component of a path expression.
+struct PathAtom {
+  enum class Kind {
+    kLabel,     // a fixed label
+    kAnyLabel,  // '?': exactly one label, any value
+    kAnyPath,   // '*': any sequence of labels, including the empty one
+  };
+  Kind kind = Kind::kLabel;
+  std::string label;  // set iff kind == kLabel
+
+  static PathAtom Label(std::string l) {
+    return PathAtom{Kind::kLabel, std::move(l)};
+  }
+  static PathAtom AnyLabel() { return PathAtom{Kind::kAnyLabel, {}}; }
+  static PathAtom AnyPath() { return PathAtom{Kind::kAnyPath, {}}; }
+
+  bool operator==(const PathAtom& other) const {
+    return kind == other.kind && label == other.label;
+  }
+};
+
+// A path expression: a regular expression of paths (paper §2), restricted to
+// the forms the paper uses — a dot-separated sequence of labels, '?'
+// (exactly one arbitrary label) and '*' (any path, possibly empty).
+// Examples: "*", "professor.*", "professor.?".
+//
+// A path p is an *instance* of expression e if substituting the wildcards in
+// e by paths yields p; Matches() decides this. Contains() decides language
+// containment between two expressions — the test §6 identifies as the key
+// requirement for maintaining path-expression views.
+class PathExpression {
+ public:
+  PathExpression() = default;
+  explicit PathExpression(std::vector<PathAtom> atoms)
+      : atoms_(std::move(atoms)) {}
+
+  // Parses "professor.*", "a.?.b", "*", "" (empty expression = empty path).
+  static Result<PathExpression> Parse(std::string_view text);
+
+  // A constant path is also a path expression (paper §2).
+  static PathExpression FromPath(const Path& path);
+
+  const std::vector<PathAtom>& atoms() const { return atoms_; }
+  size_t size() const { return atoms_.size(); }
+
+  // True if the expression contains no wildcards.
+  bool IsConstant() const;
+  // For a constant expression, the corresponding path.
+  Path ToPath() const;
+
+  // True if `path` is an instance of this expression.
+  bool Matches(const Path& path) const;
+
+  // True if every instance of `other` is an instance of this expression
+  // (language containment, decided exactly for this wildcard class).
+  bool Contains(const PathExpression& other) const;
+
+  // Shortest / longest instance lengths ('*' contributes 0 to the minimum;
+  // -1 for unbounded maximum). Used by maintainers to bound traversals.
+  size_t MinLength() const;
+  int64_t MaxLength() const;  // -1 if unbounded
+
+  bool operator==(const PathExpression& other) const {
+    return atoms_ == other.atoms_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<PathAtom> atoms_;
+};
+
+namespace path_internal {
+
+// A linear NFA for a PathExpression: state i is "matched the first i atoms";
+// '*' atoms add a self-loop plus an epsilon edge. Exposed for the evaluator,
+// which runs the automaton directly over the object graph.
+class PathNfa {
+ public:
+  explicit PathNfa(const PathExpression& expr);
+
+  // Number of states; the accepting state is state_count()-1... states are
+  // 0..atom_count; acceptance tested with IsAccepting.
+  size_t state_count() const { return atom_count_ + 1; }
+  // Epsilon-closed start state set.
+  const std::vector<int>& start_states() const { return start_; }
+  bool IsAccepting(int state) const;
+  // Epsilon-closed successor states of `state` on `label`.
+  std::vector<int> Step(int state, const std::string& label) const;
+  std::vector<int> StepAll(const std::vector<int>& states,
+                           const std::string& label) const;
+  bool AnyAccepting(const std::vector<int>& states) const;
+
+ private:
+  std::vector<int> EpsilonClosure(int state) const;
+
+  const PathExpression* expr_;
+  size_t atom_count_;
+  std::vector<int> start_;
+};
+
+}  // namespace path_internal
+
+}  // namespace gsv
+
+#endif  // GSV_PATH_PATH_EXPRESSION_H_

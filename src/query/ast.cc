@@ -1,0 +1,20 @@
+#include "query/ast.h"
+
+namespace gsv {
+
+std::string Query::ToString() const {
+  std::string out = "SELECT " + entry;
+  if (select_path.size() > 0) out += "." + select_path.ToString();
+  out += " " + binder;
+  if (!where.IsTrivial()) out += " WHERE " + where.ToString(binder);
+  if (within_db.has_value()) out += " WITHIN " + *within_db;
+  if (ans_int_db.has_value()) out += " ANS INT " + *ans_int_db;
+  return out;
+}
+
+std::string DefineStatement::ToString() const {
+  return std::string("define ") + (materialized ? "mview " : "view ") + name +
+         " as: " + query.ToString();
+}
+
+}  // namespace gsv

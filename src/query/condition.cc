@@ -1,0 +1,148 @@
+#include "query/condition.h"
+
+#include <cassert>
+
+namespace gsv {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  Value::CompareResult cmp = lhs.Compare(rhs);
+  if (!cmp.comparable) return op == CompareOp::kNe && !lhs.IsSet() && !rhs.IsSet();
+  switch (op) {
+    case CompareOp::kEq: return cmp.order == 0;
+    case CompareOp::kNe: return cmp.order != 0;
+    case CompareOp::kLt: return cmp.order < 0;
+    case CompareOp::kLe: return cmp.order <= 0;
+    case CompareOp::kGt: return cmp.order > 0;
+    case CompareOp::kGe: return cmp.order >= 0;
+  }
+  return false;
+}
+
+std::string Predicate::ToString(const std::string& binder) const {
+  std::string lhs = binder;
+  if (path.size() > 0) lhs += "." + path.ToString();
+  return lhs + " " + CompareOpName(op) + " " + literal.ToString();
+}
+
+Condition Condition::MakePredicate(Predicate predicate) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kPredicate;
+  node->predicate = std::move(predicate);
+  return Condition(std::move(node));
+}
+
+Condition Condition::And(Condition lhs, Condition rhs) {
+  if (lhs.IsTrivial()) return rhs;
+  if (rhs.IsTrivial()) return lhs;
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAnd;
+  node->lhs = std::move(lhs.root_);
+  node->rhs = std::move(rhs.root_);
+  return Condition(std::move(node));
+}
+
+Condition Condition::Or(Condition lhs, Condition rhs) {
+  if (lhs.IsTrivial() || rhs.IsTrivial()) return Condition();  // true OR x
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kOr;
+  node->lhs = std::move(lhs.root_);
+  node->rhs = std::move(rhs.root_);
+  return Condition(std::move(node));
+}
+
+bool Condition::IsSimple() const {
+  return root_ != nullptr && root_->kind == Node::Kind::kPredicate &&
+         root_->predicate->path.IsConstant();
+}
+
+const Predicate& Condition::simple_predicate() const {
+  assert(IsSimple());
+  return *root_->predicate;
+}
+
+std::vector<const Predicate*> Condition::Predicates() const {
+  std::vector<const Predicate*> out;
+  if (root_ != nullptr) CollectPredicates(*root_, &out);
+  return out;
+}
+
+void Condition::CollectPredicates(const Node& node,
+                                  std::vector<const Predicate*>* out) {
+  switch (node.kind) {
+    case Node::Kind::kPredicate:
+      out->push_back(&*node.predicate);
+      return;
+    case Node::Kind::kAnd:
+    case Node::Kind::kOr:
+      CollectPredicates(*node.lhs, out);
+      CollectPredicates(*node.rhs, out);
+      return;
+  }
+}
+
+bool Condition::Evaluate(const ObjectStore& store, const Oid& x,
+                         const OidFilter& filter) const {
+  if (root_ == nullptr) return true;
+  return EvaluateNode(*root_, store, x, filter);
+}
+
+bool Condition::EvaluateNode(const Node& node, const ObjectStore& store,
+                             const Oid& x, const OidFilter& filter) {
+  switch (node.kind) {
+    case Node::Kind::kPredicate: {
+      const Predicate& pred = *node.predicate;
+      OidSet reached = pred.path.IsConstant()
+                           ? EvalPath(store, x, pred.path.ToPath(), filter)
+                           : EvalExpression(store, x, pred.path, filter);
+      for (const Oid& oid : reached) {
+        const Object* object = store.Get(oid);
+        if (object != nullptr && object->IsAtomic() &&
+            pred.Holds(object->value())) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Node::Kind::kAnd:
+      return EvaluateNode(*node.lhs, store, x, filter) &&
+             EvaluateNode(*node.rhs, store, x, filter);
+    case Node::Kind::kOr:
+      return EvaluateNode(*node.lhs, store, x, filter) ||
+             EvaluateNode(*node.rhs, store, x, filter);
+  }
+  return false;
+}
+
+std::string Condition::NodeToString(const Node& node,
+                                    const std::string& binder) {
+  switch (node.kind) {
+    case Node::Kind::kPredicate:
+      return node.predicate->ToString(binder);
+    case Node::Kind::kAnd:
+      return "(" + NodeToString(*node.lhs, binder) + " AND " +
+             NodeToString(*node.rhs, binder) + ")";
+    case Node::Kind::kOr:
+      return "(" + NodeToString(*node.lhs, binder) + " OR " +
+             NodeToString(*node.rhs, binder) + ")";
+  }
+  return "";
+}
+
+std::string Condition::ToString(const std::string& binder) const {
+  if (root_ == nullptr) return "true";
+  return NodeToString(*root_, binder);
+}
+
+}  // namespace gsv

@@ -1,0 +1,106 @@
+#ifndef GSV_QUERY_CONDITION_H_
+#define GSV_QUERY_CONDITION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oem/store.h"
+#include "oem/value.h"
+#include "path/navigate.h"
+#include "path/path_expression.h"
+
+namespace gsv {
+
+// Comparison operators of the WHERE clause.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* CompareOpName(CompareOp op);
+
+// True iff `lhs op rhs` for atomic values. Incomparable values (type
+// mismatch, any set) make every operator except != return false; != returns
+// true for values of different atomic types.
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs);
+
+// One `X.cond_path op literal` predicate. The paper's cond() accepts the
+// set of objects X.cond_path and is true if *any* of their values satisfies
+// the comparison (§2: "returns true if one of those object values satisfy
+// the condition"). Only atomic objects participate.
+struct Predicate {
+  PathExpression path;  // relative to the bound object X; may be empty
+  CompareOp op = CompareOp::kEq;
+  Value literal;        // atomic
+
+  // cond(v) of Algorithm 1: the comparison applied to one bare value.
+  bool Holds(const Value& value) const {
+    return CompareValues(value, op, literal);
+  }
+
+  std::string ToString(const std::string& binder = "X") const;
+};
+
+// The WHERE clause: a predicate, or an AND/OR tree of predicates (§6 lists
+// multiple conditions as a straightforward extension; Algorithm 1 proper
+// requires a single predicate with a constant path — see IsSimple()).
+// Immutable and cheaply copyable (shared structure).
+class Condition {
+ public:
+  // An always-true condition (a query with no WHERE clause).
+  Condition() = default;
+
+  static Condition MakePredicate(Predicate predicate);
+  static Condition And(Condition lhs, Condition rhs);
+  static Condition Or(Condition lhs, Condition rhs);
+
+  // True for the no-WHERE-clause condition.
+  bool IsTrivial() const { return root_ == nullptr; }
+
+  // True if this is a single predicate over a constant (wildcard-free)
+  // path — the "simple view" shape of §4.2.
+  bool IsSimple() const;
+  // Requires IsSimple().
+  const Predicate& simple_predicate() const;
+
+  // All predicates appearing in the condition tree, left to right.
+  std::vector<const Predicate*> Predicates() const;
+
+  // Evaluates the condition on object `x`: each predicate traverses
+  // x.cond_path (honoring `filter` for WITHIN scoping) and is true if any
+  // reached atomic object's value satisfies the comparison.
+  bool Evaluate(const ObjectStore& store, const Oid& x,
+                const OidFilter& filter = nullptr) const;
+
+  std::string ToString(const std::string& binder = "X") const;
+
+ private:
+  struct Node {
+    enum class Kind { kPredicate, kAnd, kOr };
+    Kind kind = Kind::kPredicate;
+    std::optional<Predicate> predicate;
+    std::shared_ptr<const Node> lhs;
+    std::shared_ptr<const Node> rhs;
+  };
+
+  explicit Condition(std::shared_ptr<const Node> root)
+      : root_(std::move(root)) {}
+
+  static bool EvaluateNode(const Node& node, const ObjectStore& store,
+                           const Oid& x, const OidFilter& filter);
+  static void CollectPredicates(const Node& node,
+                                std::vector<const Predicate*>* out);
+  static std::string NodeToString(const Node& node, const std::string& binder);
+
+  std::shared_ptr<const Node> root_;  // nullptr = trivially true
+};
+
+}  // namespace gsv
+
+#endif  // GSV_QUERY_CONDITION_H_

@@ -1,0 +1,71 @@
+#include "query/evaluator.h"
+
+#include "path/navigate.h"
+#include "query/parser.h"
+
+namespace gsv {
+
+Result<OidSet> EvaluateQuery(const ObjectStore& store, const Query& query) {
+  // Resolve the entry point: database name first, then literal OID.
+  Oid entry = store.DatabaseOid(query.entry);
+  if (!entry.valid()) entry = Oid(query.entry);
+  if (!store.Contains(entry)) {
+    return Status::NotFound("query entry point '" + query.entry +
+                            "' is neither a database nor an object");
+  }
+
+  OidFilter filter;
+  if (query.within_db.has_value()) {
+    const std::string& within = *query.within_db;
+    if (!store.DatabaseOid(within).valid()) {
+      return Status::NotFound("WITHIN database '" + within +
+                              "' is not registered");
+    }
+    filter = [&store, &within, &entry](const Oid& oid) {
+      return oid == entry || store.InDatabase(within, oid);
+    };
+  }
+
+  OidSet candidates =
+      query.select_path.IsConstant()
+          ? EvalPath(store, entry, query.select_path.ToPath(), filter)
+          : EvalExpression(store, entry, query.select_path, filter);
+
+  OidSet answer;
+  for (const Oid& x : candidates) {
+    if (query.where.Evaluate(store, x, filter)) answer.Insert(x);
+  }
+
+  if (query.ans_int_db.has_value()) {
+    Oid db_oid = store.DatabaseOid(*query.ans_int_db);
+    if (!db_oid.valid()) {
+      return Status::NotFound("ANS INT database '" + *query.ans_int_db +
+                              "' is not registered");
+    }
+    const Object* db = store.Get(db_oid);
+    if (db == nullptr || !db->IsSet()) {
+      return Status::FailedPrecondition("ANS INT database object " +
+                                        db_oid.str() + " is not a set object");
+    }
+    answer = OidSet::Intersect(answer, db->children());
+  }
+  return answer;
+}
+
+Result<OidSet> EvaluateQueryText(const ObjectStore& store,
+                                 std::string_view text) {
+  GSV_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  return EvaluateQuery(store, query);
+}
+
+Object MakeAnswerObject(const Oid& ans_oid, const OidSet& answer) {
+  return Object(ans_oid, "answer", Value::Set(answer));
+}
+
+Status StoreAnswerAs(ObjectStore& store, const std::string& name,
+                     const Oid& ans_oid, const OidSet& answer) {
+  GSV_RETURN_IF_ERROR(store.Put(MakeAnswerObject(ans_oid, answer)));
+  return store.RegisterDatabase(name, ans_oid);
+}
+
+}  // namespace gsv

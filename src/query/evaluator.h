@@ -1,0 +1,43 @@
+#ifndef GSV_QUERY_EVALUATOR_H_
+#define GSV_QUERY_EVALUATOR_H_
+
+#include <string_view>
+
+#include "oem/store.h"
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Evaluates `query` against `store` and returns the answer OID set
+// (paper §2): all objects X in entry.sel_path for which the condition
+// holds, scoped by WITHIN and intersected per ANS INT.
+//
+// Entry resolution: a registered database name resolves to its database
+// object; otherwise the entry is taken as an OID. An unknown entry is an
+// error (the paper requires the user to provide a valid entry point).
+// WITHIN/ANS INT naming an unregistered database is an error.
+//
+// The WITHIN filter hides out-of-database objects from both the select
+// traversal and condition traversals; the entry object itself is exempt
+// (it is the explicitly supplied starting point).
+Result<OidSet> EvaluateQuery(const ObjectStore& store, const Query& query);
+
+// Parses and evaluates in one step.
+Result<OidSet> EvaluateQueryText(const ObjectStore& store,
+                                 std::string_view text);
+
+// Wraps an answer set as the paper's answer object
+// <ans_oid, answer, set, value(ANS)> (§2). Does not insert it anywhere.
+Object MakeAnswerObject(const Oid& ans_oid, const OidSet& answer);
+
+// Convenience for the common pattern of storing a query answer: builds the
+// answer object, puts it in the store, and registers it as a database under
+// `name` so follow-on queries can use it as an entry point or in
+// WITHIN / ANS INT clauses (§3.1: views are query answers usable this way).
+Status StoreAnswerAs(ObjectStore& store, const std::string& name,
+                     const Oid& ans_oid, const OidSet& answer);
+
+}  // namespace gsv
+
+#endif  // GSV_QUERY_EVALUATOR_H_

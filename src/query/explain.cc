@@ -1,0 +1,129 @@
+#include "query/explain.h"
+
+#include <sstream>
+
+#include "path/navigate.h"
+#include "query/parser.h"
+
+namespace gsv {
+
+std::string QueryExplanation::ToString() const {
+  std::ostringstream out;
+  out << "entry " << entry << " -> " << entry_oid.str()
+      << (entry_was_database ? " (database)" : " (object)")
+      << (scoped ? ", WITHIN scope active" : "") << "\n";
+  for (const SelectStep& step : steps) {
+    out << "  ." << step.atom << ": " << step.frontier_before << " -> "
+        << step.frontier_after << " objects (" << step.edges_examined
+        << " edges)\n";
+  }
+  out << "  candidates: " << candidates
+      << ", passed condition: " << passed_condition;
+  if (after_ans_int != passed_condition) {
+    out << ", after ANS INT: " << after_ans_int;
+  }
+  out << "\n  answer size " << answer.size() << "; " << total_edges
+      << " edges, " << total_lookups << " lookups";
+  return out.str();
+}
+
+Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
+                                      const Query& query) {
+  QueryExplanation explanation;
+  explanation.entry = query.entry;
+
+  Oid entry_oid = store.DatabaseOid(query.entry);
+  explanation.entry_was_database = entry_oid.valid();
+  if (!entry_oid.valid()) entry_oid = Oid(query.entry);
+  if (!store.Contains(entry_oid)) {
+    return Status::NotFound("query entry point '" + query.entry +
+                            "' is neither a database nor an object");
+  }
+  explanation.entry_oid = entry_oid;
+
+  OidFilter filter;
+  if (query.within_db.has_value()) {
+    const std::string& within = *query.within_db;
+    if (!store.DatabaseOid(within).valid()) {
+      return Status::NotFound("WITHIN database '" + within +
+                              "' is not registered");
+    }
+    explanation.scoped = true;
+    filter = [&store, &within, &entry_oid](const Oid& oid) {
+      return oid == entry_oid || store.InDatabase(within, oid);
+    };
+  }
+
+  const StoreMetrics& metrics = store.metrics();
+  int64_t edges_base = metrics.edges_traversed;
+  int64_t lookups_base = metrics.lookups;
+
+  OidSet frontier;
+  frontier.Insert(entry_oid);
+  if (query.select_path.IsConstant()) {
+    // Step the frontier one label at a time, recording each wave.
+    const Path path = query.select_path.ToPath();
+    for (size_t i = 0; i < path.size(); ++i) {
+      QueryExplanation::SelectStep step;
+      step.atom = path.label(i);
+      step.frontier_before = frontier.size();
+      int64_t edges_before = metrics.edges_traversed;
+      OidSet next;
+      Path single(std::vector<std::string>{path.label(i)});
+      for (const Oid& oid : frontier) {
+        next = OidSet::Union(next, EvalPath(store, oid, single, filter));
+      }
+      frontier = std::move(next);
+      step.frontier_after = frontier.size();
+      step.edges_examined = metrics.edges_traversed - edges_before;
+      explanation.steps.push_back(std::move(step));
+    }
+  } else {
+    // Wildcard expressions run the NFA in one wave; report it as a single
+    // step over the whole expression.
+    QueryExplanation::SelectStep step;
+    step.atom = query.select_path.ToString();
+    step.frontier_before = frontier.size();
+    int64_t edges_before = metrics.edges_traversed;
+    frontier = EvalExpression(store, entry_oid, query.select_path, filter);
+    step.frontier_after = frontier.size();
+    step.edges_examined = metrics.edges_traversed - edges_before;
+    explanation.steps.push_back(std::move(step));
+  }
+  explanation.candidates = frontier.size();
+
+  for (const Oid& x : frontier) {
+    if (query.where.Evaluate(store, x, filter)) {
+      explanation.answer.Insert(x);
+    }
+  }
+  explanation.passed_condition = explanation.answer.size();
+  explanation.after_ans_int = explanation.passed_condition;
+
+  if (query.ans_int_db.has_value()) {
+    Oid db_oid = store.DatabaseOid(*query.ans_int_db);
+    if (!db_oid.valid()) {
+      return Status::NotFound("ANS INT database '" + *query.ans_int_db +
+                              "' is not registered");
+    }
+    const Object* db = store.Get(db_oid);
+    if (db == nullptr || !db->IsSet()) {
+      return Status::FailedPrecondition("ANS INT database object " +
+                                        db_oid.str() + " is not a set object");
+    }
+    explanation.answer = OidSet::Intersect(explanation.answer, db->children());
+    explanation.after_ans_int = explanation.answer.size();
+  }
+
+  explanation.total_edges = metrics.edges_traversed - edges_base;
+  explanation.total_lookups = metrics.lookups - lookups_base;
+  return explanation;
+}
+
+Result<QueryExplanation> ExplainQueryText(const ObjectStore& store,
+                                          std::string_view text) {
+  GSV_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  return ExplainQuery(store, query);
+}
+
+}  // namespace gsv

@@ -1,0 +1,50 @@
+#ifndef GSV_QUERY_EXPLAIN_H_
+#define GSV_QUERY_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oem/store.h"
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// A step-by-step account of one query evaluation: how the entry resolved,
+// how the frontier evolved along the select path, what the condition
+// filtered, and what the scoping clauses did. Debugging/tooling aid — the
+// shell's `explain` command prints it.
+struct QueryExplanation {
+  struct SelectStep {
+    std::string atom;          // the path component ("professor", "*", "?")
+    size_t frontier_before = 0;
+    size_t frontier_after = 0;
+    int64_t edges_examined = 0;
+  };
+
+  std::string entry;           // as written
+  Oid entry_oid;               // what it resolved to
+  bool entry_was_database = false;
+  bool scoped = false;         // WITHIN present
+  std::vector<SelectStep> steps;
+  size_t candidates = 0;       // objects reaching the end of the select path
+  size_t passed_condition = 0;
+  size_t after_ans_int = 0;    // == passed_condition when no ANS INT
+  OidSet answer;
+  int64_t total_edges = 0;
+  int64_t total_lookups = 0;
+
+  std::string ToString() const;
+};
+
+// Evaluates `query` while recording the explanation. The answer equals
+// EvaluateQuery's for the same store and query.
+Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
+                                      const Query& query);
+Result<QueryExplanation> ExplainQueryText(const ObjectStore& store,
+                                          std::string_view text);
+
+}  // namespace gsv
+
+#endif  // GSV_QUERY_EXPLAIN_H_

@@ -1,0 +1,208 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace gsv {
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+const std::unordered_map<std::string, TokenKind>& KeywordTable() {
+  static const auto* table = new std::unordered_map<std::string, TokenKind>{
+      {"select", TokenKind::kSelect}, {"where", TokenKind::kWhere},
+      {"within", TokenKind::kWithin}, {"ans", TokenKind::kAns},
+      {"int", TokenKind::kInt},       {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},         {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},   {"define", TokenKind::kDefine},
+      {"view", TokenKind::kView},     {"mview", TokenKind::kMview},
+      {"as", TokenKind::kAs},
+  };
+  return *table;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSelect: return "SELECT";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kWithin: return "WITHIN";
+    case TokenKind::kAns: return "ANS";
+    case TokenKind::kInt: return "INT";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kTrue: return "TRUE";
+    case TokenKind::kFalse: return "FALSE";
+    case TokenKind::kDefine: return "DEFINE";
+    case TokenKind::kView: return "VIEW";
+    case TokenKind::kMview: return "MVIEW";
+    case TokenKind::kAs: return "AS";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kRealLit: return "real literal";
+    case TokenKind::kStringLit: return "string literal";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "unknown";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+
+  auto push = [&](TokenKind kind, std::string tok_text, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(tok_text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(text[i])) ++i;
+      std::string word(text.substr(start, i - start));
+      auto it = KeywordTable().find(ToLower(word));
+      push(it != KeywordTable().end() ? it->second : TokenKind::kIdent,
+           std::move(word), start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      ++i;  // sign or first digit
+      while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      bool is_real = false;
+      if (i + 1 < n && text[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      }
+      std::string num(text.substr(start, i - start));
+      Token t;
+      t.text = num;
+      t.position = start;
+      if (is_real) {
+        std::optional<double> value = ParseDouble(num);
+        if (!value.has_value()) {
+          return Status::InvalidArgument("real literal out of range: " + num);
+        }
+        t.kind = TokenKind::kRealLit;
+        t.real_value = *value;
+      } else {
+        std::optional<int64_t> value = ParseInt64(num);
+        if (!value.has_value()) {
+          return Status::InvalidArgument("integer literal out of range: " +
+                                         num);
+        }
+        t.kind = TokenKind::kIntLit;
+        t.int_value = *value;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"' || c == '`') {
+      // The paper prints strings as `John'; accept ` as an opening quote
+      // closed by '.
+      char close = (c == '`') ? '\'' : c;
+      ++i;
+      size_t content_start = i;
+      while (i < n && text[i] != close) ++i;
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      Token t;
+      t.kind = TokenKind::kStringLit;
+      t.text = std::string(text.substr(content_start, i - content_start));
+      t.position = start;
+      tokens.push_back(std::move(t));
+      ++i;  // closing quote
+      continue;
+    }
+    switch (c) {
+      case '.': push(TokenKind::kDot, ".", start); ++i; continue;
+      case '*': push(TokenKind::kStar, "*", start); ++i; continue;
+      case '?': push(TokenKind::kQuestion, "?", start); ++i; continue;
+      case ':': push(TokenKind::kColon, ":", start); ++i; continue;
+      case '(': push(TokenKind::kLParen, "(", start); ++i; continue;
+      case ')': push(TokenKind::kRParen, ")", start); ++i; continue;
+      case '=':
+        ++i;
+        if (i < n && text[i] == '=') ++i;
+        push(TokenKind::kEq, "=", start);
+        continue;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          i += 2;
+          push(TokenKind::kNe, "!=", start);
+          continue;
+        }
+        return Status::InvalidArgument("unexpected '!' at offset " +
+                                       std::to_string(start));
+      case '<':
+        ++i;
+        if (i < n && text[i] == '=') {
+          ++i;
+          push(TokenKind::kLe, "<=", start);
+        } else if (i < n && text[i] == '>') {
+          ++i;
+          push(TokenKind::kNe, "<>", start);
+        } else {
+          push(TokenKind::kLt, "<", start);
+        }
+        continue;
+      case '>':
+        ++i;
+        if (i < n && text[i] == '=') {
+          ++i;
+          push(TokenKind::kGe, ">=", start);
+        } else {
+          push(TokenKind::kGt, ">", start);
+        }
+        continue;
+      default:
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' at offset " +
+                                       std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace gsv

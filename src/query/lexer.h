@@ -1,0 +1,67 @@
+#ifndef GSV_QUERY_LEXER_H_
+#define GSV_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gsv {
+
+// Token kinds of the view/query language (paper §2 syntax 2.1, plus the
+// `define [m]view NAME as:` form of §3 and the AND/OR condition extension
+// that §6 calls straightforward).
+enum class TokenKind {
+  // Keywords (case-insensitive in the input).
+  kSelect,
+  kWhere,
+  kWithin,
+  kAns,
+  kInt,    // the INT of "ANS INT"
+  kAnd,
+  kOr,
+  kTrue,
+  kFalse,
+  kDefine,
+  kView,
+  kMview,
+  kAs,
+  // Literals and names.
+  kIdent,      // OIDs, database names, labels, binder variables
+  kIntLit,
+  kRealLit,
+  kStringLit,  // 'text' or "text"
+  // Punctuation.
+  kDot,
+  kStar,
+  kQuestion,
+  kColon,
+  kLParen,
+  kRParen,
+  // Comparison operators.
+  kEq,   // =  (also accepts ==)
+  kNe,   // != (also accepts <>)
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // raw text (string literals: unquoted content)
+  int64_t int_value = 0;  // kIntLit
+  double real_value = 0;  // kRealLit
+  size_t position = 0;    // byte offset in the input, for error messages
+};
+
+// Tokenizes `text`. The trailing kEnd token is always present on success.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace gsv
+
+#endif  // GSV_QUERY_LEXER_H_

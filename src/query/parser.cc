@@ -1,0 +1,226 @@
+#include "query/parser.h"
+
+#include <vector>
+
+#include "query/lexer.h"
+
+namespace gsv {
+namespace {
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    GSV_ASSIGN_OR_RETURN(Query query, ParseQueryBody());
+    GSV_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return query;
+  }
+
+  Result<DefineStatement> ParseDefine() {
+    GSV_RETURN_IF_ERROR(Expect(TokenKind::kDefine));
+    DefineStatement stmt;
+    if (Peek().kind == TokenKind::kMview) {
+      stmt.materialized = true;
+      Advance();
+    } else {
+      GSV_RETURN_IF_ERROR(Expect(TokenKind::kView));
+      stmt.materialized = false;
+    }
+    GSV_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("view name"));
+    GSV_RETURN_IF_ERROR(Expect(TokenKind::kAs));
+    if (Peek().kind == TokenKind::kColon) Advance();
+    GSV_ASSIGN_OR_RETURN(stmt.query, ParseQueryBody());
+    GSV_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t index = pos_ + ahead;
+    return index < tokens_.size() ? tokens_[index] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument(
+          std::string("expected ") + TokenKindName(kind) + " but found " +
+          TokenKindName(Peek().kind) + " at offset " +
+          std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument(
+          std::string("expected ") + what + " but found " +
+          TokenKindName(Peek().kind) + " at offset " +
+          std::to_string(Peek().position));
+    }
+    return Advance().text;
+  }
+
+  Result<Query> ParseQueryBody() {
+    GSV_RETURN_IF_ERROR(Expect(TokenKind::kSelect));
+    Query query;
+    GSV_ASSIGN_OR_RETURN(query.entry, ExpectIdent("entry point"));
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      GSV_ASSIGN_OR_RETURN(query.select_path, ParsePathExpression());
+    }
+    // The binder is optional when there is no WHERE clause (the paper's
+    // follow-on query "SELECT VJ.?.age" has none); it defaults to X.
+    if (Peek().kind == TokenKind::kIdent) {
+      query.binder = Advance().text;
+    }
+    if (Peek().kind == TokenKind::kWhere) {
+      Advance();
+      GSV_ASSIGN_OR_RETURN(query.where, ParseOr(query.binder));
+    }
+    if (Peek().kind == TokenKind::kWithin) {
+      Advance();
+      GSV_ASSIGN_OR_RETURN(query.within_db, ExpectIdent("database name"));
+    }
+    if (Peek().kind == TokenKind::kAns) {
+      Advance();
+      GSV_RETURN_IF_ERROR(Expect(TokenKind::kInt));
+      GSV_ASSIGN_OR_RETURN(query.ans_int_db, ExpectIdent("database name"));
+    }
+    return query;
+  }
+
+  Result<PathExpression> ParsePathExpression() {
+    std::vector<PathAtom> atoms;
+    while (true) {
+      switch (Peek().kind) {
+        case TokenKind::kIdent:
+          atoms.push_back(PathAtom::Label(Advance().text));
+          break;
+        case TokenKind::kStar:
+          Advance();
+          atoms.push_back(PathAtom::AnyPath());
+          break;
+        case TokenKind::kQuestion:
+          Advance();
+          atoms.push_back(PathAtom::AnyLabel());
+          break;
+        default:
+          return Status::InvalidArgument(
+              "expected path component but found " +
+              std::string(TokenKindName(Peek().kind)) + " at offset " +
+              std::to_string(Peek().position));
+      }
+      if (Peek().kind != TokenKind::kDot) break;
+      Advance();
+    }
+    return PathExpression(std::move(atoms));
+  }
+
+  Result<Condition> ParseOr(const std::string& binder) {
+    GSV_ASSIGN_OR_RETURN(Condition lhs, ParseAnd(binder));
+    while (Peek().kind == TokenKind::kOr) {
+      Advance();
+      GSV_ASSIGN_OR_RETURN(Condition rhs, ParseAnd(binder));
+      lhs = Condition::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Condition> ParseAnd(const std::string& binder) {
+    GSV_ASSIGN_OR_RETURN(Condition lhs, ParsePrimary(binder));
+    while (Peek().kind == TokenKind::kAnd) {
+      Advance();
+      GSV_ASSIGN_OR_RETURN(Condition rhs, ParsePrimary(binder));
+      lhs = Condition::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Condition> ParsePrimary(const std::string& binder) {
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      GSV_ASSIGN_OR_RETURN(Condition inner, ParseOr(binder));
+      GSV_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    return ParsePredicate(binder);
+  }
+
+  Result<Condition> ParsePredicate(const std::string& binder) {
+    GSV_ASSIGN_OR_RETURN(std::string var, ExpectIdent("condition variable"));
+    if (var != binder) {
+      return Status::InvalidArgument("condition variable '" + var +
+                                     "' does not match the SELECT binder '" +
+                                     binder + "'");
+    }
+    Predicate predicate;
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      GSV_ASSIGN_OR_RETURN(predicate.path, ParsePathExpression());
+    }
+    GSV_ASSIGN_OR_RETURN(predicate.op, ParseCompareOp());
+    GSV_ASSIGN_OR_RETURN(predicate.literal, ParseLiteral());
+    return Condition::MakePredicate(std::move(predicate));
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    switch (Peek().kind) {
+      case TokenKind::kEq: Advance(); return CompareOp::kEq;
+      case TokenKind::kNe: Advance(); return CompareOp::kNe;
+      case TokenKind::kLt: Advance(); return CompareOp::kLt;
+      case TokenKind::kLe: Advance(); return CompareOp::kLe;
+      case TokenKind::kGt: Advance(); return CompareOp::kGt;
+      case TokenKind::kGe: Advance(); return CompareOp::kGe;
+      default:
+        return Status::InvalidArgument(
+            "expected comparison operator but found " +
+            std::string(TokenKindName(Peek().kind)) + " at offset " +
+            std::to_string(Peek().position));
+    }
+  }
+
+  Result<Value> ParseLiteral() {
+    switch (Peek().kind) {
+      case TokenKind::kIntLit:
+        return Value::Int(Advance().int_value);
+      case TokenKind::kRealLit:
+        return Value::Real(Advance().real_value);
+      case TokenKind::kStringLit:
+        return Value::Str(Advance().text);
+      case TokenKind::kTrue:
+        Advance();
+        return Value::Bool(true);
+      case TokenKind::kFalse:
+        Advance();
+        return Value::Bool(false);
+      default:
+        return Status::InvalidArgument(
+            "expected literal but found " +
+            std::string(TokenKindName(Peek().kind)) + " at offset " +
+            std::to_string(Peek().position));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  GSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<DefineStatement> ParseDefine(std::string_view text) {
+  GSV_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseDefine();
+}
+
+}  // namespace gsv

@@ -1,0 +1,23 @@
+#ifndef GSV_QUERY_PARSER_H_
+#define GSV_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Parses a query in the paper's syntax (2.1), e.g.
+//   "SELECT ROOT.professor X WHERE X.age > 40 WITHIN PERSON ANS INT D1"
+// Conditions may combine predicates with AND/OR and parentheses (§6
+// extension). The condition's bound variable must match the SELECT binder.
+Result<Query> ParseQuery(std::string_view text);
+
+// Parses "define view NAME as: SELECT ..." / "define mview NAME as: ..."
+// (§3.1, §3.2; the colon after `as` is optional).
+Result<DefineStatement> ParseDefine(std::string_view text);
+
+}  // namespace gsv
+
+#endif  // GSV_QUERY_PARSER_H_

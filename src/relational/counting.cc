@@ -1,0 +1,182 @@
+#include "relational/counting.h"
+
+namespace gsv {
+
+CountingViewMaintainer::CountingViewMaintainer(RelationalMirror* mirror,
+                                               ChainSpec spec)
+    : mirror_(mirror), spec_(std::move(spec)) {
+  mirror_->SetObserver(this);
+}
+
+Status CountingViewMaintainer::Initialize() {
+  counts_ = EvaluateChain(*mirror_, spec_);
+  return Status::Ok();
+}
+
+int64_t CountingViewMaintainer::CountUp(
+    const std::string& node, size_t j,
+    std::unordered_map<std::string, int64_t>* memo) const {
+  if (j == 0) return node == spec_.root.str() ? 1 : 0;
+  std::string key = node + "#" + std::to_string(j);
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+
+  int64_t label_count = mirror_->oid_label().Count(
+      RelationalMirror::OidLabelRow(Oid(node), spec_.labels[j - 1]));
+  int64_t total = 0;
+  if (label_count > 0) {
+    for (const auto& [edge, edge_count] :
+         mirror_->parent_child().Lookup(1, Value::Str(node))) {
+      total += edge_count * CountUp(edge.fields[0].AsString(), j - 1, memo);
+    }
+    total *= label_count;
+  }
+  (*memo)[key] = total;
+  return total;
+}
+
+std::unordered_map<std::string, int64_t> CountingViewMaintainer::CountUpByY(
+    const std::string& node, size_t j) const {
+  std::unordered_map<std::string, int64_t> result;
+  if (j == spec_.sel_len) {
+    std::unordered_map<std::string, int64_t> memo;
+    int64_t count = CountUp(node, j, &memo);
+    if (count > 0) result[node] = count;
+    return result;
+  }
+  // j > sel_len: check this node's label, then recurse over parents.
+  int64_t label_count = mirror_->oid_label().Count(
+      RelationalMirror::OidLabelRow(Oid(node), spec_.labels[j - 1]));
+  if (label_count <= 0) return result;
+  for (const auto& [edge, edge_count] :
+       mirror_->parent_child().Lookup(1, Value::Str(node))) {
+    for (const auto& [y, count] :
+         CountUpByY(edge.fields[0].AsString(), j - 1)) {
+      result[y] += count * edge_count * label_count;
+    }
+  }
+  return result;
+}
+
+int64_t CountingViewMaintainer::CountDown(
+    const std::string& node, size_t j,
+    std::unordered_map<std::string, int64_t>* memo) const {
+  if (j == spec_.length()) {
+    if (!spec_.pred.has_value()) return 1;
+    int64_t total = 0;
+    for (const auto& [row, count] :
+         mirror_->oid_value().Lookup(0, Value::Str(node))) {
+      if (spec_.pred->Holds(row.fields[1])) total += count;
+    }
+    return total;
+  }
+  std::string key = node + "#" + std::to_string(j);
+  auto it = memo->find(key);
+  if (it != memo->end()) return it->second;
+
+  int64_t total = 0;
+  for (const auto& [edge, edge_count] :
+       mirror_->parent_child().Lookup(0, Value::Str(node))) {
+    const std::string child = edge.fields[1].AsString();
+    int64_t label_count = mirror_->oid_label().Count(
+        RelationalMirror::OidLabelRow(Oid(child), spec_.labels[j]));
+    if (label_count <= 0) continue;
+    total += edge_count * label_count * CountDown(child, j + 1, memo);
+  }
+  (*memo)[key] = total;
+  return total;
+}
+
+std::unordered_map<std::string, int64_t> CountingViewMaintainer::CountDownByY(
+    const std::string& node, size_t j) const {
+  std::unordered_map<std::string, int64_t> result;
+  if (j == spec_.sel_len) {
+    std::unordered_map<std::string, int64_t> memo;
+    int64_t count = CountDown(node, j, &memo);
+    if (count > 0) result[node] = count;
+    return result;
+  }
+  // j < sel_len: descend toward x_k.
+  for (const auto& [edge, edge_count] :
+       mirror_->parent_child().Lookup(0, Value::Str(node))) {
+    const std::string child = edge.fields[1].AsString();
+    int64_t label_count = mirror_->oid_label().Count(
+        RelationalMirror::OidLabelRow(Oid(child), spec_.labels[j]));
+    if (label_count <= 0) continue;
+    for (const auto& [y, count] : CountDownByY(child, j + 1)) {
+      result[y] += count * edge_count * label_count;
+    }
+  }
+  return result;
+}
+
+void CountingViewMaintainer::AddDelta(const std::string& y, int64_t delta) {
+  if (delta == 0) return;
+  ++stats_.count_changes;
+  int64_t& count = counts_[y];
+  count += delta;
+  if (count == 0) counts_.erase(y);
+}
+
+void CountingViewMaintainer::OnParentChildDelta(const Oid& parent,
+                                                const Oid& child,
+                                                int64_t delta) {
+  ++stats_.deltas;
+  const std::string a = parent.str();
+  const std::string b = child.str();
+  // The edge may serve at any of the L chain positions: one delta term per
+  // position (the §4.4 self-join cost).
+  for (size_t i = 1; i <= spec_.length(); ++i) {
+    ++stats_.delta_terms;
+    int64_t label_count = mirror_->oid_label().Count(
+        RelationalMirror::OidLabelRow(child, spec_.labels[i - 1]));
+    if (label_count <= 0) continue;
+
+    if (i <= spec_.sel_len) {
+      std::unordered_map<std::string, int64_t> memo;
+      int64_t prefix = CountUp(a, i - 1, &memo);
+      if (prefix == 0) continue;
+      for (const auto& [y, count] : CountDownByY(b, i)) {
+        AddDelta(y, delta * prefix * count * label_count);
+      }
+    } else {
+      std::unordered_map<std::string, int64_t> by_y = CountUpByY(a, i - 1);
+      if (by_y.empty()) continue;
+      std::unordered_map<std::string, int64_t> memo;
+      int64_t suffix = CountDown(b, i, &memo);
+      if (suffix == 0) continue;
+      for (const auto& [y, count] : by_y) {
+        AddDelta(y, delta * count * suffix * label_count);
+      }
+    }
+  }
+}
+
+void CountingViewMaintainer::OnValueDelta(const Oid& oid,
+                                          const Value& old_value,
+                                          const Value& new_value) {
+  ++stats_.deltas;
+  if (!spec_.pred.has_value()) return;
+  int64_t delta = (spec_.pred->Holds(new_value) ? 1 : 0) -
+                  (spec_.pred->Holds(old_value) ? 1 : 0);
+  if (delta == 0) return;
+  ++stats_.delta_terms;
+  for (const auto& [y, count] : CountUpByY(oid.str(), spec_.length())) {
+    AddDelta(y, delta * count);
+  }
+}
+
+OidSet CountingViewMaintainer::Members() const {
+  OidSet members;
+  for (const auto& [y, count] : counts_) {
+    if (count > 0) members.Insert(Oid(y));
+  }
+  return members;
+}
+
+int64_t CountingViewMaintainer::CountOf(const Oid& y) const {
+  auto it = counts_.find(y.str());
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace gsv

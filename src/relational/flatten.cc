@@ -1,0 +1,114 @@
+#include "relational/flatten.h"
+
+namespace gsv {
+
+RelationalMirror::RelationalMirror() {
+  oid_label_ = std::make_unique<Table>(
+      "OID_LABEL", std::vector<std::string>{"oid", "label"}, &metrics_);
+  parent_child_ = std::make_unique<Table>(
+      "PARENT_CHILD", std::vector<std::string>{"parent", "child"}, &metrics_);
+  oid_value_ = std::make_unique<Table>(
+      "OID_VALUE", std::vector<std::string>{"oid", "value"}, &metrics_);
+  // The chain joins probe edges by parent and by child, and labels/values
+  // by oid.
+  oid_label_->AddIndex(0);
+  parent_child_->AddIndex(0);
+  parent_child_->AddIndex(1);
+  oid_value_->AddIndex(0);
+}
+
+RelTuple RelationalMirror::OidLabelRow(const Oid& oid,
+                                       const std::string& label) {
+  return RelTuple{{Value::Str(oid.str()), Value::Str(label)}};
+}
+RelTuple RelationalMirror::EdgeRow(const Oid& parent, const Oid& child) {
+  return RelTuple{{Value::Str(parent.str()), Value::Str(child.str())}};
+}
+RelTuple RelationalMirror::ValueRow(const Oid& oid, const Value& value) {
+  return RelTuple{{Value::Str(oid.str()), value}};
+}
+
+Status RelationalMirror::MirrorObject(const Object& object,
+                                      const ObjectStore* store) {
+  if (known_.Contains(object.oid())) return Status::Ok();
+  known_.Insert(object.oid());  // first: guards against reference cycles
+  GSV_RETURN_IF_ERROR(
+      oid_label_->Apply(OidLabelRow(object.oid(), object.label()), +1));
+  if (object.IsAtomic()) {
+    GSV_RETURN_IF_ERROR(
+        oid_value_->Apply(ValueRow(object.oid(), object.value()), +1));
+    return Status::Ok();
+  }
+  for (const Oid& child : object.children()) {
+    if (store != nullptr && !known_.Contains(child)) {
+      const Object* child_object = store->Get(child);
+      if (child_object != nullptr) {
+        GSV_RETURN_IF_ERROR(MirrorObject(*child_object, store));
+      }
+    }
+    GSV_RETURN_IF_ERROR(parent_child_->Apply(EdgeRow(object.oid(), child), +1));
+    if (observer_ != nullptr) {
+      observer_->OnParentChildDelta(object.oid(), child, +1);
+    }
+  }
+  return Status::Ok();
+}
+
+Status RelationalMirror::SyncFromStore(const ObjectStore& store) {
+  Status status;
+  // Every object is visited exactly once; its own MirrorObject call adds
+  // its outgoing edges, so no recursion is needed here.
+  store.ForEach([&](const Object& object) {
+    if (!status.ok()) return;
+    status = MirrorObject(object, nullptr);
+  });
+  return status;
+}
+
+Status RelationalMirror::ApplyUpdate(const ObjectStore& store,
+                                     const Update& update) {
+  switch (update.kind) {
+    case UpdateKind::kInsert: {
+      // Fresh objects reach the relational representation here — one GSDB
+      // update turning into several table updates (Example 8).
+      const Object* child = store.Get(update.child);
+      if (child != nullptr) {
+        GSV_RETURN_IF_ERROR(MirrorObject(*child, &store));
+      }
+      GSV_RETURN_IF_ERROR(
+          parent_child_->Apply(EdgeRow(update.parent, update.child), +1));
+      if (observer_ != nullptr) {
+        observer_->OnParentChildDelta(update.parent, update.child, +1);
+      }
+      return Status::Ok();
+    }
+    case UpdateKind::kDelete: {
+      GSV_RETURN_IF_ERROR(
+          parent_child_->Apply(EdgeRow(update.parent, update.child), -1));
+      if (observer_ != nullptr) {
+        observer_->OnParentChildDelta(update.parent, update.child, -1);
+      }
+      return Status::Ok();
+    }
+    case UpdateKind::kModify: {
+      GSV_RETURN_IF_ERROR(
+          oid_value_->Apply(ValueRow(update.parent, update.old_value), -1));
+      GSV_RETURN_IF_ERROR(
+          oid_value_->Apply(ValueRow(update.parent, update.new_value), +1));
+      if (observer_ != nullptr) {
+        observer_->OnValueDelta(update.parent, update.old_value,
+                                update.new_value);
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::InvalidArgument("unknown update kind");
+}
+
+void RelationalMirror::OnUpdate(const ObjectStore& store,
+                                const Update& update) {
+  Status status = ApplyUpdate(store, update);
+  if (!status.ok()) last_status_ = status;
+}
+
+}  // namespace gsv

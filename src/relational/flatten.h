@@ -1,0 +1,81 @@
+#ifndef GSV_RELATIONAL_FLATTEN_H_
+#define GSV_RELATIONAL_FLATTEN_H_
+
+#include <memory>
+
+#include "oem/store.h"
+#include "oem/update.h"
+#include "relational/table.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// The three-table relational representation of a GSDB (paper Example 8):
+//
+//   OID_LABEL(oid, label)       — every object's label
+//   PARENT_CHILD(parent, child) — every edge
+//   OID_VALUE(oid, value)       — every atomic object's value
+//
+// RelationalMirror keeps this representation synchronized with a live
+// ObjectStore. Note the paper's observation: "a single object update can
+// involve multiple tables" — e.g. attaching a freshly created object adds
+// rows to all three (metered in RelationalMetrics::table_updates).
+class RelationalMirror : public UpdateListener {
+ public:
+  RelationalMirror();
+
+  // Bulk-loads the three tables from the store's current contents.
+  Status SyncFromStore(const ObjectStore& store);
+
+  // Maps a basic GSDB update to relational deltas. Fresh objects that
+  // appear as the child of an insert are pulled from the store and mirrored
+  // into OID_LABEL / OID_VALUE first.
+  void OnUpdate(const ObjectStore& store, const Update& update) override;
+
+  Table& oid_label() { return *oid_label_; }
+  Table& parent_child() { return *parent_child_; }
+  Table& oid_value() { return *oid_value_; }
+  const Table& oid_label() const { return *oid_label_; }
+  const Table& parent_child() const { return *parent_child_; }
+  const Table& oid_value() const { return *oid_value_; }
+
+  RelationalMetrics& metrics() { return metrics_; }
+  const Status& last_status() const { return last_status_; }
+
+  // The relational deltas produced by updates are also offered to an
+  // optional observer (the counting maintainer) *after* being applied.
+  struct DeltaObserver {
+    virtual ~DeltaObserver() = default;
+    virtual void OnParentChildDelta(const Oid& parent, const Oid& child,
+                                    int64_t delta) = 0;
+    virtual void OnValueDelta(const Oid& oid, const Value& old_value,
+                              const Value& new_value) = 0;
+  };
+  void SetObserver(DeltaObserver* observer) { observer_ = observer; }
+
+  // Helpers for building tuples.
+  static RelTuple OidLabelRow(const Oid& oid, const std::string& label);
+  static RelTuple EdgeRow(const Oid& parent, const Oid& child);
+  static RelTuple ValueRow(const Oid& oid, const Value& value);
+
+ private:
+  // Mirrors an unknown object's OID_LABEL/OID_VALUE rows plus the edges of
+  // its set value. When `store` is non-null, unknown children are mirrored
+  // recursively (a freshly built subtree entering the database through one
+  // insert); edge rows notify the observer.
+  Status MirrorObject(const Object& object, const ObjectStore* store);
+  Status ApplyUpdate(const ObjectStore& store, const Update& update);
+
+  RelationalMetrics metrics_;
+  std::unique_ptr<Table> oid_label_;
+  std::unique_ptr<Table> parent_child_;
+  std::unique_ptr<Table> oid_value_;
+  // OIDs already mirrored into OID_LABEL / OID_VALUE.
+  OidSet known_;
+  DeltaObserver* observer_ = nullptr;
+  Status last_status_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_RELATIONAL_FLATTEN_H_

@@ -1,0 +1,76 @@
+#include "relational/spj_view.h"
+
+namespace gsv {
+
+Result<ChainSpec> ChainSpec::FromDefinition(const ViewDefinition& def) {
+  if (!def.IsSimple()) {
+    return Status::InvalidArgument(
+        "relational chain views require a simple view definition");
+  }
+  ChainSpec spec;
+  spec.root = Oid(def.query().entry);
+  const Path sel = def.sel_path();
+  const Path cond = def.cond_path();
+  for (const std::string& label : sel.labels()) {
+    spec.labels.push_back(label);
+  }
+  spec.sel_len = spec.labels.size();
+  for (const std::string& label : cond.labels()) {
+    spec.labels.push_back(label);
+  }
+  spec.pred = def.predicate();
+  return spec;
+}
+
+std::unordered_map<std::string, int64_t> EvaluateChain(
+    const RelationalMirror& mirror, const ChainSpec& spec) {
+  // Frontier: (current binding x_j, chosen y or "") -> derivation count.
+  struct Entry {
+    std::string current;
+    std::string y;
+    int64_t count;
+  };
+  std::vector<Entry> frontier{{spec.root.str(), "", 1}};
+
+  for (size_t j = 0; j < spec.length(); ++j) {
+    std::unordered_map<std::string, Entry> next;
+    const std::string& label = spec.labels[j];
+    for (const Entry& entry : frontier) {
+      for (const auto& [edge, edge_count] :
+           mirror.parent_child().Lookup(0, Value::Str(entry.current))) {
+        const std::string child = edge.fields[1].AsString();
+        // OL(child, label) check.
+        int64_t label_count = mirror.oid_label().Count(
+            RelationalMirror::OidLabelRow(Oid(child), label));
+        if (label_count <= 0) continue;
+        Entry out;
+        out.current = child;
+        out.y = (j + 1 == spec.sel_len) ? child : entry.y;
+        out.count = entry.count * edge_count * label_count;
+        std::string key = out.current + "#" + out.y;
+        auto [it, inserted] = next.emplace(key, out);
+        if (!inserted) it->second.count += out.count;
+      }
+    }
+    frontier.clear();
+    for (auto& [key, entry] : next) frontier.push_back(std::move(entry));
+  }
+
+  std::unordered_map<std::string, int64_t> result;
+  for (const Entry& entry : frontier) {
+    int64_t terminal = 1;
+    if (spec.pred.has_value()) {
+      terminal = 0;
+      for (const auto& [row, count] :
+           mirror.oid_value().Lookup(0, Value::Str(entry.current))) {
+        if (spec.pred->Holds(row.fields[1])) terminal += count;
+      }
+    }
+    if (terminal > 0 && !entry.y.empty()) {
+      result[entry.y] += entry.count * terminal;
+    }
+  }
+  return result;
+}
+
+}  // namespace gsv

@@ -1,0 +1,46 @@
+#ifndef GSV_RELATIONAL_SPJ_VIEW_H_
+#define GSV_RELATIONAL_SPJ_VIEW_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/view_definition.h"
+#include "oem/oid.h"
+#include "query/condition.h"
+#include "relational/flatten.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// The Select-Project-Join shape of a simple GSDB view over the three-table
+// representation (paper §4.4): a chain of PARENT_CHILD self-joins with an
+// OID_LABEL check per hop and a terminal OID_VALUE predicate —
+//
+//   V(y) :- PC(root,x1), OL(x1,l1), PC(x1,x2), OL(x2,l2), ...,
+//           y = x_k, ..., PC(x_{L-1},x_L), OL(x_L,l_L),
+//           OV(x_L,v), pred(v)
+//
+// where l_1..l_k is the select path and l_{k+1}..l_L the condition path.
+struct ChainSpec {
+  Oid root;
+  std::vector<std::string> labels;  // select labels then condition labels
+  size_t sel_len = 0;               // k: the selected variable is x_k
+  std::optional<Predicate> pred;    // terminal predicate; nullopt = none
+
+  // Derives the chain from a simple view definition (def.IsSimple()).
+  static Result<ChainSpec> FromDefinition(const ViewDefinition& def);
+
+  size_t length() const { return labels.size(); }
+};
+
+// Evaluates the full chain join bottom-up from the root and returns the
+// number of derivations per selected OID (bag semantics — the counts the
+// counting algorithm maintains). Every table access is metered.
+std::unordered_map<std::string, int64_t> EvaluateChain(
+    const RelationalMirror& mirror, const ChainSpec& spec);
+
+}  // namespace gsv
+
+#endif  // GSV_RELATIONAL_SPJ_VIEW_H_

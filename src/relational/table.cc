@@ -1,0 +1,114 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+namespace gsv {
+
+std::string RelTuple::Key() const {
+  std::string key;
+  for (const Value& value : fields) {
+    key += std::to_string(static_cast<int>(value.type()));
+    key += ':';
+    key += value.ToString();
+    key += '|';
+  }
+  return key;
+}
+
+std::string RelTuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Table::Table(std::string name, std::vector<std::string> columns,
+             RelationalMetrics* metrics)
+    : name_(std::move(name)), columns_(std::move(columns)), metrics_(metrics) {}
+
+void Table::AddIndex(size_t col) {
+  auto& index = indexes_[col];
+  index.clear();
+  for (const auto& [key, row] : rows_) {
+    index[row.tuple.fields[col].ToString()].push_back(key);
+  }
+}
+
+Status Table::Apply(const RelTuple& tuple, int64_t delta) {
+  if (tuple.fields.size() != arity()) {
+    return Status::InvalidArgument("tuple arity " +
+                                   std::to_string(tuple.fields.size()) +
+                                   " != table arity for " + name_);
+  }
+  if (delta == 0) return Status::Ok();
+  ++metrics_->table_updates;
+  std::string key = tuple.Key();
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    Row row;
+    row.tuple = tuple;
+    row.count = delta;
+    rows_.emplace(key, std::move(row));
+    for (auto& [col, index] : indexes_) {
+      index[tuple.fields[col].ToString()].push_back(key);
+    }
+    return Status::Ok();
+  }
+  it->second.count += delta;
+  if (it->second.count == 0) {
+    for (auto& [col, index] : indexes_) {
+      auto iit = index.find(it->second.tuple.fields[col].ToString());
+      if (iit != index.end()) {
+        auto& keys = iit->second;
+        keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
+        if (keys.empty()) index.erase(iit);
+      }
+    }
+    rows_.erase(it);
+  }
+  return Status::Ok();
+}
+
+int64_t Table::Count(const RelTuple& tuple) const {
+  ++metrics_->index_probes;
+  auto it = rows_.find(tuple.Key());
+  if (it == rows_.end()) return 0;
+  ++metrics_->tuples_examined;
+  return it->second.count;
+}
+
+void Table::ForEach(
+    const std::function<void(const RelTuple&, int64_t)>& fn) const {
+  for (const auto& [key, row] : rows_) {
+    ++metrics_->tuples_examined;
+    fn(row.tuple, row.count);
+  }
+}
+
+std::vector<std::pair<RelTuple, int64_t>> Table::Lookup(
+    size_t col, const Value& value) const {
+  std::vector<std::pair<RelTuple, int64_t>> out;
+  ++metrics_->index_probes;
+  auto index_it = indexes_.find(col);
+  if (index_it == indexes_.end()) {
+    // No index: scan (the expensive case §4.4 warns about).
+    ForEach([&](const RelTuple& tuple, int64_t count) {
+      if (tuple.fields[col] == value) out.emplace_back(tuple, count);
+    });
+    return out;
+  }
+  auto it = index_it->second.find(value.ToString());
+  if (it == index_it->second.end()) return out;
+  for (const std::string& key : it->second) {
+    auto row_it = rows_.find(key);
+    if (row_it == rows_.end()) continue;
+    ++metrics_->tuples_examined;
+    out.emplace_back(row_it->second.tuple, row_it->second.count);
+  }
+  return out;
+}
+
+}  // namespace gsv

@@ -1,0 +1,86 @@
+#ifndef GSV_RELATIONAL_TABLE_H_
+#define GSV_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "oem/value.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// A relational tuple: a fixed-arity vector of atomic values.
+struct RelTuple {
+  std::vector<Value> fields;
+
+  std::string Key() const;  // canonical serialization, used for hashing
+  std::string ToString() const;
+  bool operator==(const RelTuple& other) const {
+    return fields == other.fields;
+  }
+};
+
+// Cost counters shared by a relational schema: the §4.4 comparison measures
+// how many tuples the relational approach must examine.
+struct RelationalMetrics {
+  int64_t tuples_examined = 0;  // tuples touched by scans and index probes
+  int64_t index_probes = 0;
+  int64_t table_updates = 0;    // insert/delete of (tuple, count) deltas
+
+  void Reset() { *this = RelationalMetrics(); }
+};
+
+// A bag (multiset) relation with per-tuple counts — the representation the
+// counting algorithm of [GMS93] maintains — plus optional single-column
+// hash indexes. Counts can be negative transiently while applying deltas;
+// tuples at count zero are dropped.
+class Table {
+ public:
+  Table(std::string name, std::vector<std::string> columns,
+        RelationalMetrics* metrics);
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return columns_.size(); }
+
+  // Builds a hash index on column `col` (may be called before or after
+  // rows are added).
+  void AddIndex(size_t col);
+
+  // Adds `delta` to the tuple's count (negative deltas delete).
+  Status Apply(const RelTuple& tuple, int64_t delta);
+
+  int64_t Count(const RelTuple& tuple) const;
+  size_t DistinctSize() const { return rows_.size(); }
+
+  // Scans every tuple (metered).
+  void ForEach(
+      const std::function<void(const RelTuple&, int64_t)>& fn) const;
+
+  // Index lookup: all tuples whose column `col` equals `value` (metered).
+  // Falls back to a full scan when no index exists on `col`.
+  std::vector<std::pair<RelTuple, int64_t>> Lookup(size_t col,
+                                                   const Value& value) const;
+
+  RelationalMetrics* metrics() const { return metrics_; }
+
+ private:
+  struct Row {
+    RelTuple tuple;
+    int64_t count = 0;
+  };
+
+  std::string name_;
+  std::vector<std::string> columns_;
+  RelationalMetrics* metrics_;
+  std::unordered_map<std::string, Row> rows_;  // key -> row
+  // col -> (value key -> tuple keys). Maintained incrementally.
+  std::unordered_map<size_t, std::unordered_map<std::string, std::vector<std::string>>>
+      indexes_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_RELATIONAL_TABLE_H_

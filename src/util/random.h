@@ -1,0 +1,58 @@
+#ifndef GSV_UTIL_RANDOM_H_
+#define GSV_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace gsv {
+
+// Deterministic, seedable PRNG (xorshift128+) used by workload generators
+// and property tests so every run is reproducible from its seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 seeding avoids poor low-entropy seeds.
+    state0_ = SplitMix(&seed);
+    state1_ = SplitMix(&seed);
+    if (state0_ == 0 && state1_ == 0) state1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = state0_;
+    const uint64_t y = state1_;
+    state0_ = y;
+    x ^= x << 23;
+    state1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state1_ + y;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* s) {
+    uint64_t z = (*s += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_UTIL_RANDOM_H_

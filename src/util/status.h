@@ -1,0 +1,134 @@
+#ifndef GSV_UTIL_STATUS_H_
+#define GSV_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gsv {
+
+// Error categories used across the library. The library does not throw
+// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (query text, path syntax, ...)
+  kNotFound,          // unknown OID, database name, view name, ...
+  kAlreadyExists,     // duplicate OID / database / view registration
+  kFailedPrecondition,// operation not valid in the current state
+  kUnimplemented,     // feature intentionally out of scope
+  kInternal,          // invariant violation inside the library
+};
+
+// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type carrying success or an error code plus message.
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status (a minimal StatusOr).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;             // kOk iff value_ holds a value
+  std::optional<T> value_;
+};
+
+// Propagates errors to the caller: `GSV_RETURN_IF_ERROR(DoThing());`
+#define GSV_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::gsv::Status gsv_status_tmp = (expr);         \
+    if (!gsv_status_tmp.ok()) return gsv_status_tmp; \
+  } while (false)
+
+// Assigns from a Result or propagates its error:
+//   GSV_ASSIGN_OR_RETURN(auto q, Parse(text));
+#define GSV_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  GSV_ASSIGN_OR_RETURN_IMPL_(                        \
+      GSV_STATUS_CONCAT_(gsv_result_, __LINE__), lhs, rexpr)
+
+#define GSV_STATUS_CONCAT_INNER_(x, y) x##y
+#define GSV_STATUS_CONCAT_(x, y) GSV_STATUS_CONCAT_INNER_(x, y)
+#define GSV_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace gsv
+
+#endif  // GSV_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+#ifndef GSV_UTIL_STOPWATCH_H_
+#define GSV_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gsv {
+
+// Wall-clock stopwatch used by the experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_UTIL_STOPWATCH_H_

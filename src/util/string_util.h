@@ -1,0 +1,29 @@
+#ifndef GSV_UTIL_STRING_UTIL_H_
+#define GSV_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsv {
+
+// Splits `text` on `sep`, keeping empty pieces ("a..b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Exception-free numeric parsing: nullopt on malformed text, trailing
+// garbage, or overflow. The whole string must be the number.
+std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+}  // namespace gsv
+
+#endif  // GSV_UTIL_STRING_UTIL_H_

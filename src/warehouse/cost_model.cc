@@ -1,0 +1,21 @@
+#include "warehouse/cost_model.h"
+
+#include <sstream>
+
+namespace gsv {
+
+std::string WarehouseCosts::ToString() const {
+  std::ostringstream out;
+  out << "events=" << events_received
+      << " screened=" << events_screened_out
+      << " local_only=" << events_local_only
+      << " queries=" << source_queries
+      << " objects_shipped=" << objects_shipped
+      << " values_shipped=" << values_shipped
+      << " cache_queries=" << cache_maintenance_queries
+      << " cache_hits=" << cache_hits
+      << " cache_misses=" << cache_misses;
+  return out.str();
+}
+
+}  // namespace gsv

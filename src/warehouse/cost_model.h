@@ -1,0 +1,36 @@
+#ifndef GSV_WAREHOUSE_COST_MODEL_H_
+#define GSV_WAREHOUSE_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gsv {
+
+// Warehouse-side cost accounting (§5.1: "querying the sources ... is
+// expensive. Sending queries and answers consumes time and network
+// bandwidth"). Every interaction between the warehouse and a source passes
+// through SourceWrapper, which meters it here; the reporting-level and
+// caching experiments (E3, E4, E7) read these counters.
+struct WarehouseCosts {
+  // Event traffic.
+  int64_t events_received = 0;
+  int64_t events_screened_out = 0;  // dropped by local screening (§5.1)
+  int64_t events_local_only = 0;    // maintained without any source query
+
+  // Query-backs to sources.
+  int64_t source_queries = 0;   // round trips
+  int64_t objects_shipped = 0;  // objects in answers
+  int64_t values_shipped = 0;   // atomic values in answers (bytes proxy)
+
+  // Auxiliary-structure upkeep (§5.2).
+  int64_t cache_maintenance_queries = 0;
+  int64_t cache_hits = 0;    // accessor calls answered from cache/event
+  int64_t cache_misses = 0;  // accessor calls that had to query the source
+
+  void Reset() { *this = WarehouseCosts(); }
+  std::string ToString() const;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_WAREHOUSE_COST_MODEL_H_

@@ -1,0 +1,40 @@
+#ifndef GSV_WAREHOUSE_MONITOR_H_
+#define GSV_WAREHOUSE_MONITOR_H_
+
+#include <functional>
+
+#include "oem/store.h"
+#include "oem/update.h"
+#include "warehouse/update_event.h"
+
+namespace gsv {
+
+// The source monitor of Figure 6: "each source is also associated with a
+// source monitor that detects the update events as described in Section 4.1
+// and reports them to the warehouse." The monitor is an UpdateListener on
+// the source store and forwards an UpdateEvent — carrying as much
+// information as its configured ReportingLevel allows — to a sink (the
+// warehouse's integrator).
+class SourceMonitor : public UpdateListener {
+ public:
+  using EventSink = std::function<void(const UpdateEvent&)>;
+
+  // `root` is the source database root that level-3 paths are reported
+  // from (the source traverses from its root while applying updates, §5.1).
+  SourceMonitor(ReportingLevel level, Oid root, EventSink sink)
+      : level_(level), root_(std::move(root)), sink_(std::move(sink)) {}
+
+  void OnUpdate(const ObjectStore& store, const Update& update) override;
+
+  ReportingLevel level() const { return level_; }
+  void set_level(ReportingLevel level) { level_ = level; }
+
+ private:
+  ReportingLevel level_;
+  Oid root_;
+  EventSink sink_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_WAREHOUSE_MONITOR_H_

@@ -1,0 +1,73 @@
+#include "warehouse/path_knowledge.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "oem/store.h"
+
+namespace gsv {
+
+void PathKnowledge::SetChildLabels(const std::string& parent_label,
+                                   std::vector<std::string> labels) {
+  std::sort(labels.begin(), labels.end());
+  allowed_[parent_label] = std::move(labels);
+}
+
+bool PathKnowledge::HasKnowledgeFor(const std::string& parent_label) const {
+  return allowed_.count(parent_label) > 0;
+}
+
+bool PathKnowledge::MayHaveChild(const std::string& parent_label,
+                                 const std::string& child_label) const {
+  auto it = allowed_.find(parent_label);
+  if (it == allowed_.end()) return true;  // open world for unknown labels
+  return std::binary_search(it->second.begin(), it->second.end(),
+                            child_label);
+}
+
+size_t PathKnowledge::FeasiblePrefix(const std::string& root_label,
+                                     const Path& path) const {
+  std::string current = root_label;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (!MayHaveChild(current, path.label(i))) return i;
+    current = path.label(i);
+  }
+  return path.size();
+}
+
+PathKnowledge BuildPathKnowledge(const ObjectStore& store, const Oid& root) {
+  // BFS over the reachable subgraph, accumulating label -> child labels.
+  std::map<std::string, std::set<std::string>> observed;
+  std::unordered_set<std::string> visited{root.str()};
+  std::deque<Oid> frontier{root};
+  while (!frontier.empty()) {
+    Oid oid = frontier.front();
+    frontier.pop_front();
+    const Object* object = store.Get(oid);
+    if (object == nullptr) continue;
+    // Every reachable label gets an entry, even when childless or atomic —
+    // that is what makes the knowledge closed-world for it.
+    auto& children = observed[object->label()];
+    if (!object->IsSet()) continue;
+    for (const Oid& child_oid : object->children()) {
+      const Object* child = store.Get(child_oid);
+      if (child == nullptr) continue;
+      children.insert(child->label());
+      if (visited.insert(child_oid.str()).second) {
+        frontier.push_back(child_oid);
+      }
+    }
+  }
+  PathKnowledge knowledge;
+  for (auto& [label, child_labels] : observed) {
+    knowledge.SetChildLabels(
+        label,
+        std::vector<std::string>(child_labels.begin(), child_labels.end()));
+  }
+  return knowledge;
+}
+
+}  // namespace gsv

@@ -1,0 +1,58 @@
+#ifndef GSV_WAREHOUSE_PATH_KNOWLEDGE_H_
+#define GSV_WAREHOUSE_PATH_KNOWLEDGE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "oem/value.h"
+#include "path/path.h"
+
+namespace gsv {
+
+// "Knowledge of paths that can never occur or always occur at the source"
+// (§5.2 closing remark): a partial schema mapping an object label to the
+// closed set of child labels it may have — the DataGuide-style constraint
+// [GW97] the paper cites. Labels without an entry are open (anything may
+// appear below them).
+//
+// The warehouse uses this to skip updates that cannot possibly lie on a
+// view's sel/cond corridor: e.g. with the knowledge "student objects have
+// no salary children", a view over ROOT.student.? is unaffected by any
+// modify of a salary object (the paper's example).
+class PathKnowledge {
+ public:
+  // Declares the complete child-label vocabulary of `parent_label`.
+  void SetChildLabels(const std::string& parent_label,
+                      std::vector<std::string> labels);
+
+  bool HasKnowledgeFor(const std::string& parent_label) const;
+
+  // True if an object labeled `parent_label` may have a `child_label`
+  // child (true when nothing is known about the parent label).
+  bool MayHaveChild(const std::string& parent_label,
+                    const std::string& child_label) const;
+
+  // Length of the longest prefix of `path` that can occur below an object
+  // labeled `root_label`: position i is feasible iff position i-1 is and
+  // MayHaveChild(label_{i-1}, label_i). Returns path.size() when the whole
+  // chain is possible.
+  size_t FeasiblePrefix(const std::string& root_label,
+                        const Path& path) const;
+
+ private:
+  std::unordered_map<std::string, std::vector<std::string>> allowed_;
+};
+
+class ObjectStore;
+
+// Derives closed-world knowledge from a data snapshot, DataGuide-style
+// [GW97]: for every label reachable from `root`, the set of child labels
+// observed below objects carrying it. Sound for screening only while the
+// source honors the derived schema; re-derive (or hand-author weaker
+// knowledge) if the source's structure may drift.
+PathKnowledge BuildPathKnowledge(const ObjectStore& store, const Oid& root);
+
+}  // namespace gsv
+
+#endif  // GSV_WAREHOUSE_PATH_KNOWLEDGE_H_

@@ -1,0 +1,49 @@
+#ifndef GSV_WAREHOUSE_REMOTE_ACCESSOR_H_
+#define GSV_WAREHOUSE_REMOTE_ACCESSOR_H_
+
+#include "core/base_accessor.h"
+#include "warehouse/aux_cache.h"
+#include "warehouse/update_event.h"
+#include "warehouse/wrapper.h"
+
+namespace gsv {
+
+// The warehouse-side implementation of Algorithm 1's base-access functions
+// (§5.1): each call is answered, in order of preference, from
+//   1. the current update event (levels 2/3 carry values and root paths),
+//   2. the auxiliary cache, when configured (§5.2),
+//   3. a query back to the source through the wrapper (metered).
+//
+// The accessor is bound to one view's corridor: PathsFromRoot answers are
+// the derivations relevant to that view's sel/cond prefix matching, which
+// is all Algorithm 1 consumes.
+class RemoteAccessor : public BaseAccessor {
+ public:
+  RemoteAccessor(SourceWrapper* wrapper, WarehouseCosts* costs)
+      : wrapper_(wrapper), costs_(costs) {}
+
+  // Optional §5.2 cache; not owned.
+  void set_cache(AuxiliaryCache* cache) { cache_ = cache; }
+  // The event being processed (nullptr between events); not owned.
+  void set_current_event(const UpdateEvent* event) { event_ = event; }
+
+  std::vector<Path> PathsFromRoot(const Oid& root, const Oid& n) override;
+  std::vector<Oid> Ancestors(const Oid& n, const Path& p) override;
+  std::vector<Oid> Eval(const Oid& n, const Path& p,
+                        const std::optional<Predicate>& pred) override;
+  bool VerifyPath(const Oid& root, const Oid& y, const Path& p) override;
+  Result<Object> Fetch(const Oid& oid) override;
+
+ private:
+  void Hit() { ++costs_->cache_hits; }
+  void Miss() { ++costs_->cache_misses; }
+
+  SourceWrapper* wrapper_;
+  WarehouseCosts* costs_;
+  AuxiliaryCache* cache_ = nullptr;
+  const UpdateEvent* event_ = nullptr;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_WAREHOUSE_REMOTE_ACCESSOR_H_

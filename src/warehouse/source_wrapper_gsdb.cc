@@ -1,0 +1,186 @@
+#include "warehouse/source_wrapper_gsdb.h"
+
+#include <algorithm>
+
+namespace gsv {
+
+Status RelationalSource::CreateTable(const std::string& table,
+                                     std::vector<std::string> columns) {
+  if (table.empty() || table.find('.') != std::string::npos ||
+      table.find('#') != std::string::npos) {
+    return Status::InvalidArgument("table name '" + table +
+                                   "' must be non-empty without '.'/'#'");
+  }
+  for (const std::string& column : columns) {
+    if (column.empty() || column.find('.') != std::string::npos) {
+      return Status::InvalidArgument("bad column name '" + column + "'");
+    }
+    if (std::count(columns.begin(), columns.end(), column) != 1) {
+      return Status::InvalidArgument("duplicate column '" + column + "'");
+    }
+  }
+  TableDef def;
+  def.columns = std::move(columns);
+  auto [it, inserted] = tables_.emplace(table, std::move(def));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + table + "' exists");
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> RelationalSource::InsertRow(const std::string& table,
+                                            std::vector<Value> values) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table + "'");
+  }
+  TableDef& def = it->second;
+  if (values.size() != def.columns.size()) {
+    return Status::InvalidArgument("row arity " +
+                                   std::to_string(values.size()) +
+                                   " != table arity");
+  }
+  for (const Value& value : values) {
+    if (value.IsSet()) {
+      return Status::InvalidArgument("relational values must be atomic");
+    }
+  }
+  int64_t row_id = def.next_row_id++;
+  def.rows.emplace(row_id, values);
+  if (observer_ != nullptr) {
+    translation_status_ = observer_->OnInsertRow(table, row_id, values);
+  }
+  return row_id;
+}
+
+Status RelationalSource::DeleteRow(const std::string& table, int64_t row_id) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table + "'");
+  }
+  if (it->second.rows.erase(row_id) == 0) {
+    return Status::NotFound("no row " + std::to_string(row_id) + " in '" +
+                            table + "'");
+  }
+  if (observer_ != nullptr) {
+    translation_status_ = observer_->OnDeleteRow(table, row_id);
+  }
+  return Status::Ok();
+}
+
+Status RelationalSource::UpdateRow(const std::string& table, int64_t row_id,
+                                   const std::string& column, Value value) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + table + "'");
+  }
+  TableDef& def = it->second;
+  auto row = def.rows.find(row_id);
+  if (row == def.rows.end()) {
+    return Status::NotFound("no row " + std::to_string(row_id) + " in '" +
+                            table + "'");
+  }
+  auto col = std::find(def.columns.begin(), def.columns.end(), column);
+  if (col == def.columns.end()) {
+    return Status::NotFound("no column '" + column + "' in '" + table + "'");
+  }
+  if (value.IsSet()) {
+    return Status::InvalidArgument("relational values must be atomic");
+  }
+  size_t index = static_cast<size_t>(col - def.columns.begin());
+  row->second[index] = value;
+  if (observer_ != nullptr) {
+    translation_status_ = observer_->OnUpdateRow(table, row_id, column, value);
+  }
+  return Status::Ok();
+}
+
+const RelationalSource::TableDef* RelationalSource::table(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> RelationalSource::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+GsdbSourceAdapter::GsdbSourceAdapter(ObjectStore* store,
+                                     RelationalSource* source,
+                                     std::string root_oid)
+    : store_(store), source_(source), root_(std::move(root_oid)) {}
+
+Oid GsdbSourceAdapter::TableOid(const std::string& table) const {
+  return Oid(root_.str() + "#" + table);
+}
+Oid GsdbSourceAdapter::TupleOid(const std::string& table,
+                                int64_t row_id) const {
+  return Oid(table + "#" + std::to_string(row_id));
+}
+Oid GsdbSourceAdapter::FieldOid(const std::string& table, int64_t row_id,
+                                const std::string& column) const {
+  return Oid(table + "#" + std::to_string(row_id) + "#" + column);
+}
+
+Status GsdbSourceAdapter::Initialize() {
+  if (initialized_) {
+    return Status::FailedPrecondition("adapter already initialized");
+  }
+  GSV_RETURN_IF_ERROR(store_->PutSet(root_, "relations"));
+  for (const std::string& table : source_->TableNames()) {
+    GSV_RETURN_IF_ERROR(store_->PutSet(TableOid(table), table));
+    GSV_RETURN_IF_ERROR(store_->AddChildRaw(root_, TableOid(table)));
+    const RelationalSource::TableDef* def = source_->table(table);
+    for (const auto& [row_id, values] : def->rows) {
+      GSV_RETURN_IF_ERROR(OnInsertRow(table, row_id, values));
+    }
+  }
+  initialized_ = true;
+  source_->SetObserver(this);
+  return Status::Ok();
+}
+
+Status GsdbSourceAdapter::OnInsertRow(const std::string& table,
+                                      int64_t row_id,
+                                      const std::vector<Value>& values) {
+  const RelationalSource::TableDef* def = source_->table(table);
+  if (def == nullptr) return Status::NotFound("no table '" + table + "'");
+  // Lazily create the table object for tables added after Initialize.
+  if (!store_->Contains(TableOid(table))) {
+    GSV_RETURN_IF_ERROR(store_->PutSet(TableOid(table), table));
+    GSV_RETURN_IF_ERROR(store_->AddChildRaw(root_, TableOid(table)));
+  }
+  // Build the tuple as a detached subtree, then attach with one basic
+  // insert — exactly Example 7's "now the following new tuple T is
+  // inserted into object R".
+  std::vector<Oid> fields;
+  for (size_t i = 0; i < def->columns.size(); ++i) {
+    Oid field = FieldOid(table, row_id, def->columns[i]);
+    GSV_RETURN_IF_ERROR(store_->PutAtomic(field, def->columns[i], values[i]));
+    fields.push_back(field);
+  }
+  Oid tuple = TupleOid(table, row_id);
+  GSV_RETURN_IF_ERROR(store_->PutSet(tuple, "tuple", std::move(fields)));
+  return store_->Insert(TableOid(table), tuple);
+}
+
+Status GsdbSourceAdapter::OnDeleteRow(const std::string& table,
+                                      int64_t row_id) {
+  // One basic delete detaches the tuple; the orphaned subtree is garbage
+  // (collectable via ObjectStore::CollectGarbage, §4.1's GC remark).
+  return store_->Delete(TableOid(table), TupleOid(table, row_id));
+}
+
+Status GsdbSourceAdapter::OnUpdateRow(const std::string& table,
+                                      int64_t row_id,
+                                      const std::string& column,
+                                      const Value& value) {
+  return store_->Modify(FieldOid(table, row_id, column), value);
+}
+
+}  // namespace gsv

@@ -1,0 +1,112 @@
+#ifndef GSV_WAREHOUSE_SOURCE_WRAPPER_GSDB_H_
+#define GSV_WAREHOUSE_SOURCE_WRAPPER_GSDB_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "oem/store.h"
+#include "oem/value.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Figure 6's wrapper in its *translation* role: "for each source, a wrapper
+// is used to translate source data into the GSDB model if the underlying
+// source database has another data format."
+//
+// RelationalSource is a tiny native relational store (tables of named-column
+// rows) standing in for a legacy RDBMS. GsdbSourceAdapter translates it into
+// the OEM shape of Example 7 / Figure 5 —
+//
+//   <REL, relations> -> <R_i, <table name>> -> <T, tuple> -> atomic fields
+//
+// — maintaining a live ObjectStore: row inserts/deletes/updates become the
+// GSDB basic updates of §4.1, so the warehouse machinery (monitors, views,
+// Algorithm 1) runs unchanged over a source that never spoke OEM. Field
+// names become labels; tuple OIDs are "<table>#<row id>", field OIDs
+// "<table>#<row id>.<column>"... (a '#' and ':' scheme, dot-free so they
+// never collide with delegate OIDs).
+class RelationalSource {
+ public:
+  // Creates a table; column names must be unique per table.
+  Status CreateTable(const std::string& table,
+                     std::vector<std::string> columns);
+
+  // Inserts a row; returns its row id. `values` aligns with the columns.
+  Result<int64_t> InsertRow(const std::string& table,
+                            std::vector<Value> values);
+
+  // Deletes a row by id.
+  Status DeleteRow(const std::string& table, int64_t row_id);
+
+  // Updates one column of a row.
+  Status UpdateRow(const std::string& table, int64_t row_id,
+                   const std::string& column, Value value);
+
+  struct TableDef {
+    std::vector<std::string> columns;
+    // row id -> values (empty slot when deleted).
+    std::unordered_map<int64_t, std::vector<Value>> rows;
+    int64_t next_row_id = 0;
+  };
+  const TableDef* table(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // The adapter registers itself here to observe row operations.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual Status OnInsertRow(const std::string& table, int64_t row_id,
+                               const std::vector<Value>& values) = 0;
+    virtual Status OnDeleteRow(const std::string& table, int64_t row_id) = 0;
+    virtual Status OnUpdateRow(const std::string& table, int64_t row_id,
+                               const std::string& column,
+                               const Value& value) = 0;
+  };
+  void SetObserver(Observer* observer) { observer_ = observer; }
+  const Status& last_translation_status() const { return translation_status_; }
+
+ private:
+  std::unordered_map<std::string, TableDef> tables_;
+  Observer* observer_ = nullptr;
+  Status translation_status_;
+};
+
+// Maintains the OEM image of a RelationalSource inside `store`.
+class GsdbSourceAdapter : public RelationalSource::Observer {
+ public:
+  // Builds the root object <root_oid, "relations"> plus one set object per
+  // existing table, translates existing rows, and subscribes to future row
+  // operations. `store` and `source` must outlive the adapter.
+  GsdbSourceAdapter(ObjectStore* store, RelationalSource* source,
+                    std::string root_oid);
+
+  Status Initialize();
+
+  const Oid& root() const { return root_; }
+  // The OEM OID of a row's tuple object / of one of its fields.
+  Oid TupleOid(const std::string& table, int64_t row_id) const;
+  Oid FieldOid(const std::string& table, int64_t row_id,
+               const std::string& column) const;
+
+  // RelationalSource::Observer:
+  Status OnInsertRow(const std::string& table, int64_t row_id,
+                     const std::vector<Value>& values) override;
+  Status OnDeleteRow(const std::string& table, int64_t row_id) override;
+  Status OnUpdateRow(const std::string& table, int64_t row_id,
+                     const std::string& column, const Value& value) override;
+
+ private:
+  Oid TableOid(const std::string& table) const;
+
+  ObjectStore* store_;
+  RelationalSource* source_;
+  Oid root_;
+  bool initialized_ = false;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_WAREHOUSE_SOURCE_WRAPPER_GSDB_H_

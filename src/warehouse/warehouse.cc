@@ -1,0 +1,348 @@
+#include "warehouse/warehouse.h"
+
+namespace gsv {
+
+Warehouse::Warehouse(ObjectStore* store) : store_(store) {}
+
+Warehouse::~Warehouse() {
+  for (auto& source : sources_) {
+    if (source->store != nullptr && source->monitor != nullptr) {
+      source->store->RemoveListener(source->monitor.get());
+    }
+  }
+}
+
+Status Warehouse::ConnectSource(ObjectStore* source, Oid source_root,
+                                ReportingLevel level, std::string name) {
+  if (!source->Contains(source_root)) {
+    return Status::NotFound("source root " + source_root.str() +
+                            " not found at source");
+  }
+  if (name.empty()) name = "source" + std::to_string(sources_.size() + 1);
+  for (const auto& existing : sources_) {
+    if (existing->name == name) {
+      return Status::AlreadyExists("source '" + name + "' already connected");
+    }
+    if (existing->root == source_root) {
+      return Status::AlreadyExists("a source with root " + source_root.str() +
+                                   " is already connected");
+    }
+  }
+
+  auto entry = std::make_unique<SourceEntry>();
+  entry->name = std::move(name);
+  entry->store = source;
+  entry->root = std::move(source_root);
+  entry->wrapper = std::make_unique<SourceWrapper>(source, &costs_);
+  size_t index = sources_.size();
+  entry->monitor = std::make_unique<SourceMonitor>(
+      level, entry->root,
+      [this, index](const UpdateEvent& event) { OnEvent(index, event); });
+  source->AddListener(entry->monitor.get());
+  sources_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+void Warehouse::SetPathKnowledge(PathKnowledge knowledge) {
+  knowledge_ = std::move(knowledge);
+  for (auto& entry : views_) RecomputeRelevantLabels(*entry);
+}
+
+SourceMonitor* Warehouse::monitor() {
+  return sources_.size() == 1 ? sources_[0]->monitor.get() : nullptr;
+}
+
+void Warehouse::RecomputeRelevantLabels(ViewEntry& entry) {
+  entry.relevant_labels.clear();
+  const SourceEntry& source = *sources_[entry.source_index];
+  const Object* root_object = source.store->Get(source.root);
+  std::string root_label =
+      root_object != nullptr ? root_object->label() : std::string();
+  size_t feasible = knowledge_.FeasiblePrefix(root_label, entry.full_path);
+  for (size_t i = 0; i < feasible; ++i) {
+    entry.relevant_labels.insert(entry.full_path.label(i));
+  }
+  // A modify can only matter when the full path is feasible, the view has
+  // a condition, and the modified object carries the condition's terminal
+  // label (path(ROOT,N) = sel_path.cond_path implies label(N) is the last
+  // corridor label).
+  entry.modify_relevant = feasible == entry.full_path.size() &&
+                          entry.def.predicate().has_value();
+}
+
+Status Warehouse::DefineView(std::string_view definition,
+                             CacheMode cache_mode,
+                             const std::string& source_name) {
+  if (sources_.empty()) {
+    return Status::FailedPrecondition("connect a source before DefineView");
+  }
+  size_t source_index = 0;
+  if (source_name.empty()) {
+    if (sources_.size() > 1) {
+      return Status::InvalidArgument(
+          "several sources are connected; name one in DefineView");
+    }
+  } else {
+    bool found = false;
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      if (sources_[i]->name == source_name) {
+        source_index = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("unknown source '" + source_name + "'");
+    }
+  }
+  SourceEntry& source = *sources_[source_index];
+
+  GSV_ASSIGN_OR_RETURN(ViewDefinition def, ViewDefinition::Parse(definition));
+  GSV_RETURN_IF_ERROR(Algorithm1Maintainer::ValidateDefinition(def));
+  Oid entry_oid = source.store->DatabaseOid(def.query().entry);
+  if (!entry_oid.valid()) entry_oid = Oid(def.query().entry);
+  if (entry_oid != source.root) {
+    return Status::InvalidArgument(
+        "view entry '" + def.query().entry +
+        "' must resolve to the root of source '" + source.name + "' (" +
+        source.root.str() + ")");
+  }
+
+  auto entry = std::make_unique<ViewEntry>(ViewEntry{
+      source_index, def, def.sel_path(), def.cond_path(), def.full_path(),
+      {}, false, nullptr, nullptr, nullptr, nullptr});
+  RecomputeRelevantLabels(*entry);
+
+  entry->view = std::make_unique<MaterializedView>(store_, def);
+  // Initial materialization reads the source directly: it is part of view
+  // setup, not of incremental maintenance (§4 assumes an initially correct
+  // materialized view).
+  GSV_RETURN_IF_ERROR(entry->view->Initialize(*source.store));
+
+  if (cache_mode != CacheMode::kNone) {
+    entry->cache = std::make_unique<AuxiliaryCache>(
+        cache_mode == CacheMode::kFull ? AuxiliaryCache::Mode::kFull
+                                       : AuxiliaryCache::Mode::kLabelsOnly,
+        source.root, entry->full_path);
+    GSV_RETURN_IF_ERROR(entry->cache->Initialize(source.wrapper.get()));
+  }
+
+  entry->accessor =
+      std::make_unique<RemoteAccessor>(source.wrapper.get(), &costs_);
+  if (entry->cache != nullptr) entry->accessor->set_cache(entry->cache.get());
+  entry->maintainer = std::make_unique<Algorithm1Maintainer>(
+      entry->view.get(), entry->accessor.get(), def, source.root);
+  views_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+MaterializedView* Warehouse::view(const std::string& name) {
+  for (auto& entry : views_) {
+    if (entry->def.name() == name) return entry->view.get();
+  }
+  return nullptr;
+}
+
+const Algorithm1Maintainer* Warehouse::maintainer(
+    const std::string& name) const {
+  for (const auto& entry : views_) {
+    if (entry->def.name() == name) return entry->maintainer.get();
+  }
+  return nullptr;
+}
+
+const AuxiliaryCache* Warehouse::cache(const std::string& name) const {
+  for (const auto& entry : views_) {
+    if (entry->def.name() == name) return entry->cache.get();
+  }
+  return nullptr;
+}
+
+void Warehouse::OnEvent(size_t source_index, const UpdateEvent& event) {
+  if (deferred_) {
+    pending_.emplace_back(source_index, event);
+    return;
+  }
+  DispatchEvent(source_index, event);
+}
+
+void Warehouse::DispatchEvent(size_t source_index, const UpdateEvent& event) {
+  ++costs_.events_received;
+  int64_t queries_before = costs_.source_queries;
+  for (auto& entry : views_) {
+    if (entry->source_index != source_index) continue;
+    Status status = HandleEventForView(*entry, event);
+    if (!status.ok()) last_status_ = status;
+  }
+  if (costs_.source_queries == queries_before) ++costs_.events_local_only;
+}
+
+size_t Warehouse::CompactPending() {
+  std::vector<std::pair<size_t, UpdateEvent>> compacted;
+  compacted.reserve(pending_.size());
+  size_t removed = 0;
+  for (auto& item : pending_) {
+    if (!compacted.empty()) {
+      auto& [top_source, top] = compacted.back();
+      const auto& [source, event] = item;
+      if (top_source == source) {
+        bool same_edge = event.kind != UpdateKind::kModify &&
+                         top.kind != UpdateKind::kModify &&
+                         top.parent == event.parent &&
+                         top.child == event.child;
+        bool cancels =
+            same_edge &&
+            ((top.kind == UpdateKind::kInsert &&
+              event.kind == UpdateKind::kDelete) ||
+             (top.kind == UpdateKind::kDelete &&
+              event.kind == UpdateKind::kInsert));
+        if (cancels) {
+          compacted.pop_back();
+          removed += 2;
+          continue;
+        }
+        if (top.kind == UpdateKind::kModify &&
+            event.kind == UpdateKind::kModify &&
+            top.parent == event.parent) {
+          UpdateEvent merged = event;  // newer snapshot and new_value
+          if (top.old_value.has_value()) merged.old_value = top.old_value;
+          top = std::move(merged);
+          ++removed;
+          continue;
+        }
+      }
+    }
+    compacted.push_back(std::move(item));
+  }
+  pending_ = std::move(compacted);
+  return removed;
+}
+
+Status Warehouse::VerifyMembers(ViewEntry& entry) {
+  const SourceEntry& source = *sources_[entry.source_index];
+  const OidSet members = entry.view->BaseMembers();
+  for (const Oid& member : members) {
+    bool derivable =
+        entry.accessor->VerifyPath(source.root, member, entry.sel_path);
+    if (derivable && entry.def.predicate().has_value()) {
+      derivable = !entry.accessor
+                       ->Eval(member, entry.cond_path, entry.def.predicate())
+                       .empty();
+    }
+    if (!derivable) {
+      GSV_RETURN_IF_ERROR(entry.view->VDelete(member));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Warehouse::ProcessPending() {
+  Status first_error;
+  // Drain into a local list first: processing may enqueue nothing new (the
+  // warehouse never mutates sources), but keep the loop robust anyway.
+  std::vector<std::pair<size_t, UpdateEvent>> batch;
+  batch.swap(pending_);
+  std::vector<bool> touched(sources_.size(), false);
+  for (const auto& [source_index, event] : batch) {
+    touched[source_index] = true;
+    Status before = last_status_;
+    DispatchEvent(source_index, event);
+    if (first_error.ok() && !(last_status_ == before)) {
+      first_error = last_status_;
+    }
+  }
+  // Deferred-drain epilogue: see the header comment.
+  for (auto& entry : views_) {
+    if (!touched[entry->source_index]) continue;
+    Status status = VerifyMembers(*entry);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  if (!first_error.ok()) last_status_ = first_error;
+  return first_error;
+}
+
+Status Warehouse::HandleEventForView(ViewEntry& entry,
+                                     const UpdateEvent& event) {
+  SourceEntry& source = SourceOf(entry);
+
+  // 1. Keep the auxiliary structure current (§5.2: "the auxiliary structure
+  //    itself needs to be maintained"). For deletes this updates corridor
+  //    membership but keeps the detached subtree readable until Prune()
+  //    below — Algorithm 1's delete case evaluates that subtree.
+  if (entry.cache != nullptr) {
+    GSV_RETURN_IF_ERROR(entry.cache->OnEvent(event, source.wrapper.get()));
+  }
+
+  // 2. Local screening (§5.1, reporting level >= 2).
+  if (event.level >= ReportingLevel::kWithValues) {
+    bool relevant = true;
+    if (event.kind == UpdateKind::kModify) {
+      const std::string label = event.parent_object.has_value()
+                                    ? event.parent_object->label()
+                                    : std::string();
+      relevant = entry.modify_relevant && !entry.full_path.empty() &&
+                 label == entry.full_path.back();
+    } else if (event.child_object.has_value()) {
+      relevant =
+          entry.relevant_labels.count(event.child_object->label()) > 0;
+    }
+    if (!relevant) {
+      ++costs_.events_screened_out;
+      // Delegate values must still track the base (§3.2).
+      Status status = entry.view->SyncUpdate(event.ToUpdate());
+      if (entry.cache != nullptr && event.kind == UpdateKind::kDelete) {
+        entry.cache->Prune();
+      }
+      return status;
+    }
+  }
+
+  // 3. Maintain through Algorithm 1 over the remote accessor.
+  entry.accessor->set_current_event(&event);
+  Status status;
+  if (event.kind == UpdateKind::kModify &&
+      event.level == ReportingLevel::kOidsOnly) {
+    status = Level1ModifyRecheck(entry, event);
+  } else {
+    status = entry.maintainer->Maintain(event.ToUpdate());
+  }
+  entry.accessor->set_current_event(nullptr);
+  if (entry.cache != nullptr && event.kind == UpdateKind::kDelete) {
+    entry.cache->Prune();
+  }
+  return status;
+}
+
+Status Warehouse::Level1ModifyRecheck(ViewEntry& entry,
+                                      const UpdateEvent& event) {
+  SourceEntry& source = SourceOf(entry);
+  // Level 1 reports only the OID of the modified object: the warehouse
+  // must query for its current state (§5.1 scenario 1), then re-derive the
+  // membership of every ancestor the change could affect.
+  GSV_ASSIGN_OR_RETURN(Object object,
+                       source.wrapper->FetchObject(event.parent));
+  GSV_RETURN_IF_ERROR(entry.view->SyncUpdate(
+      Update::Modify(event.parent, object.value(), object.value())));
+  if (!entry.def.predicate().has_value()) return Status::Ok();
+  if (entry.full_path.empty() ||
+      object.label() != entry.full_path.back()) {
+    return Status::Ok();  // cannot lie at the corridor's end
+  }
+  for (const Oid& y :
+       entry.accessor->Ancestors(event.parent, entry.cond_path)) {
+    if (!entry.accessor->VerifyPath(source.root, y, entry.sel_path)) {
+      continue;
+    }
+    std::vector<Oid> witnesses = entry.accessor->Eval(
+        y, entry.cond_path, entry.def.predicate());
+    if (witnesses.empty()) {
+      GSV_RETURN_IF_ERROR(entry.view->VDelete(y));
+    } else {
+      GSV_ASSIGN_OR_RETURN(Object y_object, entry.accessor->Fetch(y));
+      GSV_RETURN_IF_ERROR(entry.view->VInsert(y_object));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace gsv

@@ -1,0 +1,172 @@
+#ifndef GSV_WAREHOUSE_WAREHOUSE_H_
+#define GSV_WAREHOUSE_WAREHOUSE_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm1.h"
+#include "core/materialized_view.h"
+#include "core/view_definition.h"
+#include "oem/store.h"
+#include "warehouse/aux_cache.h"
+#include "warehouse/cost_model.h"
+#include "warehouse/monitor.h"
+#include "warehouse/path_knowledge.h"
+#include "warehouse/remote_accessor.h"
+#include "warehouse/update_event.h"
+#include "warehouse/wrapper.h"
+
+namespace gsv {
+
+// The data warehouse of §5 / Figure 6: materialized views live here; base
+// objects live at one or more autonomous sources that export update events
+// and answer queries through their wrappers. Only the warehouse knows the
+// view definitions.
+//
+// Event handling per view (views are bound to the source their entry
+// belongs to):
+//   1. the auxiliary cache (if configured, §5.2) absorbs the update;
+//   2. local screening (§5.1): with level >= 2 events the affected label is
+//      checked against the view's sel/cond labels — pruned further by path
+//      knowledge — and irrelevant events stop here (delegate values still
+//      sync);
+//   3. Algorithm 1 runs over a RemoteAccessor that prefers event info and
+//      cache content and falls back to metered source queries. Level-1
+//      modify events carry no values, so membership is re-derived by
+//      querying (the paper's "cannot do much other than sending queries").
+class Warehouse {
+ public:
+  enum class CacheMode {
+    kNone,
+    kLabelsOnly,  // §5.2 partial caching
+    kFull,        // §5.2 full corridor caching
+  };
+
+  // `store` holds this warehouse's delegates; must outlive the warehouse.
+  explicit Warehouse(ObjectStore* store);
+  ~Warehouse();
+
+  // Attaches a source (Figure 6 allows several): installs a monitor at
+  // `level` whose events flow into this warehouse, and a wrapper for
+  // query-backs. `source_root` is the database root view entries refer to.
+  // `name` identifies the source for DefineView; when empty, a name
+  // "source<N>" is generated. Roots must be distinct across sources.
+  Status ConnectSource(ObjectStore* source, Oid source_root,
+                       ReportingLevel level, std::string name = "");
+
+  // Parses "define mview NAME as: ...", materializes it from the current
+  // source state (setup, not metered as maintenance cost), and starts
+  // maintaining it. The definition must be simple (Algorithm 1's
+  // precondition) and its entry must resolve to the root of `source_name`
+  // (or of the sole connected source when `source_name` is empty).
+  Status DefineView(std::string_view definition,
+                    CacheMode cache_mode = CacheMode::kNone,
+                    const std::string& source_name = "");
+
+  // Installs §5.2 path knowledge used for screening (applies to all views).
+  void SetPathKnowledge(PathKnowledge knowledge);
+
+  // ---- Deferred (asynchronous) event processing ----
+  //
+  // Sources are autonomous (§5): in a real deployment events arrive and
+  // are applied some time after the source committed the update, while the
+  // source keeps changing. With deferral enabled, monitor events queue
+  // instead of being applied inline; ProcessPending() drains the queue in
+  // arrival order. Base accesses during the drain observe the source's
+  // *current* state — the §4.3 "right after the update" assumption is
+  // relaxed — and Algorithm 1's candidate verification plus condition
+  // rechecks make the outcome convergent: once the queue is drained, the
+  // view equals the view over the source's current state (asserted by the
+  // deferred-processing property tests).
+  void set_deferred(bool deferred) { deferred_ = deferred; }
+  bool deferred() const { return deferred_; }
+  size_t pending_events() const { return pending_.size(); }
+  // Applies every queued event; returns the first error (processing
+  // continues past errors so the queue always drains).
+  //
+  // Because every event is evaluated against the source's *current* state,
+  // an event can disclaim responsibility that another queued event also
+  // disclaims (e.g. a modify whose corridor path a later delete already
+  // broke, under a delete that no longer sees the object in its subtree).
+  // Such misses are always stale *extras*, never missing members — a
+  // member that should appear is found by whichever queued insert restored
+  // its derivation, which re-evaluates the attached subtree. The drain
+  // therefore ends with a verification sweep over the current members of
+  // each view whose source contributed events: members whose derivation or
+  // condition no longer holds are dropped. The sweep costs
+  // O(|view| · (climb + condition eval)) through the accessor — local when
+  // a full auxiliary cache is configured, metered query-backs otherwise.
+  Status ProcessPending();
+
+  // Squashes the pending queue before a drain: adjacent same-source pairs
+  // that cancel (insert(P,C) followed by delete(P,C), or the reverse) are
+  // dropped, and adjacent modifies of the same object merge into the later
+  // one (its snapshot is newer; the merged old value is the earlier
+  // event's). Net effects are preserved — the convergence property tests
+  // cover compacted drains. Returns the number of events eliminated.
+  size_t CompactPending();
+
+  MaterializedView* view(const std::string& name);
+  const Algorithm1Maintainer* maintainer(const std::string& name) const;
+  const AuxiliaryCache* cache(const std::string& name) const;
+
+  ObjectStore& store() { return *store_; }
+  WarehouseCosts& costs() { return costs_; }
+  const Status& last_status() const { return last_status_; }
+  // The monitor of the sole source (legacy convenience; null when the
+  // warehouse has several sources).
+  SourceMonitor* monitor();
+  size_t source_count() const { return sources_.size(); }
+
+ private:
+  struct SourceEntry {
+    std::string name;
+    ObjectStore* store = nullptr;
+    Oid root;
+    std::unique_ptr<SourceWrapper> wrapper;
+    std::unique_ptr<SourceMonitor> monitor;
+  };
+
+  struct ViewEntry {
+    size_t source_index = 0;
+    ViewDefinition def;
+    Path sel_path;
+    Path cond_path;
+    Path full_path;
+    std::set<std::string> relevant_labels;  // feasible corridor labels
+    bool modify_relevant = false;           // can a modify affect membership?
+    std::unique_ptr<MaterializedView> view;
+    std::unique_ptr<AuxiliaryCache> cache;
+    std::unique_ptr<RemoteAccessor> accessor;
+    std::unique_ptr<Algorithm1Maintainer> maintainer;
+  };
+
+  void OnEvent(size_t source_index, const UpdateEvent& event);
+  void DispatchEvent(size_t source_index, const UpdateEvent& event);
+  Status HandleEventForView(ViewEntry& entry, const UpdateEvent& event);
+  // Drops members whose derivation/condition fails on the current source
+  // state (the deferred-drain epilogue).
+  Status VerifyMembers(ViewEntry& entry);
+  Status Level1ModifyRecheck(ViewEntry& entry, const UpdateEvent& event);
+  void RecomputeRelevantLabels(ViewEntry& entry);
+
+  SourceEntry& SourceOf(const ViewEntry& entry) {
+    return *sources_[entry.source_index];
+  }
+
+  ObjectStore* store_;
+  std::vector<std::unique_ptr<SourceEntry>> sources_;
+  PathKnowledge knowledge_;
+  WarehouseCosts costs_;
+  std::vector<std::unique_ptr<ViewEntry>> views_;
+  bool deferred_ = false;
+  std::vector<std::pair<size_t, UpdateEvent>> pending_;
+  Status last_status_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_WAREHOUSE_WAREHOUSE_H_

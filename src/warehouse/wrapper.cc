@@ -1,0 +1,55 @@
+#include "warehouse/wrapper.h"
+
+#include "path/navigate.h"
+
+namespace gsv {
+
+void SourceWrapper::MeterShipment(size_t objects, size_t values) {
+  ++costs_->source_queries;
+  costs_->objects_shipped += static_cast<int64_t>(objects);
+  costs_->values_shipped += static_cast<int64_t>(values);
+}
+
+Result<Object> SourceWrapper::FetchObject(const Oid& oid) {
+  const Object* object = source_->Get(oid);
+  if (object == nullptr) {
+    MeterShipment(0, 0);
+    return Status::NotFound("source has no object " + oid.str());
+  }
+  MeterShipment(1, object->IsAtomic() ? 1 : 0);
+  return *object;
+}
+
+std::vector<Oid> SourceWrapper::FetchAncestors(const Oid& y, const Path& p) {
+  std::vector<Oid> ancestors = AncestorsByPath(*source_, y, p);
+  MeterShipment(ancestors.size(), 0);
+  return ancestors;
+}
+
+std::vector<Object> SourceWrapper::FetchPathObjects(const Oid& n,
+                                                    const Path& p) {
+  std::vector<Object> objects;
+  size_t values = 0;
+  for (const Oid& oid : EvalPath(*source_, n, p)) {
+    const Object* object = source_->Get(oid);
+    if (object == nullptr) continue;
+    if (object->IsAtomic()) ++values;
+    objects.push_back(*object);
+  }
+  MeterShipment(objects.size(), values);
+  return objects;
+}
+
+std::vector<Path> SourceWrapper::FetchPathsFromRoot(const Oid& root,
+                                                    const Oid& n) {
+  std::vector<Path> paths = PathsFromTo(*source_, root, n);
+  MeterShipment(paths.size(), 0);
+  return paths;
+}
+
+bool SourceWrapper::VerifyPath(const Oid& root, const Oid& y, const Path& p) {
+  MeterShipment(1, 0);
+  return HasPathFromTo(*source_, root, y, p);
+}
+
+}  // namespace gsv

@@ -1,0 +1,52 @@
+#ifndef GSV_WAREHOUSE_WRAPPER_H_
+#define GSV_WAREHOUSE_WRAPPER_H_
+
+#include <vector>
+
+#include "oem/store.h"
+#include "path/path.h"
+#include "util/status.h"
+#include "warehouse/cost_model.h"
+
+namespace gsv {
+
+// The source wrapper of Figure 6: "the wrapper also translates queries from
+// the warehouse to the native queries of the data source and sends the
+// results back." Every method is one round trip; results are metered into
+// WarehouseCosts (§5.1's fetch-style interface of Example 9).
+class SourceWrapper {
+ public:
+  // `source` is the wrapped source store; `costs` is the warehouse's cost
+  // sheet. Both must outlive the wrapper.
+  SourceWrapper(const ObjectStore* source, WarehouseCosts* costs)
+      : source_(source), costs_(costs) {}
+
+  // fetch X where oid(X) = oid — one object with label and value.
+  Result<Object> FetchObject(const Oid& oid);
+
+  // fetch X where path(X, y) = p (Example 9's ancestor query).
+  std::vector<Oid> FetchAncestors(const Oid& y, const Path& p);
+
+  // fetch X where path(n, X) = p — all objects in n.p, with values
+  // (Example 9: "obtain all objects in N.p, then test cond() locally").
+  std::vector<Object> FetchPathObjects(const Oid& n, const Path& p);
+
+  // fetch path(root, n) — the derivation paths of n.
+  std::vector<Path> FetchPathsFromRoot(const Oid& root, const Oid& n);
+
+  // Boolean probe: does path(root, y) include exactly p?
+  bool VerifyPath(const Oid& root, const Oid& y, const Path& p);
+
+  const ObjectStore& source() const { return *source_; }
+  WarehouseCosts* costs() const { return costs_; }
+
+ private:
+  void MeterShipment(size_t objects, size_t values);
+
+  const ObjectStore* source_;
+  WarehouseCosts* costs_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_WAREHOUSE_WRAPPER_H_

@@ -1,0 +1,72 @@
+#include "workload/dag_gen.h"
+
+#include "util/random.h"
+
+namespace gsv {
+
+Result<GeneratedDag> GenerateDag(ObjectStore* store,
+                                 const DagGenOptions& options) {
+  if (options.levels == 0 || options.width == 0 || options.min_parents == 0 ||
+      options.min_parents > options.max_parents) {
+    return Status::InvalidArgument("invalid DAG generation options");
+  }
+  Random rng(options.seed);
+  GeneratedDag dag;
+  size_t counter = 0;
+  auto next_oid = [&]() {
+    return Oid(options.oid_prefix + std::to_string(counter++));
+  };
+
+  dag.root = next_oid();
+  GSV_RETURN_IF_ERROR(store->PutSet(dag.root, "root"));
+
+  std::vector<Oid> previous{dag.root};
+  for (size_t depth = 1; depth <= options.levels; ++depth) {
+    const bool leaf_level = depth == options.levels;
+    std::vector<Oid> layer;
+    for (size_t i = 0; i < options.width; ++i) {
+      Oid node = next_oid();
+      if (leaf_level) {
+        GSV_RETURN_IF_ERROR(store->PutAtomic(
+            node, "age", Value::Int(rng.UniformInt(0, options.max_value - 1))));
+      } else {
+        GSV_RETURN_IF_ERROR(store->PutSet(node, "d" + std::to_string(depth)));
+      }
+      // Attach to a random subset of the previous layer.
+      size_t parents = options.min_parents +
+                       rng.Uniform(options.max_parents - options.min_parents + 1);
+      parents = std::min(parents, previous.size());
+      OidSet chosen;
+      while (chosen.size() < parents) {
+        chosen.Insert(previous[rng.Uniform(previous.size())]);
+      }
+      for (const Oid& parent : chosen) {
+        GSV_RETURN_IF_ERROR(store->AddChildRaw(parent, node));
+        ++dag.edge_count;
+      }
+      layer.push_back(node);
+    }
+    dag.layers.push_back(layer);
+    previous = std::move(layer);
+  }
+  return dag;
+}
+
+std::string DagViewDefinition(const std::string& name, const Oid& root,
+                              size_t sel_levels, size_t levels,
+                              int64_t bound) {
+  std::string sel;
+  for (size_t d = 1; d <= sel_levels; ++d) {
+    if (!sel.empty()) sel += ".";
+    sel += "d" + std::to_string(d);
+  }
+  std::string cond;
+  for (size_t d = sel_levels + 1; d < levels; ++d) {
+    cond += "d" + std::to_string(d) + ".";
+  }
+  cond += "age";
+  return "define mview " + name + " as: SELECT " + root.str() + "." + sel +
+         " X WHERE X." + cond + " <= " + std::to_string(bound);
+}
+
+}  // namespace gsv

@@ -1,0 +1,45 @@
+#ifndef GSV_WORKLOAD_DAG_GEN_H_
+#define GSV_WORKLOAD_DAG_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oem/store.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Random layered DAGs for the §6 "directed acyclic graph" relaxation.
+// Nodes are arranged in `levels` layers below the root; every node in
+// layer d carries label "d<depth>" and has `min_parents`..`max_parents`
+// parents drawn from layer d-1, so objects have multiple derivations.
+// The last layer consists of atomic "age" leaves.
+struct DagGenOptions {
+  size_t levels = 3;
+  size_t width = 8;        // nodes per layer
+  size_t min_parents = 1;
+  size_t max_parents = 3;
+  int64_t max_value = 100;
+  uint64_t seed = 1;
+  std::string oid_prefix = "D";
+};
+
+struct GeneratedDag {
+  Oid root;                      // label "root"
+  std::vector<std::vector<Oid>> layers;  // layers[0] = first level below root
+  size_t edge_count = 0;
+};
+
+Result<GeneratedDag> GenerateDag(ObjectStore* store,
+                                 const DagGenOptions& options);
+
+// A simple-shape view over the DAG selecting layer `sel_levels`:
+//   define mview <name> as: SELECT <root>.d1.d2...d<s> X
+//                           WHERE X.d<s+1>...d<levels-1>.age <= <bound>
+std::string DagViewDefinition(const std::string& name, const Oid& root,
+                              size_t sel_levels, size_t levels, int64_t bound);
+
+}  // namespace gsv
+
+#endif  // GSV_WORKLOAD_DAG_GEN_H_

@@ -1,0 +1,39 @@
+#include "workload/person_db.h"
+
+namespace gsv {
+
+Status BuildPersonDb(ObjectStore* store, bool with_database) {
+  using namespace person_db;  // NOLINT(build/namespaces): local OID helpers
+
+  GSV_RETURN_IF_ERROR(store->PutAtomic(N1(), "name", Value::Str("John")));
+  GSV_RETURN_IF_ERROR(store->PutAtomic(A1(), "age", Value::Int(45)));
+  GSV_RETURN_IF_ERROR(store->PutAtomic(S1(), "salary", Value::Int(100000)));
+  GSV_RETURN_IF_ERROR(store->PutAtomic(N3(), "name", Value::Str("John")));
+  GSV_RETURN_IF_ERROR(store->PutAtomic(A3(), "age", Value::Int(20)));
+  GSV_RETURN_IF_ERROR(store->PutAtomic(M3(), "major", Value::Str("education")));
+  GSV_RETURN_IF_ERROR(store->PutAtomic(N2(), "name", Value::Str("Sally")));
+  GSV_RETURN_IF_ERROR(
+      store->PutAtomic(Add2(), "address", Value::Str("Palo Alto")));
+  GSV_RETURN_IF_ERROR(store->PutAtomic(N4(), "name", Value::Str("Tom")));
+  GSV_RETURN_IF_ERROR(store->PutAtomic(A4(), "age", Value::Int(40)));
+
+  GSV_RETURN_IF_ERROR(
+      store->PutSet(P3(), "student", {N3(), A3(), M3()}));
+  GSV_RETURN_IF_ERROR(
+      store->PutSet(P1(), "professor", {N1(), A1(), S1(), P3()}));
+  GSV_RETURN_IF_ERROR(store->PutSet(P2(), "professor", {N2(), Add2()}));
+  GSV_RETURN_IF_ERROR(store->PutSet(P4(), "secretary", {N4(), A4()}));
+  GSV_RETURN_IF_ERROR(
+      store->PutSet(Root(), "person", {P1(), P2(), P3(), P4()}));
+
+  if (with_database) {
+    GSV_RETURN_IF_ERROR(store->PutSet(
+        Person(), "database",
+        {Root(), P1(), P2(), P3(), N1(), A1(), S1(), N2(), Add2(), N3(), A3(),
+         M3(), P4(), N4(), A4()}));
+    GSV_RETURN_IF_ERROR(store->RegisterDatabase("PERSON", Person()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace gsv

@@ -1,0 +1,51 @@
+#ifndef GSV_WORKLOAD_PERSON_DB_H_
+#define GSV_WORKLOAD_PERSON_DB_H_
+
+#include "oem/store.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Builds the PERSON database of paper Example 2 / Figure 2:
+//
+//   <ROOT, person, set, {P1,P2,P3,P4}>
+//     <P1, professor, set, {N1,A1,S1,P3}>
+//       <N1, name, 'John'> <A1, age, 45> <S1, salary, 100000>
+//       <P3, student, set, {N3,A3,M3}>
+//         <N3, name, 'John'> <A3, age, 20> <M3, major, 'education'>
+//     <P2, professor, set, {N2,ADD2}>
+//       <N2, name, 'Sally'> <ADD2, address, 'Palo Alto'>
+//     <P4, secretary, set, {N4,A4}>
+//       <N4, name, 'Tom'> <A4, age, 40>
+//
+// When `with_database` is set, also creates the grouping object
+// <PERSON, database, set, {all of the above}> registered as database
+// "PERSON" (§2: a GSDB is an object whose set value contains the OIDs of
+// all objects in the database). Note the grouping object gives every
+// member a second parent — the robustness case Algorithm 1's candidate
+// verification exists for.
+Status BuildPersonDb(ObjectStore* store, bool with_database = true);
+
+// OIDs of the Example 2 objects, for tests and examples.
+namespace person_db {
+inline Oid Root() { return Oid("ROOT"); }
+inline Oid P1() { return Oid("P1"); }
+inline Oid P2() { return Oid("P2"); }
+inline Oid P3() { return Oid("P3"); }
+inline Oid P4() { return Oid("P4"); }
+inline Oid N1() { return Oid("N1"); }
+inline Oid N2() { return Oid("N2"); }
+inline Oid N3() { return Oid("N3"); }
+inline Oid N4() { return Oid("N4"); }
+inline Oid A1() { return Oid("A1"); }
+inline Oid A3() { return Oid("A3"); }
+inline Oid A4() { return Oid("A4"); }
+inline Oid S1() { return Oid("S1"); }
+inline Oid M3() { return Oid("M3"); }
+inline Oid Add2() { return Oid("ADD2"); }
+inline Oid Person() { return Oid("PERSON"); }
+}  // namespace person_db
+
+}  // namespace gsv
+
+#endif  // GSV_WORKLOAD_PERSON_DB_H_

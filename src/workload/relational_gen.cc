@@ -1,0 +1,56 @@
+#include "workload/relational_gen.h"
+
+namespace gsv {
+
+Result<Oid> MakeTuple(ObjectStore* store, const std::string& oid_prefix,
+                      size_t* counter, int64_t age, size_t extra_fields) {
+  Oid tuple(oid_prefix + "t" + std::to_string((*counter)++));
+  std::vector<Oid> fields;
+  Oid age_oid(oid_prefix + "a" + std::to_string((*counter)++));
+  GSV_RETURN_IF_ERROR(store->PutAtomic(age_oid, "age", Value::Int(age)));
+  fields.push_back(age_oid);
+  for (size_t f = 0; f < extra_fields; ++f) {
+    Oid field_oid(oid_prefix + "f" + std::to_string((*counter)++));
+    GSV_RETURN_IF_ERROR(store->PutAtomic(
+        field_oid, "f" + std::to_string(f + 1), Value::Int(static_cast<int64_t>(f))));
+    fields.push_back(field_oid);
+  }
+  GSV_RETURN_IF_ERROR(store->PutSet(tuple, "tuple", std::move(fields)));
+  return tuple;
+}
+
+Result<GeneratedRelational> GenerateRelationalGsdb(
+    ObjectStore* store, const RelationalGenOptions& options) {
+  Random rng(options.seed);
+  GeneratedRelational out;
+  size_t counter = 0;
+
+  out.root = Oid(options.oid_prefix + "_REL");
+  GSV_RETURN_IF_ERROR(store->PutSet(out.root, "relations"));
+
+  for (size_t r = 0; r < options.relations; ++r) {
+    Oid relation(options.oid_prefix + "_r" + std::to_string(r));
+    GSV_RETURN_IF_ERROR(store->PutSet(relation, "r" + std::to_string(r)));
+    GSV_RETURN_IF_ERROR(store->AddChildRaw(out.root, relation));
+    out.relation_oids.push_back(relation);
+    for (size_t t = 0; t < options.tuples_per_relation; ++t) {
+      GSV_ASSIGN_OR_RETURN(
+          Oid tuple,
+          MakeTuple(store, options.oid_prefix, &counter,
+                    rng.UniformInt(0, options.max_age - 1),
+                    options.extra_fields));
+      GSV_RETURN_IF_ERROR(store->AddChildRaw(relation, tuple));
+      out.tuple_oids.push_back(tuple);
+    }
+  }
+  out.object_count = store->size();
+  return out;
+}
+
+std::string RelationalViewDefinition(const std::string& name, const Oid& root,
+                                     int64_t bound) {
+  return "define mview " + name + " as: SELECT " + root.str() +
+         ".r0.tuple X WHERE X.age > " + std::to_string(bound);
+}
+
+}  // namespace gsv

@@ -1,0 +1,50 @@
+#ifndef GSV_WORKLOAD_RELATIONAL_GEN_H_
+#define GSV_WORKLOAD_RELATIONAL_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oem/store.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// The relational-style GSDB of paper Example 7 / Figure 5: a shallow, wide
+// tree <REL, relations> -> <R, r<i>> -> <T, tuple> -> atomic fields. Each
+// tuple has one "age" field (the condition target) plus `extra_fields`
+// unrelated fields "f1".."fk".
+struct RelationalGenOptions {
+  size_t relations = 2;
+  size_t tuples_per_relation = 100;
+  size_t extra_fields = 3;
+  int64_t max_age = 100;
+  uint64_t seed = 1;
+  std::string oid_prefix = "R";
+};
+
+struct GeneratedRelational {
+  Oid root;                       // <REL, relations>
+  std::vector<Oid> relation_oids; // labels "r0", "r1", ...
+  std::vector<Oid> tuple_oids;
+  size_t object_count = 0;
+};
+
+Result<GeneratedRelational> GenerateRelationalGsdb(
+    ObjectStore* store, const RelationalGenOptions& options);
+
+// Creates (but does not link) a fresh tuple object with an "age" of
+// `age` and `extra_fields` filler fields; returns its OID. Use with
+// store->Insert(relation_oid, tuple_oid) to drive Example 7's workload.
+Result<Oid> MakeTuple(ObjectStore* store, const std::string& oid_prefix,
+                      size_t* counter, int64_t age, size_t extra_fields);
+
+// The Example 7 view over relation "r0":
+//   define mview <name> as: SELECT <root>.r0.tuple X WHERE X.age > <bound>
+std::string RelationalViewDefinition(const std::string& name, const Oid& root,
+                                     int64_t bound);
+
+}  // namespace gsv
+
+#endif  // GSV_WORKLOAD_RELATIONAL_GEN_H_

@@ -1,0 +1,69 @@
+#include "workload/tree_gen.h"
+
+#include "util/random.h"
+
+namespace gsv {
+
+Result<GeneratedTree> GenerateTree(ObjectStore* store,
+                                   const TreeGenOptions& options) {
+  if (options.levels == 0 || options.fanout == 0 ||
+      options.label_variety == 0) {
+    return Status::InvalidArgument(
+        "tree generation needs levels, fanout and label_variety >= 1");
+  }
+  Random rng(options.seed);
+  GeneratedTree tree;
+  size_t counter = 0;
+  auto next_oid = [&]() {
+    return Oid(options.oid_prefix + std::to_string(counter++));
+  };
+
+  tree.root = next_oid();
+  GSV_RETURN_IF_ERROR(store->PutSet(tree.root, "root"));
+  std::vector<Oid> frontier{tree.root};
+
+  for (size_t depth = 1; depth <= options.levels; ++depth) {
+    std::vector<Oid> next;
+    const bool leaf_level = depth == options.levels;
+    for (const Oid& parent : frontier) {
+      for (size_t i = 0; i < options.fanout; ++i) {
+        Oid child = next_oid();
+        if (leaf_level) {
+          GSV_RETURN_IF_ERROR(store->PutAtomic(
+              child, "age",
+              Value::Int(rng.UniformInt(0, options.max_value - 1))));
+          tree.leaves.push_back(child);
+        } else {
+          std::string label = "n" + std::to_string(depth) + "_" +
+                              std::to_string(rng.Uniform(options.label_variety));
+          GSV_RETURN_IF_ERROR(store->PutSet(child, std::move(label)));
+          tree.internal.push_back(child);
+          next.push_back(child);
+        }
+        GSV_RETURN_IF_ERROR(store->AddChildRaw(parent, child));
+      }
+    }
+    frontier = std::move(next);
+  }
+  tree.object_count = counter;
+  return tree;
+}
+
+std::string TreeViewDefinition(const std::string& name, const Oid& root,
+                               size_t sel_levels, size_t levels,
+                               int64_t bound) {
+  std::string sel;
+  for (size_t d = 1; d <= sel_levels; ++d) {
+    if (!sel.empty()) sel += ".";
+    sel += "n" + std::to_string(d) + "_0";
+  }
+  std::string cond;
+  for (size_t d = sel_levels + 1; d < levels; ++d) {
+    cond += "n" + std::to_string(d) + "_0.";
+  }
+  cond += "age";
+  return "define mview " + name + " as: SELECT " + root.str() + "." + sel +
+         " X WHERE X." + cond + " <= " + std::to_string(bound);
+}
+
+}  // namespace gsv

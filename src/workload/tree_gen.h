@@ -1,0 +1,51 @@
+#ifndef GSV_WORKLOAD_TREE_GEN_H_
+#define GSV_WORKLOAD_TREE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oem/store.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Random tree-shaped GSDBs for the maintenance experiments. Every internal
+// node at depth d carries a label "n<d>_<k>" with k drawn from a per-level
+// vocabulary of `label_variety` labels, so constant-path views like
+// "ROOT.n1_0.n2_0" select a predictable fraction of the tree. Nodes at
+// `levels` depth are atomic leaves labeled "age" with uniform integer
+// values in [0, max_value) — the condition targets.
+struct TreeGenOptions {
+  size_t levels = 4;        // depth of atomic leaves below the root
+  size_t fanout = 4;        // children per internal node
+  size_t label_variety = 1; // labels per level ("n<d>_0".."n<d>_<v-1>")
+  int64_t max_value = 100;  // leaf values in [0, max_value)
+  uint64_t seed = 1;
+  std::string oid_prefix = "T";  // OIDs "<prefix>0", "<prefix>1", ...
+};
+
+struct GeneratedTree {
+  Oid root;                    // label "root"
+  std::vector<Oid> internal;   // set objects, excluding the root
+  std::vector<Oid> leaves;     // atomic "age" objects
+  size_t object_count = 0;
+};
+
+// Builds the tree into `store`.
+Result<GeneratedTree> GenerateTree(ObjectStore* store,
+                                   const TreeGenOptions& options);
+
+// A simple-view definition over a generated tree:
+//   define mview <name> as: SELECT <root>.n1_0.n2_0...n<s>_0 X
+//                           WHERE X.n<s+1>_0...n<levels-1>_0.age <= <bound>
+// `sel_levels` must be in [1, levels-1] (the selected objects are internal
+// nodes); the condition path spans the remaining levels down to the "age"
+// leaves.
+std::string TreeViewDefinition(const std::string& name, const Oid& root,
+                               size_t sel_levels, size_t levels,
+                               int64_t bound);
+
+}  // namespace gsv
+
+#endif  // GSV_WORKLOAD_TREE_GEN_H_

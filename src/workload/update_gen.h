@@ -1,0 +1,79 @@
+#ifndef GSV_WORKLOAD_UPDATE_GEN_H_
+#define GSV_WORKLOAD_UPDATE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oem/store.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Shape constraints for generated update streams.
+enum class UpdateMode {
+  // The region below the root stays a tree: inserts attach fresh leaves or
+  // re-attach previously detached subtrees (whose old parent link is gone);
+  // deletes detach arbitrary edges. Required by Algorithm 1 (§4.2).
+  kTreePreserving,
+  // Inserts may add extra parents to existing nodes (multiple derivations)
+  // but never create a cycle — the DAG relaxation of §6.
+  kDagPreserving,
+};
+
+struct UpdateGenOptions {
+  UpdateMode mode = UpdateMode::kTreePreserving;
+  // Relative frequencies; normalized internally.
+  double p_insert = 0.35;
+  double p_delete = 0.25;
+  double p_modify = 0.40;
+  uint64_t seed = 1;
+  // Labels for freshly created leaves. Including the condition label (e.g.
+  // "age") makes inserts view-relevant; others exercise screening.
+  std::vector<std::string> leaf_labels = {"age", "note"};
+  int64_t max_value = 100;     // new/modified integer leaf values
+  std::string oid_prefix = "U";  // fresh-object OIDs
+};
+
+// Generates and applies a stream of random *valid* basic updates against
+// the subgraph reachable from `root`. Every update goes through the store's
+// normal Insert/Delete/Modify entry points, so listeners (maintainers,
+// monitors) observe it. Deterministic given the seed and the store state.
+class UpdateGenerator {
+ public:
+  // `store` must outlive the generator.
+  UpdateGenerator(ObjectStore* store, Oid root, UpdateGenOptions options);
+
+  // Applies one random update and returns it. Falls back across kinds when
+  // the drawn kind is impossible (e.g. nothing left to delete); fails only
+  // if no update of any kind is possible.
+  Result<Update> Step();
+
+  // Applies `n` updates; returns the ones applied.
+  Result<std::vector<Update>> Run(size_t n);
+
+ private:
+  // Refreshes the cached object lists from the live graph.
+  void Rescan();
+
+  Result<Update> TryInsert();
+  Result<Update> TryDelete();
+  Result<Update> TryModify();
+
+  // True if `target` is reachable from `from` following child edges.
+  bool Reachable(const Oid& from, const Oid& target) const;
+
+  ObjectStore* store_;
+  Oid root_;
+  UpdateGenOptions options_;
+  Random rng_;
+  size_t fresh_counter_ = 0;
+  std::vector<Oid> sets_;       // reachable set objects
+  std::vector<Oid> atoms_;      // reachable atomic objects
+  std::vector<Oid> detached_;   // subtree roots removed by deletes
+};
+
+}  // namespace gsv
+
+#endif  // GSV_WORKLOAD_UPDATE_GEN_H_

@@ -1,0 +1,60 @@
+#include "workload/web_gen.h"
+
+#include "util/random.h"
+
+namespace gsv {
+
+Result<GeneratedWeb> GenerateWeb(ObjectStore* store,
+                                 const WebGenOptions& options) {
+  static const char* kTopics[] = {"garden", "cooking", "sports", "music"};
+  Random rng(options.seed);
+  GeneratedWeb web;
+
+  web.root = Oid(options.oid_prefix + "_WEB");
+  GSV_RETURN_IF_ERROR(store->PutSet(web.root, "web"));
+
+  // Create all pages first, then wire links (links may go anywhere).
+  for (size_t i = 0; i < options.pages; ++i) {
+    std::string id = std::to_string(i);
+    Oid page(options.oid_prefix + "_p" + id);
+    Oid url(options.oid_prefix + "_u" + id);
+    Oid topic(options.oid_prefix + "_t" + id);
+    bool is_flower = rng.Bernoulli(options.flower_fraction);
+    GSV_RETURN_IF_ERROR(store->PutAtomic(
+        url, "url", Value::Str("http://site" + id + ".example/")));
+    GSV_RETURN_IF_ERROR(store->PutAtomic(
+        topic, "topic",
+        Value::Str(is_flower ? "flower" : kTopics[rng.Uniform(4)])));
+    GSV_RETURN_IF_ERROR(store->PutSet(page, "page", {url, topic}));
+    GSV_RETURN_IF_ERROR(store->AddChildRaw(web.root, page));
+    web.pages.push_back(page);
+    if (is_flower) web.flower_pages.push_back(page);
+  }
+  for (const Oid& page : web.pages) {
+    for (size_t l = 0; l < options.links_per_page; ++l) {
+      const Oid& target = web.pages[rng.Uniform(web.pages.size())];
+      if (target != page) {
+        GSV_RETURN_IF_ERROR(store->AddChildRaw(page, target));
+      }
+    }
+  }
+
+  // Group everything into the WEB database (§2).
+  Oid db(options.oid_prefix + "_DB");
+  OidSet members;
+  members.Insert(web.root);
+  store->ForEach([&](const Object& object) {
+    if (object.oid() != db) members.Insert(object.oid());
+  });
+  GSV_RETURN_IF_ERROR(store->PutSet(db, "database"));
+  GSV_RETURN_IF_ERROR(store->SetValueRaw(db, Value::Set(std::move(members))));
+  GSV_RETURN_IF_ERROR(store->RegisterDatabase("WEB", db));
+  return web;
+}
+
+std::string FlowerViewDefinition(const std::string& name, const Oid& root) {
+  return "define mview " + name + " as: SELECT " + root.str() +
+         ".page X WHERE X.topic = 'flower'";
+}
+
+}  // namespace gsv

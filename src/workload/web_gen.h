@@ -1,0 +1,44 @@
+#ifndef GSV_WORKLOAD_WEB_GEN_H_
+#define GSV_WORKLOAD_WEB_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oem/store.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// A web-like GSDB for the paper's motivating scenario (§1: "a set of
+// interrelated Web pages ... each page is an object, and the URLs in pages
+// are the graph edges"). Each page is a set object labeled "page" holding
+// an atomic "url", an atomic "topic" (one word from a small vocabulary,
+// including "flower"), and edges to other pages. Links may form cycles.
+// A root object <WEB, web> links to every page (the crawl frontier), and a
+// database "WEB" groups all objects.
+struct WebGenOptions {
+  size_t pages = 50;
+  size_t links_per_page = 3;
+  // Probability a page's topic is "flower" (the §1 cache example).
+  double flower_fraction = 0.2;
+  uint64_t seed = 1;
+  std::string oid_prefix = "W";
+};
+
+struct GeneratedWeb {
+  Oid root;                // <WEB..., web, set, {all pages}>
+  std::vector<Oid> pages;  // page OIDs
+  std::vector<Oid> flower_pages;
+};
+
+Result<GeneratedWeb> GenerateWeb(ObjectStore* store,
+                                 const WebGenOptions& options);
+
+// The §1 cache view: all pages about flowers.
+//   define mview <name> as: SELECT <root>.page X WHERE X.topic = 'flower'
+std::string FlowerViewDefinition(const std::string& name, const Oid& root);
+
+}  // namespace gsv
+
+#endif  // GSV_WORKLOAD_WEB_GEN_H_

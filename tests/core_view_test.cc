@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/materialized_view.h"
+#include "core/swizzle.h"
+#include "core/view_definition.h"
+#include "core/virtual_view.h"
+#include "oem/store.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "workload/person_db.h"
+
+namespace gsv {
+namespace {
+
+using namespace person_db;  // NOLINT(build/namespaces): OID helpers
+
+// --------------------------------------------------------- ViewDefinition
+
+TEST(ViewDefinitionTest, ParseAndAccessors) {
+  auto def = ViewDefinition::Parse(
+      "define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->name(), "YP");
+  EXPECT_EQ(def->view_oid(), Oid("YP"));
+  EXPECT_TRUE(def->materialized());
+  ASSERT_TRUE(def->IsSimple());
+  EXPECT_EQ(def->sel_path().ToString(), "professor");
+  EXPECT_EQ(def->cond_path().ToString(), "age");
+  EXPECT_EQ(def->full_path().ToString(), "professor.age");
+  ASSERT_TRUE(def->predicate().has_value());
+  EXPECT_EQ(def->predicate()->op, CompareOp::kLe);
+}
+
+TEST(ViewDefinitionTest, TrivialConditionAccessors) {
+  auto def =
+      ViewDefinition::Parse("define mview ALL as: SELECT ROOT.professor X");
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(def->IsSimple());
+  EXPECT_TRUE(def->cond_path().empty());
+  EXPECT_FALSE(def->predicate().has_value());
+  EXPECT_EQ(def->full_path().ToString(), "professor");
+}
+
+TEST(ViewDefinitionTest, RejectsDottedAndEmptyNames) {
+  auto query = ParseQuery("SELECT ROOT.professor X");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(ViewDefinition::Create("A.B", true, *query).ok());
+  EXPECT_FALSE(ViewDefinition::Create("", true, *query).ok());
+}
+
+TEST(ViewDefinitionTest, NonSimpleShapes) {
+  auto wild = ViewDefinition::Parse(
+      "define view V as: SELECT ROOT.* X WHERE X.name = 'John'");
+  ASSERT_TRUE(wild.ok());
+  EXPECT_FALSE(wild->IsSimple());
+
+  auto multi = ViewDefinition::Parse(
+      "define view V as: SELECT ROOT.professor X WHERE X.age > 1 AND "
+      "X.name = 'John'");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_FALSE(multi->IsSimple());
+}
+
+// ------------------------------------------------------------ VirtualView
+
+class VirtualViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(BuildPersonDb(&store_).ok()); }
+  ObjectStore store_;
+};
+
+TEST_F(VirtualViewTest, PaperExample3) {
+  // define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON
+  // -> value(VJ) = {P1, P3}.
+  auto def = ViewDefinition::Parse(
+      "define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' "
+      "WITHIN PERSON");
+  ASSERT_TRUE(def.ok());
+  auto members = EvaluateView(store_, *def);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(*members, OidSet({P1(), P3()}));
+
+  ASSERT_TRUE(RegisterVirtualView(store_, *def).ok());
+  const Object* view_object = store_.Get(Oid("VJ"));
+  ASSERT_NE(view_object, nullptr);
+  EXPECT_EQ(view_object->label(), "view");
+  EXPECT_EQ(view_object->children(), OidSet({P1(), P3()}));
+
+  // Query 3.3: SELECT ROOT.professor X ANS INT VJ -> {P1}.
+  auto constrained =
+      EvaluateQueryText(store_, "SELECT ROOT.professor X ANS INT VJ");
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_EQ(*constrained, OidSet({P1()}));
+
+  // Follow-on query over the view: SELECT VJ.?.age (§3.1).
+  auto ages = EvaluateQueryText(store_, "SELECT VJ.?.age");
+  ASSERT_TRUE(ages.ok());
+  EXPECT_EQ(*ages, OidSet({A1(), A3()}));
+}
+
+TEST_F(VirtualViewTest, PaperViews34ViewsOnViews) {
+  // define view PROF as: SELECT ROOT.*.professor X
+  // define view STUDENT as: SELECT PROF.?.student X
+  auto prof = ViewDefinition::Parse(
+      "define view PROF as: SELECT ROOT.*.professor X");
+  ASSERT_TRUE(prof.ok());
+  ASSERT_TRUE(RegisterVirtualView(store_, *prof).ok());
+  EXPECT_EQ(store_.Get(Oid("PROF"))->children(), OidSet({P1(), P2()}));
+
+  auto student = ViewDefinition::Parse(
+      "define view STUDENT as: SELECT PROF.?.student X");
+  ASSERT_TRUE(student.ok());
+  ASSERT_TRUE(RegisterVirtualView(store_, *student).ok());
+  EXPECT_EQ(store_.Get(Oid("STUDENT"))->children(), OidSet({P3()}));
+}
+
+TEST_F(VirtualViewTest, RefreshTracksBaseChanges) {
+  auto def = ViewDefinition::Parse(
+      "define view V as: SELECT ROOT.professor X WHERE X.age > 40");
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(RegisterVirtualView(store_, *def).ok());
+  EXPECT_EQ(store_.Get(Oid("V"))->children(), OidSet({P1()}));
+
+  ASSERT_TRUE(store_.Modify(A1(), Value::Int(30)).ok());
+  ASSERT_TRUE(RefreshVirtualView(store_, *def).ok());
+  EXPECT_EQ(store_.Get(Oid("V"))->children(), OidSet());
+
+  EXPECT_FALSE(RefreshVirtualView(
+                   store_, *ViewDefinition::Parse(
+                               "define view NOPE as: SELECT ROOT.professor X"))
+                   .ok());
+}
+
+// ------------------------------------------------------- MaterializedView
+
+class MaterializedViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(BuildPersonDb(&store_).ok()); }
+
+  ViewDefinition MvjDef() {
+    auto def = ViewDefinition::Parse(
+        "define mview MVJ as: SELECT ROOT.* X WHERE X.name = 'John' "
+        "WITHIN PERSON");
+    EXPECT_TRUE(def.ok());
+    return *def;
+  }
+
+  ObjectStore store_;
+};
+
+TEST_F(MaterializedViewTest, PaperExample4Initialization) {
+  // Centralized: delegates live in the same store as the base.
+  MaterializedView view(&store_, MvjDef());
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_TRUE(view.ContainsBase(P1()));
+  EXPECT_TRUE(view.ContainsBase(P3()));
+
+  // Figure 3: <MVJ.P1, professor, {N1,A1,S1,P3}>, <MVJ.P3, student, {...}>.
+  const Object* d1 = store_.Get(Oid("MVJ.P1"));
+  ASSERT_NE(d1, nullptr);
+  EXPECT_EQ(d1->label(), "professor");
+  EXPECT_EQ(d1->children(), OidSet({N1(), A1(), S1(), P3()}))
+      << "delegate values hold base OIDs (unswizzled)";
+  const Object* d3 = store_.Get(Oid("MVJ.P3"));
+  ASSERT_NE(d3, nullptr);
+  EXPECT_EQ(d3->label(), "student");
+
+  // The view object <MVJ, mview, set, {MVJ.P1, MVJ.P3}> is a database.
+  const Object* mv = store_.Get(Oid("MVJ"));
+  ASSERT_NE(mv, nullptr);
+  EXPECT_EQ(mv->children(), OidSet({Oid("MVJ.P1"), Oid("MVJ.P3")}));
+  EXPECT_EQ(store_.DatabaseOid("MVJ"), Oid("MVJ"));
+
+  EXPECT_TRUE(CheckViewConsistency(view, store_).consistent);
+}
+
+TEST_F(MaterializedViewTest, SeparateDelegateStore) {
+  ObjectStore warehouse;
+  MaterializedView view(&warehouse, MvjDef());
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  EXPECT_EQ(warehouse.size(), 3u);  // MVJ + two delegates
+  EXPECT_TRUE(warehouse.Contains(Oid("MVJ.P1")));
+  EXPECT_FALSE(warehouse.Contains(P1())) << "base objects stay at the source";
+  EXPECT_TRUE(CheckViewConsistency(view, store_).consistent);
+}
+
+TEST_F(MaterializedViewTest, QueryOverMaterializedViewMatchesVirtual) {
+  // §3.2: "a query posed to MVJ should return the same results as when the
+  // query is posed to VJ" — modulo the delegate OID mapping.
+  MaterializedView view(&store_, MvjDef());
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  // MVJ.professor.student: follows MVJ.P1 (professor), then its child P3
+  // (base OID, unswizzled) which is a student.
+  auto result = EvaluateQueryText(store_, "SELECT MVJ.professor.student X");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, OidSet({P3()}));
+}
+
+TEST_F(MaterializedViewTest, DuplicateVInsertAndAbsentVDeleteAreNoOps) {
+  MaterializedView view(&store_, MvjDef());
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  ASSERT_TRUE(view.VInsert(*store_.Get(P1())).ok());
+  EXPECT_EQ(view.stats().ignored_inserts, 1);
+  ASSERT_TRUE(view.VDelete(P4()).ok());
+  EXPECT_EQ(view.stats().ignored_deletes, 1);
+  EXPECT_EQ(view.size(), 2u);
+}
+
+TEST_F(MaterializedViewTest, VDeleteRemovesDelegate) {
+  MaterializedView view(&store_, MvjDef());
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  ASSERT_TRUE(view.VDelete(P3()).ok());
+  EXPECT_FALSE(store_.Contains(Oid("MVJ.P3")));
+  EXPECT_EQ(store_.Get(Oid("MVJ"))->children(), OidSet({Oid("MVJ.P1")}));
+  EXPECT_FALSE(view.ContainsBase(P3()));
+}
+
+TEST_F(MaterializedViewTest, BootstrapTwiceFails) {
+  MaterializedView view(&store_, MvjDef());
+  ASSERT_TRUE(view.Bootstrap().ok());
+  EXPECT_EQ(view.Bootstrap().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaterializedViewTest, VInsertBeforeBootstrapFails) {
+  MaterializedView view(&store_, MvjDef());
+  EXPECT_EQ(view.VInsert(*store_.Get(P1())).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MaterializedViewTest, SyncUpdatePropagatesValues) {
+  ObjectStore warehouse;
+  MaterializedView view(&warehouse, MvjDef());
+  ASSERT_TRUE(view.Initialize(store_).ok());
+
+  // insert(P1, N4): P1's delegate gains the child.
+  ASSERT_TRUE(store_.Insert(P1(), N4()).ok());
+  ASSERT_TRUE(view.SyncUpdate(Update::Insert(P1(), N4())).ok());
+  EXPECT_TRUE(warehouse.Get(Oid("MVJ.P1"))->children().Contains(N4()));
+
+  // delete it again.
+  ASSERT_TRUE(store_.Delete(P1(), N4()).ok());
+  ASSERT_TRUE(view.SyncUpdate(Update::Delete(P1(), N4())).ok());
+  EXPECT_FALSE(warehouse.Get(Oid("MVJ.P1"))->children().Contains(N4()));
+
+  // Updates to out-of-view objects are ignored.
+  ASSERT_TRUE(view.SyncUpdate(Update::Insert(P4(), N4())).ok());
+  EXPECT_TRUE(CheckViewConsistency(view, store_).consistent);
+}
+
+TEST_F(MaterializedViewTest, SyncDisabledLeavesValuesStale) {
+  MaterializedView::Options options;
+  options.sync_values = false;
+  ObjectStore warehouse;
+  MaterializedView view(&warehouse, MvjDef(), options);
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  ASSERT_TRUE(view.SyncUpdate(Update::Insert(P1(), N4())).ok());
+  EXPECT_FALSE(warehouse.Get(Oid("MVJ.P1"))->children().Contains(N4()));
+}
+
+// ---------------------------------------------------------------- Swizzle
+
+TEST_F(MaterializedViewTest, IncrementalSwizzleOnInsert) {
+  MaterializedView::Options options;
+  options.swizzle = true;
+  ObjectStore warehouse;
+  MaterializedView view(&warehouse, MvjDef(), options);
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  // P3 is in the view, and P1's delegate references it: swizzled.
+  EXPECT_TRUE(
+      warehouse.Get(Oid("MVJ.P1"))->children().Contains(Oid("MVJ.P3")));
+  EXPECT_FALSE(warehouse.Get(Oid("MVJ.P1"))->children().Contains(P3()));
+  // N1 is not in the view: stays a base reference.
+  EXPECT_TRUE(warehouse.Get(Oid("MVJ.P1"))->children().Contains(N1()));
+
+  // Queries are unaffected (§3.2): MVJ.professor.student finds the
+  // delegate of P3 now.
+  auto result =
+      EvaluateQueryText(warehouse, "SELECT MVJ.professor.student X");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, OidSet({Oid("MVJ.P3")}));
+
+  // Consistency holds modulo swizzling.
+  EXPECT_TRUE(CheckViewConsistency(view, store_).consistent);
+}
+
+TEST_F(MaterializedViewTest, VDeleteUnswizzlesReferences) {
+  MaterializedView::Options options;
+  options.swizzle = true;
+  ObjectStore warehouse;
+  MaterializedView view(&warehouse, MvjDef(), options);
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  ASSERT_TRUE(view.VDelete(P3()).ok());
+  EXPECT_TRUE(warehouse.Get(Oid("MVJ.P1"))->children().Contains(P3()))
+      << "edge reverted to the base OID";
+  EXPECT_FALSE(warehouse.Contains(Oid("MVJ.P3")));
+}
+
+TEST_F(MaterializedViewTest, BulkSwizzleAndUnswizzle) {
+  ObjectStore warehouse;
+  MaterializedView view(&warehouse, MvjDef());
+  ASSERT_TRUE(view.Initialize(store_).ok());
+
+  ReferenceCounts before = CountReferences(view);
+  EXPECT_EQ(before.delegate_refs, 0);
+  EXPECT_EQ(before.base_refs, 7);  // P1: N1,A1,S1,P3; P3: N3,A3,M3
+
+  auto swizzled = SwizzleAll(view);
+  ASSERT_TRUE(swizzled.ok());
+  EXPECT_EQ(*swizzled, 1) << "only P1 -> P3 is view-internal";
+  ReferenceCounts after = CountReferences(view);
+  EXPECT_EQ(after.delegate_refs, 1);
+  EXPECT_EQ(after.base_refs, 6);
+  EXPECT_TRUE(CheckViewConsistency(view, store_).consistent)
+      << "swizzling must not break value consistency";
+
+  auto unswizzled = UnswizzleAll(view);
+  ASSERT_TRUE(unswizzled.ok());
+  EXPECT_EQ(*unswizzled, 1);
+  EXPECT_EQ(CountReferences(view).delegate_refs, 0);
+}
+
+TEST_F(MaterializedViewTest, StripBaseReferencesForAccessControl) {
+  ObjectStore warehouse;
+  MaterializedView view(&warehouse, MvjDef());
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  ASSERT_TRUE(SwizzleAll(view).ok());
+  auto removed = StripBaseReferences(view);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 6);
+  EXPECT_EQ(CountReferences(view).base_refs, 0)
+      << "queries inside the view can no longer reach base data (§3.2)";
+  // The view is now intentionally value-inconsistent with the base.
+  EXPECT_FALSE(CheckViewConsistency(view, store_).consistent);
+}
+
+// ------------------------------------------------------------ Consistency
+
+TEST_F(MaterializedViewTest, ConsistencyDetectsDrift) {
+  MaterializedView view(&store_, MvjDef());
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  ASSERT_TRUE(CheckViewConsistency(view, store_).consistent);
+
+  // Make N3 no longer 'John': P3 leaves the expected member set.
+  ASSERT_TRUE(store_.Modify(N3(), Value::Str("Jane")).ok());
+  ConsistencyReport report = CheckViewConsistency(view, store_);
+  EXPECT_FALSE(report.consistent);
+  EXPECT_FALSE(report.problems.empty());
+  EXPECT_NE(report.ToString(), "consistent");
+}
+
+}  // namespace
+}  // namespace gsv

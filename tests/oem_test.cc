@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "oem/object.h"
+#include "oem/oid.h"
+#include "oem/set_ops.h"
+#include "oem/store.h"
+#include "oem/update.h"
+#include "oem/value.h"
+#include "workload/person_db.h"
+
+namespace gsv {
+namespace {
+
+// ---------------------------------------------------------------- Oid
+
+TEST(OidTest, DefaultIsInvalid) {
+  Oid oid;
+  EXPECT_FALSE(oid.valid());
+  EXPECT_EQ(oid.str(), "");
+}
+
+TEST(OidTest, ComparisonAndOrdering) {
+  Oid a("A");
+  Oid b("B");
+  EXPECT_EQ(a, Oid("A"));
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(OidTest, DelegateConcatenation) {
+  Oid view("MVJ");
+  Oid base("P1");
+  Oid delegate = Oid::Delegate(view, base);
+  EXPECT_EQ(delegate.str(), "MVJ.P1");
+  EXPECT_TRUE(delegate.IsDelegateOf(view));
+  EXPECT_EQ(delegate.BaseIn(view), base);
+}
+
+TEST(OidTest, NestedDelegates) {
+  // Views over views (§3.1): the base of a delegate may itself be one.
+  Oid inner = Oid::Delegate(Oid("MV1"), Oid("P1"));
+  Oid outer = Oid::Delegate(Oid("MV2"), inner);
+  EXPECT_EQ(outer.str(), "MV2.MV1.P1");
+  EXPECT_TRUE(outer.IsDelegateOf(Oid("MV2")));
+  EXPECT_EQ(outer.BaseIn(Oid("MV2")), inner);
+  EXPECT_EQ(outer.BaseIn(Oid("MV2")).BaseIn(Oid("MV1")), Oid("P1"));
+}
+
+TEST(OidTest, IsDelegateOfRejectsNonPrefixes) {
+  EXPECT_FALSE(Oid("MVJ.P1").IsDelegateOf(Oid("MV")));   // prefix, no dot
+  EXPECT_FALSE(Oid("MVJ").IsDelegateOf(Oid("MVJ")));     // no base part
+  EXPECT_FALSE(Oid("X.P1").IsDelegateOf(Oid("MVJ")));
+}
+
+TEST(OidTest, HashConsistentWithEquality) {
+  OidHash hash;
+  EXPECT_EQ(hash(Oid("P1")), hash(Oid("P1")));
+}
+
+// ---------------------------------------------------------------- OidSet
+
+TEST(OidSetTest, InsertEraseContains) {
+  OidSet set;
+  EXPECT_TRUE(set.Insert(Oid("B")));
+  EXPECT_TRUE(set.Insert(Oid("A")));
+  EXPECT_FALSE(set.Insert(Oid("A")));  // duplicate
+  EXPECT_TRUE(set.Contains(Oid("A")));
+  EXPECT_TRUE(set.Contains(Oid("B")));
+  EXPECT_FALSE(set.Contains(Oid("C")));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Erase(Oid("A")));
+  EXPECT_FALSE(set.Erase(Oid("A")));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(OidSetTest, ConstructorDeduplicatesAndSorts) {
+  OidSet set({Oid("C"), Oid("A"), Oid("C"), Oid("B")});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.elements()[0], Oid("A"));
+  EXPECT_EQ(set.elements()[2], Oid("C"));
+}
+
+TEST(OidSetTest, OrderInsensitiveEquality) {
+  OidSet a({Oid("X"), Oid("Y")});
+  OidSet b({Oid("Y"), Oid("X")});
+  EXPECT_EQ(a, b);
+}
+
+TEST(OidSetTest, UnionAndIntersect) {
+  OidSet a({Oid("A"), Oid("B")});
+  OidSet b({Oid("B"), Oid("C")});
+  EXPECT_EQ(OidSet::Union(a, b), OidSet({Oid("A"), Oid("B"), Oid("C")}));
+  EXPECT_EQ(OidSet::Intersect(a, b), OidSet({Oid("B")}));
+  EXPECT_EQ(OidSet::Intersect(a, OidSet()), OidSet());
+}
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Int(45).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Int(45).AsInt(), 45);
+  EXPECT_EQ(Value::Real(3.5).type(), ValueType::kReal);
+  EXPECT_DOUBLE_EQ(Value::Real(3.5).AsReal(), 3.5);
+  EXPECT_EQ(Value::Str("John").AsString(), "John");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_TRUE(Value::SetOf({Oid("A")}).IsSet());
+  EXPECT_TRUE(Value::Int(1).IsAtomic());
+  EXPECT_FALSE(Value::SetOf({}).IsAtomic());
+  EXPECT_TRUE(Value().IsSet()) << "default value is the empty set";
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  Value::CompareResult cmp = Value::Int(2).Compare(Value::Real(2.5));
+  ASSERT_TRUE(cmp.comparable);
+  EXPECT_LT(cmp.order, 0);
+  cmp = Value::Real(2.0).Compare(Value::Int(2));
+  ASSERT_TRUE(cmp.comparable);
+  EXPECT_EQ(cmp.order, 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  Value::CompareResult cmp = Value::Str("abc").Compare(Value::Str("abd"));
+  ASSERT_TRUE(cmp.comparable);
+  EXPECT_LT(cmp.order, 0);
+}
+
+TEST(ValueTest, IncomparableCombinations) {
+  EXPECT_FALSE(Value::Str("x").Compare(Value::Int(1)).comparable);
+  EXPECT_FALSE(Value::SetOf({}).Compare(Value::SetOf({})).comparable);
+  EXPECT_FALSE(Value::Bool(true).Compare(Value::Int(1)).comparable);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Int(45).ToString(), "45");
+  EXPECT_EQ(Value::Str("John").ToString(), "'John'");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::SetOf({Oid("P1"), Oid("P2")}).ToString(), "{P1,P2}");
+}
+
+TEST(ObjectTest, PaperNotation) {
+  Object object(Oid("A1"), "age", Value::Int(45));
+  EXPECT_EQ(object.ToString(), "<A1, age, integer, 45>");
+  Object set_object(Oid("P1"), "professor", Value::SetOf({Oid("N1")}));
+  EXPECT_EQ(set_object.ToString(), "<P1, professor, set, {N1}>");
+}
+
+// ---------------------------------------------------------------- Store
+
+class StoreTest : public ::testing::Test {
+ protected:
+  ObjectStore store_;
+};
+
+TEST_F(StoreTest, PutGetContains) {
+  ASSERT_TRUE(store_.PutAtomic(Oid("A"), "age", Value::Int(1)).ok());
+  EXPECT_TRUE(store_.Contains(Oid("A")));
+  const Object* object = store_.Get(Oid("A"));
+  ASSERT_NE(object, nullptr);
+  EXPECT_EQ(object->label(), "age");
+  EXPECT_EQ(store_.Get(Oid("missing")), nullptr);
+}
+
+TEST_F(StoreTest, DuplicatePutFails) {
+  ASSERT_TRUE(store_.PutAtomic(Oid("A"), "age", Value::Int(1)).ok());
+  Status status = store_.PutAtomic(Oid("A"), "age", Value::Int(2));
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(StoreTest, PutAtomicRejectsSetValue) {
+  EXPECT_EQ(store_.PutAtomic(Oid("A"), "x", Value::SetOf({})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StoreTest, InsertCreatesEdgeAndParentIndex) {
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("C"), "child", Value::Int(0)).ok());
+  ASSERT_TRUE(store_.Insert(Oid("P"), Oid("C")).ok());
+  EXPECT_TRUE(store_.Get(Oid("P"))->children().Contains(Oid("C")));
+  EXPECT_EQ(store_.Parents(Oid("C")), std::vector<Oid>{Oid("P")});
+}
+
+TEST_F(StoreTest, InsertValidatesEndpoints) {
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("A"), "leaf", Value::Int(0)).ok());
+  EXPECT_EQ(store_.Insert(Oid("missing"), Oid("A")).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_.Insert(Oid("P"), Oid("missing")).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_.Insert(Oid("A"), Oid("P")).code(),
+            StatusCode::kFailedPrecondition)
+      << "atomic objects cannot gain children";
+}
+
+TEST_F(StoreTest, DuplicateInsertIsSilentNoOp) {
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("C"), "child", Value::Int(0)).ok());
+  ASSERT_TRUE(store_.Insert(Oid("P"), Oid("C")).ok());
+  ASSERT_TRUE(store_.Insert(Oid("P"), Oid("C")).ok());
+  EXPECT_EQ(store_.Get(Oid("P"))->children().size(), 1u);
+}
+
+TEST_F(StoreTest, DeleteRemovesEdge) {
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("C"), "child", Value::Int(0)).ok());
+  ASSERT_TRUE(store_.Insert(Oid("P"), Oid("C")).ok());
+  ASSERT_TRUE(store_.Delete(Oid("P"), Oid("C")).ok());
+  EXPECT_FALSE(store_.Get(Oid("P"))->children().Contains(Oid("C")));
+  EXPECT_TRUE(store_.Parents(Oid("C")).empty());
+  // The object itself survives (GC is explicit, §4.1).
+  EXPECT_TRUE(store_.Contains(Oid("C")));
+}
+
+TEST_F(StoreTest, DeleteOfAbsentEdgeFails) {
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("C"), "child", Value::Int(0)).ok());
+  EXPECT_EQ(store_.Delete(Oid("P"), Oid("C")).code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, ModifyChangesAtomicValue) {
+  ASSERT_TRUE(store_.PutAtomic(Oid("A"), "age", Value::Int(40)).ok());
+  ASSERT_TRUE(store_.Modify(Oid("A"), Value::Int(41)).ok());
+  EXPECT_EQ(store_.Get(Oid("A"))->value().AsInt(), 41);
+}
+
+TEST_F(StoreTest, ModifyRejectsSetObjectsAndSetValues) {
+  ASSERT_TRUE(store_.PutSet(Oid("S"), "group").ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("A"), "age", Value::Int(40)).ok());
+  EXPECT_EQ(store_.Modify(Oid("S"), Value::Int(1)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store_.Modify(Oid("A"), Value::SetOf({})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store_.Modify(Oid("missing"), Value::Int(1)).code(),
+            StatusCode::kNotFound);
+}
+
+class RecordingListener : public UpdateListener {
+ public:
+  void OnUpdate(const ObjectStore& store, const Update& update) override {
+    (void)store;
+    updates.push_back(update);
+  }
+  std::vector<Update> updates;
+};
+
+TEST_F(StoreTest, ListenersSeeAppliedUpdatesInOrder) {
+  RecordingListener listener;
+  store_.AddListener(&listener);
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("C"), "child", Value::Int(1)).ok());
+  ASSERT_TRUE(store_.Insert(Oid("P"), Oid("C")).ok());
+  ASSERT_TRUE(store_.Modify(Oid("C"), Value::Int(2)).ok());
+  ASSERT_TRUE(store_.Delete(Oid("P"), Oid("C")).ok());
+  ASSERT_EQ(listener.updates.size(), 3u);
+  EXPECT_EQ(listener.updates[0].kind, UpdateKind::kInsert);
+  EXPECT_EQ(listener.updates[1].kind, UpdateKind::kModify);
+  EXPECT_EQ(listener.updates[1].old_value.AsInt(), 1);
+  EXPECT_EQ(listener.updates[1].new_value.AsInt(), 2);
+  EXPECT_EQ(listener.updates[2].kind, UpdateKind::kDelete);
+
+  store_.RemoveListener(&listener);
+  ASSERT_TRUE(store_.Insert(Oid("P"), Oid("C")).ok());
+  EXPECT_EQ(listener.updates.size(), 3u) << "removed listener not notified";
+}
+
+TEST_F(StoreTest, NoOpInsertDoesNotNotify) {
+  RecordingListener listener;
+  store_.AddListener(&listener);
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("C"), "child", Value::Int(1)).ok());
+  ASSERT_TRUE(store_.Insert(Oid("P"), Oid("C")).ok());
+  ASSERT_TRUE(store_.Insert(Oid("P"), Oid("C")).ok());  // duplicate: no-op
+  EXPECT_EQ(listener.updates.size(), 1u);
+}
+
+TEST_F(StoreTest, RawEditsDoNotNotify) {
+  RecordingListener listener;
+  store_.AddListener(&listener);
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.AddChildRaw(Oid("P"), Oid("dangling")).ok());
+  ASSERT_TRUE(store_.ReplaceChildRaw(Oid("P"), Oid("dangling"), Oid("x")).ok());
+  ASSERT_TRUE(store_.RemoveChildRaw(Oid("P"), Oid("x")).ok());
+  ASSERT_TRUE(store_.SetValueRaw(Oid("P"), Value::SetOf({Oid("y")})).ok());
+  EXPECT_TRUE(listener.updates.empty());
+  EXPECT_TRUE(store_.Get(Oid("P"))->children().Contains(Oid("y")));
+}
+
+TEST_F(StoreTest, RawEditsMaintainParentIndex) {
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.AddChildRaw(Oid("P"), Oid("C")).ok());
+  EXPECT_EQ(store_.Parents(Oid("C")), std::vector<Oid>{Oid("P")});
+  ASSERT_TRUE(store_.ReplaceChildRaw(Oid("P"), Oid("C"), Oid("D")).ok());
+  EXPECT_TRUE(store_.Parents(Oid("C")).empty());
+  EXPECT_EQ(store_.Parents(Oid("D")), std::vector<Oid>{Oid("P")});
+}
+
+TEST_F(StoreTest, ApplyDispatchesAllKinds) {
+  ASSERT_TRUE(store_.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("C"), "child", Value::Int(1)).ok());
+  ASSERT_TRUE(store_.Apply(Update::Insert(Oid("P"), Oid("C"))).ok());
+  ASSERT_TRUE(
+      store_.Apply(Update::Modify(Oid("C"), Value::Int(1), Value::Int(9))).ok());
+  EXPECT_EQ(store_.Get(Oid("C"))->value().AsInt(), 9);
+  ASSERT_TRUE(store_.Apply(Update::Delete(Oid("P"), Oid("C"))).ok());
+  EXPECT_TRUE(store_.Get(Oid("P"))->children().empty());
+}
+
+TEST_F(StoreTest, ParentsWithoutIndexFallsBackToScan) {
+  ObjectStore::Options options;
+  options.enable_parent_index = false;
+  ObjectStore store(options);
+  ASSERT_TRUE(store.PutSet(Oid("P"), "parent").ok());
+  ASSERT_TRUE(store.PutAtomic(Oid("C"), "child", Value::Int(0)).ok());
+  ASSERT_TRUE(store.Insert(Oid("P"), Oid("C")).ok());
+  store.metrics().Reset();
+  EXPECT_EQ(store.Parents(Oid("C")), std::vector<Oid>{Oid("P")});
+  EXPECT_GT(store.metrics().objects_scanned, 0)
+      << "no inverse index: Parents() must scan (§4.4)";
+}
+
+TEST_F(StoreTest, DatabaseRegistrationAndMembership) {
+  ASSERT_TRUE(BuildPersonDb(&store_).ok());
+  EXPECT_EQ(store_.DatabaseOid("PERSON"), person_db::Person());
+  EXPECT_TRUE(store_.InDatabase("PERSON", person_db::P1()));
+  EXPECT_FALSE(store_.InDatabase("PERSON", Oid("nope")));
+  EXPECT_FALSE(store_.DatabaseOid("OTHER").valid());
+  EXPECT_EQ(store_.DatabaseNames(), std::vector<std::string>{"PERSON"});
+}
+
+TEST_F(StoreTest, RegisterDatabaseValidates) {
+  ASSERT_TRUE(store_.PutAtomic(Oid("A"), "x", Value::Int(0)).ok());
+  EXPECT_EQ(store_.RegisterDatabase("D", Oid("missing")).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_.RegisterDatabase("D", Oid("A")).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(store_.PutSet(Oid("S"), "db").ok());
+  ASSERT_TRUE(store_.RegisterDatabase("D", Oid("S")).ok());
+  EXPECT_EQ(store_.RegisterDatabase("D", Oid("S")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(StoreTest, RemoveCleansIndexAndDatabases) {
+  ASSERT_TRUE(store_.PutSet(Oid("S"), "db", {}).ok());
+  ASSERT_TRUE(store_.PutAtomic(Oid("C"), "x", Value::Int(0)).ok());
+  ASSERT_TRUE(store_.Insert(Oid("S"), Oid("C")).ok());
+  ASSERT_TRUE(store_.RegisterDatabase("D", Oid("S")).ok());
+  ASSERT_TRUE(store_.Remove(Oid("S")).ok());
+  EXPECT_FALSE(store_.Contains(Oid("S")));
+  EXPECT_FALSE(store_.DatabaseOid("D").valid());
+  EXPECT_TRUE(store_.Parents(Oid("C")).empty());
+  EXPECT_EQ(store_.Remove(Oid("S")).code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, CollectGarbageSweepsUnreachable) {
+  ASSERT_TRUE(BuildPersonDb(&store_, /*with_database=*/false).ok());
+  // Nothing is registered as a database, so everything except the extra
+  // root is unreachable.
+  size_t collected = store_.CollectGarbage({person_db::Root()});
+  EXPECT_EQ(collected, 0u) << "everything reachable from ROOT";
+
+  ASSERT_TRUE(store_.Delete(person_db::Root(), person_db::P4()).ok());
+  collected = store_.CollectGarbage({person_db::Root()});
+  EXPECT_EQ(collected, 3u) << "P4, N4, A4 unreachable";
+  EXPECT_FALSE(store_.Contains(person_db::P4()));
+  EXPECT_TRUE(store_.Contains(person_db::P1()));
+}
+
+TEST_F(StoreTest, CollectGarbageKeepsDatabaseRoots) {
+  ASSERT_TRUE(BuildPersonDb(&store_, /*with_database=*/true).ok());
+  // The PERSON database object holds every object, so nothing is collected
+  // even after unlinking P4 from ROOT.
+  ASSERT_TRUE(store_.Delete(person_db::Root(), person_db::P4()).ok());
+  EXPECT_EQ(store_.CollectGarbage(), 0u);
+}
+
+TEST_F(StoreTest, PersonDbShape) {
+  ASSERT_TRUE(BuildPersonDb(&store_).ok());
+  EXPECT_EQ(store_.size(), 16u);  // 15 objects + PERSON database object
+  const Object* root = store_.Get(person_db::Root());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->label(), "person");
+  EXPECT_EQ(root->children().size(), 4u);
+  // P3 has two parents (ROOT and P1) plus the PERSON grouping object.
+  std::vector<Oid> parents = store_.Parents(person_db::P3());
+  EXPECT_EQ(parents.size(), 3u);
+}
+
+TEST_F(StoreTest, MetricsAccumulateAndReset) {
+  ASSERT_TRUE(BuildPersonDb(&store_).ok());
+  store_.metrics().Reset();
+  store_.Get(person_db::P1());
+  EXPECT_GT(store_.metrics().lookups, 0);
+  store_.Parents(person_db::P1());
+  EXPECT_GT(store_.metrics().parent_lookups, 0);
+  store_.metrics().Reset();
+  EXPECT_EQ(store_.metrics().lookups, 0);
+}
+
+TEST_F(StoreTest, SetOperationObjects) {
+  // §2: union(S1,S2) / int(S1,S2) yield new objects with S1's label.
+  ASSERT_TRUE(BuildPersonDb(&store_).ok());
+  auto united = UnionObjects(&store_, person_db::Root(), person_db::P1(),
+                             Oid("U1"));
+  ASSERT_TRUE(united.ok());
+  const Object* union_object = store_.Get(Oid("U1"));
+  ASSERT_NE(union_object, nullptr);
+  EXPECT_EQ(union_object->label(), "person") << "takes S1's label";
+  EXPECT_EQ(union_object->children().size(), 7u) << "P3 shared";
+
+  auto common = IntersectObjects(&store_, person_db::Root(), person_db::P1(),
+                                 Oid("I1"));
+  ASSERT_TRUE(common.ok());
+  EXPECT_EQ(store_.Get(Oid("I1"))->children(), OidSet({person_db::P3()}));
+
+  // Validation: operands must exist and be sets; result OID must be fresh.
+  EXPECT_FALSE(
+      UnionObjects(&store_, Oid("missing"), person_db::P1(), Oid("U2")).ok());
+  EXPECT_FALSE(
+      UnionObjects(&store_, person_db::N1(), person_db::P1(), Oid("U2")).ok());
+  EXPECT_FALSE(UnionObjects(&store_, person_db::Root(), person_db::P1(),
+                            Oid("U1"))
+                   .ok())
+      << "duplicate result OID";
+}
+
+TEST(UpdateTest, ToStringForms) {
+  EXPECT_EQ(Update::Insert(Oid("P"), Oid("C")).ToString(), "insert(P, C)");
+  EXPECT_EQ(Update::Delete(Oid("P"), Oid("C")).ToString(), "delete(P, C)");
+  EXPECT_EQ(
+      Update::Modify(Oid("A"), Value::Int(1), Value::Int(2)).ToString(),
+      "modify(A, 1, 2)");
+}
+
+}  // namespace
+}  // namespace gsv

@@ -1,0 +1,315 @@
+// End-to-end assertions of every worked example in the paper, in order.
+// Each test cites the example it reproduces.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithm1.h"
+#include "core/consistency.h"
+#include "core/materialized_view.h"
+#include "core/view_definition.h"
+#include "core/virtual_view.h"
+#include "oem/store.h"
+#include "query/evaluator.h"
+#include "relational/counting.h"
+#include "relational/flatten.h"
+#include "relational/spj_view.h"
+#include "warehouse/warehouse.h"
+#include "workload/person_db.h"
+
+namespace gsv {
+namespace {
+
+using namespace person_db;  // NOLINT(build/namespaces): OID helpers
+
+class PaperExamplesTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(BuildPersonDb(&store_).ok()); }
+  ObjectStore store_;
+};
+
+// Example 1 / Figure 1: a graph-structured database is a collection of
+// objects with pointer edges users can traverse from any entry point.
+TEST_F(PaperExamplesTest, Example1GraphTraversal) {
+  ObjectStore graph;
+  for (const char* oid : {"A", "B", "C", "D", "E", "F", "G"}) {
+    ASSERT_TRUE(graph.PutSet(Oid(oid), "node").ok());
+  }
+  // Figure 1's shape (edges as drawn: A->B, A->E, B->C, B->D, E->F, E->G).
+  for (auto [from, to] : std::initializer_list<std::pair<const char*, const char*>>{
+           {"A", "B"}, {"A", "E"}, {"B", "C"}, {"B", "D"}, {"E", "F"}, {"E", "G"}}) {
+    ASSERT_TRUE(graph.Insert(Oid(from), Oid(to)).ok());
+  }
+  OidSet reachable =
+      EvalExpression(graph, Oid("A"), *PathExpression::Parse("*"));
+  EXPECT_EQ(reachable.size(), 7u) << "all nodes reachable from A";
+  OidSet from_b = EvalExpression(graph, Oid("B"), *PathExpression::Parse("*"));
+  EXPECT_EQ(from_b, OidSet({Oid("B"), Oid("C"), Oid("D")}));
+}
+
+// Example 2 / Figure 2: the PERSON database.
+TEST_F(PaperExamplesTest, Example2PersonDatabase) {
+  // label(P2) = professor and value(P2) = {N2, ADD2} (§2).
+  const Object* p2 = store_.Get(P2());
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->label(), "professor");
+  EXPECT_EQ(p2->children(), OidSet({N2(), Add2()}));
+
+  // A1 ∈ ROOT.professor.age (§2's path example).
+  EXPECT_TRUE(
+      EvalPath(store_, Root(), *Path::Parse("professor.age")).Contains(A1()));
+
+  // The database object groups all 15 objects.
+  const Object* person = store_.Get(Person());
+  ASSERT_NE(person, nullptr);
+  EXPECT_EQ(person->children().size(), 15u);
+
+  // The paper's object notation.
+  EXPECT_EQ(store_.Get(N1())->ToString(), "<N1, name, string, 'John'>");
+  EXPECT_EQ(store_.Get(A1())->ToString(), "<A1, age, integer, 45>");
+}
+
+// §2's multi-field record representation: <name:'Joe', salary:50k>.
+TEST_F(PaperExamplesTest, Section2RecordRepresentation) {
+  ObjectStore records;
+  ASSERT_TRUE(records.PutAtomic(Oid("RN1"), "name", Value::Str("Joe")).ok());
+  ASSERT_TRUE(
+      records.PutAtomic(Oid("RS1"), "salary", Value::Int(50000)).ok());
+  ASSERT_TRUE(
+      records.PutSet(Oid("E1"), "employee", {Oid("RN1"), Oid("RS1")}).ok());
+  auto joes = EvaluateQueryText(
+      records, "SELECT E1 X WHERE X.name = 'Joe'");
+  ASSERT_TRUE(joes.ok());
+  EXPECT_EQ(*joes, OidSet({Oid("E1")}));
+}
+
+// §2's set operations: union(S1,S2) and int(S1,S2).
+TEST_F(PaperExamplesTest, Section2SetOperations) {
+  const OidSet& root_children = store_.Get(Root())->children();
+  const OidSet& p1_children = store_.Get(P1())->children();
+  OidSet united = OidSet::Union(root_children, p1_children);
+  EXPECT_EQ(united.size(), 7u) << "P3 is shared";
+  OidSet common = OidSet::Intersect(root_children, p1_children);
+  EXPECT_EQ(common, OidSet({P3()}));
+}
+
+// §2's query: SELECT ROOT.professor X WHERE X.age > 40 -> {P1}; the same
+// query is location-insensitive but WITHIN/ANS INT scope it.
+TEST_F(PaperExamplesTest, Section2QueryAndScoping) {
+  auto answer =
+      EvaluateQueryText(store_, "SELECT ROOT.professor X WHERE X.age > 40");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(*answer, OidSet({P1()}));
+}
+
+// Example 3: the virtual view VJ and both of its §3.1 usage modes.
+TEST_F(PaperExamplesTest, Example3VirtualViewVJ) {
+  auto def = ViewDefinition::Parse(
+      "define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' "
+      "WITHIN PERSON");
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(RegisterVirtualView(store_, *def).ok());
+  EXPECT_EQ(store_.Get(Oid("VJ"))->children(), OidSet({P1(), P3()}));
+
+  // Query 3.3: constrain with ANS INT.
+  auto constrained =
+      EvaluateQueryText(store_, "SELECT ROOT.professor X ANS INT VJ");
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_EQ(*constrained, OidSet({P1()}));
+
+  // Starting point: SELECT VJ.?.age.
+  auto ages = EvaluateQueryText(store_, "SELECT VJ.?.age");
+  ASSERT_TRUE(ages.ok());
+  EXPECT_EQ(*ages, OidSet({A1(), A3()}));
+}
+
+// Views 3.4: PROF and STUDENT — views on views restructure access.
+TEST_F(PaperExamplesTest, Views34ProfStudentHierarchy) {
+  ASSERT_TRUE(RegisterVirtualView(
+                  store_, *ViewDefinition::Parse(
+                              "define view PROF as: SELECT ROOT.*.professor X"))
+                  .ok());
+  ASSERT_TRUE(
+      RegisterVirtualView(store_,
+                          *ViewDefinition::Parse(
+                              "define view STUDENT as: SELECT PROF.?.student X"))
+          .ok());
+  EXPECT_EQ(store_.Get(Oid("PROF"))->children(), OidSet({P1(), P2()}));
+  EXPECT_EQ(store_.Get(Oid("STUDENT"))->children(), OidSet({P3()}))
+      << "a student who is not a subobject of some professor is excluded";
+}
+
+// Example 4 / Figure 3: the materialized view MVJ with delegate objects
+// MVJ.P1, MVJ.P3 and semantic OIDs.
+TEST_F(PaperExamplesTest, Example4MaterializedViewMVJ) {
+  auto def = ViewDefinition::Parse(
+      "define mview MVJ as: SELECT ROOT.* X WHERE X.name = 'John' "
+      "WITHIN PERSON");
+  ASSERT_TRUE(def.ok());
+  MaterializedView view(&store_, *def);
+  ASSERT_TRUE(view.Initialize(store_).ok());
+
+  const Object* d1 = store_.Get(Oid("MVJ.P1"));
+  ASSERT_NE(d1, nullptr);
+  EXPECT_EQ(d1->label(), "professor");
+  EXPECT_EQ(d1->children(), OidSet({N1(), A1(), S1(), P3()}));
+  const Object* d3 = store_.Get(Oid("MVJ.P3"));
+  ASSERT_NE(d3, nullptr);
+  EXPECT_EQ(d3->label(), "student");
+  EXPECT_EQ(store_.Get(Oid("MVJ"))->children(),
+            OidSet({Oid("MVJ.P1"), Oid("MVJ.P3")}));
+
+  // §3.2: a query posed to MVJ returns the same results as posed to VJ.
+  auto over_view =
+      EvaluateQueryText(store_, "SELECT MVJ.professor.student X");
+  ASSERT_TRUE(over_view.ok());
+  EXPECT_EQ(*over_view, OidSet({P3()}));
+}
+
+// Examples 5 and 6 / Figure 4: Algorithm 1 on YP.
+TEST_F(PaperExamplesTest, Examples5And6AlgorithmOne) {
+  auto def = ViewDefinition::Parse(
+      "define mview YP as: SELECT ROOT.professor X WHERE X.age <= 45");
+  ASSERT_TRUE(def.ok());
+  MaterializedView view(&store_, *def);
+  ASSERT_TRUE(view.Initialize(store_).ok());
+  LocalAccessor accessor(&store_);
+  Algorithm1Maintainer maintainer(&view, &accessor, *def, Root());
+  store_.AddListener(&maintainer);
+
+  // Figure 4 left: YP.P1 only.
+  EXPECT_EQ(view.BaseMembers(), OidSet({P1()}));
+
+  // Example 5/6: insert(P2, A2) with <A2, age, 40> brings in YP.P2.
+  ASSERT_TRUE(store_.PutAtomic(Oid("A2"), "age", Value::Int(40)).ok());
+  ASSERT_TRUE(store_.Insert(P2(), Oid("A2")).ok());
+  EXPECT_EQ(view.BaseMembers(), OidSet({P1(), P2()}));
+  EXPECT_TRUE(store_.Contains(Oid("YP.P2")));
+
+  // Example 6 continued: delete(ROOT, P1) removes YP.P1.
+  ASSERT_TRUE(store_.Delete(Root(), P1()).ok());
+  EXPECT_EQ(view.BaseMembers(), OidSet({P2()}));
+  EXPECT_FALSE(store_.Contains(Oid("YP.P1")));
+  EXPECT_TRUE(maintainer.last_status().ok());
+  EXPECT_TRUE(CheckViewConsistency(view, store_).consistent);
+}
+
+// Example 7 / Figure 5: incremental maintenance versus recomputation on the
+// relational-style GSDB; see also exp1 in bench/.
+TEST_F(PaperExamplesTest, Example7IncrementalVsRecomputation) {
+  ObjectStore rel;
+  ASSERT_TRUE(rel.PutSet(Oid("REL"), "relations").ok());
+  ASSERT_TRUE(rel.PutSet(Oid("R"), "r").ok());
+  ASSERT_TRUE(rel.PutSet(Oid("S"), "s").ok());
+  ASSERT_TRUE(rel.Insert(Oid("REL"), Oid("R")).ok());
+  ASSERT_TRUE(rel.Insert(Oid("REL"), Oid("S")).ok());
+  auto def = ViewDefinition::Parse(
+      "define mview SEL as: SELECT REL.r.tuple X WHERE X.age > 30");
+  ASSERT_TRUE(def.ok());
+  MaterializedView view(&rel, *def);
+  ASSERT_TRUE(view.Initialize(rel).ok());
+  LocalAccessor accessor(&rel);
+  Algorithm1Maintainer maintainer(&view, &accessor, *def, Oid("REL"));
+  rel.AddListener(&maintainer);
+
+  // Insert tuple T with <A, age, 40>: SEL gains SEL.T, and the maintenance
+  // work (metered in StoreMetrics) is tiny because the tree is shallow.
+  ASSERT_TRUE(rel.PutAtomic(Oid("A"), "age", Value::Int(40)).ok());
+  ASSERT_TRUE(rel.PutSet(Oid("T"), "tuple", {Oid("A")}).ok());
+  rel.metrics().Reset();
+  ASSERT_TRUE(rel.Insert(Oid("R"), Oid("T")).ok());
+  EXPECT_TRUE(view.ContainsBase(Oid("T")));
+  int64_t incremental_work = rel.metrics().edges_traversed;
+
+  // The irrelevant insert into s is screened by the first path label.
+  ASSERT_TRUE(rel.PutAtomic(Oid("A2"), "age", Value::Int(50)).ok());
+  ASSERT_TRUE(rel.PutSet(Oid("T2"), "tuple", {Oid("A2")}).ok());
+  int64_t matched_before = maintainer.stats().matched;
+  ASSERT_TRUE(rel.Insert(Oid("S"), Oid("T2")).ok());
+  EXPECT_EQ(maintainer.stats().matched, matched_before);
+  EXPECT_FALSE(view.ContainsBase(Oid("T2")));
+
+  // Full recomputation touches the whole r-subtree.
+  rel.metrics().Reset();
+  auto recomputed = EvaluateView(rel, *def);
+  ASSERT_TRUE(recomputed.ok());
+  int64_t recompute_work = rel.metrics().edges_traversed;
+  EXPECT_GE(recompute_work, incremental_work);
+}
+
+// Example 8: the three-table relational representation.
+TEST_F(PaperExamplesTest, Example8RelationalRepresentation) {
+  ObjectStore base;
+  ASSERT_TRUE(BuildPersonDb(&base, /*with_database=*/false).ok());
+  RelationalMirror mirror;
+  ASSERT_TRUE(mirror.SyncFromStore(base).ok());
+  EXPECT_EQ(mirror.oid_label().Count(
+                RelationalMirror::OidLabelRow(Root(), "person")),
+            1);
+  EXPECT_EQ(
+      mirror.parent_child().Count(RelationalMirror::EdgeRow(Root(), P1())), 1);
+  EXPECT_EQ(mirror.oid_value().Count(
+                RelationalMirror::ValueRow(N1(), Value::Str("John"))),
+            1);
+  // The paper's caveat: "an insertion of an atomic object needs to modify
+  // all three tables."
+  base.AddListener(&mirror);
+  mirror.metrics().Reset();
+  ASSERT_TRUE(base.PutAtomic(Oid("A2"), "age", Value::Int(40)).ok());
+  ASSERT_TRUE(base.Insert(P2(), Oid("A2")).ok());
+  EXPECT_EQ(mirror.metrics().table_updates, 3);
+}
+
+// Example 9: realizing eval() through source queries — fetch all objects in
+// N.p, then test the condition locally at the warehouse.
+TEST_F(PaperExamplesTest, Example9SourceQueryRealization) {
+  WarehouseCosts costs;
+  SourceWrapper wrapper(&store_, &costs);
+  auto objects = wrapper.FetchPathObjects(P1(), *Path::Parse("age"));
+  ASSERT_EQ(objects.size(), 1u);
+  Predicate pred{*PathExpression::Parse(""), CompareOp::kLe, Value::Int(45)};
+  EXPECT_TRUE(pred.Holds(objects[0].value()));
+  EXPECT_EQ(costs.source_queries, 1);
+
+  auto ancestors = wrapper.FetchAncestors(A1(), *Path::Parse("age"));
+  EXPECT_EQ(OidSet(ancestors), OidSet({P1(), Person()}));
+}
+
+// Example 10: with the cached auxiliary structure, view maintenance for any
+// base update is local (no query-backs beyond cache upkeep).
+TEST_F(PaperExamplesTest, Example10CachingMakesMaintenanceLocal) {
+  ObjectStore source;
+  ASSERT_TRUE(BuildPersonDb(&source, /*with_database=*/false).ok());
+  ObjectStore warehouse_store;
+  Warehouse warehouse(&warehouse_store);
+  ASSERT_TRUE(warehouse
+                  .ConnectSource(&source, Root(), ReportingLevel::kWithValues)
+                  .ok());
+  ASSERT_TRUE(warehouse
+                  .DefineView(
+                      "define mview YP as: SELECT ROOT.professor X "
+                      "WHERE X.age <= 45",
+                      Warehouse::CacheMode::kFull)
+                  .ok());
+  warehouse.costs().Reset();
+
+  // "View maintenance corresponding to any base update can be done locally
+  // at the warehouse given the directly affected objects and, if the update
+  // is an insertion of a professor P into ROOT, the direct subobjects of P."
+  ASSERT_TRUE(source.Modify(A1(), Value::Int(50)).ok());
+  EXPECT_EQ(warehouse.costs().source_queries, 0);
+  EXPECT_EQ(warehouse.view("YP")->BaseMembers(), OidSet());
+
+  ASSERT_TRUE(source.PutAtomic(Oid("A9"), "age", Value::Int(30)).ok());
+  ASSERT_TRUE(source.PutSet(Oid("P9"), "professor", {Oid("A9")}).ok());
+  ASSERT_TRUE(source.Insert(Root(), Oid("P9")).ok());
+  EXPECT_EQ(warehouse.costs().source_queries,
+            warehouse.costs().cache_maintenance_queries)
+      << "only the direct-subobjects pull hit the source";
+  EXPECT_EQ(warehouse.view("YP")->BaseMembers(), OidSet({Oid("P9")}));
+  EXPECT_TRUE(warehouse.last_status().ok());
+}
+
+}  // namespace
+}  // namespace gsv

@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include "oem/store.h"
+#include "query/condition.h"
+#include "query/evaluator.h"
+#include "query/explain.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "workload/person_db.h"
+
+namespace gsv {
+namespace {
+
+using namespace person_db;  // NOLINT(build/namespaces): OID helpers
+
+// ----------------------------------------------------------------- Lexer
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select WHERE Within ans INT and OR");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 8u);  // 7 + end
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kSelect);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kWhere);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kWithin);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kAns);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kAnd);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kOr);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("42 -7 3.5 'John' \"Palo Alto\" `Sally'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].int_value, -7);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kRealLit);
+  EXPECT_DOUBLE_EQ((*tokens)[2].real_value, 3.5);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kStringLit);
+  EXPECT_EQ((*tokens)[3].text, "John");
+  EXPECT_EQ((*tokens)[4].text, "Palo Alto");
+  EXPECT_EQ((*tokens)[5].text, "Sally") << "paper-style `...' quoting";
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Tokenize(". * ? : ( ) = == != <> < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kDot, TokenKind::kStar, TokenKind::kQuestion,
+                       TokenKind::kColon, TokenKind::kLParen,
+                       TokenKind::kRParen, TokenKind::kEq, TokenKind::kEq,
+                       TokenKind::kNe, TokenKind::kNe, TokenKind::kLt,
+                       TokenKind::kLe, TokenKind::kGt, TokenKind::kGe,
+                       TokenKind::kEnd}));
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("!x").ok());
+}
+
+// ----------------------------------------------------------------- Parser
+
+TEST(ParserTest, PaperQuery21) {
+  auto query = ParseQuery("SELECT ROOT.professor X WHERE X.age > 40");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->entry, "ROOT");
+  EXPECT_EQ(query->select_path.ToString(), "professor");
+  EXPECT_EQ(query->binder, "X");
+  ASSERT_TRUE(query->where.IsSimple());
+  const Predicate& pred = query->where.simple_predicate();
+  EXPECT_EQ(pred.path.ToString(), "age");
+  EXPECT_EQ(pred.op, CompareOp::kGt);
+  EXPECT_EQ(pred.literal.AsInt(), 40);
+  EXPECT_FALSE(query->within_db.has_value());
+  EXPECT_FALSE(query->ans_int_db.has_value());
+  EXPECT_TRUE(query->IsSimple());
+}
+
+TEST(ParserTest, WithinAndAnsInt) {
+  auto query = ParseQuery(
+      "SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON ANS INT D1");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->select_path.ToString(), "*");
+  EXPECT_EQ(query->within_db.value(), "PERSON");
+  EXPECT_EQ(query->ans_int_db.value(), "D1");
+  EXPECT_FALSE(query->IsSimple()) << "wildcard select path is not simple";
+}
+
+TEST(ParserTest, BinderOptionalWithoutWhere) {
+  auto query = ParseQuery("SELECT VJ.?.age");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->entry, "VJ");
+  EXPECT_EQ(query->select_path.ToString(), "?.age");
+  EXPECT_EQ(query->binder, "X");
+}
+
+TEST(ParserTest, EmptySelectPath) {
+  auto query = ParseQuery("SELECT ROOT X");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->select_path.size(), 0u);
+}
+
+TEST(ParserTest, AndOrConditionTree) {
+  auto query = ParseQuery(
+      "SELECT ROOT.professor X WHERE X.age > 30 AND "
+      "(X.name = 'John' OR X.name = 'Sally')");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(query->where.IsTrivial());
+  EXPECT_FALSE(query->where.IsSimple());
+  EXPECT_EQ(query->where.Predicates().size(), 3u);
+  EXPECT_FALSE(query->IsSimple());
+}
+
+TEST(ParserTest, ConditionOnBinderItself) {
+  auto query = ParseQuery("SELECT ROOT.professor.age X WHERE X >= 45");
+  ASSERT_TRUE(query.ok());
+  ASSERT_TRUE(query->where.IsSimple());
+  EXPECT_EQ(query->where.simple_predicate().path.size(), 0u);
+}
+
+TEST(ParserTest, BinderMismatchRejected) {
+  EXPECT_FALSE(ParseQuery("SELECT ROOT.professor X WHERE Y.age > 40").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ROOT.").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ROOT.professor X WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ROOT.professor X WHERE X.age >").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ROOT.professor X ANS PERSON").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ROOT.professor X trailing junk").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT ROOT.professor X WHERE (X.age > 4").ok());
+}
+
+TEST(ParserTest, DefineStatements) {
+  auto def = ParseDefine(
+      "define view VJ as: SELECT ROOT.* X WHERE X.name = 'John' "
+      "WITHIN PERSON");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->name, "VJ");
+  EXPECT_FALSE(def->materialized);
+  EXPECT_EQ(def->query.entry, "ROOT");
+
+  auto mdef = ParseDefine("define mview YP as SELECT ROOT.professor X "
+                          "WHERE X.age <= 45");
+  ASSERT_TRUE(mdef.ok());
+  EXPECT_TRUE(mdef->materialized);
+  EXPECT_EQ(mdef->name, "YP");
+
+  EXPECT_FALSE(ParseDefine("define YP as SELECT ROOT.professor X").ok());
+  EXPECT_FALSE(ParseDefine("SELECT ROOT.professor X").ok());
+}
+
+TEST(ParserTest, ToStringRoundTrip) {
+  const char* text =
+      "SELECT ROOT.professor X WHERE X.age > 40 WITHIN PERSON ANS INT D1";
+  auto query = ParseQuery(text);
+  ASSERT_TRUE(query.ok());
+  auto reparsed = ParseQuery(query->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), query->ToString());
+}
+
+// ------------------------------------------------------------- Condition
+
+TEST(ConditionTest, CompareValuesSemantics) {
+  EXPECT_TRUE(CompareValues(Value::Int(45), CompareOp::kGe, Value::Int(45)));
+  EXPECT_TRUE(CompareValues(Value::Int(41), CompareOp::kGt, Value::Int(40)));
+  EXPECT_FALSE(CompareValues(Value::Int(40), CompareOp::kGt, Value::Int(40)));
+  EXPECT_TRUE(
+      CompareValues(Value::Str("John"), CompareOp::kEq, Value::Str("John")));
+  EXPECT_TRUE(
+      CompareValues(Value::Real(2.5), CompareOp::kLt, Value::Int(3)));
+  // Incomparable: only != holds (for atomic operands).
+  EXPECT_TRUE(
+      CompareValues(Value::Str("x"), CompareOp::kNe, Value::Int(1)));
+  EXPECT_FALSE(
+      CompareValues(Value::Str("x"), CompareOp::kEq, Value::Int(1)));
+  EXPECT_FALSE(CompareValues(Value::SetOf({}), CompareOp::kNe, Value::Int(1)));
+}
+
+TEST(ConditionTest, TrivialConditionIsTrue) {
+  ObjectStore store;
+  ASSERT_TRUE(BuildPersonDb(&store).ok());
+  Condition trivial;
+  EXPECT_TRUE(trivial.IsTrivial());
+  EXPECT_TRUE(trivial.Evaluate(store, P1()));
+}
+
+TEST(ConditionTest, AnySemantics) {
+  ObjectStore store;
+  ASSERT_TRUE(BuildPersonDb(&store).ok());
+  // P1 has both name=John (N1) and a student with name=John (N3): the
+  // wildcard path ?.name also reaches N3. Any match suffices (§2).
+  Predicate pred{*PathExpression::Parse("name"), CompareOp::kEq,
+                 Value::Str("John")};
+  Condition cond = Condition::MakePredicate(pred);
+  EXPECT_TRUE(cond.Evaluate(store, P1()));
+  EXPECT_FALSE(cond.Evaluate(store, P2()));
+}
+
+TEST(ConditionTest, AndOrEvaluation) {
+  ObjectStore store;
+  ASSERT_TRUE(BuildPersonDb(&store).ok());
+  auto pred = [](const char* path, CompareOp op, Value v) {
+    return Condition::MakePredicate(
+        Predicate{*PathExpression::Parse(path), op, std::move(v)});
+  };
+  Condition name_john = pred("name", CompareOp::kEq, Value::Str("John"));
+  Condition age_50 = pred("age", CompareOp::kGt, Value::Int(50));
+  Condition age_40 = pred("age", CompareOp::kGt, Value::Int(40));
+
+  EXPECT_TRUE(
+      Condition::And(name_john, age_40).Evaluate(store, P1()));  // 45 > 40
+  EXPECT_FALSE(Condition::And(name_john, age_50).Evaluate(store, P1()));
+  EXPECT_TRUE(Condition::Or(name_john, age_50).Evaluate(store, P1()));
+  EXPECT_FALSE(Condition::Or(age_50, age_50).Evaluate(store, P2()))
+      << "P2 has no age at all";
+}
+
+TEST(ConditionTest, SetObjectsNeverSatisfyPredicates) {
+  ObjectStore store;
+  ASSERT_TRUE(BuildPersonDb(&store).ok());
+  // ROOT.professor reaches set objects P1/P2; only atomic values count.
+  Predicate pred{*PathExpression::Parse("professor"), CompareOp::kNe,
+                 Value::Int(0)};
+  EXPECT_FALSE(Condition::MakePredicate(pred).Evaluate(store, Root()));
+}
+
+// ------------------------------------------------------------- Evaluator
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(BuildPersonDb(&store_).ok()); }
+
+  OidSet Eval(const std::string& text) {
+    Result<OidSet> result = EvaluateQueryText(store_, text);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << " for " << text;
+    return result.ok() ? *result : OidSet();
+  }
+
+  ObjectStore store_;
+};
+
+TEST_F(EvaluatorTest, PaperSection2Query) {
+  // "SELECT ROOT.professor X WHERE X.age > 40 will return <ANS, answer,
+  //  set, {P1}>" (§2).
+  EXPECT_EQ(Eval("SELECT ROOT.professor X WHERE X.age > 40"),
+            OidSet({P1()}));
+}
+
+TEST_F(EvaluatorTest, DatabaseNameAsEntry) {
+  // DB.? starts at all objects in DB (§2).
+  OidSet top = Eval("SELECT PERSON.? X");
+  EXPECT_EQ(top.size(), 15u) << "every member of PERSON matches ?";
+}
+
+TEST_F(EvaluatorTest, UnknownEntryIsError) {
+  EXPECT_FALSE(EvaluateQueryText(store_, "SELECT NOPE.professor X").ok());
+}
+
+TEST_F(EvaluatorTest, UnknownWithinOrAnsIntIsError) {
+  EXPECT_FALSE(
+      EvaluateQueryText(store_, "SELECT ROOT.professor X WITHIN NOPE").ok());
+  EXPECT_FALSE(
+      EvaluateQueryText(store_, "SELECT ROOT.professor X ANS INT NOPE").ok());
+}
+
+TEST_F(EvaluatorTest, WithinHidesOutOfDatabaseObjects) {
+  // Split the data: D1 = everything except A1 (paper §2's example).
+  OidSet members;
+  store_.ForEach([&](const Object& object) {
+    if (object.oid() != A1() && object.oid() != Person()) {
+      members.Insert(object.oid());
+    }
+  });
+  ASSERT_TRUE(store_.PutSet(Oid("D1obj"), "database").ok());
+  ASSERT_TRUE(store_.SetValueRaw(Oid("D1obj"), Value::Set(members)).ok());
+  ASSERT_TRUE(store_.RegisterDatabase("D1", Oid("D1obj")).ok());
+
+  // Without the clause, P1 qualifies through A1.
+  EXPECT_EQ(Eval("SELECT ROOT.professor X WHERE X.age > 40"), OidSet({P1()}));
+  // WITHIN D1 ignores A1 entirely: empty result (paper §2).
+  EXPECT_EQ(Eval("SELECT ROOT.professor X WHERE X.age > 40 WITHIN D1"),
+            OidSet());
+  // ANS INT D1 allows the condition to use A1 but keeps only answers in D1:
+  // P1 is in D1, so it stays (paper §2).
+  EXPECT_EQ(Eval("SELECT ROOT.professor X WHERE X.age > 40 ANS INT D1"),
+            OidSet({P1()}));
+
+  // Now make D2 = everything except P1: same query ANS INT D2 is empty
+  // (paper §2: "if all nodes except P1 are in D1 ... empty set").
+  OidSet members2;
+  store_.ForEach([&](const Object& object) {
+    if (object.oid() != P1() && object.oid() != Person() &&
+        object.oid() != Oid("D1obj")) {
+      members2.Insert(object.oid());
+    }
+  });
+  ASSERT_TRUE(store_.PutSet(Oid("D2obj"), "database").ok());
+  ASSERT_TRUE(store_.SetValueRaw(Oid("D2obj"), Value::Set(members2)).ok());
+  ASSERT_TRUE(store_.RegisterDatabase("D2", Oid("D2obj")).ok());
+  EXPECT_EQ(Eval("SELECT ROOT.professor X WHERE X.age > 40 ANS INT D2"),
+            OidSet());
+}
+
+TEST_F(EvaluatorTest, AnswerObjectShape) {
+  OidSet answer = Eval("SELECT ROOT.professor X WHERE X.age > 40");
+  Object ans = MakeAnswerObject(Oid("ANS"), answer);
+  EXPECT_EQ(ans.ToString(), "<ANS, answer, set, {P1}>");
+}
+
+TEST_F(EvaluatorTest, StoreAnswerAsEnablesFollowOnQueries) {
+  OidSet answer = Eval("SELECT ROOT.professor X WHERE X.age > 40");
+  ASSERT_TRUE(StoreAnswerAs(store_, "RICH", Oid("ANS1"), answer).ok());
+  // Follow-on query uses the stored answer as entry point (§3.1).
+  EXPECT_EQ(Eval("SELECT RICH.? X"), OidSet({P1()}));
+  EXPECT_EQ(Eval("SELECT RICH.?.age X"), OidSet({A1()}));
+  EXPECT_EQ(Eval("SELECT RICH.?.? X"), OidSet({N1(), A1(), S1(), P3()}));
+  // And as an ANS INT restriction.
+  EXPECT_EQ(Eval("SELECT ROOT.professor X ANS INT RICH"), OidSet({P1()}));
+}
+
+TEST_F(EvaluatorTest, ExplainMatchesEvaluateAndTracesSteps) {
+  const char* text = "SELECT ROOT.professor X WHERE X.age > 40";
+  auto explanation = ExplainQueryText(store_, text);
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_EQ(explanation->answer, Eval(text));
+  EXPECT_EQ(explanation->entry_oid, Root());
+  EXPECT_FALSE(explanation->entry_was_database);
+  ASSERT_EQ(explanation->steps.size(), 1u);
+  EXPECT_EQ(explanation->steps[0].atom, "professor");
+  EXPECT_EQ(explanation->steps[0].frontier_before, 1u);
+  EXPECT_EQ(explanation->steps[0].frontier_after, 2u);
+  EXPECT_EQ(explanation->candidates, 2u);
+  EXPECT_EQ(explanation->passed_condition, 1u);
+  EXPECT_GT(explanation->total_edges, 0);
+  EXPECT_NE(explanation->ToString().find(".professor: 1 -> 2"),
+            std::string::npos);
+}
+
+TEST_F(EvaluatorTest, ExplainWildcardAndScopes) {
+  auto explanation = ExplainQueryText(
+      store_, "SELECT ROOT.* X WHERE X.name = 'John' WITHIN PERSON");
+  ASSERT_TRUE(explanation.ok());
+  EXPECT_TRUE(explanation->scoped);
+  ASSERT_EQ(explanation->steps.size(), 1u);
+  EXPECT_EQ(explanation->steps[0].atom, "*");
+  EXPECT_EQ(explanation->answer, OidSet({P1(), P3()}));
+
+  auto db_entry = ExplainQueryText(store_, "SELECT PERSON.? X");
+  ASSERT_TRUE(db_entry.ok());
+  EXPECT_TRUE(db_entry->entry_was_database);
+
+  EXPECT_FALSE(ExplainQueryText(store_, "SELECT NOPE.x X").ok());
+  EXPECT_FALSE(
+      ExplainQueryText(store_, "SELECT ROOT.professor X WITHIN NOPE").ok());
+  EXPECT_FALSE(
+      ExplainQueryText(store_, "SELECT ROOT.professor X ANS INT NOPE").ok());
+}
+
+TEST_F(EvaluatorTest, EmptySelectPathReturnsEntryIfConditionHolds) {
+  EXPECT_EQ(Eval("SELECT P1 X WHERE X.age = 45"), OidSet({P1()}));
+  EXPECT_EQ(Eval("SELECT P1 X WHERE X.age = 46"), OidSet());
+}
+
+}  // namespace
+}  // namespace gsv

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "oem/serialize.h"
+#include "oem/store.h"
+#include "workload/person_db.h"
+#include "workload/tree_gen.h"
+
+namespace gsv {
+namespace {
+
+using namespace person_db;  // NOLINT(build/namespaces): OID helpers
+
+TEST(SerializeTest, RoundTripsPersonDb) {
+  ObjectStore original;
+  ASSERT_TRUE(BuildPersonDb(&original).ok());
+  std::string text = StoreToString(original);
+
+  ObjectStore loaded;
+  ASSERT_TRUE(StoreFromString(text, &loaded).ok());
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.DatabaseNames(), original.DatabaseNames());
+  original.ForEach([&](const Object& object) {
+    const Object* copy = loaded.Get(object.oid());
+    ASSERT_NE(copy, nullptr) << object.oid().str();
+    EXPECT_EQ(*copy, object);
+  });
+  // A second round trip is byte-identical (canonical ordering).
+  EXPECT_EQ(StoreToString(loaded), text);
+}
+
+TEST(SerializeTest, RoundTripsAllValueTypes) {
+  ObjectStore store;
+  ASSERT_TRUE(store.PutAtomic(Oid("I"), "i", Value::Int(-42)).ok());
+  ASSERT_TRUE(store.PutAtomic(Oid("R"), "r", Value::Real(3.25)).ok());
+  ASSERT_TRUE(store.PutAtomic(Oid("B"), "b", Value::Bool(true)).ok());
+  ASSERT_TRUE(store
+                  .PutAtomic(Oid("S"), "s",
+                             Value::Str("line\nwith \"quotes\" and \\slash"))
+                  .ok());
+  ASSERT_TRUE(store.PutSet(Oid("SET"), "set", {Oid("I"), Oid("R")}).ok());
+
+  ObjectStore loaded;
+  ASSERT_TRUE(StoreFromString(StoreToString(store), &loaded).ok());
+  EXPECT_EQ(loaded.Get(Oid("I"))->value().AsInt(), -42);
+  EXPECT_DOUBLE_EQ(loaded.Get(Oid("R"))->value().AsReal(), 3.25);
+  EXPECT_TRUE(loaded.Get(Oid("B"))->value().AsBool());
+  EXPECT_EQ(loaded.Get(Oid("S"))->value().AsString(),
+            "line\nwith \"quotes\" and \\slash");
+  EXPECT_EQ(loaded.Get(Oid("SET"))->children(), OidSet({Oid("I"), Oid("R")}));
+}
+
+TEST(SerializeTest, RoundTripsGeneratedTree) {
+  ObjectStore store;
+  TreeGenOptions options;
+  options.levels = 4;
+  options.fanout = 3;
+  ASSERT_TRUE(GenerateTree(&store, options).ok());
+  ObjectStore loaded;
+  ASSERT_TRUE(StoreFromString(StoreToString(store), &loaded).ok());
+  EXPECT_EQ(loaded.size(), store.size());
+}
+
+TEST(SerializeTest, IgnoresCommentsAndBlankLines) {
+  ObjectStore store;
+  ASSERT_TRUE(StoreFromString("# header\n\nobj A lab int 1\n\n", &store).ok());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SerializeTest, RejectsMalformedRecords) {
+  ObjectStore store;
+  EXPECT_FALSE(StoreFromString("nonsense A B\n", &store).ok());
+  EXPECT_FALSE(StoreFromString("obj A lab\n", &store).ok());
+  EXPECT_FALSE(StoreFromString("obj A lab int\n", &store).ok());
+  EXPECT_FALSE(StoreFromString("obj A lab float 1\n", &store).ok());
+  EXPECT_FALSE(StoreFromString("obj A lab string noquotes\n", &store).ok());
+  EXPECT_FALSE(StoreFromString("obj A lab string \"open\n", &store).ok());
+  EXPECT_FALSE(StoreFromString("db X\n", &store).ok());
+  EXPECT_FALSE(StoreFromString("db X MISSING\n", &store).ok())
+      << "database OIDs must exist";
+}
+
+TEST(SerializeTest, DuplicateOidFails) {
+  ObjectStore store;
+  EXPECT_FALSE(
+      StoreFromString("obj A lab int 1\nobj A lab int 2\n", &store).ok());
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  ObjectStore store;
+  ASSERT_TRUE(BuildPersonDb(&store).ok());
+  const std::string path = "/tmp/gsv_serialize_test.gsv";
+  ASSERT_TRUE(SaveStoreToFile(store, path).ok());
+  ObjectStore loaded;
+  ASSERT_TRUE(LoadStoreFromFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), store.size());
+  EXPECT_FALSE(LoadStoreFromFile("/nonexistent/nope", &loaded).ok());
+}
+
+}  // namespace
+}  // namespace gsv

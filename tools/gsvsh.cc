@@ -1,0 +1,50 @@
+// gsvsh — an interactive shell over a graph-structured database with live
+// materialized views.
+//
+//   $ ./tools/gsvsh                # REPL on stdin
+//   $ ./tools/gsvsh script.gsv     # run a script, then exit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "shell/shell.h"
+
+int main(int argc, char** argv) {
+  gsv::Shell shell;
+
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream script;
+    script << in.rdbuf();
+    gsv::Result<std::string> result = shell.RunScript(script.str());
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(result->c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("gsvsh — graph-structured views shell (try: help)\n");
+  std::string line;
+  while (true) {
+    std::printf("gsv> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    gsv::Result<std::string> result = shell.ProcessLine(line);
+    if (!result.ok()) {
+      if (result.status().message() == "quit") break;
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->empty()) std::printf("%s\n", result->c_str());
+  }
+  return 0;
+}
