@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_micro.dir/bm_micro.cc.o"
+  "CMakeFiles/bm_micro.dir/bm_micro.cc.o.d"
+  "bm_micro"
+  "bm_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

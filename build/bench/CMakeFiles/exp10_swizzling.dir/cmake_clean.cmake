@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_swizzling.dir/exp10_swizzling.cc.o"
+  "CMakeFiles/exp10_swizzling.dir/exp10_swizzling.cc.o.d"
+  "exp10_swizzling"
+  "exp10_swizzling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_swizzling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp12_deferred_compaction.dir/exp12_deferred_compaction.cc.o"
+  "CMakeFiles/exp12_deferred_compaction.dir/exp12_deferred_compaction.cc.o.d"
+  "exp12_deferred_compaction"
+  "exp12_deferred_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp12_deferred_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_incremental_vs_recompute.dir/exp1_incremental_vs_recompute.cc.o"
+  "CMakeFiles/exp1_incremental_vs_recompute.dir/exp1_incremental_vs_recompute.cc.o.d"
+  "exp1_incremental_vs_recompute"
+  "exp1_incremental_vs_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_incremental_vs_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

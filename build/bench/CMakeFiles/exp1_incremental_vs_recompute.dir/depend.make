@@ -1,0 +1,2 @@
+# Empty dependencies file for exp1_incremental_vs_recompute.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_relational_baseline.dir/exp2_relational_baseline.cc.o"
+  "CMakeFiles/exp2_relational_baseline.dir/exp2_relational_baseline.cc.o.d"
+  "exp2_relational_baseline"
+  "exp2_relational_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_relational_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

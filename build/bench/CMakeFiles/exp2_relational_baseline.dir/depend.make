@@ -1,0 +1,2 @@
+# Empty dependencies file for exp2_relational_baseline.
+# This may be replaced when dependencies are built.

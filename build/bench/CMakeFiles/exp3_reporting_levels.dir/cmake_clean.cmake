@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_reporting_levels.dir/exp3_reporting_levels.cc.o"
+  "CMakeFiles/exp3_reporting_levels.dir/exp3_reporting_levels.cc.o.d"
+  "exp3_reporting_levels"
+  "exp3_reporting_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_reporting_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

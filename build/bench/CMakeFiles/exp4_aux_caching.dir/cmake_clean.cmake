@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_aux_caching.dir/exp4_aux_caching.cc.o"
+  "CMakeFiles/exp4_aux_caching.dir/exp4_aux_caching.cc.o.d"
+  "exp4_aux_caching"
+  "exp4_aux_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_aux_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_path_length.dir/exp5_path_length.cc.o"
+  "CMakeFiles/exp5_path_length.dir/exp5_path_length.cc.o.d"
+  "exp5_path_length"
+  "exp5_path_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_path_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

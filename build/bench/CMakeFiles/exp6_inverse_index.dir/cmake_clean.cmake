@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_inverse_index.dir/exp6_inverse_index.cc.o"
+  "CMakeFiles/exp6_inverse_index.dir/exp6_inverse_index.cc.o.d"
+  "exp6_inverse_index"
+  "exp6_inverse_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_inverse_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

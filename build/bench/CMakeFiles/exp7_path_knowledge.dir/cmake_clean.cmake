@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp7_path_knowledge.dir/exp7_path_knowledge.cc.o"
+  "CMakeFiles/exp7_path_knowledge.dir/exp7_path_knowledge.cc.o.d"
+  "exp7_path_knowledge"
+  "exp7_path_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp7_path_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp8_path_expressions.dir/exp8_path_expressions.cc.o"
+  "CMakeFiles/exp8_path_expressions.dir/exp8_path_expressions.cc.o.d"
+  "exp8_path_expressions"
+  "exp8_path_expressions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp8_path_expressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

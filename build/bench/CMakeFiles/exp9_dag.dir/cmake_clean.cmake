@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp9_dag.dir/exp9_dag.cc.o"
+  "CMakeFiles/exp9_dag.dir/exp9_dag.cc.o.d"
+  "exp9_dag"
+  "exp9_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp9_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate_view.cc" "src/CMakeFiles/gsv.dir/core/aggregate_view.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/aggregate_view.cc.o.d"
+  "/root/repo/src/core/algorithm1.cc" "src/CMakeFiles/gsv.dir/core/algorithm1.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/algorithm1.cc.o.d"
+  "/root/repo/src/core/base_accessor.cc" "src/CMakeFiles/gsv.dir/core/base_accessor.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/base_accessor.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "src/CMakeFiles/gsv.dir/core/consistency.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/consistency.cc.o.d"
+  "/root/repo/src/core/general_maintainer.cc" "src/CMakeFiles/gsv.dir/core/general_maintainer.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/general_maintainer.cc.o.d"
+  "/root/repo/src/core/local_accessor.cc" "src/CMakeFiles/gsv.dir/core/local_accessor.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/local_accessor.cc.o.d"
+  "/root/repo/src/core/materialized_view.cc" "src/CMakeFiles/gsv.dir/core/materialized_view.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/materialized_view.cc.o.d"
+  "/root/repo/src/core/partial_materialization.cc" "src/CMakeFiles/gsv.dir/core/partial_materialization.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/partial_materialization.cc.o.d"
+  "/root/repo/src/core/recompute.cc" "src/CMakeFiles/gsv.dir/core/recompute.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/recompute.cc.o.d"
+  "/root/repo/src/core/swizzle.cc" "src/CMakeFiles/gsv.dir/core/swizzle.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/swizzle.cc.o.d"
+  "/root/repo/src/core/union_view.cc" "src/CMakeFiles/gsv.dir/core/union_view.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/union_view.cc.o.d"
+  "/root/repo/src/core/view_cluster.cc" "src/CMakeFiles/gsv.dir/core/view_cluster.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/view_cluster.cc.o.d"
+  "/root/repo/src/core/view_definition.cc" "src/CMakeFiles/gsv.dir/core/view_definition.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/view_definition.cc.o.d"
+  "/root/repo/src/core/virtual_view.cc" "src/CMakeFiles/gsv.dir/core/virtual_view.cc.o" "gcc" "src/CMakeFiles/gsv.dir/core/virtual_view.cc.o.d"
+  "/root/repo/src/oem/object.cc" "src/CMakeFiles/gsv.dir/oem/object.cc.o" "gcc" "src/CMakeFiles/gsv.dir/oem/object.cc.o.d"
+  "/root/repo/src/oem/oid.cc" "src/CMakeFiles/gsv.dir/oem/oid.cc.o" "gcc" "src/CMakeFiles/gsv.dir/oem/oid.cc.o.d"
+  "/root/repo/src/oem/serialize.cc" "src/CMakeFiles/gsv.dir/oem/serialize.cc.o" "gcc" "src/CMakeFiles/gsv.dir/oem/serialize.cc.o.d"
+  "/root/repo/src/oem/set_ops.cc" "src/CMakeFiles/gsv.dir/oem/set_ops.cc.o" "gcc" "src/CMakeFiles/gsv.dir/oem/set_ops.cc.o.d"
+  "/root/repo/src/oem/store.cc" "src/CMakeFiles/gsv.dir/oem/store.cc.o" "gcc" "src/CMakeFiles/gsv.dir/oem/store.cc.o.d"
+  "/root/repo/src/oem/transaction.cc" "src/CMakeFiles/gsv.dir/oem/transaction.cc.o" "gcc" "src/CMakeFiles/gsv.dir/oem/transaction.cc.o.d"
+  "/root/repo/src/oem/value.cc" "src/CMakeFiles/gsv.dir/oem/value.cc.o" "gcc" "src/CMakeFiles/gsv.dir/oem/value.cc.o.d"
+  "/root/repo/src/path/navigate.cc" "src/CMakeFiles/gsv.dir/path/navigate.cc.o" "gcc" "src/CMakeFiles/gsv.dir/path/navigate.cc.o.d"
+  "/root/repo/src/path/path.cc" "src/CMakeFiles/gsv.dir/path/path.cc.o" "gcc" "src/CMakeFiles/gsv.dir/path/path.cc.o.d"
+  "/root/repo/src/path/path_expression.cc" "src/CMakeFiles/gsv.dir/path/path_expression.cc.o" "gcc" "src/CMakeFiles/gsv.dir/path/path_expression.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/gsv.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/gsv.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/condition.cc" "src/CMakeFiles/gsv.dir/query/condition.cc.o" "gcc" "src/CMakeFiles/gsv.dir/query/condition.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/gsv.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/gsv.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/explain.cc" "src/CMakeFiles/gsv.dir/query/explain.cc.o" "gcc" "src/CMakeFiles/gsv.dir/query/explain.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/gsv.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/gsv.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/gsv.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/gsv.dir/query/parser.cc.o.d"
+  "/root/repo/src/relational/counting.cc" "src/CMakeFiles/gsv.dir/relational/counting.cc.o" "gcc" "src/CMakeFiles/gsv.dir/relational/counting.cc.o.d"
+  "/root/repo/src/relational/flatten.cc" "src/CMakeFiles/gsv.dir/relational/flatten.cc.o" "gcc" "src/CMakeFiles/gsv.dir/relational/flatten.cc.o.d"
+  "/root/repo/src/relational/spj_view.cc" "src/CMakeFiles/gsv.dir/relational/spj_view.cc.o" "gcc" "src/CMakeFiles/gsv.dir/relational/spj_view.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/gsv.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/gsv.dir/relational/table.cc.o.d"
+  "/root/repo/src/shell/shell.cc" "src/CMakeFiles/gsv.dir/shell/shell.cc.o" "gcc" "src/CMakeFiles/gsv.dir/shell/shell.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/gsv.dir/util/status.cc.o" "gcc" "src/CMakeFiles/gsv.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/gsv.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/gsv.dir/util/string_util.cc.o.d"
+  "/root/repo/src/warehouse/aux_cache.cc" "src/CMakeFiles/gsv.dir/warehouse/aux_cache.cc.o" "gcc" "src/CMakeFiles/gsv.dir/warehouse/aux_cache.cc.o.d"
+  "/root/repo/src/warehouse/cost_model.cc" "src/CMakeFiles/gsv.dir/warehouse/cost_model.cc.o" "gcc" "src/CMakeFiles/gsv.dir/warehouse/cost_model.cc.o.d"
+  "/root/repo/src/warehouse/monitor.cc" "src/CMakeFiles/gsv.dir/warehouse/monitor.cc.o" "gcc" "src/CMakeFiles/gsv.dir/warehouse/monitor.cc.o.d"
+  "/root/repo/src/warehouse/path_knowledge.cc" "src/CMakeFiles/gsv.dir/warehouse/path_knowledge.cc.o" "gcc" "src/CMakeFiles/gsv.dir/warehouse/path_knowledge.cc.o.d"
+  "/root/repo/src/warehouse/remote_accessor.cc" "src/CMakeFiles/gsv.dir/warehouse/remote_accessor.cc.o" "gcc" "src/CMakeFiles/gsv.dir/warehouse/remote_accessor.cc.o.d"
+  "/root/repo/src/warehouse/source_wrapper_gsdb.cc" "src/CMakeFiles/gsv.dir/warehouse/source_wrapper_gsdb.cc.o" "gcc" "src/CMakeFiles/gsv.dir/warehouse/source_wrapper_gsdb.cc.o.d"
+  "/root/repo/src/warehouse/update_event.cc" "src/CMakeFiles/gsv.dir/warehouse/update_event.cc.o" "gcc" "src/CMakeFiles/gsv.dir/warehouse/update_event.cc.o.d"
+  "/root/repo/src/warehouse/warehouse.cc" "src/CMakeFiles/gsv.dir/warehouse/warehouse.cc.o" "gcc" "src/CMakeFiles/gsv.dir/warehouse/warehouse.cc.o.d"
+  "/root/repo/src/warehouse/wrapper.cc" "src/CMakeFiles/gsv.dir/warehouse/wrapper.cc.o" "gcc" "src/CMakeFiles/gsv.dir/warehouse/wrapper.cc.o.d"
+  "/root/repo/src/workload/dag_gen.cc" "src/CMakeFiles/gsv.dir/workload/dag_gen.cc.o" "gcc" "src/CMakeFiles/gsv.dir/workload/dag_gen.cc.o.d"
+  "/root/repo/src/workload/person_db.cc" "src/CMakeFiles/gsv.dir/workload/person_db.cc.o" "gcc" "src/CMakeFiles/gsv.dir/workload/person_db.cc.o.d"
+  "/root/repo/src/workload/relational_gen.cc" "src/CMakeFiles/gsv.dir/workload/relational_gen.cc.o" "gcc" "src/CMakeFiles/gsv.dir/workload/relational_gen.cc.o.d"
+  "/root/repo/src/workload/tree_gen.cc" "src/CMakeFiles/gsv.dir/workload/tree_gen.cc.o" "gcc" "src/CMakeFiles/gsv.dir/workload/tree_gen.cc.o.d"
+  "/root/repo/src/workload/update_gen.cc" "src/CMakeFiles/gsv.dir/workload/update_gen.cc.o" "gcc" "src/CMakeFiles/gsv.dir/workload/update_gen.cc.o.d"
+  "/root/repo/src/workload/web_gen.cc" "src/CMakeFiles/gsv.dir/workload/web_gen.cc.o" "gcc" "src/CMakeFiles/gsv.dir/workload/web_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

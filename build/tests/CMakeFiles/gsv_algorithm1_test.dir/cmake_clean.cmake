@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_algorithm1_test.dir/algorithm1_test.cc.o"
+  "CMakeFiles/gsv_algorithm1_test.dir/algorithm1_test.cc.o.d"
+  "gsv_algorithm1_test"
+  "gsv_algorithm1_test.pdb"
+  "gsv_algorithm1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_algorithm1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

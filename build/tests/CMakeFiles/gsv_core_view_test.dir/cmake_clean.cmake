@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_core_view_test.dir/core_view_test.cc.o"
+  "CMakeFiles/gsv_core_view_test.dir/core_view_test.cc.o.d"
+  "gsv_core_view_test"
+  "gsv_core_view_test.pdb"
+  "gsv_core_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_core_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gsv_core_view_test.
+# This may be replaced when dependencies are built.

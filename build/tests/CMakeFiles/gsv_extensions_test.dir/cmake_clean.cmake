@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_extensions_test.dir/extensions_test.cc.o"
+  "CMakeFiles/gsv_extensions_test.dir/extensions_test.cc.o.d"
+  "gsv_extensions_test"
+  "gsv_extensions_test.pdb"
+  "gsv_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

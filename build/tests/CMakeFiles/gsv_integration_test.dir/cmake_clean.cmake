@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_integration_test.dir/integration_test.cc.o"
+  "CMakeFiles/gsv_integration_test.dir/integration_test.cc.o.d"
+  "gsv_integration_test"
+  "gsv_integration_test.pdb"
+  "gsv_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_oem_test.dir/oem_test.cc.o"
+  "CMakeFiles/gsv_oem_test.dir/oem_test.cc.o.d"
+  "gsv_oem_test"
+  "gsv_oem_test.pdb"
+  "gsv_oem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_oem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

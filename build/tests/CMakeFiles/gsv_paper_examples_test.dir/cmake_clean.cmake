@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_paper_examples_test.dir/paper_examples_test.cc.o"
+  "CMakeFiles/gsv_paper_examples_test.dir/paper_examples_test.cc.o.d"
+  "gsv_paper_examples_test"
+  "gsv_paper_examples_test.pdb"
+  "gsv_paper_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

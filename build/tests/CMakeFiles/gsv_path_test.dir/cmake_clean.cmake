@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_path_test.dir/path_test.cc.o"
+  "CMakeFiles/gsv_path_test.dir/path_test.cc.o.d"
+  "gsv_path_test"
+  "gsv_path_test.pdb"
+  "gsv_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

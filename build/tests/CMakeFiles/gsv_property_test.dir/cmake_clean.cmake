@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_property_test.dir/property_test.cc.o"
+  "CMakeFiles/gsv_property_test.dir/property_test.cc.o.d"
+  "gsv_property_test"
+  "gsv_property_test.pdb"
+  "gsv_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

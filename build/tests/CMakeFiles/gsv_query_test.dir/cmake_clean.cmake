@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_query_test.dir/query_test.cc.o"
+  "CMakeFiles/gsv_query_test.dir/query_test.cc.o.d"
+  "gsv_query_test"
+  "gsv_query_test.pdb"
+  "gsv_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_relational_test.dir/relational_test.cc.o"
+  "CMakeFiles/gsv_relational_test.dir/relational_test.cc.o.d"
+  "gsv_relational_test"
+  "gsv_relational_test.pdb"
+  "gsv_relational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_relational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

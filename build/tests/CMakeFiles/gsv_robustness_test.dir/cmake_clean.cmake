@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_robustness_test.dir/robustness_test.cc.o"
+  "CMakeFiles/gsv_robustness_test.dir/robustness_test.cc.o.d"
+  "gsv_robustness_test"
+  "gsv_robustness_test.pdb"
+  "gsv_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

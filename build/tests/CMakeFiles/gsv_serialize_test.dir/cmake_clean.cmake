@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_serialize_test.dir/serialize_test.cc.o"
+  "CMakeFiles/gsv_serialize_test.dir/serialize_test.cc.o.d"
+  "gsv_serialize_test"
+  "gsv_serialize_test.pdb"
+  "gsv_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

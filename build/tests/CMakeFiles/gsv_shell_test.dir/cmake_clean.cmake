@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_shell_test.dir/shell_test.cc.o"
+  "CMakeFiles/gsv_shell_test.dir/shell_test.cc.o.d"
+  "gsv_shell_test"
+  "gsv_shell_test.pdb"
+  "gsv_shell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_shell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

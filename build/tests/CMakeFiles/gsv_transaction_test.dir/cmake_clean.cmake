@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_transaction_test.dir/transaction_test.cc.o"
+  "CMakeFiles/gsv_transaction_test.dir/transaction_test.cc.o.d"
+  "gsv_transaction_test"
+  "gsv_transaction_test.pdb"
+  "gsv_transaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_transaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

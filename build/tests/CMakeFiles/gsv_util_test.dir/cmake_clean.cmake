@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_util_test.dir/util_test.cc.o"
+  "CMakeFiles/gsv_util_test.dir/util_test.cc.o.d"
+  "gsv_util_test"
+  "gsv_util_test.pdb"
+  "gsv_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

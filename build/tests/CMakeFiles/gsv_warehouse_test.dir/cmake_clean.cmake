@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_warehouse_test.dir/warehouse_test.cc.o"
+  "CMakeFiles/gsv_warehouse_test.dir/warehouse_test.cc.o.d"
+  "gsv_warehouse_test"
+  "gsv_warehouse_test.pdb"
+  "gsv_warehouse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_warehouse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

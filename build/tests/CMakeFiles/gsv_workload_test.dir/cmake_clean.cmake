@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsv_workload_test.dir/workload_test.cc.o"
+  "CMakeFiles/gsv_workload_test.dir/workload_test.cc.o.d"
+  "gsv_workload_test"
+  "gsv_workload_test.pdb"
+  "gsv_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsv_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gsv_util_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_oem_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_path_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_query_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_core_view_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_algorithm1_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_workload_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_relational_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_warehouse_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_property_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_shell_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_transaction_test[1]_include.cmake")
+include("/root/repo/build/tests/gsv_robustness_test[1]_include.cmake")

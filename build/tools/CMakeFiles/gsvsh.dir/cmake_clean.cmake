@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsvsh.dir/gsvsh.cc.o"
+  "CMakeFiles/gsvsh.dir/gsvsh.cc.o.d"
+  "gsvsh"
+  "gsvsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsvsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
