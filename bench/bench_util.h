@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -51,6 +52,54 @@ class TablePrinter {
  private:
   std::vector<std::string> columns_;
 };
+
+// Newline-delimited JSON records for downstream plotting: one object per
+// Record() call. Field values are pre-formatted — pass Num()/Micros() output
+// for numbers and Quoted() output for strings.
+class JsonLines {
+ public:
+  // `path` empty: records go to stdout. Otherwise they append to the file.
+  explicit JsonLines(const std::string& path = "") {
+    if (!path.empty()) {
+      file_ = std::fopen(path.c_str(), "w");
+      if (file_ == nullptr) {
+        std::fprintf(stderr, "bench error: cannot open %s\n", path.c_str());
+        std::exit(1);
+      }
+    }
+  }
+  ~JsonLines() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonLines(const JsonLines&) = delete;
+  JsonLines& operator=(const JsonLines&) = delete;
+
+  void Record(
+      const std::vector<std::pair<std::string, std::string>>& fields) {
+    FILE* out = file_ != nullptr ? file_ : stdout;
+    std::fputc('{', out);
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) std::fputs(", ", out);
+      std::fprintf(out, "\"%s\": %s", fields[i].first.c_str(),
+                   fields[i].second.c_str());
+    }
+    std::fputs("}\n", out);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+// Escapes and quotes a string for a JsonLines field value.
+inline std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
 
 inline std::string Num(int64_t v) { return std::to_string(v); }
 inline std::string Num(size_t v) { return std::to_string(v); }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (full build + test suite), then a
+# ThreadSanitizer build of the batch-engine tests to prove the parallel
+# drain is race-free. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== tier-1: configure + build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo
+echo "=== tsan: batch-engine tests under -fsanitize=thread ==="
+cmake -B build-tsan -S . -DGSV_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target gsv_batch_test
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L tsan
+
+echo
+echo "ci.sh: all checks passed"

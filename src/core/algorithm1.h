@@ -51,6 +51,15 @@ class Algorithm1Maintainer : public UpdateListener {
     int64_t v_inserts = 0;  // V_insert operations issued (incl. ignored)
     int64_t v_deletes = 0;  // V_delete operations issued (incl. ignored)
     int64_t rechecks = 0;   // eval(Y, cond_path, cond) re-examinations
+
+    Stats& operator+=(const Stats& other) {
+      updates += other.updates;
+      matched += other.matched;
+      v_inserts += other.v_inserts;
+      v_deletes += other.v_deletes;
+      rechecks += other.rechecks;
+      return *this;
+    }
   };
 
   // Returns OK iff `def` has the simple shape this algorithm maintains.
@@ -75,6 +84,9 @@ class Algorithm1Maintainer : public UpdateListener {
   void OnUpdate(const ObjectStore& store, const Update& update) override;
 
   const Stats& stats() const { return stats_; }
+  // Folds the stats of a worker maintainer (the batch engine evaluates with
+  // per-task maintainers and merges after its barrier).
+  void MergeStats(const Stats& other) { stats_ += other; }
   const Status& last_status() const { return last_status_; }
 
  private:

@@ -1,0 +1,78 @@
+#include "core/buffered_view.h"
+
+namespace gsv {
+
+bool BufferedViewStorage::ContainsBase(const Oid& base_oid) const {
+  auto it = overlay_.find(base_oid);
+  if (it != overlay_.end()) return it->second;
+  return base_->ContainsBase(base_oid);
+}
+
+Status BufferedViewStorage::VInsert(const Object& base_object) {
+  if (ContainsBase(base_object.oid())) {
+    return Status::Ok();  // the real view would ignore it too (§4.3)
+  }
+  overlay_[base_object.oid()] = true;
+  Op op;
+  op.kind = Op::Kind::kVInsert;
+  op.object = base_object;
+  op.base_oid = base_object.oid();
+  ops_.push_back(std::move(op));
+  return Status::Ok();
+}
+
+Status BufferedViewStorage::VDelete(const Oid& base_oid) {
+  if (!ContainsBase(base_oid)) {
+    return Status::Ok();  // deleting an absent delegate: no-op (§4.3)
+  }
+  overlay_[base_oid] = false;
+  Op op;
+  op.kind = Op::Kind::kVDelete;
+  op.base_oid = base_oid;
+  ops_.push_back(std::move(op));
+  return Status::Ok();
+}
+
+OidSet BufferedViewStorage::BaseMembers() const {
+  OidSet members = base_->BaseMembers();
+  for (const auto& [oid, present] : overlay_) {
+    if (present) {
+      members.Insert(oid);
+    } else {
+      members.Erase(oid);
+    }
+  }
+  return members;
+}
+
+Status BufferedViewStorage::SyncUpdate(const Update& update) {
+  // Always recorded: whether the sync applies depends on membership at
+  // replay time, and the real view's SyncUpdate makes that call.
+  Op op;
+  op.kind = Op::Kind::kSync;
+  op.update = update;
+  ops_.push_back(std::move(op));
+  return Status::Ok();
+}
+
+Status BufferedViewStorage::ReplayInto(ViewStorage* target) const {
+  Status first_error;
+  for (const Op& op : ops_) {
+    Status status;
+    switch (op.kind) {
+      case Op::Kind::kVInsert:
+        status = target->VInsert(op.object);
+        break;
+      case Op::Kind::kVDelete:
+        status = target->VDelete(op.base_oid);
+        break;
+      case Op::Kind::kSync:
+        status = target->SyncUpdate(op.update);
+        break;
+    }
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+}  // namespace gsv

@@ -2,61 +2,89 @@
 #define GSV_OEM_OID_H_
 
 #include <cstddef>
-#include <functional>
+#include <cstdint>
 #include <string>
 #include <string_view>
-#include <utility>
+
+#include "oem/oid_table.h"
 
 namespace gsv {
 
 // A universally unique object identifier (paper §2).
 //
-// OIDs are opaque strings. Materialized views give each delegate a *semantic*
-// OID formed by concatenating the view OID and the base OID with a dot
-// (paper §3.2: the delegate of P1 in view MV is "MV.P1"). So that delegate
-// OIDs can be split unambiguously — including for views over views, where a
-// base OID may itself be a delegate OID ("MV2.MV1.P1") — view OIDs must not
-// contain '.'; MaterializedView enforces this at creation.
+// OIDs are opaque strings, interned once in the process-wide OidTable: an
+// Oid holds only the dense uint32_t id, so copies are trivial, equality and
+// hashing are integer operations, and the string form is touched only at
+// API boundaries (parsing, serialization) and for lexicographic ordering.
+//
+// Materialized views give each delegate a *semantic* OID formed by
+// concatenating the view OID and the base OID with a dot (paper §3.2: the
+// delegate of P1 in view MV is "MV.P1"). So that delegate OIDs can be split
+// unambiguously — including for views over views, where a base OID may
+// itself be a delegate OID ("MV2.MV1.P1") — view OIDs must not contain '.';
+// MaterializedView enforces this at creation.
 class Oid {
  public:
   // An invalid (empty) OID; valid() is false.
   Oid() = default;
 
-  explicit Oid(std::string repr) : repr_(std::move(repr)) {}
-  explicit Oid(const char* repr) : repr_(repr) {}
+  explicit Oid(std::string_view repr) : id_(OidTable::Global().Intern(repr)) {}
+  explicit Oid(const std::string& repr) : Oid(std::string_view(repr)) {}
+  explicit Oid(const char* repr) : Oid(std::string_view(repr)) {}
 
   // The delegate OID of `base` inside view `view`: "<view>.<base>".
   static Oid Delegate(const Oid& view, const Oid& base) {
-    return Oid(view.repr_ + "." + base.repr_);
+    return FromId(OidTable::Global().InternDelegate(view.id_, base.id_));
   }
 
-  bool valid() const { return !repr_.empty(); }
-  const std::string& str() const { return repr_; }
+  // Wraps an id previously obtained from id() / OidTable::Intern.
+  static Oid FromId(uint32_t id) {
+    Oid oid;
+    oid.id_ = id;
+    return oid;
+  }
+
+  bool valid() const { return id_ != 0; }
+  const std::string& str() const { return OidTable::Global().String(id_); }
+  // The dense interned id (0 for the invalid OID).
+  uint32_t id() const { return id_; }
 
   // True if this OID has the "<view>.<rest>" shape for the given view.
   bool IsDelegateOf(const Oid& view) const {
-    return repr_.size() > view.repr_.size() + 1 &&
-           repr_.compare(0, view.repr_.size(), view.repr_) == 0 &&
-           repr_[view.repr_.size()] == '.';
+    const std::string_view repr = str();
+    const std::string_view prefix = view.str();
+    return repr.size() > prefix.size() + 1 &&
+           repr.compare(0, prefix.size(), prefix) == 0 &&
+           repr[prefix.size()] == '.';
   }
 
   // For a delegate OID, the base OID it was derived from ("MV.P1" -> "P1").
   // Requires IsDelegateOf(view).
-  Oid BaseIn(const Oid& view) const {
-    return Oid(repr_.substr(view.repr_.size() + 1));
+  Oid BaseIn(const Oid& view) const { return Oid(BaseView(view)); }
+
+  // Allocation-free form of BaseIn for read-only callers: a view of the
+  // base part, valid for the life of the process (interned strings are
+  // immortal). Requires IsDelegateOf(view).
+  std::string_view BaseView(const Oid& view) const {
+    return std::string_view(str()).substr(view.str().size() + 1);
   }
 
-  bool operator==(const Oid& other) const { return repr_ == other.repr_; }
-  bool operator!=(const Oid& other) const { return repr_ != other.repr_; }
-  bool operator<(const Oid& other) const { return repr_ < other.repr_; }
+  bool operator==(const Oid& other) const { return id_ == other.id_; }
+  bool operator!=(const Oid& other) const { return id_ != other.id_; }
+  // Lexicographic, matching the on-disk and user-visible OID ordering.
+  bool operator<(const Oid& other) const {
+    return id_ != other.id_ && str() < other.str();
+  }
 
  private:
-  std::string repr_;
+  uint32_t id_ = 0;
 };
 
 struct OidHash {
   size_t operator()(const Oid& oid) const {
-    return std::hash<std::string>()(oid.str());
+    uint64_t x = oid.id();
+    x *= 0x9E3779B97F4A7C15ull;  // Fibonacci hashing spreads the dense ids
+    return static_cast<size_t>(x ^ (x >> 32));
   }
 };
 

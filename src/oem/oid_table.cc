@@ -1,0 +1,65 @@
+#include "oem/oid_table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace gsv {
+
+OidTable& OidTable::Global() {
+  static OidTable table;
+  return table;
+}
+
+OidTable::OidTable() {
+  // Reserve id 0 for the empty (invalid) OID.
+  auto* block = new std::string[kBlockSize];
+  blocks_[0].store(block, std::memory_order_release);
+  ids_.emplace(std::string_view(block[0]), 0);
+  size_ = 1;
+}
+
+uint32_t OidTable::Intern(std::string_view text) {
+  if (text.empty()) return 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = ids_.find(text);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = size_;
+  if ((id >> kBlockBits) >= kMaxBlocks) {
+    std::fprintf(stderr, "OidTable: interned-OID capacity exhausted\n");
+    std::abort();
+  }
+  std::string* block = blocks_[id >> kBlockBits].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new std::string[kBlockSize];
+    blocks_[id >> kBlockBits].store(block, std::memory_order_release);
+  }
+  std::string& slot = block[id & (kBlockSize - 1)];
+  slot.assign(text.data(), text.size());
+  ids_.emplace(std::string_view(slot), id);
+  ++size_;
+  return id;
+}
+
+uint32_t OidTable::InternDelegate(uint32_t view_id, uint32_t base_id) {
+  const std::string& view = String(view_id);
+  const std::string& base = String(base_id);
+  std::string repr;
+  repr.reserve(view.size() + 1 + base.size());
+  repr += view;
+  repr += '.';
+  repr += base;
+  return Intern(repr);
+}
+
+size_t OidTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return size_;
+}
+
+}  // namespace gsv

@@ -1,0 +1,63 @@
+#ifndef GSV_OEM_OID_TABLE_H_
+#define GSV_OEM_OID_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace gsv {
+
+// Process-wide OID interner. Every distinct OID string is stored exactly
+// once and mapped to a dense uint32_t id; Oid holds the id and all equality
+// and hashing throughout the library become integer operations. Id 0 is
+// reserved for the empty (invalid) OID.
+//
+// Thread-safe: Intern takes a shared lock on the hit path and an exclusive
+// lock only when a new string is added; String() is lock-free. Interned
+// strings are immortal and never move, so references returned by String()
+// remain valid for the life of the process (string_views into them are safe
+// to hand out — see Oid::BaseView).
+class OidTable {
+ public:
+  static OidTable& Global();
+
+  OidTable(const OidTable&) = delete;
+  OidTable& operator=(const OidTable&) = delete;
+
+  // Returns the id of `text`, interning it on first sight. "" -> 0.
+  uint32_t Intern(std::string_view text);
+
+  // Interns the delegate form "<view>.<base>" with a single allocation.
+  uint32_t InternDelegate(uint32_t view_id, uint32_t base_id);
+
+  // The string for an id previously returned by Intern. Lock-free.
+  const std::string& String(uint32_t id) const {
+    return blocks_[id >> kBlockBits].load(std::memory_order_acquire)
+        [id & (kBlockSize - 1)];
+  }
+
+  // Number of interned strings (including the reserved empty slot).
+  size_t size() const;
+
+ private:
+  // 4096 strings per block; blocks are allocated on demand and never freed,
+  // so String() can read without taking the lock.
+  static constexpr uint32_t kBlockBits = 12;
+  static constexpr uint32_t kBlockSize = 1u << kBlockBits;
+  static constexpr uint32_t kMaxBlocks = 1u << 15;  // ~134M distinct OIDs
+
+  OidTable();
+
+  mutable std::shared_mutex mutex_;
+  // Views point into block storage; guarded by mutex_.
+  std::unordered_map<std::string_view, uint32_t> ids_;
+  uint32_t size_ = 0;  // guarded by mutex_
+  std::atomic<std::string*> blocks_[kMaxBlocks] = {};
+};
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_OID_TABLE_H_

@@ -1,6 +1,7 @@
 #ifndef GSV_OEM_STORE_H_
 #define GSV_OEM_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -17,11 +18,26 @@ namespace gsv {
 
 // Cost counters for the access-pattern analyses of §4.4 / §5. All graph
 // navigation in the library runs through the store and is metered here.
+//
+// The counters are relaxed atomics so that const store methods stay safe to
+// call from several maintenance workers at once (the batch engine reads
+// source stores concurrently); totals are exact, ordering between counters
+// is not guaranteed mid-flight.
 struct StoreMetrics {
-  int64_t edges_traversed = 0;   // child links followed
-  int64_t parent_lookups = 0;    // ancestor steps via the inverse index
-  int64_t objects_scanned = 0;   // objects visited by full scans
-  int64_t lookups = 0;           // OID hash-table probes
+  std::atomic<int64_t> edges_traversed{0};  // child links followed
+  std::atomic<int64_t> parent_lookups{0};   // ancestor steps (inverse index)
+  std::atomic<int64_t> objects_scanned{0};  // objects visited by full scans
+  std::atomic<int64_t> lookups{0};          // OID hash-table probes
+
+  StoreMetrics() = default;
+  StoreMetrics(const StoreMetrics& other) { *this = other; }
+  StoreMetrics& operator=(const StoreMetrics& other) {
+    edges_traversed = other.edges_traversed.load(std::memory_order_relaxed);
+    parent_lookups = other.parent_lookups.load(std::memory_order_relaxed);
+    objects_scanned = other.objects_scanned.load(std::memory_order_relaxed);
+    lookups = other.lookups.load(std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = StoreMetrics(); }
 };

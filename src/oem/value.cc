@@ -43,6 +43,13 @@ bool OidSet::Contains(const Oid& oid) const {
   return std::binary_search(oids_.begin(), oids_.end(), oid);
 }
 
+bool OidSet::Contains(std::string_view repr) const {
+  auto it = std::lower_bound(
+      oids_.begin(), oids_.end(), repr,
+      [](const Oid& oid, std::string_view r) { return oid.str() < r; });
+  return it != oids_.end() && it->str() == repr;
+}
+
 OidSet OidSet::Union(const OidSet& a, const OidSet& b) {
   OidSet out;
   out.oids_.reserve(a.size() + b.size());

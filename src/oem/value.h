@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -36,6 +37,9 @@ class OidSet {
   // Removes `oid`; returns false if it was not present.
   bool Erase(const Oid& oid);
   bool Contains(const Oid& oid) const;
+  // Allocation-free membership probe by OID string (no interning); for
+  // read-only callers holding e.g. an Oid::BaseView result.
+  bool Contains(std::string_view repr) const;
 
   size_t size() const { return oids_.size(); }
   bool empty() const { return oids_.empty(); }

@@ -1,0 +1,98 @@
+#ifndef GSV_UTIL_THREAD_POOL_H_
+#define GSV_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gsv {
+
+// A fixed-size worker pool for fanning independent maintenance work across
+// threads. Construction with `threads <= 1` creates no workers: Submit runs
+// the task inline on the caller, so single-threaded configurations pay no
+// synchronization or scheduling cost and batch results stay comparable.
+//
+// Usage is fork/join: Submit N independent tasks, then Wait() as the
+// barrier. Submit/Wait are intended to be driven from one coordinating
+// thread; tasks must not Submit new work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads) {
+    if (threads <= 1) return;
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  // Number of worker threads (0 = inline mode).
+  size_t size() const { return workers_.size(); }
+
+  void Submit(std::function<void()> task) {
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++unfinished_;
+    }
+    work_ready_.notify_one();
+  }
+
+  // Blocks until every submitted task has finished (the join barrier).
+  void Wait() {
+    if (workers_.empty()) return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return unfinished_ == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (--unfinished_ == 0) all_done_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t unfinished_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_UTIL_THREAD_POOL_H_

@@ -9,6 +9,7 @@ std::string WarehouseCosts::ToString() const {
   out << "events=" << events_received
       << " screened=" << events_screened_out
       << " local_only=" << events_local_only
+      << " coalesced=" << events_coalesced
       << " queries=" << source_queries
       << " objects_shipped=" << objects_shipped
       << " values_shipped=" << values_shipped

@@ -1,6 +1,7 @@
 #ifndef GSV_WAREHOUSE_COST_MODEL_H_
 #define GSV_WAREHOUSE_COST_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -11,21 +12,46 @@ namespace gsv {
 // bandwidth"). Every interaction between the warehouse and a source passes
 // through SourceWrapper, which meters it here; the reporting-level and
 // caching experiments (E3, E4, E7) read these counters.
+//
+// Relaxed atomics: one cost sheet is shared by every view of a warehouse,
+// and the batch engine meters from several workers concurrently. Totals
+// stay exact; cross-counter ordering is not guaranteed mid-batch.
 struct WarehouseCosts {
   // Event traffic.
-  int64_t events_received = 0;
-  int64_t events_screened_out = 0;  // dropped by local screening (§5.1)
-  int64_t events_local_only = 0;    // maintained without any source query
+  std::atomic<int64_t> events_received{0};
+  std::atomic<int64_t> events_screened_out{0};  // dropped by screening (§5.1)
+  std::atomic<int64_t> events_local_only{0};  // served without source queries
+  std::atomic<int64_t> events_coalesced{0};   // cancelled/merged by batching
 
   // Query-backs to sources.
-  int64_t source_queries = 0;   // round trips
-  int64_t objects_shipped = 0;  // objects in answers
-  int64_t values_shipped = 0;   // atomic values in answers (bytes proxy)
+  std::atomic<int64_t> source_queries{0};   // round trips
+  std::atomic<int64_t> objects_shipped{0};  // objects in answers
+  std::atomic<int64_t> values_shipped{0};   // atomic values (bytes proxy)
 
   // Auxiliary-structure upkeep (§5.2).
-  int64_t cache_maintenance_queries = 0;
-  int64_t cache_hits = 0;    // accessor calls answered from cache/event
-  int64_t cache_misses = 0;  // accessor calls that had to query the source
+  std::atomic<int64_t> cache_maintenance_queries{0};
+  std::atomic<int64_t> cache_hits{0};    // answered from cache/event
+  std::atomic<int64_t> cache_misses{0};  // had to query the source
+
+  WarehouseCosts() = default;
+  WarehouseCosts(const WarehouseCosts& other) { *this = other; }
+  WarehouseCosts& operator=(const WarehouseCosts& other) {
+    events_received = other.events_received.load(std::memory_order_relaxed);
+    events_screened_out =
+        other.events_screened_out.load(std::memory_order_relaxed);
+    events_local_only =
+        other.events_local_only.load(std::memory_order_relaxed);
+    events_coalesced =
+        other.events_coalesced.load(std::memory_order_relaxed);
+    source_queries = other.source_queries.load(std::memory_order_relaxed);
+    objects_shipped = other.objects_shipped.load(std::memory_order_relaxed);
+    values_shipped = other.values_shipped.load(std::memory_order_relaxed);
+    cache_maintenance_queries =
+        other.cache_maintenance_queries.load(std::memory_order_relaxed);
+    cache_hits = other.cache_hits.load(std::memory_order_relaxed);
+    cache_misses = other.cache_misses.load(std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = WarehouseCosts(); }
   std::string ToString() const;

@@ -218,20 +218,28 @@ size_t Warehouse::CompactPending() {
   return removed;
 }
 
-Status Warehouse::VerifyMembers(ViewEntry& entry) {
+Status Warehouse::CollectUnderivable(ViewEntry& entry, BaseAccessor* accessor,
+                                     std::vector<Oid>* doomed) {
   const SourceEntry& source = *sources_[entry.source_index];
   const OidSet members = entry.view->BaseMembers();
   for (const Oid& member : members) {
-    bool derivable =
-        entry.accessor->VerifyPath(source.root, member, entry.sel_path);
+    bool derivable = accessor->VerifyPath(source.root, member, entry.sel_path);
     if (derivable && entry.def.predicate().has_value()) {
-      derivable = !entry.accessor
-                       ->Eval(member, entry.cond_path, entry.def.predicate())
-                       .empty();
+      derivable =
+          !accessor->Eval(member, entry.cond_path, entry.def.predicate())
+               .empty();
     }
-    if (!derivable) {
-      GSV_RETURN_IF_ERROR(entry.view->VDelete(member));
-    }
+    if (!derivable) doomed->push_back(member);
+  }
+  return Status::Ok();
+}
+
+Status Warehouse::VerifyMembers(ViewEntry& entry) {
+  std::vector<Oid> doomed;
+  GSV_RETURN_IF_ERROR(
+      CollectUnderivable(entry, entry.accessor.get(), &doomed));
+  for (const Oid& member : doomed) {
+    GSV_RETURN_IF_ERROR(entry.view->VDelete(member));
   }
   return Status::Ok();
 }
@@ -275,18 +283,7 @@ Status Warehouse::HandleEventForView(ViewEntry& entry,
 
   // 2. Local screening (§5.1, reporting level >= 2).
   if (event.level >= ReportingLevel::kWithValues) {
-    bool relevant = true;
-    if (event.kind == UpdateKind::kModify) {
-      const std::string label = event.parent_object.has_value()
-                                    ? event.parent_object->label()
-                                    : std::string();
-      relevant = entry.modify_relevant && !entry.full_path.empty() &&
-                 label == entry.full_path.back();
-    } else if (event.child_object.has_value()) {
-      relevant =
-          entry.relevant_labels.count(event.child_object->label()) > 0;
-    }
-    if (!relevant) {
+    if (!EventRelevant(entry, event)) {
       ++costs_.events_screened_out;
       // Delegate values must still track the base (§3.2).
       Status status = entry.view->SyncUpdate(event.ToUpdate());
@@ -302,7 +299,8 @@ Status Warehouse::HandleEventForView(ViewEntry& entry,
   Status status;
   if (event.kind == UpdateKind::kModify &&
       event.level == ReportingLevel::kOidsOnly) {
-    status = Level1ModifyRecheck(entry, event);
+    status = Level1ModifyRecheck(entry, event, entry.view.get(),
+                                 entry.accessor.get());
   } else {
     status = entry.maintainer->Maintain(event.ToUpdate());
   }
@@ -313,36 +311,61 @@ Status Warehouse::HandleEventForView(ViewEntry& entry,
   return status;
 }
 
+bool Warehouse::EventRelevant(const ViewEntry& entry,
+                              const UpdateEvent& event) const {
+  if (event.kind == UpdateKind::kModify) {
+    const std::string label = event.parent_object.has_value()
+                                  ? event.parent_object->label()
+                                  : std::string();
+    return entry.modify_relevant && !entry.full_path.empty() &&
+           label == entry.full_path.back();
+  }
+  if (event.child_object.has_value()) {
+    return entry.relevant_labels.count(event.child_object->label()) > 0;
+  }
+  return true;
+}
+
 Status Warehouse::Level1ModifyRecheck(ViewEntry& entry,
-                                      const UpdateEvent& event) {
+                                      const UpdateEvent& event,
+                                      ViewStorage* storage,
+                                      BaseAccessor* accessor) {
   SourceEntry& source = SourceOf(entry);
   // Level 1 reports only the OID of the modified object: the warehouse
   // must query for its current state (§5.1 scenario 1), then re-derive the
   // membership of every ancestor the change could affect.
   GSV_ASSIGN_OR_RETURN(Object object,
                        source.wrapper->FetchObject(event.parent));
-  GSV_RETURN_IF_ERROR(entry.view->SyncUpdate(
+  GSV_RETURN_IF_ERROR(storage->SyncUpdate(
       Update::Modify(event.parent, object.value(), object.value())));
   if (!entry.def.predicate().has_value()) return Status::Ok();
   if (entry.full_path.empty() ||
       object.label() != entry.full_path.back()) {
     return Status::Ok();  // cannot lie at the corridor's end
   }
-  for (const Oid& y :
-       entry.accessor->Ancestors(event.parent, entry.cond_path)) {
-    if (!entry.accessor->VerifyPath(source.root, y, entry.sel_path)) {
+  for (const Oid& y : accessor->Ancestors(event.parent, entry.cond_path)) {
+    if (!accessor->VerifyPath(source.root, y, entry.sel_path)) {
       continue;
     }
-    std::vector<Oid> witnesses = entry.accessor->Eval(
-        y, entry.cond_path, entry.def.predicate());
+    std::vector<Oid> witnesses =
+        accessor->Eval(y, entry.cond_path, entry.def.predicate());
     if (witnesses.empty()) {
-      GSV_RETURN_IF_ERROR(entry.view->VDelete(y));
+      GSV_RETURN_IF_ERROR(storage->VDelete(y));
     } else {
-      GSV_ASSIGN_OR_RETURN(Object y_object, entry.accessor->Fetch(y));
-      GSV_RETURN_IF_ERROR(entry.view->VInsert(y_object));
+      GSV_ASSIGN_OR_RETURN(Object y_object, accessor->Fetch(y));
+      GSV_RETURN_IF_ERROR(storage->VInsert(y_object));
     }
   }
   return Status::Ok();
+}
+
+ThreadPool* Warehouse::Pool(size_t threads) {
+  if (pool_ == nullptr || pool_threads_ != threads) {
+    pool_.reset();  // join the old workers before spawning new ones
+    pool_ = std::make_unique<ThreadPool>(threads);
+    pool_threads_ = threads;
+  }
+  return pool_.get();
 }
 
 }  // namespace gsv

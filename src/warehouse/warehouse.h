@@ -11,11 +11,13 @@
 #include "core/materialized_view.h"
 #include "core/view_definition.h"
 #include "oem/store.h"
+#include "util/thread_pool.h"
 #include "warehouse/aux_cache.h"
 #include "warehouse/cost_model.h"
 #include "warehouse/monitor.h"
 #include "warehouse/path_knowledge.h"
 #include "warehouse/remote_accessor.h"
+#include "warehouse/update_batch.h"
 #include "warehouse/update_event.h"
 #include "warehouse/wrapper.h"
 
@@ -109,6 +111,43 @@ class Warehouse {
   // cover compacted drains. Returns the number of events eliminated.
   size_t CompactPending();
 
+  // ---- Batched, multi-threaded drains ----
+  //
+  // ProcessPendingBatch drains the pending queue through the batch engine
+  // instead of event-at-a-time dispatch:
+  //
+  //   1. the batch is coalesced (UpdateBatch: insert+delete of the same
+  //      edge cancel, modifies of one object merge last-writer-wins);
+  //   2. per view, label/path screening (§5.1) is resolved once per
+  //      *distinct label* in the batch rather than once per event, and the
+  //      auxiliary cache absorbs the whole batch;
+  //   3. the relevant events are fanned out across a worker pool — one task
+  //      per independent view, and (on tree bases) one per independent
+  //      root subtree within a view, since subtrees of a tree cannot share
+  //      affected delegates. Workers evaluate Algorithm 1 against the
+  //      frozen final source state and buffer their view operations
+  //      (BufferedViewStorage); after the barrier the op logs replay into
+  //      the real views single-threaded, in a fixed order, and per-view
+  //      stats merge — so the resulting views and counters are
+  //      deterministic;
+  //   4. the deferred-drain verification sweep (see ProcessPending) runs
+  //      read-only in parallel per view, and its deletions apply after a
+  //      second barrier.
+  //
+  // Sources must not change during the call (the usual external
+  // synchronization for a deferred drain). The outcome is convergent
+  // exactly like ProcessPending: after the drain each view equals its
+  // query over the source's current state.
+  struct BatchOptions {
+    size_t threads = 1;   // worker pool size; <= 1 evaluates inline
+    bool coalesce = true; // cancel/merge redundant events first
+    // Fan out independent root subtrees within a view (sound on tree
+    // bases; disabled automatically for a view whose root is a member).
+    bool split_subtrees = true;
+  };
+  Status ProcessPendingBatch(const BatchOptions& options);
+  Status ProcessPendingBatch() { return ProcessPendingBatch(BatchOptions{}); }
+
   MaterializedView* view(const std::string& name);
   const Algorithm1Maintainer* maintainer(const std::string& name) const;
   const AuxiliaryCache* cache(const std::string& name) const;
@@ -147,11 +186,22 @@ class Warehouse {
   void OnEvent(size_t source_index, const UpdateEvent& event);
   void DispatchEvent(size_t source_index, const UpdateEvent& event);
   Status HandleEventForView(ViewEntry& entry, const UpdateEvent& event);
+  // The §5.1 local screening predicate (level >= 2 events only).
+  bool EventRelevant(const ViewEntry& entry, const UpdateEvent& event) const;
+  // Collects current members whose derivation/condition fails on the
+  // current source state; read-only (usable from a worker thread).
+  Status CollectUnderivable(ViewEntry& entry, BaseAccessor* accessor,
+                            std::vector<Oid>* doomed);
   // Drops members whose derivation/condition fails on the current source
   // state (the deferred-drain epilogue).
   Status VerifyMembers(ViewEntry& entry);
-  Status Level1ModifyRecheck(ViewEntry& entry, const UpdateEvent& event);
+  // Level-1 modify handling over an arbitrary storage/accessor pair (the
+  // batch engine passes a BufferedViewStorage and a per-task accessor).
+  Status Level1ModifyRecheck(ViewEntry& entry, const UpdateEvent& event,
+                             ViewStorage* storage, BaseAccessor* accessor);
   void RecomputeRelevantLabels(ViewEntry& entry);
+  // Lazily builds/resizes the worker pool for `threads` workers.
+  ThreadPool* Pool(size_t threads);
 
   SourceEntry& SourceOf(const ViewEntry& entry) {
     return *sources_[entry.source_index];
@@ -165,6 +215,8 @@ class Warehouse {
   bool deferred_ = false;
   std::vector<std::pair<size_t, UpdateEvent>> pending_;
   Status last_status_;
+  std::unique_ptr<ThreadPool> pool_;
+  size_t pool_threads_ = 0;
 };
 
 }  // namespace gsv

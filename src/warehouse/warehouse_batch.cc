@@ -1,0 +1,220 @@
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/algorithm1.h"
+#include "core/buffered_view.h"
+#include "warehouse/warehouse.h"
+
+namespace gsv {
+
+namespace {
+
+// One unit of parallel evaluation: the events of one view (or of one
+// independent root subtree within a view), in batch order, each tagged with
+// its screening verdict.
+struct EvalTask {
+  size_t view_index = 0;
+  uint32_t group_key = 0;
+  std::vector<std::pair<const UpdateEvent*, bool>> events;  // (event, relevant)
+  std::unique_ptr<BufferedViewStorage> buffer;
+  Algorithm1Maintainer::Stats stats;
+  Status status;
+};
+
+struct SweepTask {
+  size_t view_index = 0;
+  std::vector<Oid> doomed;
+  Status status;
+};
+
+}  // namespace
+
+// Keys the independent-subtree partition: the child of the source root whose
+// subtree contains the event's anchor object, by a bounded first-parent climb
+// over the final source state. Unreachable/detached anchors (and climbs that
+// exceed the bound) fall back to the anchor itself, which conservatively
+// isolates them in their own group. Modifies anchor at the modified object so
+// every modify of one object lands in one group and its delegate-value syncs
+// replay in batch order.
+static uint32_t SubtreeGroupKey(const ObjectStore& store, const Oid& root,
+                                const UpdateEvent& event) {
+  Oid anchor = event.parent;
+  if (event.kind != UpdateKind::kModify && anchor == root && event.child.valid()) {
+    anchor = event.child;
+  }
+  if (anchor == root) return anchor.id();
+  Oid current = anchor;
+  for (int depth = 0; depth < 256; ++depth) {
+    std::vector<Oid> parents = store.Parents(current);
+    if (parents.empty()) break;
+    if (parents.front() == root) return current.id();
+    current = parents.front();
+  }
+  return anchor.id();
+}
+
+Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
+  Status first_error;
+  UpdateBatch batch;
+  {
+    std::vector<std::pair<size_t, UpdateEvent>> drained;
+    drained.swap(pending_);
+    batch.Add(std::move(drained));
+  }
+  if (batch.empty()) return Status::Ok();
+  if (options.coalesce) {
+    costs_.events_coalesced += batch.Coalesce();
+  }
+  costs_.events_received += static_cast<int64_t>(batch.size());
+
+  std::vector<bool> touched(sources_.size(), false);
+  for (const auto& [source_index, event] : batch.events()) {
+    touched[source_index] = true;
+  }
+
+  // ---- Phase 1: absorb the batch into the auxiliary caches and plan the
+  // evaluation tasks (screening once per distinct label, grouping by
+  // independent root subtree). Sequential: caches are shared mutable state.
+  const bool split = options.split_subtrees && options.threads > 1;
+  std::vector<EvalTask> eval_tasks;
+  for (size_t view_index = 0; view_index < views_.size(); ++view_index) {
+    ViewEntry& entry = *views_[view_index];
+    if (!touched[entry.source_index]) continue;
+    SourceEntry& source = *sources_[entry.source_index];
+
+    // §5.1 screening memoized per distinct label. Deletes keep their
+    // detached subtrees readable in the cache until the post-replay Prune().
+    std::unordered_map<std::string, bool> edge_labels;
+    std::unordered_map<std::string, bool> modify_labels;
+    const bool view_splittable =
+        split && !entry.view->ContainsBase(source.root);
+    std::map<uint32_t, size_t> group_index;  // ordered => deterministic replay
+    auto* task_base = &eval_tasks;  // indices stay valid; pointers may not
+
+    for (const auto& [source_index, event] : batch.events()) {
+      if (source_index != entry.source_index) continue;
+
+      if (entry.cache != nullptr) {
+        Status status = entry.cache->OnEvent(event, source.wrapper.get());
+        if (!status.ok() && first_error.ok()) first_error = status;
+      }
+
+      bool relevant = true;
+      if (event.level >= ReportingLevel::kWithValues) {
+        if (event.kind == UpdateKind::kModify) {
+          const std::string label = event.parent_object.has_value()
+                                        ? event.parent_object->label()
+                                        : std::string();
+          auto [it, fresh] = modify_labels.try_emplace(label, false);
+          if (fresh) it->second = EventRelevant(entry, event);
+          relevant = it->second;
+        } else if (event.child_object.has_value()) {
+          auto [it, fresh] =
+              edge_labels.try_emplace(event.child_object->label(), false);
+          if (fresh) it->second = EventRelevant(entry, event);
+          relevant = it->second;
+        }
+      }
+      if (!relevant) ++costs_.events_screened_out;
+
+      uint32_t key = view_splittable
+                         ? SubtreeGroupKey(*source.store, source.root, event)
+                         : 0;
+      auto [it, fresh] = group_index.try_emplace(key, task_base->size());
+      if (fresh) {
+        EvalTask task;
+        task.view_index = view_index;
+        task.group_key = key;
+        task.buffer = std::make_unique<BufferedViewStorage>(entry.view.get());
+        task_base->push_back(std::move(task));
+      }
+      (*task_base)[it->second].events.emplace_back(&event, relevant);
+    }
+  }
+
+  // ---- Phase 2: evaluate in parallel. Workers read the frozen sources and
+  // caches through private accessors and buffer all view operations; the
+  // shared delegate store is never touched.
+  ThreadPool* pool = Pool(options.threads);
+  for (EvalTask& task : eval_tasks) {
+    pool->Submit([this, &task] {
+      ViewEntry& entry = *views_[task.view_index];
+      SourceEntry& source = *sources_[entry.source_index];
+      RemoteAccessor accessor(source.wrapper.get(), &costs_);
+      if (entry.cache != nullptr) accessor.set_cache(entry.cache.get());
+      Algorithm1Maintainer maintainer(task.buffer.get(), &accessor, entry.def,
+                                      source.root);
+      for (const auto& [event, relevant] : task.events) {
+        Status status;
+        if (!relevant) {
+          status = task.buffer->SyncUpdate(event->ToUpdate());
+        } else {
+          accessor.set_current_event(event);
+          if (event->kind == UpdateKind::kModify &&
+              event->level == ReportingLevel::kOidsOnly) {
+            status = Level1ModifyRecheck(entry, *event, task.buffer.get(),
+                                         &accessor);
+          } else {
+            status = maintainer.Maintain(event->ToUpdate());
+          }
+          accessor.set_current_event(nullptr);
+        }
+        if (!status.ok() && task.status.ok()) task.status = status;
+      }
+      task.stats = maintainer.stats();
+    });
+  }
+  pool->Wait();
+
+  // ---- Phase 3: replay single-threaded in fixed (view, subtree-key) order
+  // so the resulting views, delegate store and stats are deterministic.
+  for (EvalTask& task : eval_tasks) {
+    if (!task.status.ok() && first_error.ok()) first_error = task.status;
+    ViewEntry& entry = *views_[task.view_index];
+    Status status = task.buffer->ReplayInto(entry.view.get());
+    if (!status.ok() && first_error.ok()) first_error = status;
+    entry.maintainer->MergeStats(task.stats);
+  }
+  for (auto& entry : views_) {
+    if (touched[entry->source_index] && entry->cache != nullptr) {
+      entry->cache->Prune();
+    }
+  }
+
+  // ---- Phase 4: the deferred-drain verification sweep (see
+  // ProcessPending), read-only in parallel, deletions after the barrier.
+  std::vector<SweepTask> sweep_tasks;
+  for (size_t view_index = 0; view_index < views_.size(); ++view_index) {
+    if (!touched[views_[view_index]->source_index]) continue;
+    SweepTask task;
+    task.view_index = view_index;
+    sweep_tasks.push_back(std::move(task));
+  }
+  for (SweepTask& task : sweep_tasks) {
+    pool->Submit([this, &task] {
+      ViewEntry& entry = *views_[task.view_index];
+      SourceEntry& source = *sources_[entry.source_index];
+      RemoteAccessor accessor(source.wrapper.get(), &costs_);
+      if (entry.cache != nullptr) accessor.set_cache(entry.cache.get());
+      task.status = CollectUnderivable(entry, &accessor, &task.doomed);
+    });
+  }
+  pool->Wait();
+  for (SweepTask& task : sweep_tasks) {
+    if (!task.status.ok() && first_error.ok()) first_error = task.status;
+    ViewEntry& entry = *views_[task.view_index];
+    for (const Oid& member : task.doomed) {
+      Status status = entry.view->VDelete(member);
+      if (!status.ok() && first_error.ok()) first_error = status;
+    }
+  }
+
+  if (!first_error.ok()) last_status_ = first_error;
+  return first_error;
+}
+
+}  // namespace gsv

@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/buffered_view.h"
+#include "core/consistency.h"
+#include "core/virtual_view.h"
+#include "oem/oid_table.h"
+#include "oem/store.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "warehouse/update_batch.h"
+#include "warehouse/warehouse.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+namespace gsv {
+namespace {
+
+// ------------------------------------------------------------ OID interning
+
+TEST(OidInterningTest, SameSpellingSameId) {
+  Oid a("batch_intern_x");
+  Oid b(std::string("batch_intern_x"));
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.str(), "batch_intern_x");
+}
+
+TEST(OidInterningTest, OrderingIsLexicographic) {
+  // Intern deliberately out of order: ids ascend, spellings do not.
+  Oid z("batch_order_z");
+  Oid a("batch_order_a");
+  EXPECT_LT(a, z);
+  EXPECT_FALSE(z < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(OidInterningTest, DelegateAndBaseView) {
+  Oid view("MV_intern");
+  Oid base("B_intern7");
+  Oid delegate = Oid::Delegate(view, base);
+  EXPECT_EQ(delegate.str(), "MV_intern.B_intern7");
+  EXPECT_TRUE(delegate.IsDelegateOf(view));
+  EXPECT_EQ(delegate.BaseView(view), "B_intern7");
+  EXPECT_EQ(delegate.BaseIn(view), base);
+  EXPECT_FALSE(base.IsDelegateOf(view));
+}
+
+TEST(OidInterningTest, ConcurrentInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 500;
+  std::vector<std::vector<uint32_t>> ids(kThreads,
+                                         std::vector<uint32_t>(kStrings));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ids] {
+      for (int i = 0; i < kStrings; ++i) {
+        // Every thread interns the same kStrings spellings.
+        Oid oid("batch_conc_" + std::to_string(i));
+        ids[t][i] = oid.id();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]) << "thread " << t;
+  }
+  for (int i = 0; i < kStrings; ++i) {
+    EXPECT_EQ(OidTable::Global().String(ids[0][i]),
+              "batch_conc_" + std::to_string(i));
+  }
+}
+
+// -------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0u);  // no workers: Submit executes inline
+  int counter = 0;
+  pool.Submit([&counter] { ++counter; });
+  EXPECT_EQ(counter, 1);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&counter] { ++counter; });
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+// ------------------------------------------------------------- UpdateBatch
+
+UpdateEvent Insert(const std::string& parent, const std::string& child) {
+  UpdateEvent event;
+  event.kind = UpdateKind::kInsert;
+  event.parent = Oid(parent);
+  event.child = Oid(child);
+  return event;
+}
+
+UpdateEvent Delete(const std::string& parent, const std::string& child) {
+  UpdateEvent event = Insert(parent, child);
+  event.kind = UpdateKind::kDelete;
+  return event;
+}
+
+UpdateEvent Modify(const std::string& target, int64_t old_value,
+                   int64_t new_value) {
+  UpdateEvent event;
+  event.kind = UpdateKind::kModify;
+  event.parent = Oid(target);
+  event.old_value = Value::Int(old_value);
+  event.new_value = Value::Int(new_value);
+  return event;
+}
+
+TEST(UpdateBatchTest, InsertThenDeleteCancels) {
+  UpdateBatch batch;
+  batch.Add(0, Insert("P", "C"));
+  batch.Add(0, Modify("X", 1, 2));  // unrelated event in between
+  batch.Add(0, Delete("P", "C"));
+  EXPECT_EQ(batch.Coalesce(), 2u);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.events()[0].second.kind, UpdateKind::kModify);
+}
+
+TEST(UpdateBatchTest, DeleteThenInsertCancels) {
+  UpdateBatch batch;
+  batch.Add(0, Delete("P", "C"));
+  batch.Add(0, Insert("P", "C"));
+  EXPECT_EQ(batch.Coalesce(), 2u);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(UpdateBatchTest, DifferentEdgesDoNotCancel) {
+  UpdateBatch batch;
+  batch.Add(0, Insert("P", "C1"));
+  batch.Add(0, Delete("P", "C2"));
+  EXPECT_EQ(batch.Coalesce(), 0u);
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(UpdateBatchTest, ModifiesMergeLastWriterWins) {
+  UpdateBatch batch;
+  batch.Add(0, Modify("X", 1, 2));
+  batch.Add(0, Insert("P", "C"));
+  batch.Add(0, Modify("X", 2, 3));
+  batch.Add(0, Modify("X", 3, 4));
+  EXPECT_EQ(batch.Coalesce(), 2u);
+  ASSERT_EQ(batch.size(), 2u);
+  // The survivor sits where the last modify sat, after the insert.
+  EXPECT_EQ(batch.events()[0].second.kind, UpdateKind::kInsert);
+  const UpdateEvent& merged = batch.events()[1].second;
+  EXPECT_EQ(merged.kind, UpdateKind::kModify);
+  ASSERT_TRUE(merged.old_value.has_value());
+  ASSERT_TRUE(merged.new_value.has_value());
+  EXPECT_EQ(*merged.old_value, Value::Int(1));  // earliest old value
+  EXPECT_EQ(*merged.new_value, Value::Int(4));  // latest new value
+}
+
+TEST(UpdateBatchTest, CrossSourceEventsNeverInteract) {
+  UpdateBatch batch;
+  batch.Add(0, Insert("P", "C"));
+  batch.Add(1, Delete("P", "C"));
+  batch.Add(0, Modify("X", 1, 2));
+  batch.Add(1, Modify("X", 2, 3));
+  EXPECT_EQ(batch.Coalesce(), 0u);
+  EXPECT_EQ(batch.size(), 4u);
+}
+
+TEST(UpdateBatchTest, SurvivorOrderIsPreserved) {
+  UpdateBatch batch;
+  batch.Add(0, Insert("A", "B"));
+  batch.Add(0, Insert("P", "C"));
+  batch.Add(0, Insert("D", "E"));
+  batch.Add(0, Delete("P", "C"));
+  batch.Add(0, Insert("F", "G"));
+  EXPECT_EQ(batch.Coalesce(), 2u);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.events()[0].second.child, Oid("B"));
+  EXPECT_EQ(batch.events()[1].second.child, Oid("E"));
+  EXPECT_EQ(batch.events()[2].second.child, Oid("G"));
+}
+
+TEST(UpdateBatchTest, ReinsertedEdgeCancelsPairwise) {
+  // insert, delete, insert: the first pair cancels, the last insert stays —
+  // the net effect (edge present) is preserved.
+  UpdateBatch batch;
+  batch.Add(0, Insert("P", "C"));
+  batch.Add(0, Delete("P", "C"));
+  batch.Add(0, Insert("P", "C"));
+  EXPECT_EQ(batch.Coalesce(), 2u);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.events()[0].second.kind, UpdateKind::kInsert);
+}
+
+// ------------------------------------------------- batched == sequential
+
+struct DeterminismConfig {
+  std::string name;
+  ReportingLevel level = ReportingLevel::kWithValues;
+  Warehouse::CacheMode cache = Warehouse::CacheMode::kNone;
+  size_t threads = 4;
+  bool coalesce = true;
+  bool split_subtrees = true;
+};
+
+// Drives two warehouses over identical sources with the identical update
+// stream: one inline (per-event Maintain, the §4.3 baseline), one deferred
+// through the batch engine. After every drain the views must be
+// byte-identical — same members, same delegate labels and values, same view
+// object value.
+void RunDeterminismCheck(const DeterminismConfig& config) {
+  SCOPED_TRACE(config.name);
+  TreeGenOptions tree_options;
+  tree_options.levels = 3;
+  tree_options.fanout = 4;
+  tree_options.seed = 101;
+
+  ObjectStore source_a;
+  ObjectStore source_b;
+  auto tree_a = GenerateTree(&source_a, tree_options);
+  auto tree_b = GenerateTree(&source_b, tree_options);
+  ASSERT_TRUE(tree_a.ok());
+  ASSERT_TRUE(tree_b.ok());
+  ASSERT_EQ(tree_a->root, tree_b->root);
+
+  const std::string definition =
+      TreeViewDefinition("WV", tree_a->root, 2, 3, 50);
+
+  ObjectStore store_a;
+  Warehouse inline_wh(&store_a);
+  ASSERT_TRUE(
+      inline_wh.ConnectSource(&source_a, tree_a->root, config.level).ok());
+  ASSERT_TRUE(inline_wh.DefineView(definition, config.cache).ok());
+
+  ObjectStore store_b;
+  Warehouse batch_wh(&store_b);
+  ASSERT_TRUE(
+      batch_wh.ConnectSource(&source_b, tree_b->root, config.level).ok());
+  ASSERT_TRUE(batch_wh.DefineView(definition, config.cache).ok());
+  batch_wh.set_deferred(true);
+
+  Warehouse::BatchOptions options;
+  options.threads = config.threads;
+  options.coalesce = config.coalesce;
+  options.split_subtrees = config.split_subtrees;
+
+  UpdateGenOptions gen_options;
+  gen_options.seed = 211;
+  UpdateGenerator gen_a(&source_a, tree_a->root, gen_options);
+  UpdateGenerator gen_b(&source_b, tree_b->root, gen_options);
+
+  const size_t kUpdates = 1000;
+  const size_t kDrainEvery = 64;
+  for (size_t applied = 0; applied < kUpdates; applied += kDrainEvery) {
+    size_t burst = std::min(kDrainEvery, kUpdates - applied);
+    ASSERT_TRUE(gen_a.Run(burst).ok());
+    ASSERT_TRUE(gen_b.Run(burst).ok());
+    ASSERT_TRUE(batch_wh.ProcessPendingBatch(options).ok())
+        << batch_wh.last_status().ToString();
+
+    MaterializedView* view_a = inline_wh.view("WV");
+    MaterializedView* view_b = batch_wh.view("WV");
+    ASSERT_NE(view_a, nullptr);
+    ASSERT_NE(view_b, nullptr);
+    OidSet members_a = view_a->BaseMembers();
+    ASSERT_EQ(members_a, view_b->BaseMembers()) << "after " << applied + burst;
+
+    // Delegate-for-delegate equality of the two warehouse stores.
+    const Object* object_a = store_a.Get(view_a->view_oid());
+    const Object* object_b = store_b.Get(view_b->view_oid());
+    ASSERT_NE(object_a, nullptr);
+    ASSERT_NE(object_b, nullptr);
+    ASSERT_EQ(object_a->value(), object_b->value());
+    for (const Oid& member : members_a) {
+      Oid delegate = Oid::Delegate(view_a->view_oid(), member);
+      const Object* delegate_a = store_a.Get(delegate);
+      const Object* delegate_b = store_b.Get(delegate);
+      ASSERT_NE(delegate_a, nullptr) << delegate.str();
+      ASSERT_NE(delegate_b, nullptr) << delegate.str();
+      ASSERT_EQ(delegate_a->label(), delegate_b->label()) << delegate.str();
+      ASSERT_EQ(delegate_a->value(), delegate_b->value()) << delegate.str();
+    }
+
+    // Both must also equal the truth over the current source.
+    auto def = ViewDefinition::Parse(definition);
+    ASSERT_TRUE(def.ok());
+    auto truth = EvaluateView(source_b, *def);
+    ASSERT_TRUE(truth.ok());
+    ASSERT_EQ(view_b->BaseMembers(), *truth);
+    ConsistencyReport report = CheckViewConsistency(*view_b, source_b);
+    ASSERT_TRUE(report.consistent) << report.ToString();
+  }
+}
+
+TEST(BatchDeterminismTest, Level2NoCache) {
+  RunDeterminismCheck({"level2_nocache", ReportingLevel::kWithValues,
+                       Warehouse::CacheMode::kNone, 4, true, true});
+}
+
+TEST(BatchDeterminismTest, Level2FullCache) {
+  RunDeterminismCheck({"level2_full", ReportingLevel::kWithValues,
+                       Warehouse::CacheMode::kFull, 4, true, true});
+}
+
+TEST(BatchDeterminismTest, Level3FullCache) {
+  RunDeterminismCheck({"level3_full", ReportingLevel::kWithRootPath,
+                       Warehouse::CacheMode::kFull, 4, true, true});
+}
+
+TEST(BatchDeterminismTest, Level1NoCache) {
+  RunDeterminismCheck({"level1_nocache", ReportingLevel::kOidsOnly,
+                       Warehouse::CacheMode::kNone, 4, true, true});
+}
+
+TEST(BatchDeterminismTest, SingleThreadNoCoalesceNoSplit) {
+  RunDeterminismCheck({"plain", ReportingLevel::kWithValues,
+                       Warehouse::CacheMode::kNone, 1, false, false});
+}
+
+TEST(BatchDeterminismTest, EightThreads) {
+  RunDeterminismCheck({"threads8", ReportingLevel::kWithValues,
+                       Warehouse::CacheMode::kLabelsOnly, 8, true, true});
+}
+
+// Thread counts must not change the outcome: run the same stream at 1, 2
+// and 4 workers and require identical members.
+TEST(BatchDeterminismTest, ThreadCountInvariant) {
+  std::vector<OidSet> results;
+  for (size_t threads : {1u, 2u, 4u}) {
+    TreeGenOptions tree_options;
+    tree_options.levels = 3;
+    tree_options.fanout = 3;
+    tree_options.seed = 7;
+    ObjectStore source;
+    auto tree = GenerateTree(&source, tree_options);
+    ASSERT_TRUE(tree.ok());
+    ObjectStore store;
+    Warehouse warehouse(&store);
+    ASSERT_TRUE(warehouse
+                    .ConnectSource(&source, tree->root,
+                                   ReportingLevel::kWithValues)
+                    .ok());
+    ASSERT_TRUE(
+        warehouse.DefineView(TreeViewDefinition("WV", tree->root, 2, 3, 50))
+            .ok());
+    warehouse.set_deferred(true);
+    UpdateGenOptions gen_options;
+    gen_options.seed = 17;
+    UpdateGenerator generator(&source, tree->root, gen_options);
+    ASSERT_TRUE(generator.Run(400).ok());
+    Warehouse::BatchOptions options;
+    options.threads = threads;
+    ASSERT_TRUE(warehouse.ProcessPendingBatch(options).ok());
+    results.push_back(warehouse.view("WV")->BaseMembers());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(BatchDeterminismTest, CoalescingIsCounted) {
+  TreeGenOptions tree_options;
+  tree_options.levels = 3;
+  tree_options.fanout = 3;
+  tree_options.seed = 23;
+  ObjectStore source;
+  auto tree = GenerateTree(&source, tree_options);
+  ASSERT_TRUE(tree.ok());
+  ObjectStore store;
+  Warehouse warehouse(&store);
+  ASSERT_TRUE(
+      warehouse
+          .ConnectSource(&source, tree->root, ReportingLevel::kWithValues)
+          .ok());
+  ASSERT_TRUE(
+      warehouse.DefineView(TreeViewDefinition("WV", tree->root, 2, 3, 50))
+          .ok());
+  warehouse.set_deferred(true);
+  UpdateGenOptions gen_options;
+  gen_options.seed = 31;
+  gen_options.p_modify = 0.7;  // modify-heavy: plenty to merge
+  gen_options.p_insert = 0.15;
+  gen_options.p_delete = 0.15;
+  UpdateGenerator generator(&source, tree->root, gen_options);
+  ASSERT_TRUE(generator.Run(500).ok());
+  ASSERT_TRUE(warehouse.ProcessPendingBatch().ok());
+  EXPECT_GT(warehouse.costs().events_coalesced.load(), 0);
+}
+
+}  // namespace
+}  // namespace gsv
