@@ -1,0 +1,155 @@
+// E14 — Fault tolerance: maintenance throughput and resync cost vs the
+// channel fault rate.
+//
+// Sweeps the injected fault rate (applied equally to delivery drops,
+// delivery duplicates and query-back failures) over a modify-heavy tree
+// stream drained per event and in batches. Reports maintenance throughput,
+// how often views quarantined and resynced, and the terminal recovery cost
+// (heal + ResyncStaleViews). Every run ends with a consistency self-check:
+// after recovery, each view must match a from-scratch evaluation of the
+// final source — the convergence guarantee the fault-tolerance layer makes.
+//
+// Emits one newline-delimited JSON record per configuration; --json=PATH
+// redirects the records to a file.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/consistency.h"
+#include "oem/store.h"
+#include "util/stopwatch.h"
+#include "warehouse/fault_injector.h"
+#include "warehouse/warehouse.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace gsv;         // NOLINT(build/namespaces)
+  using namespace gsv::bench;  // NOLINT(build/namespaces)
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  const size_t kTotalUpdates = 4096;
+  const size_t kViews = 4;
+  const double kFaultRates[] = {0.0, 0.02, 0.05, 0.10, 0.20};
+  const size_t kBatchSizes[] = {1, 256};  // per-event vs batched drains
+
+  std::printf(
+      "E14: fault tolerance — throughput and resync cost vs fault rate\n"
+      "%zu updates, %zu views, level-2 events; fault rate applies to event\n"
+      "drops, event duplicates and wrapper call failures alike\n\n",
+      kTotalUpdates, kViews);
+
+  JsonLines json(json_path);
+  TablePrinter table({"fault%", "batch", "drain_us", "upd/sec", "quarant",
+                      "resyncs", "retries", "recover_us"});
+
+  for (double fault_rate : kFaultRates) {
+    for (size_t batch_size : kBatchSizes) {
+      // Fresh, identically-seeded world per configuration.
+      ObjectStore source;
+      TreeGenOptions tree_options;
+      tree_options.levels = 4;
+      tree_options.fanout = 5;
+      tree_options.seed = 131;
+      auto tree = GenerateTree(&source, tree_options);
+      Check(tree.status());
+
+      ObjectStore warehouse_store;
+      Warehouse warehouse(&warehouse_store);
+      Check(warehouse.ConnectSource(&source, tree->root,
+                                    ReportingLevel::kWithValues));
+      for (size_t v = 0; v < kViews; ++v) {
+        Check(warehouse.DefineView(TreeViewDefinition(
+            "WV" + std::to_string(v), tree->root, 2, 4,
+            static_cast<int64_t>(10 + v * 20))));
+      }
+      warehouse.costs().Reset();
+
+      FaultProfile profile;
+      profile.seed = 197;
+      profile.wrapper_fail_rate = fault_rate;
+      profile.wrapper_fail_burst = 6;  // outlasts the retry budget
+      profile.event_drop_rate = fault_rate;
+      profile.event_duplicate_rate = fault_rate;
+      FaultInjector injector(profile);
+      Check(warehouse.SetFaultInjector("source1", &injector));
+
+      const bool batched = batch_size > 1;
+      if (batched) warehouse.set_deferred(true);
+
+      UpdateGenOptions gen_options;
+      gen_options.seed = 137;
+      gen_options.p_modify = 0.6;
+      gen_options.p_insert = 0.2;
+      gen_options.p_delete = 0.2;
+      UpdateGenerator generator(&source, tree->root, gen_options);
+
+      int64_t drain_micros = 0;
+      for (size_t applied = 0; applied < kTotalUpdates;
+           applied += batch_size) {
+        size_t burst = std::min(batch_size, kTotalUpdates - applied);
+        Stopwatch drain;  // per-event mode maintains inside Run()
+        Check(generator.Run(burst).status());
+        if (batched) Check(warehouse.ProcessPendingBatch());
+        drain_micros += drain.ElapsedMicros();
+      }
+
+      // Terminal recovery: heal the channel and resync quarantined views.
+      Stopwatch recover;
+      injector.Heal();
+      Check(warehouse.ResyncStaleViews());
+      int64_t recover_micros = recover.ElapsedMicros();
+
+      // Convergence self-check: recovered views must match ground truth.
+      if (warehouse.stale_view_count() != 0) {
+        std::fprintf(stderr, "views still stale after heal+resync\n");
+        return 1;
+      }
+      for (size_t v = 0; v < kViews; ++v) {
+        ConsistencyReport report = CheckViewConsistency(
+            *warehouse.view("WV" + std::to_string(v)), source);
+        if (!report.consistent) {
+          std::fprintf(stderr, "WV%zu inconsistent: %s\n", v,
+                       report.ToString().c_str());
+          return 1;
+        }
+      }
+
+      double rate = drain_micros > 0
+                        ? kTotalUpdates * 1e6 / static_cast<double>(drain_micros)
+                        : 0.0;
+      const WarehouseCosts& costs = warehouse.costs();
+      table.Row({Num(static_cast<int64_t>(fault_rate * 100)), Num(batch_size),
+                 Num(drain_micros), Num(static_cast<int64_t>(rate)),
+                 Num(costs.views_quarantined), Num(costs.view_resyncs),
+                 Num(costs.wrapper_retries), Num(recover_micros)});
+      json.Record({{"exp", Quoted("exp14_fault_tolerance")},
+                   {"fault_rate", Micros(fault_rate)},
+                   {"batch", Num(batch_size)},
+                   {"updates", Num(kTotalUpdates)},
+                   {"views", Num(kViews)},
+                   {"drain_micros", Num(drain_micros)},
+                   {"updates_per_sec", Micros(rate)},
+                   {"events_duplicate_dropped",
+                    Num(costs.events_duplicate_dropped)},
+                   {"events_gap_detected", Num(costs.events_gap_detected)},
+                   {"events_buffered_stale", Num(costs.events_buffered_stale)},
+                   {"wrapper_retries", Num(costs.wrapper_retries)},
+                   {"wrapper_failures", Num(costs.wrapper_failures)},
+                   {"breaker_trips", Num(costs.breaker_trips)},
+                   {"views_quarantined", Num(costs.views_quarantined)},
+                   {"view_resyncs", Num(costs.view_resyncs)},
+                   {"recover_micros", Num(recover_micros)}});
+    }
+  }
+
+  std::printf(
+      "\nall configurations converged to ground truth after heal+resync\n");
+  return 0;
+}

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (full build + test suite), then a
+# CI entry point: tier-1 verify (full build + test suite), then an
+# Address+UB-Sanitizer build of the robustness and fault-injection tests
+# (the quarantine/resync error paths are where lifetime bugs hide), then a
 # ThreadSanitizer build of the batch-engine tests to prove the parallel
 # drain is race-free. Run from the repo root.
 set -euo pipefail
@@ -11,6 +13,13 @@ echo "=== tier-1: configure + build + ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo
+echo "=== asan: robustness + fault-injection tests under address;undefined ==="
+cmake -B build-asan -S . -DGSV_SANITIZE="address;undefined" >/dev/null
+cmake --build build-asan -j "${JOBS}" --target gsv_robustness_test \
+  --target gsv_fault_tolerance_test
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L asan
 
 echo
 echo "=== tsan: batch-engine tests under -fsanitize=thread ==="

@@ -1,0 +1,146 @@
+#ifndef GSV_UTIL_RETRY_H_
+#define GSV_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace gsv {
+
+// Retry policy for fallible round trips (warehouse → source query-backs):
+// bounded exponential backoff under a total deadline. Time is *virtual* —
+// backoff is accounted in microseconds against the deadline but never
+// slept, so retry behavior is deterministic and tests/benches run at full
+// speed. A real deployment would sleep the same schedule.
+struct RetryPolicy {
+  int max_attempts = 4;             // total tries, including the first
+  int64_t initial_backoff_us = 100; // wait before the second attempt
+  int64_t max_backoff_us = 10'000;  // exponential growth cap
+  double backoff_multiplier = 2.0;
+  int64_t deadline_us = 1'000'000;  // total virtual backoff budget
+};
+
+// What a RetryWithBackoff call actually did (for cost accounting).
+struct RetryOutcome {
+  int attempts = 0;        // calls issued
+  int64_t backoff_us = 0;  // total virtual backoff accumulated
+};
+
+// Invokes `call` (a callable returning Status) until it succeeds, fails
+// with a non-retryable code, or the policy is exhausted. Only kUnavailable
+// is retryable: everything else reflects a definitive answer from the
+// source. Returns kDeadlineExceeded when the backoff budget runs out
+// before the attempt budget.
+template <typename Call>
+Status RetryWithBackoff(const RetryPolicy& policy, Call&& call,
+                        RetryOutcome* outcome = nullptr) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  int64_t backoff = policy.initial_backoff_us;
+  int64_t elapsed = 0;
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (outcome != nullptr) outcome->attempts = attempt;
+    last = call();
+    if (last.ok() || last.code() != StatusCode::kUnavailable) return last;
+    if (attempt == max_attempts) break;
+    if (elapsed + backoff > policy.deadline_us) {
+      return Status::DeadlineExceeded(
+          "retry deadline exhausted after " + std::to_string(attempt) +
+          " attempts: " + last.message());
+    }
+    elapsed += backoff;
+    if (outcome != nullptr) outcome->backoff_us = elapsed;
+    backoff = std::min<int64_t>(
+        policy.max_backoff_us,
+        static_cast<int64_t>(static_cast<double>(backoff) *
+                             policy.backoff_multiplier));
+  }
+  return last;  // kUnavailable, attempts exhausted
+}
+
+// True when `status` indicates the *source* (or its channel) failed, as
+// opposed to a definitive negative answer like kNotFound. Only these codes
+// quarantine views / trip breakers.
+inline bool IsSourceFailure(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+// Per-source circuit breaker: after `failure_threshold` consecutive
+// failures the breaker opens and calls fail fast (no retry storms against
+// a down source). After `open_rejections` fail-fast rejections one probe
+// is let through (half-open); its outcome closes or re-opens the breaker.
+// Counting rejections instead of wall-clock time keeps the state machine
+// deterministic for tests — a real deployment would use a cooldown timer.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    int failure_threshold = 5;  // consecutive failures that trip the breaker
+    int open_rejections = 8;    // fail-fast calls before a half-open probe
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options{}) {}
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  // True when the call may proceed. While open, counts the rejection and
+  // transitions to half-open (allowing one probe) every `open_rejections`
+  // rejected calls.
+  bool AllowRequest() {
+    if (state_ != State::kOpen) return true;
+    if (++rejections_ >= options_.open_rejections) {
+      state_ = State::kHalfOpen;
+      rejections_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  void RecordSuccess() {
+    consecutive_failures_ = 0;
+    state_ = State::kClosed;
+  }
+
+  // Returns true when this failure tripped the breaker open.
+  bool RecordFailure() {
+    if (state_ == State::kHalfOpen) {  // probe failed: straight back to open
+      state_ = State::kOpen;
+      rejections_ = 0;
+      ++trips_;
+      return true;
+    }
+    if (state_ == State::kClosed &&
+        ++consecutive_failures_ >= options_.failure_threshold) {
+      state_ = State::kOpen;
+      rejections_ = 0;
+      consecutive_failures_ = 0;
+      ++trips_;
+      return true;
+    }
+    return false;
+  }
+
+  void Reset() {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    rejections_ = 0;
+  }
+
+  State state() const { return state_; }
+  int64_t trips() const { return trips_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int rejections_ = 0;
+  int64_t trips_ = 0;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_UTIL_RETRY_H_

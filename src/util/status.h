@@ -18,6 +18,8 @@ enum class StatusCode {
   kFailedPrecondition,// operation not valid in the current state
   kUnimplemented,     // feature intentionally out of scope
   kInternal,          // invariant violation inside the library
+  kUnavailable,       // transient: source down / channel fault — retryable
+  kDeadlineExceeded,  // retry budget exhausted before the call succeeded
 };
 
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -31,7 +33,10 @@ class Status {
 
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {
-    assert(code != StatusCode::kOk);
+    assert(code != StatusCode::kOk && "error Status requires a non-OK code");
+    // In release builds the assert vanishes; a kOk-coded "error" would
+    // otherwise construct silently and read as success downstream.
+    if (code_ == StatusCode::kOk) code_ = StatusCode::kInternal;
   }
 
   static Status Ok() { return Status(); }
@@ -52,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

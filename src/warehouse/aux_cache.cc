@@ -36,10 +36,22 @@ Status AuxiliaryCache::AddToCorridor(const Object& object, size_t depth,
   // subobjects" query).
   Path next_label(std::vector<std::string>{corridor_.label(depth)});
   ++wrapper->costs()->cache_maintenance_queries;
-  for (const Object& child : wrapper->FetchPathObjects(oid, next_label)) {
+  GSV_ASSIGN_OR_RETURN(std::vector<Object> children,
+                       wrapper->FetchPathObjects(oid, next_label));
+  for (const Object& child : children) {
     GSV_RETURN_IF_ERROR(AddToCorridor(child, depth + 1, wrapper));
   }
   return Status::Ok();
+}
+
+void AuxiliaryCache::Reset() {
+  std::vector<Oid> all;
+  store_.ForEach([&](const Object& object) { all.push_back(object.oid()); });
+  for (const Oid& oid : all) {
+    store_.Remove(oid);
+    values_known_.Erase(oid);
+  }
+  depths_.clear();
 }
 
 Status AuxiliaryCache::Initialize(SourceWrapper* wrapper) {

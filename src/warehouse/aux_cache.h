@@ -44,6 +44,11 @@ class AuxiliaryCache {
   // Loads the corridor by querying the source (metered).
   Status Initialize(SourceWrapper* wrapper);
 
+  // Discards all cached content. Used by the resync path: after a view is
+  // rebuilt from a full recompute, the corridor is reloaded from the
+  // now-reachable source rather than patched from missed events.
+  void Reset();
+
   // Applies one reported update; queries `wrapper` only for corridor
   // content the event does not carry.
   //

@@ -16,6 +16,23 @@ std::string WarehouseCosts::ToString() const {
       << " cache_queries=" << cache_maintenance_queries
       << " cache_hits=" << cache_hits
       << " cache_misses=" << cache_misses;
+  // Health counters only appear once the fault-tolerance layer engaged, so
+  // the common fault-free string stays short.
+  if (events_duplicate_dropped > 0 || events_gap_detected > 0 ||
+      events_buffered_stale > 0 || wrapper_failures > 0 ||
+      wrapper_retries > 0 || breaker_trips > 0 || breaker_rejections > 0 ||
+      views_quarantined > 0 || view_resyncs > 0 || resync_failures > 0) {
+    out << " dup_dropped=" << events_duplicate_dropped
+        << " gaps=" << events_gap_detected
+        << " buffered_stale=" << events_buffered_stale
+        << " retries=" << wrapper_retries
+        << " wrapper_failures=" << wrapper_failures
+        << " breaker_trips=" << breaker_trips
+        << " breaker_rejections=" << breaker_rejections
+        << " quarantined=" << views_quarantined
+        << " resyncs=" << view_resyncs
+        << " resync_failures=" << resync_failures;
+  }
   return out.str();
 }
 

@@ -33,6 +33,18 @@ struct WarehouseCosts {
   std::atomic<int64_t> cache_hits{0};    // answered from cache/event
   std::atomic<int64_t> cache_misses{0};  // had to query the source
 
+  // Fault tolerance: sequenced delivery, retries, quarantine health.
+  std::atomic<int64_t> events_duplicate_dropped{0};  // redelivery, idempotent
+  std::atomic<int64_t> events_gap_detected{0};   // lost deliveries observed
+  std::atomic<int64_t> events_buffered_stale{0}; // held for post-resync replay
+  std::atomic<int64_t> wrapper_retries{0};       // extra attempts after faults
+  std::atomic<int64_t> wrapper_failures{0};      // calls failed after retries
+  std::atomic<int64_t> breaker_trips{0};         // closed/half-open -> open
+  std::atomic<int64_t> breaker_rejections{0};    // fail-fast while open
+  std::atomic<int64_t> views_quarantined{0};     // fresh -> stale transitions
+  std::atomic<int64_t> view_resyncs{0};          // successful resyncs
+  std::atomic<int64_t> resync_failures{0};       // resync attempts that died
+
   WarehouseCosts() = default;
   WarehouseCosts(const WarehouseCosts& other) { *this = other; }
   WarehouseCosts& operator=(const WarehouseCosts& other) {
@@ -50,6 +62,21 @@ struct WarehouseCosts {
         other.cache_maintenance_queries.load(std::memory_order_relaxed);
     cache_hits = other.cache_hits.load(std::memory_order_relaxed);
     cache_misses = other.cache_misses.load(std::memory_order_relaxed);
+    events_duplicate_dropped =
+        other.events_duplicate_dropped.load(std::memory_order_relaxed);
+    events_gap_detected =
+        other.events_gap_detected.load(std::memory_order_relaxed);
+    events_buffered_stale =
+        other.events_buffered_stale.load(std::memory_order_relaxed);
+    wrapper_retries = other.wrapper_retries.load(std::memory_order_relaxed);
+    wrapper_failures = other.wrapper_failures.load(std::memory_order_relaxed);
+    breaker_trips = other.breaker_trips.load(std::memory_order_relaxed);
+    breaker_rejections =
+        other.breaker_rejections.load(std::memory_order_relaxed);
+    views_quarantined =
+        other.views_quarantined.load(std::memory_order_relaxed);
+    view_resyncs = other.view_resyncs.load(std::memory_order_relaxed);
+    resync_failures = other.resync_failures.load(std::memory_order_relaxed);
     return *this;
   }
 

@@ -1,0 +1,66 @@
+#include "warehouse/fault_injector.h"
+
+#include <string>
+
+namespace gsv {
+
+bool FaultInjector::DropEvent() {
+  if (forced_event_drops_ > 0) {
+    --forced_event_drops_;
+    ++events_dropped_;
+    return true;
+  }
+  if (profile_.event_drop_rate > 0.0 &&
+      rng_.Bernoulli(profile_.event_drop_rate)) {
+    ++events_dropped_;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::DuplicateEvent() {
+  if (forced_event_duplicates_ > 0) {
+    --forced_event_duplicates_;
+    ++events_duplicated_;
+    return true;
+  }
+  if (profile_.event_duplicate_rate > 0.0 &&
+      rng_.Bernoulli(profile_.event_duplicate_rate)) {
+    ++events_duplicated_;
+    return true;
+  }
+  return false;
+}
+
+Status FaultInjector::OnWrapperCall(const char* op) {
+  bool fault = false;
+  if (down_) {
+    fault = true;
+  } else if (forced_call_failures_ > 0) {
+    --forced_call_failures_;
+    fault = true;
+  } else if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    fault = true;
+  } else if (profile_.wrapper_fail_rate > 0.0 &&
+             rng_.Bernoulli(profile_.wrapper_fail_rate)) {
+    burst_remaining_ = profile_.wrapper_fail_burst - 1;
+    fault = true;
+  }
+  if (!fault) return Status::Ok();
+  ++wrapper_faults_;
+  return Status::Unavailable(std::string("injected fault on ") + op);
+}
+
+void FaultInjector::Heal() {
+  down_ = false;
+  forced_call_failures_ = 0;
+  forced_event_drops_ = 0;
+  forced_event_duplicates_ = 0;
+  burst_remaining_ = 0;
+  profile_.wrapper_fail_rate = 0.0;
+  profile_.event_drop_rate = 0.0;
+  profile_.event_duplicate_rate = 0.0;
+}
+
+}  // namespace gsv

@@ -1,0 +1,89 @@
+#ifndef GSV_WAREHOUSE_FAULT_INJECTOR_H_
+#define GSV_WAREHOUSE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// What fraction of the warehouse–source channel misbehaves. All faults are
+// drawn from one seeded PRNG, so a given profile produces the same fault
+// schedule on every run — the fault-injection tests rely on this.
+struct FaultProfile {
+  uint64_t seed = 1;
+  // Per wrapper-call-attempt probability of a transient kUnavailable.
+  double wrapper_fail_rate = 0.0;
+  // Once a wrapper fault triggers, this many consecutive attempts fail
+  // (models an outage window rather than isolated blips; bursts longer
+  // than the retry budget are what trip circuit breakers).
+  int wrapper_fail_burst = 1;
+  // Per-event probability that a monitor→warehouse delivery is lost
+  // (creates a sequence gap at the integrator).
+  double event_drop_rate = 0.0;
+  // Per-event probability that a delivery arrives twice (duplicate).
+  double event_duplicate_rate = 0.0;
+};
+
+// Deterministic fault source for the warehouse–source channel. Installed
+// on a Warehouse source (Warehouse::SetFaultInjector) it sits in two
+// places: SourceWrapper consults OnWrapperCall() before answering each
+// query-back attempt, and the warehouse integrator consults DropEvent() /
+// DuplicateEvent() on each monitor delivery. Scripted controls (set_down,
+// FailNextCalls, DropNextEvents) override the probabilistic profile for
+// targeted tests.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultProfile& profile)
+      : profile_(profile), rng_(profile.seed) {}
+
+  // ---- Channel faults (monitor → warehouse delivery) ----
+
+  // True when this delivery should be lost.
+  bool DropEvent();
+  // True when this delivery should arrive twice.
+  bool DuplicateEvent();
+
+  // ---- Wrapper faults (warehouse → source query-backs) ----
+
+  // Status of this call attempt: OK, or kUnavailable while faulted.
+  Status OnWrapperCall(const char* op);
+
+  // ---- Scripted controls ----
+
+  // Hard outage: every wrapper call fails until set_down(false).
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+  // The next `n` wrapper call attempts fail regardless of the profile.
+  void FailNextCalls(int n) { forced_call_failures_ += n; }
+  // The next `n` monitor deliveries are dropped regardless of the profile.
+  void DropNextEvents(int n) { forced_event_drops_ += n; }
+  // The next `n` monitor deliveries arrive twice regardless of the profile.
+  void DuplicateNextEvents(int n) { forced_event_duplicates_ += n; }
+  // Clears scripted faults and zeroes the probabilistic rates: the channel
+  // is perfect from here on (the recovery half of fault tests).
+  void Heal();
+
+  // ---- Introspection ----
+
+  int64_t wrapper_faults() const { return wrapper_faults_; }
+  int64_t events_dropped() const { return events_dropped_; }
+  int64_t events_duplicated() const { return events_duplicated_; }
+
+ private:
+  FaultProfile profile_;
+  Random rng_;
+  bool down_ = false;
+  int forced_call_failures_ = 0;
+  int forced_event_drops_ = 0;
+  int forced_event_duplicates_ = 0;
+  int burst_remaining_ = 0;
+  int64_t wrapper_faults_ = 0;
+  int64_t events_dropped_ = 0;
+  int64_t events_duplicated_ = 0;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_WAREHOUSE_FAULT_INJECTOR_H_

@@ -10,6 +10,7 @@ void SourceMonitor::OnUpdate(const ObjectStore& store, const Update& update) {
   event.parent = update.parent;
   event.child = update.child;
   event.level = level_;
+  event.sequence = ++sequence_;
 
   if (level_ >= ReportingLevel::kWithValues) {
     const Object* parent_object = store.Get(update.parent);

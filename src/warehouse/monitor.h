@@ -1,6 +1,7 @@
 #ifndef GSV_WAREHOUSE_MONITOR_H_
 #define GSV_WAREHOUSE_MONITOR_H_
 
+#include <cstdint>
 #include <functional>
 
 #include "oem/store.h"
@@ -14,7 +15,9 @@ namespace gsv {
 // and reports them to the warehouse." The monitor is an UpdateListener on
 // the source store and forwards an UpdateEvent — carrying as much
 // information as its configured ReportingLevel allows — to a sink (the
-// warehouse's integrator).
+// warehouse's integrator). Every event is stamped with a monotone 1-based
+// sequence number so the integrator can detect duplicated and lost
+// deliveries on an unreliable channel.
 class SourceMonitor : public UpdateListener {
  public:
   using EventSink = std::function<void(const UpdateEvent&)>;
@@ -28,11 +31,14 @@ class SourceMonitor : public UpdateListener {
 
   ReportingLevel level() const { return level_; }
   void set_level(ReportingLevel level) { level_ = level; }
+  // Sequence number of the most recently emitted event (0 = none yet).
+  uint64_t last_sequence() const { return sequence_; }
 
  private:
   ReportingLevel level_;
   Oid root_;
   EventSink sink_;
+  uint64_t sequence_ = 0;
 };
 
 }  // namespace gsv

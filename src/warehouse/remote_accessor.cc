@@ -1,5 +1,7 @@
 #include "warehouse/remote_accessor.h"
 
+#include "util/retry.h"
+
 namespace gsv {
 
 std::vector<Path> RemoteAccessor::PathsFromRoot(const Oid& root,
@@ -17,7 +19,12 @@ std::vector<Path> RemoteAccessor::PathsFromRoot(const Oid& root,
     return cache_->CorridorPathsFromRoot(n);
   }
   Miss();
-  return wrapper_->FetchPathsFromRoot(root, n);
+  Result<std::vector<Path>> paths = wrapper_->FetchPathsFromRoot(root, n);
+  if (!paths.ok()) {
+    NoteError(paths.status());
+    return {};
+  }
+  return std::move(paths).value();
 }
 
 std::vector<Oid> RemoteAccessor::Ancestors(const Oid& n, const Path& p) {
@@ -31,7 +38,12 @@ std::vector<Oid> RemoteAccessor::Ancestors(const Oid& n, const Path& p) {
     return cache_->Ancestors(n, p);
   }
   Miss();
-  return wrapper_->FetchAncestors(n, p);
+  Result<std::vector<Oid>> ancestors = wrapper_->FetchAncestors(n, p);
+  if (!ancestors.ok()) {
+    NoteError(ancestors.status());
+    return {};
+  }
+  return std::move(ancestors).value();
 }
 
 std::vector<Oid> RemoteAccessor::Eval(const Oid& n, const Path& p,
@@ -65,7 +77,12 @@ std::vector<Oid> RemoteAccessor::Eval(const Oid& n, const Path& p,
     // Partial cache: structure known, values missing (§5.2).
   }
   Miss();
-  return filter(wrapper_->FetchPathObjects(n, p));
+  Result<std::vector<Object>> objects = wrapper_->FetchPathObjects(n, p);
+  if (!objects.ok()) {
+    NoteError(objects.status());
+    return {};
+  }
+  return filter(*objects);
 }
 
 bool RemoteAccessor::VerifyPath(const Oid& root, const Oid& y,
@@ -76,7 +93,12 @@ bool RemoteAccessor::VerifyPath(const Oid& root, const Oid& y,
     return cache_->VerifyPath(y, p);
   }
   Miss();
-  return wrapper_->VerifyPath(root, y, p);
+  Result<bool> verified = wrapper_->VerifyPath(root, y, p);
+  if (!verified.ok()) {
+    NoteError(verified.status());
+    return false;
+  }
+  return *verified;
 }
 
 Result<Object> RemoteAccessor::Fetch(const Oid& oid) {
@@ -101,7 +123,11 @@ Result<Object> RemoteAccessor::Fetch(const Oid& oid) {
     }
   }
   Miss();
-  return wrapper_->FetchObject(oid);
+  Result<Object> fetched = wrapper_->FetchObject(oid);
+  if (!fetched.ok() && IsSourceFailure(fetched.status())) {
+    NoteError(fetched.status());
+  }
+  return fetched;
 }
 
 }  // namespace gsv

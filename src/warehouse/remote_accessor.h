@@ -17,6 +17,15 @@ namespace gsv {
 // The accessor is bound to one view's corridor: PathsFromRoot answers are
 // the derivations relevant to that view's sel/cond prefix matching, which
 // is all Algorithm 1 consumes.
+//
+// BaseAccessor's interface is infallible (Algorithm 1 predates the fault
+// layer), so a failed query-back cannot propagate through the return value:
+// the accessor records the first wrapper error in `last_error()` and
+// answers with the empty/false fallback. Callers that care about source
+// health — the warehouse integrator and the batch engine — ClearError()
+// before a maintenance step and inspect last_error() after it; an
+// Unavailable/DeadlineExceeded error quarantines the view instead of
+// trusting the fallback answer.
 class RemoteAccessor : public BaseAccessor {
  public:
   RemoteAccessor(SourceWrapper* wrapper, WarehouseCosts* costs)
@@ -26,6 +35,10 @@ class RemoteAccessor : public BaseAccessor {
   void set_cache(AuxiliaryCache* cache) { cache_ = cache; }
   // The event being processed (nullptr between events); not owned.
   void set_current_event(const UpdateEvent* event) { event_ = event; }
+
+  // First wrapper failure since the last ClearError (Ok when none).
+  const Status& last_error() const { return error_; }
+  void ClearError() { error_ = Status::Ok(); }
 
   std::vector<Path> PathsFromRoot(const Oid& root, const Oid& n) override;
   std::vector<Oid> Ancestors(const Oid& n, const Path& p) override;
@@ -37,11 +50,15 @@ class RemoteAccessor : public BaseAccessor {
  private:
   void Hit() { ++costs_->cache_hits; }
   void Miss() { ++costs_->cache_misses; }
+  void NoteError(const Status& status) {
+    if (error_.ok()) error_ = status;
+  }
 
   SourceWrapper* wrapper_;
   WarehouseCosts* costs_;
   AuxiliaryCache* cache_ = nullptr;
   const UpdateEvent* event_ = nullptr;
+  Status error_ = Status::Ok();
 };
 
 }  // namespace gsv

@@ -40,6 +40,13 @@ struct UpdateEvent {
   Oid child;   // N2; invalid for modify
   ReportingLevel level = ReportingLevel::kOidsOnly;
 
+  // Per-source monotone sequence number, stamped by the SourceMonitor
+  // (1-based). The warehouse integrator uses it to drop duplicate
+  // deliveries idempotently and to detect gaps (lost deliveries), which
+  // quarantine the affected views for resync. 0 = unsequenced: events
+  // constructed directly (tests, batch helpers) bypass both checks.
+  uint64_t sequence = 0;
+
   // Level >= 2: snapshots of the directly affected objects, taken right
   // after the update was applied at the source.
   std::optional<Object> parent_object;

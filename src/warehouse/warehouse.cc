@@ -1,5 +1,8 @@
 #include "warehouse/warehouse.h"
 
+#include "core/recompute.h"
+#include "util/retry.h"
+
 namespace gsv {
 
 Warehouse::Warehouse(ObjectStore* store) : store_(store) {}
@@ -159,6 +162,39 @@ const AuxiliaryCache* Warehouse::cache(const std::string& name) const {
 }
 
 void Warehouse::OnEvent(size_t source_index, const UpdateEvent& event) {
+  // The channel between monitor and integrator is at-least-once: with a
+  // fault injector installed it may lose or redeliver this event.
+  FaultInjector* injector = sources_[source_index]->injector;
+  if (injector != nullptr) {
+    if (injector->DropEvent()) return;  // lost; the next delivery shows a gap
+    Deliver(source_index, event);
+    if (injector->DuplicateEvent()) Deliver(source_index, event);
+    return;
+  }
+  Deliver(source_index, event);
+}
+
+void Warehouse::Deliver(size_t source_index, const UpdateEvent& event) {
+  SourceEntry& source = *sources_[source_index];
+  if (event.sequence != 0) {
+    if (event.sequence < source.next_sequence) {
+      // Redelivery of an event already integrated: drop idempotently.
+      ++costs_.events_duplicate_dropped;
+      return;
+    }
+    if (event.sequence > source.next_sequence) {
+      // Lost delivery: the views of this source missed an update and can
+      // no longer be maintained incrementally. Quarantine them for resync.
+      ++costs_.events_gap_detected;
+      QuarantineSourceViews(
+          source_index,
+          Status::Unavailable(
+              "lost delivery from '" + source.name + "': expected seq " +
+              std::to_string(source.next_sequence) + ", got " +
+              std::to_string(event.sequence)));
+    }
+    source.next_sequence = event.sequence + 1;
+  }
   if (deferred_) {
     pending_.emplace_back(source_index, event);
     return;
@@ -171,10 +207,177 @@ void Warehouse::DispatchEvent(size_t source_index, const UpdateEvent& event) {
   int64_t queries_before = costs_.source_queries;
   for (auto& entry : views_) {
     if (entry->source_index != source_index) continue;
+    if (entry->stale) {
+      // Opportunistic recovery: a new event is the inline dispatch's only
+      // chance to notice the source came back. The circuit breaker keeps
+      // the probe cheap while the source is still down.
+      TryResyncView(*entry, /*force=*/false);
+      if (entry->stale) {
+        BufferStaleEvent(*entry, event);
+        continue;
+      }
+      // Resynced just now from the current source state, which already
+      // includes this event's update; handling it below is a redundant
+      // (convergent) replay, same as a deferred drain.
+    }
+    entry->accessor->ClearError();
     Status status = HandleEventForView(*entry, event);
-    if (!status.ok()) last_status_ = status;
+    if (status.ok()) status = entry->accessor->last_error();
+    if (!status.ok()) {
+      if (IsSourceFailure(status)) {
+        // Graceful degradation: the view keeps serving its last consistent
+        // state; the event replays after resync.
+        Quarantine(*entry, status);
+        BufferStaleEvent(*entry, event);
+      } else {
+        last_status_ = status;
+      }
+    }
   }
   if (costs_.source_queries == queries_before) ++costs_.events_local_only;
+}
+
+Status Warehouse::SetFaultInjector(const std::string& source_name,
+                                   FaultInjector* injector) {
+  for (auto& source : sources_) {
+    if (source->name != source_name) continue;
+    source->injector = injector;
+    source->wrapper->set_fault_injector(injector);
+    return Status::Ok();
+  }
+  return Status::NotFound("unknown source '" + source_name + "'");
+}
+
+SourceWrapper* Warehouse::wrapper(const std::string& source_name) {
+  if (source_name.empty()) {
+    return sources_.size() == 1 ? sources_[0]->wrapper.get() : nullptr;
+  }
+  for (auto& source : sources_) {
+    if (source->name == source_name) return source->wrapper.get();
+  }
+  return nullptr;
+}
+
+Warehouse::ViewHealth Warehouse::view_health(const std::string& name) const {
+  for (const auto& entry : views_) {
+    if (entry->def.name() == name) {
+      return entry->stale ? ViewHealth::kStale : ViewHealth::kFresh;
+    }
+  }
+  return ViewHealth::kFresh;
+}
+
+size_t Warehouse::stale_view_count() const {
+  size_t count = 0;
+  for (const auto& entry : views_) {
+    if (entry->stale) ++count;
+  }
+  return count;
+}
+
+size_t Warehouse::buffered_stale_events() const {
+  size_t count = 0;
+  for (const auto& entry : views_) count += entry->stale_events.size();
+  return count;
+}
+
+void Warehouse::Quarantine(ViewEntry& entry, const Status& cause) {
+  if (entry.stale) return;
+  entry.stale = true;
+  entry.stale_cause = cause;
+  ++costs_.views_quarantined;
+}
+
+void Warehouse::BufferStaleEvent(ViewEntry& entry, const UpdateEvent& event) {
+  entry.stale_events.push_back(event);
+  ++costs_.events_buffered_stale;
+}
+
+void Warehouse::QuarantineSourceViews(size_t source_index,
+                                      const Status& cause) {
+  for (auto& entry : views_) {
+    if (entry->source_index == source_index) Quarantine(*entry, cause);
+  }
+}
+
+Status Warehouse::TryResyncView(ViewEntry& entry, bool force) {
+  SourceEntry& source = SourceOf(entry);
+  GSV_RETURN_IF_ERROR(source.wrapper->Probe(force));
+
+  // The source answers again. Rebuild the view from its *current* state
+  // (the §4.4 recompute path) — that state already reflects every missed
+  // and buffered update, so the rebuild subsumes whatever was lost.
+  RecomputeMaintainer recompute(entry.view.get(), source.store);
+  Status status = recompute.Recompute();
+  if (!status.ok()) {
+    ++costs_.resync_failures;
+    return status;
+  }
+  if (entry.cache != nullptr) {
+    entry.cache->Reset();
+    status = entry.cache->Initialize(source.wrapper.get());
+    if (!status.ok()) {
+      ++costs_.resync_failures;
+      return status;  // stay quarantined until the corridor rebuilds too
+    }
+  }
+  entry.stale = false;
+  entry.stale_cause = Status::Ok();
+
+  // Replay the buffered events. Each one is already reflected in the
+  // rebuilt state, so replay is redundant — but it is convergent (the
+  // deferred-drain argument: raw edge ops are idempotent, candidate
+  // verification runs against current source state) and it exercises the
+  // same at-least-once path as any redelivery.
+  std::vector<UpdateEvent> replay;
+  replay.swap(entry.stale_events);
+  for (size_t i = 0; i < replay.size(); ++i) {
+    entry.accessor->ClearError();
+    Status replay_status = HandleEventForView(entry, replay[i]);
+    if (replay_status.ok()) replay_status = entry.accessor->last_error();
+    if (!replay_status.ok()) {
+      if (IsSourceFailure(replay_status)) {
+        // The source died again mid-replay: back to quarantine with the
+        // unreplayed tail (the next resync's rebuild subsumes it anyway).
+        Quarantine(entry, replay_status);
+        for (size_t j = i; j < replay.size(); ++j) {
+          BufferStaleEvent(entry, replay[j]);
+        }
+        ++costs_.resync_failures;
+        return replay_status;
+      }
+      last_status_ = replay_status;  // replay continues past local errors
+    }
+  }
+
+  // Deferred-drain epilogue for the replayed events.
+  status = VerifyMembers(entry);
+  if (!status.ok()) {
+    if (IsSourceFailure(status)) {
+      Quarantine(entry, status);
+      ++costs_.resync_failures;
+      return status;
+    }
+    last_status_ = status;
+  }
+  ++costs_.view_resyncs;
+  return Status::Ok();
+}
+
+void Warehouse::TryResyncStaleViews() {
+  for (auto& entry : views_) {
+    if (entry->stale) TryResyncView(*entry, /*force=*/false);
+  }
+}
+
+Status Warehouse::ResyncStaleViews() {
+  Status first_error;
+  for (auto& entry : views_) {
+    if (!entry->stale) continue;
+    Status status = TryResyncView(*entry, /*force=*/true);
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
 }
 
 size_t Warehouse::CompactPending() {
@@ -218,16 +421,23 @@ size_t Warehouse::CompactPending() {
   return removed;
 }
 
-Status Warehouse::CollectUnderivable(ViewEntry& entry, BaseAccessor* accessor,
+Status Warehouse::CollectUnderivable(ViewEntry& entry,
+                                     RemoteAccessor* accessor,
                                      std::vector<Oid>* doomed) {
   const SourceEntry& source = *sources_[entry.source_index];
   const OidSet members = entry.view->BaseMembers();
   for (const Oid& member : members) {
+    accessor->ClearError();
     bool derivable = accessor->VerifyPath(source.root, member, entry.sel_path);
     if (derivable && entry.def.predicate().has_value()) {
       derivable =
           !accessor->Eval(member, entry.cond_path, entry.def.predicate())
                .empty();
+    }
+    if (!accessor->last_error().ok()) {
+      // The empty/false answer came from a failed query-back, not from the
+      // source: abort rather than doom members on a down channel.
+      return accessor->last_error();
     }
     if (!derivable) doomed->push_back(member);
   }
@@ -245,6 +455,9 @@ Status Warehouse::VerifyMembers(ViewEntry& entry) {
 }
 
 Status Warehouse::ProcessPending() {
+  // Recovery prologue: sources may have healed since the last drain.
+  TryResyncStaleViews();
+
   Status first_error;
   // Drain into a local list first: processing may enqueue nothing new (the
   // warehouse never mutates sources), but keep the loop robust anyway.
@@ -259,11 +472,18 @@ Status Warehouse::ProcessPending() {
       first_error = last_status_;
     }
   }
-  // Deferred-drain epilogue: see the header comment.
+  // Deferred-drain epilogue: see the header comment. Quarantined views are
+  // skipped — their members are verified by the post-resync sweep instead.
   for (auto& entry : views_) {
-    if (!touched[entry->source_index]) continue;
+    if (!touched[entry->source_index] || entry->stale) continue;
     Status status = VerifyMembers(*entry);
-    if (!status.ok() && first_error.ok()) first_error = status;
+    if (!status.ok()) {
+      if (IsSourceFailure(status)) {
+        Quarantine(*entry, status);
+        continue;
+      }
+      if (first_error.ok()) first_error = status;
+    }
   }
   if (!first_error.ok()) last_status_ = first_error;
   return first_error;

@@ -14,6 +14,7 @@
 #include "util/thread_pool.h"
 #include "warehouse/aux_cache.h"
 #include "warehouse/cost_model.h"
+#include "warehouse/fault_injector.h"
 #include "warehouse/monitor.h"
 #include "warehouse/path_knowledge.h"
 #include "warehouse/remote_accessor.h"
@@ -148,6 +149,41 @@ class Warehouse {
   Status ProcessPendingBatch(const BatchOptions& options);
   Status ProcessPendingBatch() { return ProcessPendingBatch(BatchOptions{}); }
 
+  // ---- Fault tolerance (sequenced delivery, quarantine, resync) ----
+  //
+  // The warehouse–source channel is at-least-once: monitor events carry a
+  // per-source sequence number, duplicates are dropped idempotently, and a
+  // gap (lost delivery) quarantines every view of that source. A view also
+  // quarantines when a query-back fails after retries or hits an open
+  // circuit breaker. Quarantined (kStale) views keep serving reads from
+  // their last consistent state; events for them are buffered. Each drain
+  // first attempts to resync stale views — probe the source, recompute the
+  // view from current source state (§4.4 path), rebuild the corridor
+  // cache, replay the buffered events, and run the verification sweep —
+  // so recovery is automatic once the source answers again.
+
+  // Installs a deterministic fault model on `source_name`'s channel and
+  // wrapper (nullptr detaches). The injector must outlive its installation.
+  Status SetFaultInjector(const std::string& source_name,
+                          FaultInjector* injector);
+
+  // The wrapper of `source_name` (the sole source when empty); nullptr when
+  // unknown. Exposed so callers can tune retry/breaker policies and probe.
+  SourceWrapper* wrapper(const std::string& source_name = "");
+
+  enum class ViewHealth {
+    kFresh,  // maintained incrementally, consistent with delivered events
+    kStale,  // quarantined: serving last consistent state, awaiting resync
+  };
+  ViewHealth view_health(const std::string& name) const;
+  size_t stale_view_count() const;
+  // Events buffered across all quarantined views, awaiting replay.
+  size_t buffered_stale_events() const;
+
+  // Forces a resync attempt for every quarantined view now (probing past
+  // an open breaker). Returns Ok when no views remain stale.
+  Status ResyncStaleViews();
+
   MaterializedView* view(const std::string& name);
   const Algorithm1Maintainer* maintainer(const std::string& name) const;
   const AuxiliaryCache* cache(const std::string& name) const;
@@ -167,6 +203,11 @@ class Warehouse {
     Oid root;
     std::unique_ptr<SourceWrapper> wrapper;
     std::unique_ptr<SourceMonitor> monitor;
+    // Channel fault model (not owned; also installed on the wrapper).
+    FaultInjector* injector = nullptr;
+    // Sequence expected from the next monitor event (events with
+    // sequence 0 are unsequenced and bypass the checks).
+    uint64_t next_sequence = 1;
   };
 
   struct ViewEntry {
@@ -181,16 +222,34 @@ class Warehouse {
     std::unique_ptr<AuxiliaryCache> cache;
     std::unique_ptr<RemoteAccessor> accessor;
     std::unique_ptr<Algorithm1Maintainer> maintainer;
+    // Quarantine state: a stale view serves its last consistent contents;
+    // events arriving while stale buffer here for post-resync replay.
+    bool stale = false;
+    std::vector<UpdateEvent> stale_events;
+    Status stale_cause;  // why the view quarantined (Ok when fresh)
   };
 
   void OnEvent(size_t source_index, const UpdateEvent& event);
+  // Sequence accounting for one delivered event: drops duplicates, detects
+  // gaps (quarantining the source's views), then queues or dispatches.
+  void Deliver(size_t source_index, const UpdateEvent& event);
   void DispatchEvent(size_t source_index, const UpdateEvent& event);
+  // Quarantine entry points.
+  void Quarantine(ViewEntry& entry, const Status& cause);
+  void BufferStaleEvent(ViewEntry& entry, const UpdateEvent& event);
+  void QuarantineSourceViews(size_t source_index, const Status& cause);
+  // One resync attempt; leaves the view stale when the source still fails.
+  Status TryResyncView(ViewEntry& entry, bool force);
+  // Opportunistic resync of every stale view (drain prologue).
+  void TryResyncStaleViews();
   Status HandleEventForView(ViewEntry& entry, const UpdateEvent& event);
   // The §5.1 local screening predicate (level >= 2 events only).
   bool EventRelevant(const ViewEntry& entry, const UpdateEvent& event) const;
   // Collects current members whose derivation/condition fails on the
-  // current source state; read-only (usable from a worker thread).
-  Status CollectUnderivable(ViewEntry& entry, BaseAccessor* accessor,
+  // current source state; read-only (usable from a worker thread). Aborts
+  // with the accessor's error when a query-back fails — an empty answer
+  // from a down source is not evidence a member is underivable.
+  Status CollectUnderivable(ViewEntry& entry, RemoteAccessor* accessor,
                             std::vector<Oid>* doomed);
   // Drops members whose derivation/condition fails on the current source
   // state (the deferred-drain epilogue).

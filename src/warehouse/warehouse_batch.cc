@@ -7,6 +7,7 @@
 
 #include "core/algorithm1.h"
 #include "core/buffered_view.h"
+#include "util/retry.h"
 #include "warehouse/warehouse.h"
 
 namespace gsv {
@@ -58,6 +59,9 @@ static uint32_t SubtreeGroupKey(const ObjectStore& store, const Oid& root,
 }
 
 Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
+  // Recovery prologue: resynced views take part in this batch normally.
+  TryResyncStaleViews();
+
   Status first_error;
   UpdateBatch batch;
   {
@@ -98,9 +102,24 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
     for (const auto& [source_index, event] : batch.events()) {
       if (source_index != entry.source_index) continue;
 
+      // Quarantined views sit the batch out: their events buffer for the
+      // post-resync replay. A view can also quarantine mid-batch, when the
+      // cache's query-backs hit a down source — the resync rebuilds the
+      // corridor, so a partially absorbed batch cannot corrupt it.
+      if (entry.stale) {
+        BufferStaleEvent(entry, event);
+        continue;
+      }
       if (entry.cache != nullptr) {
         Status status = entry.cache->OnEvent(event, source.wrapper.get());
-        if (!status.ok() && first_error.ok()) first_error = status;
+        if (!status.ok()) {
+          if (IsSourceFailure(status)) {
+            Quarantine(entry, status);
+            BufferStaleEvent(entry, event);
+            continue;
+          }
+          if (first_error.ok()) first_error = status;
+        }
       }
 
       bool relevant = true;
@@ -150,6 +169,7 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
                                       source.root);
       for (const auto& [event, relevant] : task.events) {
         Status status;
+        accessor.ClearError();
         if (!relevant) {
           status = task.buffer->SyncUpdate(event->ToUpdate());
         } else {
@@ -163,6 +183,9 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
           }
           accessor.set_current_event(nullptr);
         }
+        // A failed query-back surfaces through the accessor even when the
+        // maintenance call itself reports success.
+        if (status.ok()) status = accessor.last_error();
         if (!status.ok() && task.status.ok()) task.status = status;
       }
       task.stats = maintainer.stats();
@@ -172,15 +195,31 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
 
   // ---- Phase 3: replay single-threaded in fixed (view, subtree-key) order
   // so the resulting views, delegate store and stats are deterministic.
+  //
+  // All-or-nothing per view: when ANY of a view's tasks hit a down source,
+  // none of its buffers replay — a half-applied batch would leave the view
+  // in a state no source history ever produced. The whole batch slice
+  // buffers for post-resync replay instead, and the view quarantines.
   for (EvalTask& task : eval_tasks) {
-    if (!task.status.ok() && first_error.ok()) first_error = task.status;
+    if (task.status.ok() || !IsSourceFailure(task.status)) continue;
+    Quarantine(*views_[task.view_index], task.status);
+  }
+  for (EvalTask& task : eval_tasks) {
     ViewEntry& entry = *views_[task.view_index];
+    if (entry.stale) {
+      for (const auto& [event, relevant] : task.events) {
+        BufferStaleEvent(entry, *event);
+      }
+      continue;
+    }
+    if (!task.status.ok() && first_error.ok()) first_error = task.status;
     Status status = task.buffer->ReplayInto(entry.view.get());
     if (!status.ok() && first_error.ok()) first_error = status;
     entry.maintainer->MergeStats(task.stats);
   }
   for (auto& entry : views_) {
-    if (touched[entry->source_index] && entry->cache != nullptr) {
+    if (touched[entry->source_index] && !entry->stale &&
+        entry->cache != nullptr) {
       entry->cache->Prune();
     }
   }
@@ -190,6 +229,7 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
   std::vector<SweepTask> sweep_tasks;
   for (size_t view_index = 0; view_index < views_.size(); ++view_index) {
     if (!touched[views_[view_index]->source_index]) continue;
+    if (views_[view_index]->stale) continue;  // swept after resync instead
     SweepTask task;
     task.view_index = view_index;
     sweep_tasks.push_back(std::move(task));
@@ -205,8 +245,16 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
   }
   pool->Wait();
   for (SweepTask& task : sweep_tasks) {
-    if (!task.status.ok() && first_error.ok()) first_error = task.status;
     ViewEntry& entry = *views_[task.view_index];
+    if (!task.status.ok()) {
+      if (IsSourceFailure(task.status)) {
+        // The sweep could not verify membership against the source; the
+        // collected deletions are unreliable. Quarantine instead of acting.
+        Quarantine(entry, task.status);
+        continue;
+      }
+      if (first_error.ok()) first_error = task.status;
+    }
     for (const Oid& member : task.doomed) {
       Status status = entry.view->VDelete(member);
       if (!status.ok() && first_error.ok()) first_error = status;

@@ -13,6 +13,7 @@
 #include "oem/store.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
+#include "warehouse/fault_injector.h"
 #include "warehouse/update_batch.h"
 #include "warehouse/warehouse.h"
 #include "workload/tree_gen.h"
@@ -406,6 +407,138 @@ TEST(BatchDeterminismTest, CoalescingIsCounted) {
   ASSERT_TRUE(generator.Run(500).ok());
   ASSERT_TRUE(warehouse.ProcessPendingBatch().ok());
   EXPECT_GT(warehouse.costs().events_coalesced.load(), 0);
+}
+
+// ------------------------------------------------- fault tolerance
+
+namespace {
+
+struct BatchFaultRig {
+  ObjectStore source;
+  ObjectStore store;
+  std::unique_ptr<Warehouse> warehouse;
+  std::string definition;
+  Oid root;
+
+  void Build(ReportingLevel level,
+             Warehouse::CacheMode cache = Warehouse::CacheMode::kNone) {
+    TreeGenOptions tree_options;
+    tree_options.levels = 3;
+    tree_options.fanout = 4;
+    tree_options.seed = 101;
+    auto tree = GenerateTree(&source, tree_options);
+    ASSERT_TRUE(tree.ok());
+    root = tree->root;
+    definition = TreeViewDefinition("WV", root, 2, 3, 50);
+    warehouse = std::make_unique<Warehouse>(&store);
+    ASSERT_TRUE(warehouse->ConnectSource(&source, root, level).ok());
+    ASSERT_TRUE(warehouse->DefineView(definition, cache).ok());
+    warehouse->set_deferred(true);
+  }
+
+  void ExpectMatchesTruth() {
+    auto def = ViewDefinition::Parse(definition);
+    ASSERT_TRUE(def.ok());
+    auto truth = EvaluateView(source, *def);
+    ASSERT_TRUE(truth.ok());
+    MaterializedView* view = warehouse->view("WV");
+    ASSERT_NE(view, nullptr);
+    EXPECT_EQ(view->BaseMembers(), *truth);
+    ConsistencyReport report = CheckViewConsistency(*view, source);
+    EXPECT_TRUE(report.consistent) << report.ToString();
+  }
+};
+
+}  // namespace
+
+TEST(BatchFaultToleranceTest, DuplicateDeliveriesAreIdempotentInBatchDrain) {
+  BatchFaultRig rig;
+  rig.Build(ReportingLevel::kWithValues);
+  FaultInjector injector(FaultProfile{});
+  ASSERT_TRUE(rig.warehouse->SetFaultInjector("source1", &injector).ok());
+  injector.DuplicateNextEvents(1000);  // every delivery arrives twice
+
+  UpdateGenOptions gen_options;
+  gen_options.seed = 211;
+  UpdateGenerator gen(&rig.source, rig.root, gen_options);
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(gen.Run(100).ok());
+    ASSERT_TRUE(rig.warehouse->ProcessPendingBatch().ok())
+        << rig.warehouse->last_status().ToString();
+  }
+  EXPECT_GT(rig.warehouse->costs().events_duplicate_dropped, 0);
+  EXPECT_EQ(rig.warehouse->costs().events_gap_detected, 0);
+  EXPECT_EQ(rig.warehouse->stale_view_count(), 0u);
+  rig.ExpectMatchesTruth();
+}
+
+TEST(BatchFaultToleranceTest, GapQuarantinesAndBatchLeavesViewUntouched) {
+  BatchFaultRig rig;
+  rig.Build(ReportingLevel::kWithValues, Warehouse::CacheMode::kFull);
+  FaultInjector injector(FaultProfile{});
+  ASSERT_TRUE(rig.warehouse->SetFaultInjector("source1", &injector).ok());
+
+  // Healthy warm-up drain, then snapshot the consistent state.
+  UpdateGenOptions gen_options;
+  gen_options.seed = 211;
+  UpdateGenerator gen(&rig.source, rig.root, gen_options);
+  ASSERT_TRUE(gen.Run(50).ok());
+  ASSERT_TRUE(rig.warehouse->ProcessPendingBatch().ok());
+  const OidSet before = rig.warehouse->view("WV")->BaseMembers();
+
+  // Lose the next delivery while the source is unreachable: the gap
+  // quarantines the view and the drain must not half-apply the batch.
+  injector.DropNextEvents(1);
+  injector.set_down(true);
+  ASSERT_TRUE(gen.Run(60).ok());
+  ASSERT_TRUE(rig.warehouse->ProcessPendingBatch().ok())
+      << "quarantine is graceful";
+  EXPECT_GE(rig.warehouse->costs().events_gap_detected, 1);
+  EXPECT_EQ(rig.warehouse->view_health("WV"), Warehouse::ViewHealth::kStale);
+  EXPECT_GT(rig.warehouse->buffered_stale_events(), 0u);
+  EXPECT_EQ(rig.warehouse->view("WV")->BaseMembers(), before)
+      << "stale view must keep its last consistent contents";
+
+  // Recovery: once the channel heals, the next drain's prologue resyncs.
+  injector.Heal();
+  ASSERT_TRUE(rig.warehouse->ProcessPendingBatch().ok());
+  EXPECT_EQ(rig.warehouse->stale_view_count(), 0u);
+  EXPECT_EQ(rig.warehouse->buffered_stale_events(), 0u);
+  EXPECT_GE(rig.warehouse->costs().view_resyncs, 1);
+  rig.ExpectMatchesTruth();
+}
+
+TEST(BatchFaultToleranceTest, MidBatchSourceOutageBuffersTheWholeSlice) {
+  // kOidsOnly makes every relevant event query back, so an outage that
+  // starts after delivery but before the drain is guaranteed to surface
+  // inside phase 2 — the all-or-nothing replay path.
+  BatchFaultRig rig;
+  rig.Build(ReportingLevel::kOidsOnly);
+  FaultInjector injector(FaultProfile{});
+  ASSERT_TRUE(rig.warehouse->SetFaultInjector("source1", &injector).ok());
+
+  UpdateGenOptions gen_options;
+  gen_options.seed = 211;
+  UpdateGenerator gen(&rig.source, rig.root, gen_options);
+  ASSERT_TRUE(gen.Run(50).ok());
+  ASSERT_TRUE(rig.warehouse->ProcessPendingBatch().ok());
+  const OidSet before = rig.warehouse->view("WV")->BaseMembers();
+
+  ASSERT_TRUE(gen.Run(40).ok());   // delivered in full, sequence intact
+  injector.set_down(true);         // ...but the source dies before the drain
+  ASSERT_TRUE(rig.warehouse->ProcessPendingBatch().ok());
+  EXPECT_EQ(rig.warehouse->view_health("WV"), Warehouse::ViewHealth::kStale);
+  EXPECT_EQ(rig.warehouse->view("WV")->BaseMembers(), before)
+      << "a failed batch must not half-apply";
+  EXPECT_GT(rig.warehouse->buffered_stale_events(), 0u);
+  EXPECT_GT(rig.warehouse->costs().wrapper_failures, 0);
+
+  // The outage tripped the circuit breaker, so the gentle drain-prologue
+  // probe fails fast; the explicit resync forces through it.
+  injector.Heal();
+  ASSERT_TRUE(rig.warehouse->ResyncStaleViews().ok());
+  EXPECT_EQ(rig.warehouse->stale_view_count(), 0u);
+  rig.ExpectMatchesTruth();
 }
 
 }  // namespace

@@ -1,0 +1,337 @@
+// Fault-tolerance suite: the deterministic fault injector, the wrapper's
+// admission control (retry + circuit breaker), the quarantine lifecycle,
+// and the end-to-end convergence guarantee — under seeded channel faults a
+// warehouse that heals and resyncs ends byte-identical to one that never
+// saw a fault.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/consistency.h"
+#include "core/virtual_view.h"
+#include "oem/store.h"
+#include "query/evaluator.h"
+#include "util/retry.h"
+#include "warehouse/fault_injector.h"
+#include "warehouse/warehouse.h"
+#include "warehouse/wrapper.h"
+#include "workload/person_db.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+namespace gsv {
+namespace {
+
+using namespace person_db;  // NOLINT(build/namespaces): OID helpers
+
+// ---------------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, SameSeedSameFaultSchedule) {
+  FaultProfile profile;
+  profile.seed = 42;
+  profile.wrapper_fail_rate = 0.3;
+  profile.event_drop_rate = 0.2;
+  profile.event_duplicate_rate = 0.2;
+  FaultInjector a(profile);
+  FaultInjector b(profile);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.OnWrapperCall("op").ok(), b.OnWrapperCall("op").ok()) << i;
+    EXPECT_EQ(a.DropEvent(), b.DropEvent()) << i;
+    EXPECT_EQ(a.DuplicateEvent(), b.DuplicateEvent()) << i;
+  }
+  EXPECT_EQ(a.wrapper_faults(), b.wrapper_faults());
+  EXPECT_EQ(a.events_dropped(), b.events_dropped());
+  EXPECT_EQ(a.events_duplicated(), b.events_duplicated());
+  EXPECT_GT(a.wrapper_faults(), 0);
+  EXPECT_GT(a.events_dropped(), 0);
+}
+
+TEST(FaultInjectorTest, FaultsArriveInBursts) {
+  FaultProfile profile;
+  profile.seed = 7;
+  profile.wrapper_fail_rate = 0.05;
+  profile.wrapper_fail_burst = 4;
+  FaultInjector injector(profile);
+  // Scan for the first fault; the next three attempts must fail too.
+  int i = 0;
+  while (injector.OnWrapperCall("op").ok()) {
+    ASSERT_LT(++i, 10000) << "profile should eventually fault";
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FALSE(injector.OnWrapperCall("op").ok()) << "burst position " << j;
+  }
+}
+
+TEST(FaultInjectorTest, ScriptedControlsOverrideTheProfile) {
+  FaultInjector injector(FaultProfile{});  // all rates zero
+  EXPECT_TRUE(injector.OnWrapperCall("op").ok());
+  EXPECT_FALSE(injector.DropEvent());
+
+  injector.FailNextCalls(2);
+  EXPECT_EQ(injector.OnWrapperCall("op").code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(injector.OnWrapperCall("op").ok());
+  EXPECT_TRUE(injector.OnWrapperCall("op").ok());
+
+  injector.DropNextEvents(1);
+  EXPECT_TRUE(injector.DropEvent());
+  EXPECT_FALSE(injector.DropEvent());
+
+  injector.DuplicateNextEvents(1);
+  EXPECT_TRUE(injector.DuplicateEvent());
+  EXPECT_FALSE(injector.DuplicateEvent());
+
+  injector.set_down(true);
+  EXPECT_FALSE(injector.OnWrapperCall("op").ok());
+  injector.Heal();
+  EXPECT_TRUE(injector.OnWrapperCall("op").ok());
+}
+
+TEST(FaultInjectorTest, HealZeroesScriptedAndProbabilisticFaults) {
+  FaultProfile profile;
+  profile.seed = 3;
+  profile.wrapper_fail_rate = 1.0;
+  profile.event_drop_rate = 1.0;
+  profile.event_duplicate_rate = 1.0;
+  FaultInjector injector(profile);
+  injector.FailNextCalls(5);
+  injector.DropNextEvents(5);
+  EXPECT_FALSE(injector.OnWrapperCall("op").ok());
+  EXPECT_TRUE(injector.DropEvent());
+  injector.Heal();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(injector.OnWrapperCall("op").ok());
+    EXPECT_FALSE(injector.DropEvent());
+    EXPECT_FALSE(injector.DuplicateEvent());
+  }
+}
+
+// ------------------------------------------------------- Wrapper admission
+
+class WrapperFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(BuildPersonDb(&source_, /*with_database=*/false).ok());
+    wrapper_ = std::make_unique<SourceWrapper>(&source_, &costs_);
+    wrapper_->set_fault_injector(&injector_);
+  }
+
+  ObjectStore source_;
+  WarehouseCosts costs_;
+  FaultInjector injector_{FaultProfile{}};
+  std::unique_ptr<SourceWrapper> wrapper_;
+};
+
+TEST_F(WrapperFaultTest, TransientFaultsAreRetriedAway) {
+  // Two injected failures, then success: one call, two retries, an answer.
+  injector_.FailNextCalls(2);
+  auto object = wrapper_->FetchObject(P1());
+  ASSERT_TRUE(object.ok()) << object.status().ToString();
+  EXPECT_EQ(costs_.wrapper_retries, 2);
+  EXPECT_EQ(costs_.wrapper_failures, 0);
+  EXPECT_EQ(wrapper_->breaker_state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(WrapperFaultTest, ExhaustedRetriesSurfaceAsFailure) {
+  injector_.FailNextCalls(100);
+  auto object = wrapper_->FetchObject(P1());
+  ASSERT_FALSE(object.ok());
+  EXPECT_TRUE(IsSourceFailure(object.status()))
+      << object.status().ToString();
+  EXPECT_EQ(costs_.wrapper_failures, 1);
+  EXPECT_EQ(costs_.wrapper_retries, wrapper_->retry_policy().max_attempts - 1);
+}
+
+TEST_F(WrapperFaultTest, BreakerTripsThenFailsFastThenRecovers) {
+  injector_.set_down(true);
+  CircuitBreaker::Options breaker_options;
+  // Every fetch exhausts its retries and counts one breaker failure.
+  for (int i = 0; i < breaker_options.failure_threshold; ++i) {
+    EXPECT_FALSE(wrapper_->FetchObject(P1()).ok());
+  }
+  EXPECT_EQ(costs_.breaker_trips, 1);
+  EXPECT_EQ(wrapper_->breaker_state(), CircuitBreaker::State::kOpen);
+
+  // While open, calls are rejected without consulting the source: the
+  // injector sees no new attempts.
+  const int64_t faults_before = injector_.wrapper_faults();
+  EXPECT_FALSE(wrapper_->FetchObject(P1()).ok());
+  EXPECT_EQ(injector_.wrapper_faults(), faults_before);
+  EXPECT_GT(costs_.breaker_rejections, 0);
+
+  // A forced probe bypasses the open breaker; once the source heals it
+  // succeeds and closes the breaker again.
+  injector_.Heal();
+  ASSERT_TRUE(wrapper_->Probe(/*force=*/true).ok());
+  EXPECT_EQ(wrapper_->breaker_state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(wrapper_->FetchObject(P1()).ok());
+}
+
+TEST_F(WrapperFaultTest, OpenBreakerHalfOpensAfterEnoughRejections) {
+  injector_.set_down(true);
+  CircuitBreaker::Options breaker_options;
+  for (int i = 0; i < breaker_options.failure_threshold; ++i) {
+    EXPECT_FALSE(wrapper_->Probe().ok());
+  }
+  ASSERT_EQ(wrapper_->breaker_state(), CircuitBreaker::State::kOpen);
+
+  // The source recovers while the breaker is open. After open_rejections
+  // fail-fast calls the breaker lets one probe through, which succeeds and
+  // closes the circuit — no forced probe needed.
+  injector_.Heal();
+  Status last = Status::Ok();
+  for (int i = 0; i < breaker_options.open_rejections + 1; ++i) {
+    last = wrapper_->Probe();
+    if (last.ok()) break;
+  }
+  EXPECT_TRUE(last.ok());
+  EXPECT_EQ(wrapper_->breaker_state(), CircuitBreaker::State::kClosed);
+}
+
+// ------------------------------------------------- e2e fault convergence
+
+// The acceptance test of the fault-tolerance layer: drive two warehouses
+// with the identical seeded update stream, one over a perfect channel, one
+// over a channel that drops deliveries, duplicates deliveries and fails
+// query-backs in bursts. After the faulty channel heals and stale views
+// resync, both warehouses must hold byte-identical views — same members,
+// same delegate labels and values — and match a from-scratch evaluation.
+struct ConvergenceConfig {
+  std::string name;
+  Warehouse::CacheMode cache = Warehouse::CacheMode::kNone;
+  bool batched = false;
+};
+
+void RunConvergenceCheck(const ConvergenceConfig& config) {
+  SCOPED_TRACE(config.name);
+  TreeGenOptions tree_options;
+  tree_options.levels = 3;
+  tree_options.fanout = 4;
+  tree_options.seed = 101;
+
+  ObjectStore source_a;  // perfect channel
+  ObjectStore source_b;  // faulty channel
+  auto tree_a = GenerateTree(&source_a, tree_options);
+  auto tree_b = GenerateTree(&source_b, tree_options);
+  ASSERT_TRUE(tree_a.ok());
+  ASSERT_TRUE(tree_b.ok());
+  ASSERT_EQ(tree_a->root, tree_b->root);
+  const std::string definition =
+      TreeViewDefinition("WV", tree_a->root, 2, 3, 50);
+
+  ObjectStore store_a;
+  Warehouse clean(&store_a);
+  ASSERT_TRUE(
+      clean.ConnectSource(&source_a, tree_a->root, ReportingLevel::kWithValues)
+          .ok());
+  ASSERT_TRUE(clean.DefineView(definition, config.cache).ok());
+
+  ObjectStore store_b;
+  Warehouse faulty(&store_b);
+  ASSERT_TRUE(
+      faulty
+          .ConnectSource(&source_b, tree_b->root, ReportingLevel::kWithValues)
+          .ok());
+  ASSERT_TRUE(faulty.DefineView(definition, config.cache).ok());
+
+  FaultProfile profile;
+  profile.seed = 97;
+  profile.wrapper_fail_rate = 0.05;
+  profile.wrapper_fail_burst = 6;  // longer than the retry budget
+  profile.event_drop_rate = 0.05;
+  profile.event_duplicate_rate = 0.05;
+  FaultInjector injector(profile);
+  ASSERT_TRUE(faulty.SetFaultInjector("source1", &injector).ok());
+
+  if (config.batched) {
+    clean.set_deferred(true);
+    faulty.set_deferred(true);
+  }
+
+  UpdateGenOptions gen_options;
+  gen_options.seed = 211;
+  UpdateGenerator gen_a(&source_a, tree_a->root, gen_options);
+  UpdateGenerator gen_b(&source_b, tree_b->root, gen_options);
+
+  const size_t kUpdates = 600;
+  const size_t kDrainEvery = 50;
+  for (size_t applied = 0; applied < kUpdates; applied += kDrainEvery) {
+    ASSERT_TRUE(gen_a.Run(kDrainEvery).ok());
+    ASSERT_TRUE(gen_b.Run(kDrainEvery).ok());
+    if (config.batched) {
+      ASSERT_TRUE(clean.ProcessPendingBatch().ok());
+      ASSERT_TRUE(faulty.ProcessPendingBatch().ok())
+          << faulty.last_status().ToString();
+    }
+    // Faults never abort maintenance — they quarantine.
+    ASSERT_TRUE(faulty.last_status().ok())
+        << faulty.last_status().ToString();
+  }
+
+  // The faulty run must actually have seen faults, or this test is vacuous.
+  EXPECT_GT(injector.events_dropped() + injector.events_duplicated() +
+                injector.wrapper_faults(),
+            0);
+
+  // Recovery: heal the channel, resync whatever quarantined.
+  injector.Heal();
+  ASSERT_TRUE(faulty.ResyncStaleViews().ok());
+  EXPECT_EQ(faulty.stale_view_count(), 0u);
+  EXPECT_EQ(faulty.buffered_stale_events(), 0u);
+
+  // Byte-identical convergence with the fault-free warehouse.
+  MaterializedView* view_a = clean.view("WV");
+  MaterializedView* view_b = faulty.view("WV");
+  ASSERT_NE(view_a, nullptr);
+  ASSERT_NE(view_b, nullptr);
+  const OidSet members = view_a->BaseMembers();
+  ASSERT_EQ(members, view_b->BaseMembers());
+  const Object* object_a = store_a.Get(view_a->view_oid());
+  const Object* object_b = store_b.Get(view_b->view_oid());
+  ASSERT_NE(object_a, nullptr);
+  ASSERT_NE(object_b, nullptr);
+  EXPECT_EQ(object_a->value(), object_b->value());
+  for (const Oid& member : members) {
+    Oid delegate = Oid::Delegate(view_a->view_oid(), member);
+    const Object* delegate_a = store_a.Get(delegate);
+    const Object* delegate_b = store_b.Get(delegate);
+    ASSERT_NE(delegate_a, nullptr) << delegate.str();
+    ASSERT_NE(delegate_b, nullptr) << delegate.str();
+    EXPECT_EQ(delegate_a->label(), delegate_b->label()) << delegate.str();
+    EXPECT_EQ(delegate_a->value(), delegate_b->value()) << delegate.str();
+  }
+
+  // And with the ground truth over the final source state.
+  auto def = ViewDefinition::Parse(definition);
+  ASSERT_TRUE(def.ok());
+  auto truth = EvaluateView(source_b, *def);
+  ASSERT_TRUE(truth.ok());
+  EXPECT_EQ(view_b->BaseMembers(), *truth);
+  ConsistencyReport report = CheckViewConsistency(*view_b, source_b);
+  EXPECT_TRUE(report.consistent) << report.ToString();
+}
+
+TEST(FaultConvergenceTest, PerEventNoCache) {
+  RunConvergenceCheck({"per-event/no-cache", Warehouse::CacheMode::kNone,
+                       /*batched=*/false});
+}
+
+TEST(FaultConvergenceTest, PerEventFullCache) {
+  RunConvergenceCheck({"per-event/full-cache", Warehouse::CacheMode::kFull,
+                       /*batched=*/false});
+}
+
+TEST(FaultConvergenceTest, BatchedNoCache) {
+  RunConvergenceCheck({"batched/no-cache", Warehouse::CacheMode::kNone,
+                       /*batched=*/true});
+}
+
+TEST(FaultConvergenceTest, BatchedFullCache) {
+  RunConvergenceCheck({"batched/full-cache", Warehouse::CacheMode::kFull,
+                       /*batched=*/true});
+}
+
+}  // namespace
+}  // namespace gsv

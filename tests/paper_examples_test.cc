@@ -267,13 +267,15 @@ TEST_F(PaperExamplesTest, Example9SourceQueryRealization) {
   WarehouseCosts costs;
   SourceWrapper wrapper(&store_, &costs);
   auto objects = wrapper.FetchPathObjects(P1(), *Path::Parse("age"));
-  ASSERT_EQ(objects.size(), 1u);
+  ASSERT_TRUE(objects.ok());
+  ASSERT_EQ(objects->size(), 1u);
   Predicate pred{*PathExpression::Parse(""), CompareOp::kLe, Value::Int(45)};
-  EXPECT_TRUE(pred.Holds(objects[0].value()));
+  EXPECT_TRUE(pred.Holds((*objects)[0].value()));
   EXPECT_EQ(costs.source_queries, 1);
 
   auto ancestors = wrapper.FetchAncestors(A1(), *Path::Parse("age"));
-  EXPECT_EQ(OidSet(ancestors), OidSet({P1(), Person()}));
+  ASSERT_TRUE(ancestors.ok());
+  EXPECT_EQ(OidSet(*ancestors), OidSet({P1(), Person()}));
 }
 
 // Example 10: with the cached auxiliary structure, view maintenance for any

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "util/random.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -31,6 +32,31 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::Unimplemented("m").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
 }
+
+TEST(StatusTest, TransientCodesForFaultTolerance) {
+  Status unavailable = Status::Unavailable("source down");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: source down");
+  Status deadline = Status::DeadlineExceeded("retries spent");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: retries spent");
+
+  EXPECT_TRUE(IsSourceFailure(unavailable));
+  EXPECT_TRUE(IsSourceFailure(deadline));
+  EXPECT_FALSE(IsSourceFailure(Status::Ok()));
+  EXPECT_FALSE(IsSourceFailure(Status::NotFound("definitive answer")));
+}
+
+#ifdef NDEBUG
+TEST(StatusTest, OkCodedErrorCoercesToInternalInRelease) {
+  // With asserts compiled out, an error Status mistakenly built with kOk
+  // must not read as success downstream.
+  Status status(StatusCode::kOk, "mistake");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "mistake");
+}
+#endif
 
 TEST(StatusTest, Equality) {
   EXPECT_EQ(Status::Ok(), Status());
@@ -166,6 +192,124 @@ TEST(StringUtilTest, Affixes) {
   EXPECT_FALSE(EndsWith("dent", "student"));
   EXPECT_TRUE(StartsWith("x", ""));
   EXPECT_TRUE(EndsWith("x", ""));
+}
+
+// ------------------------------------------------------------------ Retry
+
+TEST(RetryTest, FirstAttemptSuccessIssuesOneCall) {
+  RetryOutcome outcome;
+  Status status = RetryWithBackoff(
+      RetryPolicy{}, [] { return Status::Ok(); }, &outcome);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.backoff_us, 0);
+}
+
+TEST(RetryTest, RetriesUnavailableUntilSuccess) {
+  int calls = 0;
+  RetryOutcome outcome;
+  Status status = RetryWithBackoff(
+      RetryPolicy{},
+      [&] {
+        return ++calls < 3 ? Status::Unavailable("blip") : Status::Ok();
+      },
+      &outcome);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(outcome.attempts, 3);
+  EXPECT_EQ(outcome.backoff_us, 100 + 200) << "exponential from 100us";
+}
+
+TEST(RetryTest, NonRetryableCodeReturnsImmediately) {
+  int calls = 0;
+  Status status = RetryWithBackoff(RetryPolicy{}, [&] {
+    ++calls;
+    return Status::NotFound("definitive");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, AttemptBudgetExhaustionKeepsLastError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  Status status = RetryWithBackoff(policy, [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, DeadlineCutsRetriesShort) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_us = 1000;
+  policy.deadline_us = 2500;  // room for one backoff; 1000 + 2000 > 2500
+  int calls = 0;
+  Status status = RetryWithBackoff(policy, [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(calls, 2) << "third attempt would overrun the deadline";
+}
+
+TEST(RetryTest, BackoffIsCappedAtMax) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_us = 100;
+  policy.max_backoff_us = 300;
+  policy.deadline_us = 1'000'000;
+  RetryOutcome outcome;
+  Status status = RetryWithBackoff(
+      policy, [] { return Status::Unavailable("down"); }, &outcome);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  // 100 + 200 + 300 + 300 + 300: growth stops at the cap.
+  EXPECT_EQ(outcome.backoff_us, 1200);
+}
+
+// ---------------------------------------------------------- CircuitBreaker
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreaker breaker(CircuitBreaker::Options{3, 2});
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.RecordFailure());
+  EXPECT_TRUE(breaker.RecordFailure()) << "third consecutive failure trips";
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(CircuitBreaker::Options{2, 2});
+  EXPECT_FALSE(breaker.RecordFailure());
+  breaker.RecordSuccess();
+  EXPECT_FALSE(breaker.RecordFailure()) << "streak restarted";
+  EXPECT_TRUE(breaker.RecordFailure());
+}
+
+TEST(CircuitBreakerTest, OpenFailsFastThenHalfOpens) {
+  CircuitBreaker breaker(CircuitBreaker::Options{1, 3});
+  EXPECT_TRUE(breaker.RecordFailure());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest()) << "third rejection admits a probe";
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeDecidesTheState) {
+  CircuitBreaker breaker(CircuitBreaker::Options{1, 1});
+  EXPECT_TRUE(breaker.RecordFailure());
+  EXPECT_TRUE(breaker.AllowRequest());  // half-open probe
+  EXPECT_TRUE(breaker.RecordFailure()) << "failed probe re-opens (a trip)";
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
 }
 
 }  // namespace
