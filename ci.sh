@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (full build + test suite), then an
+# CI entry point: tier-1 verify (full build + test suite), then a quick
+# perf smoke of the label-index speedup experiment (catches silent index
+# regressions that correctness tests cannot see), then an
 # Address+UB-Sanitizer build of the robustness and fault-injection tests
 # (the quarantine/resync error paths are where lifetime bugs hide), then a
-# ThreadSanitizer build of the batch-engine tests to prove the parallel
-# drain is race-free. Run from the repo root.
+# ThreadSanitizer build of the batch-engine and index-concurrency tests to
+# prove the parallel drain and the lock-free snapshot publication are
+# race-free. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,6 +18,10 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 echo
+echo "=== perf-smoke: index speedup floor (E15 --smoke, 1.5x bar) ==="
+./build/bench/exp15_index_speedup --smoke
+
+echo
 echo "=== asan: robustness + fault-injection tests under address;undefined ==="
 cmake -B build-asan -S . -DGSV_SANITIZE="address;undefined" >/dev/null
 cmake --build build-asan -j "${JOBS}" --target gsv_robustness_test \
@@ -22,9 +29,10 @@ cmake --build build-asan -j "${JOBS}" --target gsv_robustness_test \
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L asan
 
 echo
-echo "=== tsan: batch-engine tests under -fsanitize=thread ==="
+echo "=== tsan: batch-engine + index-concurrency tests under -fsanitize=thread ==="
 cmake -B build-tsan -S . -DGSV_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target gsv_batch_test
+cmake --build build-tsan -j "${JOBS}" --target gsv_batch_test \
+  --target gsv_index_concurrency_test
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L tsan
 
 echo

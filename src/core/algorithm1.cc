@@ -130,13 +130,12 @@ Status Algorithm1Maintainer::OnDelete(const Update& update) {
       // Condition region: Y sits above the deleted edge; if the detached
       // subtree held a witness, re-examine Y's condition because other
       // descendants may still satisfy it.
-      std::vector<Oid> witnesses = accessor_->Eval(update.child, p, pred_);
-      if (witnesses.empty()) continue;
+      if (!accessor_->EvalAny(update.child, p, pred_)) continue;
       const Path q = cond_path_.Prefix(k - sel_path_.size());
       for (const Oid& y : accessor_->Ancestors(update.parent, q)) {
         if (!view_->ContainsBase(y)) continue;
         ++stats_.rechecks;
-        if (accessor_->Eval(y, cond_path_, pred_).empty()) {
+        if (!accessor_->EvalAny(y, cond_path_, pred_)) {
           GSV_RETURN_IF_ERROR(view_->VDelete(y));
           ++stats_.v_deletes;
         }
@@ -156,14 +155,9 @@ Status Algorithm1Maintainer::OnDelete(const Update& update) {
 Status Algorithm1Maintainer::OnModify(const Update& update) {
   if (!pred_.has_value()) return Status::Ok();  // no condition: membership
                                                 // depends on reachability only
-  bool matched = false;
-  for (const Path& rp : accessor_->PathsFromRoot(root_, update.parent)) {
-    if (rp == full_path_) {
-      matched = true;
-      break;
-    }
+  if (!accessor_->MatchesRootPath(root_, update.parent, full_path_)) {
+    return Status::Ok();
   }
-  if (!matched) return Status::Ok();
   ++stats_.matched;
 
   for (const Oid& y : accessor_->Ancestors(update.parent, cond_path_)) {
@@ -174,7 +168,7 @@ Status Algorithm1Maintainer::OnModify(const Update& update) {
       ++stats_.v_inserts;
     } else if (pred_->Holds(update.old_value)) {
       ++stats_.rechecks;
-      if (accessor_->Eval(y, cond_path_, pred_).empty()) {
+      if (!accessor_->EvalAny(y, cond_path_, pred_)) {
         GSV_RETURN_IF_ERROR(view_->VDelete(y));
         ++stats_.v_deletes;
       }

@@ -44,9 +44,29 @@ class BaseAccessor {
   virtual std::vector<Oid> Eval(const Oid& n, const Path& p,
                                 const std::optional<Predicate>& pred) = 0;
 
+  // True iff eval(N, p, cond) is non-empty. Algorithm 1's deletion recheck
+  // ("and eval(Y, cond_path, cond) = ∅") only needs existence, so accessors
+  // may answer without materializing (or ordering) the witness set.
+  virtual bool EvalAny(const Oid& n, const Path& p,
+                       const std::optional<Predicate>& pred) {
+    return !Eval(n, p, pred).empty();
+  }
+
   // True iff path(root, y) includes exactly `p` — the candidate check that
   // keeps Algorithm 1 sound when grouping objects give nodes extra parents.
   virtual bool VerifyPath(const Oid& root, const Oid& y, const Path& p) = 0;
+
+  // True iff some label path from `root` to `n` equals `p` — Algorithm 1's
+  // modify screen ("if path(ROOT,N) = sel_path.cond_path"). The default
+  // enumerates path(ROOT, N), which lets warehouse accessors answer from
+  // the root path a level-3 event already carries; local accessors override
+  // with an existence probe that never materializes paths.
+  virtual bool MatchesRootPath(const Oid& root, const Oid& n, const Path& p) {
+    for (const Path& rp : PathsFromRoot(root, n)) {
+      if (rp == p) return true;
+    }
+    return false;
+  }
 
   // Retrieves a full object (label + value), e.g. to create its delegate.
   virtual Result<Object> Fetch(const Oid& oid) = 0;
@@ -67,7 +87,10 @@ class LocalAccessor : public BaseAccessor {
   std::vector<Oid> Ancestors(const Oid& n, const Path& p) override;
   std::vector<Oid> Eval(const Oid& n, const Path& p,
                         const std::optional<Predicate>& pred) override;
+  bool EvalAny(const Oid& n, const Path& p,
+               const std::optional<Predicate>& pred) override;
   bool VerifyPath(const Oid& root, const Oid& y, const Path& p) override;
+  bool MatchesRootPath(const Oid& root, const Oid& n, const Path& p) override;
   Result<Object> Fetch(const Oid& oid) override;
 
  private:

@@ -1,5 +1,6 @@
 #include "core/base_accessor.h"
 #include "path/navigate.h"
+#include "path/path_index.h"
 
 namespace gsv {
 
@@ -16,22 +17,101 @@ std::vector<Oid> LocalAccessor::Ancestors(const Oid& n, const Path& p) {
 std::vector<Oid> LocalAccessor::Eval(const Oid& n, const Path& p,
                                      const std::optional<Predicate>& pred) {
   ++stats_.eval_calls;
+  // Index-backed fast path: probe the snapshot for the raw interned ids and
+  // apply the predicate *before* the lexicographic sort — an eval that ends
+  // up empty (the common Algorithm 1 recheck outcome) then never pays for
+  // ordering the frontier at all. The survivors are sorted into the same
+  // canonical order the traversal path produces, so results stay
+  // byte-identical between the two plans.
+  if (!p.empty()) {
+    if (LabelIndexSnapshotPtr snapshot = store_->AcquireIndexSnapshot()) {
+      const Object* start = store_->Get(n);
+      if (start == nullptr) return {};
+      std::vector<uint32_t> ids =
+          IndexEvalPathIds(*snapshot, n.id(), start->label(), p,
+                           /*filter=*/nullptr, &store_->metrics());
+      std::vector<Oid> out;
+      out.reserve(ids.size());
+      for (uint32_t id : ids) {
+        Oid oid = Oid::FromId(id);
+        if (pred.has_value()) {
+          const Object* object = store_->Get(oid);
+          if (object == nullptr || !object->IsAtomic() ||
+              !pred->Holds(object->value())) {
+            continue;
+          }
+        }
+        out.push_back(oid);
+      }
+      SortOidsLexicographic(&out);
+      return out;
+    }
+  }
+  OidSet reached = EvalPath(*store_, n, p);
+  // EvalPath only emits objects that exist, so an unpredicated eval needs
+  // no per-result fetch — with the label index on, the whole call stays
+  // inside posting scans.
+  if (!pred.has_value()) return reached.elements();
   std::vector<Oid> out;
-  for (const Oid& oid : EvalPath(*store_, n, p)) {
+  for (const Oid& oid : reached) {
     const Object* object = store_->Get(oid);
-    if (object == nullptr) continue;
-    if (!pred.has_value()) {
-      out.push_back(oid);
-    } else if (object->IsAtomic() && pred->Holds(object->value())) {
+    if (object != nullptr && object->IsAtomic() &&
+        pred->Holds(object->value())) {
       out.push_back(oid);
     }
   }
   return out;
 }
 
+bool LocalAccessor::EvalAny(const Oid& n, const Path& p,
+                            const std::optional<Predicate>& pred) {
+  ++stats_.eval_calls;
+  // Existence needs neither the lexicographic order nor the full witness
+  // set, so the index path stops at the first id whose value satisfies the
+  // predicate — the common Algorithm 1 recheck ("does any other descendant
+  // still qualify?") then touches only a prefix of the frontier.
+  if (!p.empty()) {
+    if (LabelIndexSnapshotPtr snapshot = store_->AcquireIndexSnapshot()) {
+      const Object* start = store_->Get(n);
+      if (start == nullptr) return false;
+      std::vector<uint32_t> ids =
+          IndexEvalPathIds(*snapshot, n.id(), start->label(), p,
+                           /*filter=*/nullptr, &store_->metrics());
+      if (!pred.has_value()) return !ids.empty();
+      for (uint32_t id : ids) {
+        const Object* object = store_->Get(Oid::FromId(id));
+        if (object != nullptr && object->IsAtomic() &&
+            pred->Holds(object->value())) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  OidSet reached = EvalPath(*store_, n, p);
+  if (!pred.has_value()) return !reached.empty();
+  for (const Oid& oid : reached) {
+    const Object* object = store_->Get(oid);
+    if (object != nullptr && object->IsAtomic() &&
+        pred->Holds(object->value())) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool LocalAccessor::VerifyPath(const Oid& root, const Oid& y, const Path& p) {
   ++stats_.verify_calls;
   return HasPathFromTo(*store_, root, y, p);
+}
+
+bool LocalAccessor::MatchesRootPath(const Oid& root, const Oid& n,
+                                    const Path& p) {
+  ++stats_.verify_calls;
+  // Equality against one known label sequence is an existence question, so
+  // skip the path(ROOT, N) enumeration (string assembly, path ordering) and
+  // climb — indexed when a snapshot is live — for exactly `p`.
+  return HasPathFromTo(*store_, root, n, p);
 }
 
 Result<Object> LocalAccessor::Fetch(const Oid& oid) {

@@ -6,7 +6,13 @@ namespace gsv {
 
 Status RecomputeMaintainer::Recompute() {
   ++stats_.recomputes;
-  GSV_ASSIGN_OR_RETURN(OidSet expected, EvaluateView(*base_, view_->def()));
+  QueryPlan plan;
+  GSV_ASSIGN_OR_RETURN(OidSet expected,
+                       EvaluateView(*base_, view_->def(), &plan));
+  if (plan.select == QueryPlan::Select::kIndexProbe) {
+    ++stats_.index_probe_recomputes;
+  }
+  stats_.index_probes += plan.index_probes;
   OidSet current = view_->BaseMembers();
 
   // Remove stale delegates.

@@ -23,6 +23,8 @@ class RecomputeMaintainer : public UpdateListener {
     int64_t delegates_created = 0;
     int64_t delegates_removed = 0;
     int64_t delegates_refreshed = 0;
+    int64_t index_probe_recomputes = 0;  // evaluations served by the index
+    int64_t index_probes = 0;            // posting scans across recomputes
   };
 
   // Pointers must outlive the maintainer.

@@ -5,8 +5,8 @@
 namespace gsv {
 
 Result<OidSet> EvaluateView(const ObjectStore& store,
-                            const ViewDefinition& def) {
-  return EvaluateQuery(store, def.query());
+                            const ViewDefinition& def, QueryPlan* plan) {
+  return EvaluateQuery(store, def.query(), plan);
 }
 
 Status RegisterVirtualView(ObjectStore& store, const ViewDefinition& def) {

@@ -3,6 +3,7 @@
 
 #include "core/view_definition.h"
 #include "oem/store.h"
+#include "query/evaluator.h"
 #include "util/status.h"
 
 namespace gsv {
@@ -13,9 +14,12 @@ namespace gsv {
 // database, so the view can be used as a query entry point ("SELECT VJ.?.age")
 // and in WITHIN / ANS INT clauses — the two usage modes of §3.1.
 
-// The OIDs selected by the view's query.
+// The OIDs selected by the view's query. When `plan` is non-null it
+// receives the chosen select plan (index-probe vs traversal) and the
+// per-evaluation index counter deltas.
 Result<OidSet> EvaluateView(const ObjectStore& store,
-                            const ViewDefinition& def);
+                            const ViewDefinition& def,
+                            QueryPlan* plan = nullptr);
 
 // Evaluates and stores <view_oid, "view", set, members>, registered as a
 // database under the view's name. Fails if the OID or name already exists.

@@ -1,0 +1,159 @@
+#include "oem/label_index.h"
+
+#include <algorithm>
+
+namespace gsv {
+
+namespace {
+
+// Sorted-vector insert; returns false if already present.
+bool SortedInsert(std::vector<uint64_t>* v, uint64_t value) {
+  auto it = std::lower_bound(v->begin(), v->end(), value);
+  if (it != v->end() && *it == value) return false;
+  v->insert(it, value);
+  return true;
+}
+
+// Sorted-vector erase; returns false if absent.
+bool SortedErase(std::vector<uint64_t>* v, uint64_t value) {
+  auto it = std::lower_bound(v->begin(), v->end(), value);
+  if (it == v->end() || *it != value) return false;
+  v->erase(it);
+  return true;
+}
+
+bool SortedContains(const std::vector<uint64_t>& v, uint64_t value) {
+  auto it = std::lower_bound(v.begin(), v.end(), value);
+  return it != v.end() && *it == value;
+}
+
+}  // namespace
+
+bool Postings::Add(uint64_t value) {
+  if (SortedErase(&dels_, value)) return true;  // undelete from base
+  if (base_ != nullptr && SortedContains(*base_, value)) return false;
+  bool added = SortedInsert(&adds_, value);
+  if (added) CompactIfNeeded();
+  return added;
+}
+
+bool Postings::Erase(uint64_t value) {
+  if (SortedErase(&adds_, value)) return true;
+  if (base_ == nullptr || !SortedContains(*base_, value)) return false;
+  bool erased = SortedInsert(&dels_, value);
+  if (erased) CompactIfNeeded();
+  return erased;
+}
+
+bool Postings::Contains(uint64_t value) const {
+  if (SortedContains(adds_, value)) return true;
+  if (base_ == nullptr || !SortedContains(*base_, value)) return false;
+  return !SortedContains(dels_, value);
+}
+
+bool Postings::Empty() const { return Size() == 0; }
+
+size_t Postings::Size() const {
+  return (base_ ? base_->size() : 0) - dels_.size() + adds_.size();
+}
+
+void Postings::CompactIfNeeded() {
+  if (adds_.size() + dels_.size() < kCompactThreshold) return;
+  auto merged = std::make_shared<std::vector<uint64_t>>();
+  merged->reserve(Size());
+  Scan([&](uint64_t v) { merged->push_back(v); });
+  base_ = std::move(merged);
+  adds_.clear();
+  dels_.clear();
+}
+
+const Postings* LabelIndexSnapshot::Labels(const std::string& label) const {
+  const IndexShard* shard =
+      shards[std::hash<std::string>{}(label) % kIndexShards].get();
+  if (shard == nullptr) return nullptr;
+  auto it = shard->labels.find(label);
+  return it == shard->labels.end() ? nullptr : &it->second;
+}
+
+const StepBucket* LabelIndexSnapshot::Step(
+    const std::string& parent_label, const std::string& child_label) const {
+  const IndexShard* shard =
+      shards[std::hash<std::string>{}(child_label) % kIndexShards].get();
+  if (shard == nullptr) return nullptr;
+  auto it = shard->steps.find(StepKey{parent_label, child_label});
+  return it == shard->steps.end() ? nullptr : &it->second;
+}
+
+const Postings* LabelIndexSnapshot::UpAny(
+    const std::string& child_label) const {
+  const IndexShard* shard =
+      shards[std::hash<std::string>{}(child_label) % kIndexShards].get();
+  if (shard == nullptr) return nullptr;
+  auto it = shard->up_any.find(child_label);
+  return it == shard->up_any.end() ? nullptr : &it->second;
+}
+
+IndexShard& LabelIndex::Dirty(const std::string& label) {
+  int shard = ShardOf(label);
+  dirty_mask_ |= 1u << shard;
+  return live_[shard];
+}
+
+void LabelIndex::AddObject(const std::string& label, uint32_t oid) {
+  Dirty(label).labels[label].Add(oid);
+}
+
+void LabelIndex::RemoveObject(const std::string& label, uint32_t oid) {
+  IndexShard& shard = Dirty(label);
+  auto it = shard.labels.find(label);
+  if (it == shard.labels.end()) return;
+  it->second.Erase(oid);
+  if (it->second.Empty()) shard.labels.erase(it);
+}
+
+// Step buckets and up_any both live in the child label's shard, so one edge
+// dirties at most two shards (child label + the object-posting shard).
+void LabelIndex::AddEdge(const std::string& parent_label, uint32_t parent,
+                         const std::string& child_label, uint32_t child) {
+  IndexShard& shard = Dirty(child_label);
+  StepBucket& bucket = shard.steps[StepKey{parent_label, child_label}];
+  bucket.down.Add(PackPair(parent, child));
+  bucket.up.Add(PackPair(child, parent));
+  shard.up_any[child_label].Add(PackPair(child, parent));
+}
+
+void LabelIndex::RemoveEdge(const std::string& parent_label, uint32_t parent,
+                            const std::string& child_label, uint32_t child) {
+  IndexShard& shard = Dirty(child_label);
+  auto it = shard.steps.find(StepKey{parent_label, child_label});
+  if (it != shard.steps.end()) {
+    it->second.down.Erase(PackPair(parent, child));
+    it->second.up.Erase(PackPair(child, parent));
+    if (it->second.down.Empty()) shard.steps.erase(it);
+  }
+  auto up = shard.up_any.find(child_label);
+  if (up != shard.up_any.end()) {
+    up->second.Erase(PackPair(child, parent));
+    if (up->second.Empty()) shard.up_any.erase(up);
+  }
+}
+
+void LabelIndex::Publish() {
+  if (dirty_mask_ == 0) return;
+  LabelIndexSnapshotPtr prev =
+      std::atomic_load_explicit(&published_, std::memory_order_relaxed);
+  auto next = std::make_shared<LabelIndexSnapshot>();
+  next->epoch = ++epoch_;
+  for (int i = 0; i < kIndexShards; ++i) {
+    if (dirty_mask_ & (1u << i)) {
+      next->shards[i] = std::make_shared<const IndexShard>(live_[i]);
+    } else {
+      next->shards[i] = prev->shards[i];
+    }
+  }
+  std::atomic_store_explicit(&published_, LabelIndexSnapshotPtr(std::move(next)),
+                             std::memory_order_release);
+  dirty_mask_ = 0;
+}
+
+}  // namespace gsv

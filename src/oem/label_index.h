@@ -1,0 +1,250 @@
+#ifndef GSV_OEM_LABEL_INDEX_H_
+#define GSV_OEM_LABEL_INDEX_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace gsv {
+
+// Incrementally maintained label/path indexes (§4.4 generalised).
+//
+// Two structures, maintained inside every store mutation and published as
+// epoch-versioned immutable snapshots:
+//
+//   * label index   : label -> postings of interned OID ids (sorted).
+//   * step index    : (parent label, child label) -> postings of packed
+//                     edges, kept in both directions:
+//                       down: (parent_id << 32) | child_id
+//                       up  : (child_id << 32) | parent_id
+//     plus `up_any` : child label -> up postings regardless of the parent
+//                     label (the last climb step of ancestor(N, p) has no
+//                     parent-label constraint).
+//
+// Writers mutate the live shards under the store's external synchronisation
+// and call Publish() once per store operation; readers call Acquire() — a
+// single atomic shared_ptr load — and probe the frozen snapshot
+// without ever touching the store. This is what lets the batch engine's
+// parallel workers evaluate primitives while the coordinator installs the
+// next epoch.
+
+// Packs two interned ids into one posting value. Postings sorted by the
+// packed value are grouped by `hi`, so all edges of one endpoint form the
+// contiguous range [hi<<32, (hi+1)<<32).
+inline uint64_t PackPair(uint32_t hi, uint32_t lo) {
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+inline uint32_t PairHi(uint64_t v) { return static_cast<uint32_t>(v >> 32); }
+inline uint32_t PairLo(uint64_t v) {
+  return static_cast<uint32_t>(v & 0xffffffffu);
+}
+
+// An LSM-lite posting list: a shared immutable sorted base plus small sorted
+// add/delete overlays. Mutations cost O(overlay); snapshot publication
+// copies only the overlays and shares the base pointer; the overlays are
+// folded into a fresh base once they exceed kCompactThreshold.
+class Postings {
+ public:
+  static constexpr size_t kCompactThreshold = 64;
+
+  // Returns true if the value was not already present.
+  bool Add(uint64_t value);
+  // Returns true if the value was present.
+  bool Erase(uint64_t value);
+
+  bool Contains(uint64_t value) const;
+  bool Empty() const;
+  // Number of live values (exact).
+  size_t Size() const;
+
+  // Visits live values in [lo, hi) in ascending order.
+  template <typename Fn>
+  void ScanRange(uint64_t lo, uint64_t hi, Fn&& fn) const {
+    const std::vector<uint64_t>* base = base_.get();
+    auto b = base ? std::lower_bound(base->begin(), base->end(), lo)
+                  : std::vector<uint64_t>::const_iterator{};
+    auto b_end = base ? std::lower_bound(base->begin(), base->end(), hi)
+                      : std::vector<uint64_t>::const_iterator{};
+    auto d = dels_.begin();
+    auto a = std::lower_bound(adds_.begin(), adds_.end(), lo);
+    auto a_end = std::lower_bound(adds_.begin(), adds_.end(), hi);
+    while ((base && b != b_end) || a != a_end) {
+      uint64_t v;
+      if (!base || b == b_end) {
+        v = *a++;
+      } else if (a == a_end || *b < *a) {
+        v = *b++;
+        while (d != dels_.end() && *d < v) ++d;
+        if (d != dels_.end() && *d == v) continue;  // deleted from base
+      } else {
+        v = *a++;
+      }
+      fn(v);
+    }
+  }
+
+  // Visits every live value ascending.
+  template <typename Fn>
+  void Scan(Fn&& fn) const {
+    ScanRange(0, ~uint64_t{0}, std::forward<Fn>(fn));
+  }
+
+  // Visits, for each hi word in `his` (sorted ascending, unique), every live
+  // value in [hi<<32, (hi+1)<<32) ascending — the bulk form of per-node
+  // ScanRange used by frontier expansion. One monotonic sweep: the cursors
+  // only move forward, galloping over gaps, so a dense frontier costs one
+  // pass over the touched span instead of a from-scratch binary search per
+  // node.
+  template <typename Fn>
+  void ScanHiRanges(const std::vector<uint32_t>& his, Fn&& fn) const {
+    const std::vector<uint64_t>* base = base_.get();
+    auto b = base ? base->begin() : std::vector<uint64_t>::const_iterator{};
+    auto b_end = base ? base->end() : std::vector<uint64_t>::const_iterator{};
+    auto a = adds_.begin();
+    auto d = dels_.begin();
+    for (uint32_t hi : his) {
+      const uint64_t lo_v = static_cast<uint64_t>(hi) << 32;
+      const uint64_t hi_v = hi == 0xffffffffu
+                                ? ~uint64_t{0}
+                                : (static_cast<uint64_t>(hi) + 1) << 32;
+      if (base) b = GallopTo(b, b_end, lo_v);
+      a = GallopTo(a, adds_.end(), lo_v);
+      while ((base && b != b_end && *b < hi_v) ||
+             (a != adds_.end() && *a < hi_v)) {
+        uint64_t v;
+        if (base && b != b_end && *b < hi_v &&
+            (a == adds_.end() || *a >= hi_v || *b < *a)) {
+          v = *b++;
+          while (d != dels_.end() && *d < v) ++d;
+          if (d != dels_.end() && *d == v) continue;  // deleted from base
+        } else {
+          v = *a++;
+        }
+        fn(v);
+      }
+    }
+  }
+
+ private:
+  // First position in [it, end) with *pos >= target, found by exponential
+  // probing from the current position (cheap when the answer is nearby).
+  template <typename It>
+  static It GallopTo(It it, It end, uint64_t target) {
+    size_t step = 1;
+    It prev = it;
+    It cur = it;
+    while (cur != end && *cur < target) {
+      prev = cur;
+      if (static_cast<size_t>(end - cur) > step) {
+        cur += step;
+      } else {
+        cur = end;
+      }
+      step <<= 1;
+    }
+    return std::lower_bound(prev, cur, target);
+  }
+
+  void CompactIfNeeded();
+
+  std::shared_ptr<const std::vector<uint64_t>> base_;  // sorted, may be null
+  std::vector<uint64_t> adds_;  // sorted, disjoint from live base
+  std::vector<uint64_t> dels_;  // sorted, subset of base
+};
+
+struct StepBucket {
+  Postings down;  // (parent_id << 32) | child_id
+  Postings up;    // (child_id << 32) | parent_id
+};
+
+// (parent label, child label) step key.
+struct StepKey {
+  std::string parent_label;
+  std::string child_label;
+  bool operator==(const StepKey& other) const {
+    return parent_label == other.parent_label &&
+           child_label == other.child_label;
+  }
+};
+
+struct StepKeyHash {
+  size_t operator()(const StepKey& key) const {
+    size_t h = std::hash<std::string>{}(key.parent_label);
+    h ^= std::hash<std::string>{}(key.child_label) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+// One shard of the index maps. Shards are the unit of copy-on-write:
+// publishing an epoch clones only the shards a mutation dirtied.
+struct IndexShard {
+  std::unordered_map<std::string, Postings> labels;  // label -> oid ids
+  std::unordered_map<StepKey, StepBucket, StepKeyHash> steps;
+  std::unordered_map<std::string, Postings> up_any;  // child label -> up edges
+};
+
+inline constexpr int kIndexShards = 16;
+
+// A frozen, immutable view of the whole index at one epoch. Readers may hold
+// it for as long as they like; the writer never mutates published shards.
+struct LabelIndexSnapshot {
+  uint64_t epoch = 0;
+  std::array<std::shared_ptr<const IndexShard>, kIndexShards> shards;
+
+  // All return nullptr when the key has no postings.
+  const Postings* Labels(const std::string& label) const;
+  const StepBucket* Step(const std::string& parent_label,
+                         const std::string& child_label) const;
+  const Postings* UpAny(const std::string& child_label) const;
+};
+
+using LabelIndexSnapshotPtr = std::shared_ptr<const LabelIndexSnapshot>;
+
+class LabelIndex {
+ public:
+  // Writer-side hooks. Callers hold the store's external synchronisation;
+  // the hooks mutate live shards only, never a published snapshot.
+  void AddObject(const std::string& label, uint32_t oid);
+  void RemoveObject(const std::string& label, uint32_t oid);
+  void AddEdge(const std::string& parent_label, uint32_t parent,
+               const std::string& child_label, uint32_t child);
+  void RemoveEdge(const std::string& parent_label, uint32_t parent,
+                  const std::string& child_label, uint32_t child);
+
+  // Installs a new immutable snapshot if anything changed since the last
+  // publish. Clean shards are shared with the previous snapshot; dirty ones
+  // are cloned (overlay vectors only — bases are shared_ptr'd).
+  void Publish();
+
+  // One atomic shared_ptr load (the free-function API: libstdc++ backs it
+  // with a pooled mutex, which — unlike atomic<shared_ptr>'s spin-bit
+  // protocol — ThreadSanitizer can verify). Safe concurrently with a writer
+  // mutating live shards and publishing the next epoch; readers never wait
+  // on the store lock.
+  LabelIndexSnapshotPtr Acquire() const {
+    return std::atomic_load_explicit(&published_, std::memory_order_acquire);
+  }
+
+ private:
+  static int ShardOf(const std::string& label) {
+    return static_cast<int>(std::hash<std::string>{}(label) % kIndexShards);
+  }
+  IndexShard& Dirty(const std::string& label);
+
+  std::array<IndexShard, kIndexShards> live_;
+  uint32_t dirty_mask_ = 0;
+  uint64_t epoch_ = 0;
+  LabelIndexSnapshotPtr published_ =
+      std::make_shared<const LabelIndexSnapshot>();
+};
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_LABEL_INDEX_H_

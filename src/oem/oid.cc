@@ -1,5 +1,24 @@
 #include "oem/oid.h"
 
-// Oid is header-only; this file exists so every module has a .cc anchor
-// (keeps the library layout uniform and link-time symbols predictable).
-namespace gsv {}  // namespace gsv
+#include <algorithm>
+#include <utility>
+
+namespace gsv {
+
+void SortOidsLexicographic(std::vector<Oid>* oids) {
+  // Below this size the decoration allocation costs more than the repeated
+  // str() lookups it saves.
+  constexpr size_t kDecorateThreshold = 16;
+  if (oids->size() < kDecorateThreshold) {
+    std::sort(oids->begin(), oids->end());
+    return;
+  }
+  std::vector<std::pair<std::string_view, uint32_t>> decorated;
+  decorated.reserve(oids->size());
+  for (const Oid& oid : *oids) decorated.emplace_back(oid.str(), oid.id());
+  std::sort(decorated.begin(), decorated.end());
+  oids->clear();
+  for (const auto& [repr, id] : decorated) oids->push_back(Oid::FromId(id));
+}
+
+}  // namespace gsv

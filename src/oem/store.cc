@@ -48,6 +48,10 @@ Status ObjectStore::Put(Object object) {
   if (options_.enable_parent_index && it->second.IsSet()) {
     IndexChildren(it->second);
   }
+  if (options_.enable_label_index) {
+    LabelIndexPutObject(it->second);
+    label_index_.Publish();
+  }
   return Status::Ok();
 }
 
@@ -69,11 +73,25 @@ Status ObjectStore::Remove(const Oid& oid) {
   if (it == objects_.end()) {
     return Status::NotFound("object " + oid.str() + " does not exist");
   }
+  if (options_.enable_label_index) {
+    LabelIndexRemoveObject(it->second);
+  }
   if (options_.enable_parent_index && it->second.IsSet()) {
     UnindexChildren(it->second);
   }
-  parent_index_.erase(oid);
   objects_.erase(it);
+  // The removed object's own parent_index_ entry is kept: the surviving
+  // parents still hold the (now dangling) edge, and a later re-Put of this
+  // OID must find them to re-index. Only an empty entry is dropped.
+  if (options_.check_dangling) {
+    for (const Oid& parent : Parents(oid)) {
+      dangling_log_.push_back(DanglingEdge{parent, oid});
+    }
+  }
+  auto pit = parent_index_.find(oid);
+  if (pit != parent_index_.end() && pit->second.empty()) {
+    parent_index_.erase(pit);
+  }
   for (auto db = databases_.begin(); db != databases_.end();) {
     if (db->second == oid) {
       db = databases_.erase(db);
@@ -81,6 +99,7 @@ Status ObjectStore::Remove(const Oid& oid) {
       ++db;
     }
   }
+  label_index_.Publish();
   return Status::Ok();
 }
 
@@ -142,6 +161,10 @@ Status ObjectStore::Insert(const Oid& parent, const Oid& child) {
   if (options_.enable_parent_index) {
     parent_index_[child].Insert(parent);
   }
+  if (options_.enable_label_index) {
+    LabelIndexAddEdge(it->second, child);
+    label_index_.Publish();  // listeners must probe the post-update epoch
+  }
   Notify(Update::Insert(parent, child));
   return Status::Ok();
 }
@@ -166,6 +189,10 @@ Status ObjectStore::Delete(const Oid& parent, const Oid& child) {
       pit->second.Erase(parent);
       if (pit->second.empty()) parent_index_.erase(pit);
     }
+  }
+  if (options_.enable_label_index) {
+    LabelIndexRemoveEdge(it->second, child);
+    label_index_.Publish();
   }
   Notify(Update::Delete(parent, child));
   return Status::Ok();
@@ -213,9 +240,14 @@ Status ObjectStore::AddChildRaw(const Oid& parent, const Oid& child) {
     return Status::FailedPrecondition("raw add: parent " + parent.str() +
                                       " is not a set object");
   }
-  if (it->second.mutable_children().Insert(child) &&
-      options_.enable_parent_index) {
-    parent_index_[child].Insert(parent);
+  if (it->second.mutable_children().Insert(child)) {
+    if (options_.enable_parent_index) {
+      parent_index_[child].Insert(parent);
+    }
+    if (options_.enable_label_index) {
+      LabelIndexAddEdge(it->second, child);
+      label_index_.Publish();
+    }
   }
   return Status::Ok();
 }
@@ -231,12 +263,17 @@ Status ObjectStore::RemoveChildRaw(const Oid& parent, const Oid& child) {
     return Status::FailedPrecondition("raw remove: parent " + parent.str() +
                                       " is not a set object");
   }
-  if (it->second.mutable_children().Erase(child) &&
-      options_.enable_parent_index) {
-    auto pit = parent_index_.find(child);
-    if (pit != parent_index_.end()) {
-      pit->second.Erase(parent);
-      if (pit->second.empty()) parent_index_.erase(pit);
+  if (it->second.mutable_children().Erase(child)) {
+    if (options_.enable_parent_index) {
+      auto pit = parent_index_.find(child);
+      if (pit != parent_index_.end()) {
+        pit->second.Erase(parent);
+        if (pit->second.empty()) parent_index_.erase(pit);
+      }
+    }
+    if (options_.enable_label_index) {
+      LabelIndexRemoveEdge(it->second, child);
+      label_index_.Publish();
     }
   }
   return Status::Ok();
@@ -265,13 +302,24 @@ Status ObjectStore::SetValueRaw(const Oid& oid, Value value) {
   if (it == objects_.end()) {
     return Status::NotFound("raw set: object " + oid.str() + " not found");
   }
-  if (options_.enable_parent_index && it->second.IsSet()) {
-    UnindexChildren(it->second);
+  if (it->second.IsSet()) {
+    if (options_.enable_label_index) {
+      for (const Oid& child : it->second.children()) {
+        LabelIndexRemoveEdge(it->second, child);
+      }
+    }
+    if (options_.enable_parent_index) UnindexChildren(it->second);
   }
   it->second.mutable_value() = std::move(value);
-  if (options_.enable_parent_index && it->second.IsSet()) {
-    IndexChildren(it->second);
+  if (it->second.IsSet()) {
+    if (options_.enable_parent_index) IndexChildren(it->second);
+    if (options_.enable_label_index) {
+      for (const Oid& child : it->second.children()) {
+        LabelIndexAddEdge(it->second, child);
+      }
+    }
   }
+  label_index_.Publish();
   return Status::Ok();
 }
 
@@ -328,10 +376,10 @@ void ObjectStore::RemoveListener(UpdateListener* listener) {
 }
 
 size_t ObjectStore::CollectGarbage(const std::vector<Oid>& extra_roots) {
-  std::unordered_set<std::string> reachable;
+  std::unordered_set<uint32_t> reachable;
   std::deque<Oid> frontier;
   auto add_root = [&](const Oid& oid) {
-    if (Contains(oid) && reachable.insert(oid.str()).second) {
+    if (Contains(oid) && reachable.insert(oid.id()).second) {
       frontier.push_back(oid);
     }
   };
@@ -345,7 +393,7 @@ size_t ObjectStore::CollectGarbage(const std::vector<Oid>& extra_roots) {
     if (object == nullptr || !object->IsSet()) continue;
     for (const Oid& child : object->children()) {
       ++metrics_.edges_traversed;
-      if (Contains(child) && reachable.insert(child.str()).second) {
+      if (Contains(child) && reachable.insert(child.id()).second) {
         frontier.push_back(child);
       }
     }
@@ -353,7 +401,7 @@ size_t ObjectStore::CollectGarbage(const std::vector<Oid>& extra_roots) {
 
   std::vector<Oid> doomed;
   for (const auto& [oid, object] : objects_) {
-    if (reachable.find(oid.str()) == reachable.end()) doomed.push_back(oid);
+    if (reachable.find(oid.id()) == reachable.end()) doomed.push_back(oid);
   }
   for (const Oid& oid : doomed) Remove(oid);
   return doomed.size();
@@ -365,6 +413,89 @@ void ObjectStore::Notify(const Update& update) {
   for (UpdateListener* listener : listeners) {
     listener->OnUpdate(*this, update);
   }
+}
+
+const Object* ObjectStore::RawGet(const Oid& oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+void ObjectStore::LabelIndexPutObject(const Object& object) {
+  label_index_.AddObject(object.label(), object.oid().id());
+  if (object.IsSet()) {
+    for (const Oid& child : object.children()) {
+      LabelIndexAddEdge(object, child);
+    }
+  }
+  // Edges *to* this object from surviving parents (a re-Put of a previously
+  // removed OID, or a load that puts parents before children): the parent
+  // index kept them even while the child was missing.
+  auto pit = parent_index_.find(object.oid());
+  if (pit != parent_index_.end()) {
+    for (const Oid& parent : pit->second) {
+      const Object* p = RawGet(parent);
+      if (p != nullptr) {
+        label_index_.AddEdge(p->label(), parent.id(), object.label(),
+                             object.oid().id());
+      }
+    }
+  }
+}
+
+void ObjectStore::LabelIndexRemoveObject(const Object& object) {
+  label_index_.RemoveObject(object.label(), object.oid().id());
+  if (object.IsSet()) {
+    for (const Oid& child : object.children()) {
+      LabelIndexRemoveEdge(object, child);
+    }
+  }
+  auto pit = parent_index_.find(object.oid());
+  if (pit != parent_index_.end()) {
+    for (const Oid& parent : pit->second) {
+      const Object* p = RawGet(parent);
+      if (p != nullptr) {
+        label_index_.RemoveEdge(p->label(), parent.id(), object.label(),
+                                object.oid().id());
+      }
+    }
+  }
+}
+
+// Both edge hooks resolve the child first: an edge to a missing child is
+// dangling and deliberately absent from the index, exactly as traversal
+// skips children whose Get() fails.
+void ObjectStore::LabelIndexAddEdge(const Object& parent, const Oid& child) {
+  const Object* c = RawGet(child);
+  if (c == nullptr) return;
+  label_index_.AddEdge(parent.label(), parent.oid().id(), c->label(),
+                       child.id());
+}
+
+void ObjectStore::LabelIndexRemoveEdge(const Object& parent,
+                                       const Oid& child) {
+  const Object* c = RawGet(child);
+  if (c == nullptr) return;
+  label_index_.RemoveEdge(parent.label(), parent.oid().id(), c->label(),
+                          child.id());
+}
+
+std::vector<DanglingEdge> ObjectStore::AuditDanglingEdges() const {
+  std::vector<DanglingEdge> dangling;
+  for (const auto& [oid, object] : objects_) {
+    ++metrics_.objects_scanned;
+    if (!object.IsSet()) continue;
+    for (const Oid& child : object.children()) {
+      if (objects_.find(child) == objects_.end()) {
+        dangling.push_back(DanglingEdge{oid, child});
+      }
+    }
+  }
+  std::sort(dangling.begin(), dangling.end(),
+            [](const DanglingEdge& a, const DanglingEdge& b) {
+              if (a.parent != b.parent) return a.parent < b.parent;
+              return a.child < b.child;
+            });
+  return dangling;
 }
 
 void ObjectStore::IndexChildren(const Object& object) {

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "oem/label_index.h"
 #include "oem/object.h"
 #include "oem/oid.h"
 #include "oem/update.h"
@@ -28,6 +29,8 @@ struct StoreMetrics {
   std::atomic<int64_t> parent_lookups{0};   // ancestor steps (inverse index)
   std::atomic<int64_t> objects_scanned{0};  // objects visited by full scans
   std::atomic<int64_t> lookups{0};          // OID hash-table probes
+  std::atomic<int64_t> index_probes{0};     // label/step posting range scans
+  std::atomic<int64_t> index_fallbacks{0};  // primitives answered by traversal
 
   StoreMetrics() = default;
   StoreMetrics(const StoreMetrics& other) { *this = other; }
@@ -36,10 +39,21 @@ struct StoreMetrics {
     parent_lookups = other.parent_lookups.load(std::memory_order_relaxed);
     objects_scanned = other.objects_scanned.load(std::memory_order_relaxed);
     lookups = other.lookups.load(std::memory_order_relaxed);
+    index_probes = other.index_probes.load(std::memory_order_relaxed);
+    index_fallbacks = other.index_fallbacks.load(std::memory_order_relaxed);
     return *this;
   }
 
   void Reset() { *this = StoreMetrics(); }
+};
+
+// An edge whose child OID no longer resolves to an object.
+struct DanglingEdge {
+  Oid parent;
+  Oid child;
+  bool operator==(const DanglingEdge& other) const {
+    return parent == other.parent && child == other.child;
+  }
 };
 
 // The graph-structured database engine (paper §2). Holds OEM objects,
@@ -55,10 +69,21 @@ class ObjectStore {
     // Maintain a child -> parents index. Without it, Parents() falls back
     // to a full scan (metered in StoreMetrics::objects_scanned).
     bool enable_parent_index = true;
+    // Maintain the label/label-path index (label_index.h) inside every
+    // mutation and publish epoch-versioned snapshots. Navigation primitives
+    // probe the snapshot instead of walking the graph. Requires the parent
+    // index; disabled automatically when enable_parent_index is false.
+    bool enable_label_index = true;
+    // When true, Remove() records edges left pointing at the removed object
+    // in dangling_log() (the paper leaves them dangling; the index skips
+    // them, but callers may want to notice).
+    bool check_dangling = false;
   };
 
   ObjectStore() : ObjectStore(Options()) {}
-  explicit ObjectStore(Options options) : options_(options) {}
+  explicit ObjectStore(Options options) : options_(options) {
+    if (!options_.enable_parent_index) options_.enable_label_index = false;
+  }
 
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
@@ -156,6 +181,29 @@ class ObjectStore {
   // is possible after delete; we provide it as an explicit operation.)
   size_t CollectGarbage(const std::vector<Oid>& extra_roots = {});
 
+  // ---- Label/path index (§4.4 generalised) ----
+
+  // Current immutable index snapshot, or nullptr when the label index is
+  // disabled. One atomic shared_ptr load, never the store lock; safe while
+  // another thread mutates the store (readers probe the frozen epoch, the
+  // writer publishes the next).
+  LabelIndexSnapshotPtr AcquireIndexSnapshot() const {
+    if (!options_.enable_label_index) return nullptr;
+    return label_index_.Acquire();
+  }
+
+  // ---- Dangling-edge accounting ----
+
+  // Edges recorded by Remove() while options().check_dangling. Oldest first.
+  const std::vector<DanglingEdge>& dangling_log() const {
+    return dangling_log_;
+  }
+  void ClearDanglingLog() { dangling_log_.clear(); }
+
+  // Full audit: scans every set object for edges whose child is missing.
+  // Independent of check_dangling; metered as a scan.
+  std::vector<DanglingEdge> AuditDanglingEdges() const;
+
   // ---- Metrics ----
   StoreMetrics& metrics() const { return metrics_; }
 
@@ -166,12 +214,24 @@ class ObjectStore {
   void IndexChildren(const Object& object);
   void UnindexChildren(const Object& object);
 
+  // Label-index maintenance. The object lookups inside bypass metrics so
+  // index upkeep does not perturb the traversal cost counters.
+  const Object* RawGet(const Oid& oid) const;
+  void LabelIndexPutObject(const Object& object);
+  void LabelIndexRemoveObject(const Object& object);
+  void LabelIndexAddEdge(const Object& parent, const Oid& child);
+  void LabelIndexRemoveEdge(const Object& parent, const Oid& child);
+
   Options options_;
   std::unordered_map<Oid, Object, OidHash> objects_;
   // child -> parents. Maintained only when options_.enable_parent_index.
+  // Entries survive Remove() of the child: the surviving parents still hold
+  // the dangling edge, and a later re-Put must see them to re-index.
   std::unordered_map<Oid, OidSet, OidHash> parent_index_;
   std::unordered_map<std::string, Oid> databases_;
   std::vector<UpdateListener*> listeners_;
+  LabelIndex label_index_;
+  std::vector<DanglingEdge> dangling_log_;
   mutable StoreMetrics metrics_;
 };
 

@@ -21,7 +21,7 @@ const char* ValueTypeName(ValueType type) {
 }
 
 OidSet::OidSet(std::vector<Oid> oids) : oids_(std::move(oids)) {
-  std::sort(oids_.begin(), oids_.end());
+  SortOidsLexicographic(&oids_);
   oids_.erase(std::unique(oids_.begin(), oids_.end()), oids_.end());
 }
 

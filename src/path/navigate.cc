@@ -1,15 +1,48 @@
 #include "path/navigate.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <unordered_set>
 #include <utility>
 
+#include "path/path_index.h"
+
 namespace gsv {
+
+namespace {
+
+inline void CountFallback(const ObjectStore& store) {
+  store.metrics().index_fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Oid> IdsToOids(const std::vector<uint32_t>& ids) {
+  std::vector<Oid> oids;
+  oids.reserve(ids.size());
+  for (uint32_t id : ids) oids.push_back(Oid::FromId(id));
+  return oids;
+}
+
+}  // namespace
 
 OidSet EvalPath(const ObjectStore& store, const Oid& start, const Path& path,
                 const OidFilter& filter) {
+  if (!path.empty()) {
+    if (LabelIndexSnapshotPtr snapshot = store.AcquireIndexSnapshot()) {
+      const Object* start_object = store.Get(start);
+      if (start_object == nullptr) return OidSet();
+      std::function<bool(uint32_t)> id_filter;
+      if (filter) {
+        id_filter = [&filter](uint32_t id) { return filter(Oid::FromId(id)); };
+      }
+      std::vector<uint32_t> ids = IndexEvalPathIds(
+          *snapshot, start.id(), start_object->label(), path,
+          filter ? &id_filter : nullptr, &store.metrics());
+      return OidSet(IdsToOids(ids));
+    }
+    CountFallback(store);
+  }
   OidSet frontier;
   if (store.Contains(start)) frontier.Insert(start);
   for (size_t i = 0; i < path.size() && !frontier.empty(); ++i) {
@@ -38,14 +71,18 @@ OidSet EvalExpression(const ObjectStore& store, const Oid& start,
 
   OidSet result;
   if (!store.Contains(start)) return result;
+  // Expressions with wildcards/closures have no constant label sequence, so
+  // the step index cannot serve them: always a traversal.
+  if (store.options().enable_label_index) CountFallback(store);
 
   // BFS over (object, NFA state) pairs; the visited set makes this safe on
   // cyclic graphs ('*' over a cycle would otherwise never terminate).
-  std::unordered_set<std::string> visited;
+  std::unordered_set<uint64_t> visited;
   std::deque<std::pair<Oid, int>> frontier;
   auto push = [&](const Oid& oid, int state) {
-    std::string key = oid.str() + "#" + std::to_string(state);
-    if (visited.insert(std::move(key)).second) {
+    uint64_t key = (static_cast<uint64_t>(oid.id()) << 32) |
+                   static_cast<uint32_t>(state);
+    if (visited.insert(key).second) {
       frontier.emplace_back(oid, state);
       if (nfa.IsAccepting(state)) result.Insert(oid);
     }
@@ -75,6 +112,13 @@ std::vector<Oid> AncestorsByPath(const ObjectStore& store, const Oid& n,
   if (path.empty()) {
     return store.Contains(n) ? std::vector<Oid>{n} : std::vector<Oid>{};
   }
+  if (LabelIndexSnapshotPtr snapshot = store.AcquireIndexSnapshot()) {
+    std::vector<Oid> ancestors =
+        IdsToOids(IndexAncestorIds(*snapshot, n.id(), path, &store.metrics()));
+    SortOidsLexicographic(&ancestors);  // OidSet order
+    return ancestors;
+  }
+  CountFallback(store);
   const Object* target = store.Get(n);
   if (target == nullptr || target->label() != path.back()) return {};
 
@@ -111,7 +155,7 @@ namespace {
 
 void PathsFromToRec(const ObjectStore& store, const Oid& from,
                     const Oid& current, std::vector<std::string>* labels_rev,
-                    std::unordered_set<std::string>* on_stack,
+                    std::unordered_set<uint32_t>* on_stack,
                     size_t max_paths, size_t max_depth, const OidFilter& filter,
                     std::vector<Path>* out) {
   if (out->size() >= max_paths) return;
@@ -124,7 +168,7 @@ void PathsFromToRec(const ObjectStore& store, const Oid& from,
   if (labels_rev->size() >= max_depth) return;
   const Object* object = store.Get(current);
   if (object == nullptr) return;
-  if (!on_stack->insert(current.str()).second) return;  // cycle guard
+  if (!on_stack->insert(current.id()).second) return;  // cycle guard
   labels_rev->push_back(object->label());
   for (const Oid& parent : store.Parents(current)) {
     PathsFromToRec(store, from, parent, labels_rev, on_stack, max_paths,
@@ -132,7 +176,7 @@ void PathsFromToRec(const ObjectStore& store, const Oid& from,
     if (out->size() >= max_paths) break;
   }
   labels_rev->pop_back();
-  on_stack->erase(current.str());
+  on_stack->erase(current.id());
 }
 
 }  // namespace
@@ -143,7 +187,7 @@ std::vector<Path> PathsFromTo(const ObjectStore& store, const Oid& from,
   std::vector<Path> out;
   if (!store.Contains(from) || !store.Contains(to)) return out;
   std::vector<std::string> labels_rev;
-  std::unordered_set<std::string> on_stack;
+  std::unordered_set<uint32_t> on_stack;
   PathsFromToRec(store, from, to, &labels_rev, &on_stack, max_paths, max_depth,
                  filter, &out);
   std::sort(out.begin(), out.end(), [](const Path& a, const Path& b) {
@@ -155,6 +199,11 @@ std::vector<Path> PathsFromTo(const ObjectStore& store, const Oid& from,
 bool HasPathFromTo(const ObjectStore& store, const Oid& from, const Oid& to,
                    const Path& path) {
   if (path.empty()) return from == to && store.Contains(from);
+  if (LabelIndexSnapshotPtr snapshot = store.AcquireIndexSnapshot()) {
+    return IndexHasPathFromTo(*snapshot, from.id(), to.id(), path,
+                              &store.metrics());
+  }
+  CountFallback(store);
   const Object* target = store.Get(to);
   if (target == nullptr || target->label() != path.back()) return false;
 

@@ -1,0 +1,138 @@
+#include "path/path_index.h"
+
+#include <algorithm>
+
+namespace gsv {
+
+namespace {
+
+inline void CountProbe(StoreMetrics* metrics) {
+  if (metrics != nullptr) {
+    metrics->index_probes.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// Scans the postings range of every frontier node (sorted ascending, one
+// merged monotonic sweep), collecting the lo words. The output is re-sorted:
+// ranges are grouped by hi word, so concatenating them does not keep the lo
+// words globally ordered.
+void StepScan(const Postings& postings, const std::vector<uint32_t>& frontier,
+              const std::function<bool(uint32_t)>* filter,
+              StoreMetrics* metrics, std::vector<uint32_t>* out) {
+  out->clear();
+  if (metrics != nullptr) {
+    metrics->index_probes.fetch_add(static_cast<int64_t>(frontier.size()),
+                                    std::memory_order_relaxed);
+  }
+  postings.ScanHiRanges(frontier, [&](uint64_t value) {
+    uint32_t other = PairLo(value);
+    if (filter != nullptr && !(*filter)(other)) return;
+    out->push_back(other);
+  });
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace
+
+std::vector<uint32_t> IndexEvalPathIds(
+    const LabelIndexSnapshot& snapshot, uint32_t start,
+    const std::string& start_label, const Path& path,
+    const std::function<bool(uint32_t)>* filter, StoreMetrics* metrics) {
+  std::vector<uint32_t> frontier{start};
+  std::vector<uint32_t> next;
+  const std::string* prev_label = &start_label;
+  for (size_t i = 0; i < path.size() && !frontier.empty(); ++i) {
+    const StepBucket* bucket = snapshot.Step(*prev_label, path.label(i));
+    if (bucket == nullptr) {
+      CountProbe(metrics);
+      return {};
+    }
+    StepScan(bucket->down, frontier, filter, metrics, &next);
+    frontier.swap(next);
+    prev_label = &path.label(i);
+  }
+  return frontier;
+}
+
+std::vector<uint32_t> IndexAncestorIds(const LabelIndexSnapshot& snapshot,
+                                       uint32_t n, const Path& path,
+                                       StoreMetrics* metrics) {
+  // Existence + label check on the target, straight from the label postings.
+  CountProbe(metrics);
+  const Postings* targets = snapshot.Labels(path.back());
+  if (targets == nullptr || !targets->Contains(n)) return {};
+
+  std::vector<uint32_t> frontier{n};
+  std::vector<uint32_t> next;
+  for (size_t j = path.size(); j-- > 1;) {
+    const StepBucket* bucket =
+        snapshot.Step(path.label(j - 1), path.label(j));
+    if (bucket == nullptr) {
+      CountProbe(metrics);
+      return {};
+    }
+    StepScan(bucket->up, frontier, /*filter=*/nullptr, metrics, &next);
+    frontier.swap(next);
+    if (frontier.empty()) return {};
+  }
+
+  // Last climb step: the ancestors' own label is unconstrained.
+  const Postings* up = snapshot.UpAny(path.label(0));
+  if (up == nullptr) {
+    CountProbe(metrics);
+    return {};
+  }
+  std::vector<uint32_t> ancestors;
+  StepScan(*up, frontier, /*filter=*/nullptr, metrics, &ancestors);
+  return ancestors;
+}
+
+std::vector<uint32_t> IndexStepDownIds(const LabelIndexSnapshot& snapshot,
+                                       const std::string& prev_label,
+                                       const std::string& label,
+                                       const std::vector<uint32_t>& frontier,
+                                       StoreMetrics* metrics) {
+  const StepBucket* bucket = snapshot.Step(prev_label, label);
+  if (bucket == nullptr) {
+    CountProbe(metrics);
+    return {};
+  }
+  std::vector<uint32_t> next;
+  StepScan(bucket->down, frontier, /*filter=*/nullptr, metrics, &next);
+  return next;
+}
+
+bool IndexHasPathFromTo(const LabelIndexSnapshot& snapshot, uint32_t from,
+                        uint32_t to, const Path& path, StoreMetrics* metrics) {
+  CountProbe(metrics);
+  const Postings* targets = snapshot.Labels(path.back());
+  if (targets == nullptr || !targets->Contains(to)) return false;
+
+  std::vector<uint32_t> frontier{to};
+  std::vector<uint32_t> next;
+  for (size_t j = path.size(); j-- > 1;) {
+    const StepBucket* bucket =
+        snapshot.Step(path.label(j - 1), path.label(j));
+    if (bucket == nullptr) {
+      CountProbe(metrics);
+      return false;
+    }
+    StepScan(bucket->up, frontier, /*filter=*/nullptr, metrics, &next);
+    frontier.swap(next);
+    if (frontier.empty()) return false;
+  }
+
+  const Postings* up = snapshot.UpAny(path.label(0));
+  if (up == nullptr) {
+    CountProbe(metrics);
+    return false;
+  }
+  for (uint32_t node : frontier) {
+    CountProbe(metrics);
+    if (up->Contains(PackPair(node, from))) return true;
+  }
+  return false;
+}
+
+}  // namespace gsv

@@ -1,0 +1,60 @@
+#ifndef GSV_PATH_PATH_INDEX_H_
+#define GSV_PATH_PATH_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "oem/label_index.h"
+#include "oem/store.h"
+#include "path/path.h"
+
+namespace gsv {
+
+// Index-backed navigation primitives: the traversals of navigate.cc
+// re-expressed as merged posting probes over one LabelIndexSnapshot.
+//
+// All functions here touch ONLY the snapshot — never the store — so they are
+// safe to run concurrently with a writer mutating the store and publishing
+// the next epoch. Results are byte-identical to the traversal counterparts:
+// the store keeps the index in lockstep with every mutation, and dangling
+// edges are absent from the postings exactly as traversal skips them.
+//
+// Frontiers and results are interned OID ids, sorted ascending and unique.
+// `metrics` (nullable) receives one index_probes increment per posting
+// range-scan or membership probe.
+
+// Children reached from `start` (labelled `start_label`) along `path`.
+// Precondition: the caller verified `start` exists; an empty path returns
+// {start}. `filter` (nullable) mirrors the WITHIN visibility filter: a
+// candidate child failing it is invisible.
+std::vector<uint32_t> IndexEvalPathIds(
+    const LabelIndexSnapshot& snapshot, uint32_t start,
+    const std::string& start_label, const Path& path,
+    const std::function<bool(uint32_t)>* filter, StoreMetrics* metrics);
+
+// ancestor(N, p): every X with an instance of `path` from X to `n`
+// (paper §4.3). Fully snapshot-resident, including the existence/label
+// check on `n`. Precondition: path is non-empty (the caller answers
+// ancestor(N, ∅) = {N} itself).
+std::vector<uint32_t> IndexAncestorIds(const LabelIndexSnapshot& snapshot,
+                                       uint32_t n, const Path& path,
+                                       StoreMetrics* metrics);
+
+// True iff `to` is reachable from `from` via exactly `path` (non-empty).
+bool IndexHasPathFromTo(const LabelIndexSnapshot& snapshot, uint32_t from,
+                        uint32_t to, const Path& path, StoreMetrics* metrics);
+
+// One downward wave: the `label`-children of `frontier` (whose members all
+// carry `prev_label`). Exposed for level-at-a-time consumers such as the
+// warehouse corridor warm-up.
+std::vector<uint32_t> IndexStepDownIds(const LabelIndexSnapshot& snapshot,
+                                       const std::string& prev_label,
+                                       const std::string& label,
+                                       const std::vector<uint32_t>& frontier,
+                                       StoreMetrics* metrics);
+
+}  // namespace gsv
+
+#endif  // GSV_PATH_PATH_INDEX_H_

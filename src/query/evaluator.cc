@@ -5,7 +5,18 @@
 
 namespace gsv {
 
-Result<OidSet> EvaluateQuery(const ObjectStore& store, const Query& query) {
+Result<OidSet> EvaluateQuery(const ObjectStore& store, const Query& query,
+                             QueryPlan* plan) {
+  const StoreMetrics& metrics = store.metrics();
+  const int64_t probes_base = metrics.index_probes;
+  const int64_t fallbacks_base = metrics.index_fallbacks;
+  if (plan != nullptr) {
+    plan->select = store.options().enable_label_index &&
+                           query.select_path.IsConstant()
+                       ? QueryPlan::Select::kIndexProbe
+                       : QueryPlan::Select::kTraversal;
+  }
+
   // Resolve the entry point: database name first, then literal OID.
   Oid entry = store.DatabaseOid(query.entry);
   if (!entry.valid()) entry = Oid(query.entry);
@@ -48,6 +59,10 @@ Result<OidSet> EvaluateQuery(const ObjectStore& store, const Query& query) {
                                         db_oid.str() + " is not a set object");
     }
     answer = OidSet::Intersect(answer, db->children());
+  }
+  if (plan != nullptr) {
+    plan->index_probes = metrics.index_probes - probes_base;
+    plan->index_fallbacks = metrics.index_fallbacks - fallbacks_base;
   }
   return answer;
 }

@@ -18,10 +18,29 @@ namespace gsv {
 // error (the paper requires the user to provide a valid entry point).
 // WITHIN/ANS INT naming an unregistered database is an error.
 //
+// How one query evaluation was answered. The select stage is an index
+// probe when the store's label index is enabled and the select path is a
+// constant label sequence; otherwise it is a traversal. Condition paths
+// route through the same machinery per candidate, so the probe/fallback
+// deltas cover them too.
+struct QueryPlan {
+  enum class Select { kIndexProbe, kTraversal };
+  Select select = Select::kTraversal;
+  int64_t index_probes = 0;     // StoreMetrics delta during this query
+  int64_t index_fallbacks = 0;  // primitives that had to traverse
+
+  const char* SelectName() const {
+    return select == Select::kIndexProbe ? "index-probe" : "traversal";
+  }
+};
+
 // The WITHIN filter hides out-of-database objects from both the select
 // traversal and condition traversals; the entry object itself is exempt
 // (it is the explicitly supplied starting point).
-Result<OidSet> EvaluateQuery(const ObjectStore& store, const Query& query);
+// When `plan` is non-null it receives the chosen plan and the per-query
+// index counter deltas.
+Result<OidSet> EvaluateQuery(const ObjectStore& store, const Query& query,
+                             QueryPlan* plan = nullptr);
 
 // Parses and evaluates in one step.
 Result<OidSet> EvaluateQueryText(const ObjectStore& store,

@@ -12,10 +12,11 @@ std::string QueryExplanation::ToString() const {
   out << "entry " << entry << " -> " << entry_oid.str()
       << (entry_was_database ? " (database)" : " (object)")
       << (scoped ? ", WITHIN scope active" : "") << "\n";
+  out << "plan: " << plan.SelectName() << "\n";
   for (const SelectStep& step : steps) {
     out << "  ." << step.atom << ": " << step.frontier_before << " -> "
         << step.frontier_after << " objects (" << step.edges_examined
-        << " edges)\n";
+        << " edges, " << step.probes_examined << " probes)\n";
   }
   out << "  candidates: " << candidates
       << ", passed condition: " << passed_condition;
@@ -23,7 +24,8 @@ std::string QueryExplanation::ToString() const {
     out << ", after ANS INT: " << after_ans_int;
   }
   out << "\n  answer size " << answer.size() << "; " << total_edges
-      << " edges, " << total_lookups << " lookups";
+      << " edges, " << total_lookups << " lookups, " << plan.index_probes
+      << " index probes, " << plan.index_fallbacks << " fallbacks";
   return out.str();
 }
 
@@ -57,6 +59,12 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
   const StoreMetrics& metrics = store.metrics();
   int64_t edges_base = metrics.edges_traversed;
   int64_t lookups_base = metrics.lookups;
+  int64_t probes_base = metrics.index_probes;
+  int64_t fallbacks_base = metrics.index_fallbacks;
+  explanation.plan.select =
+      store.options().enable_label_index && query.select_path.IsConstant()
+          ? QueryPlan::Select::kIndexProbe
+          : QueryPlan::Select::kTraversal;
 
   OidSet frontier;
   frontier.Insert(entry_oid);
@@ -68,6 +76,7 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
       step.atom = path.label(i);
       step.frontier_before = frontier.size();
       int64_t edges_before = metrics.edges_traversed;
+      int64_t probes_before = metrics.index_probes;
       OidSet next;
       Path single(std::vector<std::string>{path.label(i)});
       for (const Oid& oid : frontier) {
@@ -76,6 +85,7 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
       frontier = std::move(next);
       step.frontier_after = frontier.size();
       step.edges_examined = metrics.edges_traversed - edges_before;
+      step.probes_examined = metrics.index_probes - probes_before;
       explanation.steps.push_back(std::move(step));
     }
   } else {
@@ -85,9 +95,11 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
     step.atom = query.select_path.ToString();
     step.frontier_before = frontier.size();
     int64_t edges_before = metrics.edges_traversed;
+    int64_t probes_before = metrics.index_probes;
     frontier = EvalExpression(store, entry_oid, query.select_path, filter);
     step.frontier_after = frontier.size();
     step.edges_examined = metrics.edges_traversed - edges_before;
+    step.probes_examined = metrics.index_probes - probes_before;
     explanation.steps.push_back(std::move(step));
   }
   explanation.candidates = frontier.size();
@@ -117,6 +129,8 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
 
   explanation.total_edges = metrics.edges_traversed - edges_base;
   explanation.total_lookups = metrics.lookups - lookups_base;
+  explanation.plan.index_probes = metrics.index_probes - probes_base;
+  explanation.plan.index_fallbacks = metrics.index_fallbacks - fallbacks_base;
   return explanation;
 }
 

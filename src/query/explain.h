@@ -7,6 +7,7 @@
 
 #include "oem/store.h"
 #include "query/ast.h"
+#include "query/evaluator.h"
 #include "util/status.h"
 
 namespace gsv {
@@ -21,6 +22,7 @@ struct QueryExplanation {
     size_t frontier_before = 0;
     size_t frontier_after = 0;
     int64_t edges_examined = 0;
+    int64_t probes_examined = 0;  // index posting scans for this wave
   };
 
   std::string entry;           // as written
@@ -32,6 +34,7 @@ struct QueryExplanation {
   size_t passed_condition = 0;
   size_t after_ans_int = 0;    // == passed_condition when no ANS INT
   OidSet answer;
+  QueryPlan plan;              // chosen select plan + index counter deltas
   int64_t total_edges = 0;
   int64_t total_lookups = 0;
 

@@ -293,7 +293,9 @@ Result<std::string> Shell::CmdStats() {
       << " edges_traversed=" << metrics.edges_traversed
       << " parent_lookups=" << metrics.parent_lookups
       << " lookups=" << metrics.lookups
-      << " scanned=" << metrics.objects_scanned;
+      << " scanned=" << metrics.objects_scanned
+      << " index_probes=" << metrics.index_probes
+      << " index_fallbacks=" << metrics.index_fallbacks;
   store_.metrics().Reset();
   return out.str();
 }

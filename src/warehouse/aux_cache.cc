@@ -1,6 +1,7 @@
 #include "warehouse/aux_cache.h"
 
 #include "path/navigate.h"
+#include "path/path_index.h"
 
 namespace gsv {
 
@@ -63,6 +64,29 @@ Status AuxiliaryCache::Initialize(SourceWrapper* wrapper) {
 void AuxiliaryCache::RecomputeMembership() {
   std::unordered_map<std::string, std::set<size_t>> new_depths;
   new_depths[root_.str()].insert(0);
+
+  // Warm from the cache store's label index: each corridor level is one
+  // posting wave instead of a per-child Get + label check.
+  if (LabelIndexSnapshotPtr snapshot = store_.AcquireIndexSnapshot()) {
+    const Object* root_object = store_.Get(root_);
+    if (root_object != nullptr) {
+      std::vector<uint32_t> frontier{root_.id()};
+      const std::string* prev_label = &root_object->label();
+      for (size_t depth = 0; depth < corridor_.size() && !frontier.empty();
+           ++depth) {
+        frontier = IndexStepDownIds(*snapshot, *prev_label,
+                                    corridor_.label(depth), frontier,
+                                    &store_.metrics());
+        for (uint32_t id : frontier) {
+          new_depths[Oid::FromId(id).str()].insert(depth + 1);
+        }
+        prev_label = &corridor_.label(depth);
+      }
+    }
+    depths_ = std::move(new_depths);
+    return;
+  }
+
   std::vector<Oid> frontier{root_};
   for (size_t depth = 0; depth < corridor_.size() && !frontier.empty();
        ++depth) {
@@ -84,6 +108,19 @@ void AuxiliaryCache::RecomputeMembership() {
   }
 
   depths_ = std::move(new_depths);
+}
+
+void AuxiliaryCache::FlushIndexCounters(WarehouseCosts* costs) {
+  int64_t probes =
+      store_.metrics().index_probes.load(std::memory_order_relaxed);
+  int64_t fallbacks =
+      store_.metrics().index_fallbacks.load(std::memory_order_relaxed);
+  costs->index_probes.fetch_add(probes - flushed_index_probes_,
+                                std::memory_order_relaxed);
+  costs->index_fallbacks.fetch_add(fallbacks - flushed_index_fallbacks_,
+                                   std::memory_order_relaxed);
+  flushed_index_probes_ = probes;
+  flushed_index_fallbacks_ = fallbacks;
 }
 
 void AuxiliaryCache::Prune() {

@@ -10,6 +10,7 @@
 #include "oem/store.h"
 #include "path/path.h"
 #include "util/status.h"
+#include "warehouse/cost_model.h"
 #include "warehouse/update_event.h"
 #include "warehouse/wrapper.h"
 
@@ -63,6 +64,12 @@ class AuxiliaryCache {
   // Drops cached objects that are no longer on the corridor.
   void Prune();
 
+  // Adds the cache store's index counter deltas since the last flush to
+  // `costs`. Index probing inside the corridor is warehouse-side work, so
+  // it is surfaced on the warehouse cost sheet rather than lost in the
+  // cache's private store.
+  void FlushIndexCounters(WarehouseCosts* costs);
+
   // ---- Locally answered accessor operations ----
 
   bool OnCorridor(const Oid& oid) const { return depths_.count(oid.str()) > 0; }
@@ -110,6 +117,9 @@ class AuxiliaryCache {
   std::unordered_map<std::string, std::set<size_t>> depths_;
   // Atomic OIDs whose cached value is real (always true in kFull mode).
   OidSet values_known_;
+  // Last-flushed index counter readings (FlushIndexCounters deltas).
+  int64_t flushed_index_probes_ = 0;
+  int64_t flushed_index_fallbacks_ = 0;
 };
 
 }  // namespace gsv

@@ -15,7 +15,9 @@ std::string WarehouseCosts::ToString() const {
       << " values_shipped=" << values_shipped
       << " cache_queries=" << cache_maintenance_queries
       << " cache_hits=" << cache_hits
-      << " cache_misses=" << cache_misses;
+      << " cache_misses=" << cache_misses
+      << " index_probes=" << index_probes
+      << " index_fallbacks=" << index_fallbacks;
   // Health counters only appear once the fault-tolerance layer engaged, so
   // the common fault-free string stays short.
   if (events_duplicate_dropped > 0 || events_gap_detected > 0 ||

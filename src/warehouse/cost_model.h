@@ -32,6 +32,8 @@ struct WarehouseCosts {
   std::atomic<int64_t> cache_maintenance_queries{0};
   std::atomic<int64_t> cache_hits{0};    // answered from cache/event
   std::atomic<int64_t> cache_misses{0};  // had to query the source
+  std::atomic<int64_t> index_probes{0};      // corridor posting scans
+  std::atomic<int64_t> index_fallbacks{0};   // corridor traversal fallbacks
 
   // Fault tolerance: sequenced delivery, retries, quarantine health.
   std::atomic<int64_t> events_duplicate_dropped{0};  // redelivery, idempotent
@@ -62,6 +64,9 @@ struct WarehouseCosts {
         other.cache_maintenance_queries.load(std::memory_order_relaxed);
     cache_hits = other.cache_hits.load(std::memory_order_relaxed);
     cache_misses = other.cache_misses.load(std::memory_order_relaxed);
+    index_probes = other.index_probes.load(std::memory_order_relaxed);
+    index_fallbacks =
+        other.index_fallbacks.load(std::memory_order_relaxed);
     events_duplicate_dropped =
         other.events_duplicate_dropped.load(std::memory_order_relaxed);
     events_gap_detected =

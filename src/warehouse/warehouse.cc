@@ -431,8 +431,7 @@ Status Warehouse::CollectUnderivable(ViewEntry& entry,
     bool derivable = accessor->VerifyPath(source.root, member, entry.sel_path);
     if (derivable && entry.def.predicate().has_value()) {
       derivable =
-          !accessor->Eval(member, entry.cond_path, entry.def.predicate())
-               .empty();
+          accessor->EvalAny(member, entry.cond_path, entry.def.predicate());
     }
     if (!accessor->last_error().ok()) {
       // The empty/false answer came from a failed query-back, not from the
@@ -507,8 +506,9 @@ Status Warehouse::HandleEventForView(ViewEntry& entry,
       ++costs_.events_screened_out;
       // Delegate values must still track the base (§3.2).
       Status status = entry.view->SyncUpdate(event.ToUpdate());
-      if (entry.cache != nullptr && event.kind == UpdateKind::kDelete) {
-        entry.cache->Prune();
+      if (entry.cache != nullptr) {
+        if (event.kind == UpdateKind::kDelete) entry.cache->Prune();
+        entry.cache->FlushIndexCounters(&costs_);
       }
       return status;
     }
@@ -525,8 +525,9 @@ Status Warehouse::HandleEventForView(ViewEntry& entry,
     status = entry.maintainer->Maintain(event.ToUpdate());
   }
   entry.accessor->set_current_event(nullptr);
-  if (entry.cache != nullptr && event.kind == UpdateKind::kDelete) {
-    entry.cache->Prune();
+  if (entry.cache != nullptr) {
+    if (event.kind == UpdateKind::kDelete) entry.cache->Prune();
+    entry.cache->FlushIndexCounters(&costs_);
   }
   return status;
 }
@@ -567,9 +568,7 @@ Status Warehouse::Level1ModifyRecheck(ViewEntry& entry,
     if (!accessor->VerifyPath(source.root, y, entry.sel_path)) {
       continue;
     }
-    std::vector<Oid> witnesses =
-        accessor->Eval(y, entry.cond_path, entry.def.predicate());
-    if (witnesses.empty()) {
+    if (!accessor->EvalAny(y, entry.cond_path, entry.def.predicate())) {
       GSV_RETURN_IF_ERROR(storage->VDelete(y));
     } else {
       GSV_ASSIGN_OR_RETURN(Object y_object, accessor->Fetch(y));

@@ -1,0 +1,181 @@
+// Snapshot publication vs. parallel readers. Carries the `tsan` label:
+// ci.sh re-runs it from a -fsanitize=thread build to prove that Acquire()
+// really is safe against a writer mutating live shards and publishing the
+// next epoch.
+//
+// Protocol under test (label_index.h): readers hold only the immutable
+// snapshot — they never touch the store's object table — while one writer
+// thread drives random basic updates through the store, each of which
+// mutates live shards and publishes a fresh epoch. Readers assert that
+// epochs only move forward and that every probe yields structurally valid
+// (sorted, unique) frontiers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "oem/label_index.h"
+#include "oem/store.h"
+#include "path/navigate.h"
+#include "path/path.h"
+#include "path/path_index.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+namespace gsv {
+namespace {
+
+bool SortedUnique(const std::vector<uint32_t>& ids) {
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i - 1] >= ids[i]) return false;
+  }
+  return true;
+}
+
+TEST(IndexConcurrencyTest, ReadersProbeWhileWriterPublishes) {
+  ObjectStore store;
+  TreeGenOptions tree;
+  tree.levels = 4;
+  tree.fanout = 4;
+  tree.label_variety = 2;
+  tree.seed = 42;
+  auto generated = GenerateTree(&store, tree);
+  ASSERT_TRUE(generated.ok());
+
+  // Everything a reader needs is materialized up front: interned ids and
+  // parsed paths only — readers must never intern strings or call into the
+  // store while the writer owns it.
+  const uint32_t root_id = generated->root.id();
+  auto deep = Path::Parse("n1_0.n2_0.n3_0.age");
+  auto shallow = Path::Parse("n1_0");
+  ASSERT_TRUE(deep.ok());
+  ASSERT_TRUE(shallow.ok());
+  const Path deep_path = *deep;
+  const Path shallow_path = *shallow;
+  const std::string root_label = "root";
+
+  const uint64_t start_epoch = store.AcquireIndexSnapshot()->epoch;
+  constexpr int kReaders = 3;
+  constexpr size_t kWriterSteps = 2000;
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> reader_failed{false};
+  std::atomic<int64_t> probes{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        LabelIndexSnapshotPtr snapshot = store.AcquireIndexSnapshot();
+        if (snapshot == nullptr || snapshot->epoch < last_epoch) {
+          reader_failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        last_epoch = snapshot->epoch;
+        std::vector<uint32_t> down = IndexEvalPathIds(
+            *snapshot, root_id, root_label, deep_path, nullptr, nullptr);
+        std::vector<uint32_t> wave = IndexEvalPathIds(
+            *snapshot, root_id, root_label, shallow_path, nullptr, nullptr);
+        if (!SortedUnique(down) || !SortedUnique(wave)) {
+          reader_failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        // Climb back up from every reached leaf: within one frozen snapshot
+        // the down and up posting directions must agree.
+        for (uint32_t leaf : down) {
+          std::vector<uint32_t> up =
+              IndexAncestorIds(*snapshot, leaf, deep_path, nullptr);
+          if (!SortedUnique(up) ||
+              !IndexHasPathFromTo(*snapshot, root_id, leaf, deep_path,
+                                  nullptr)) {
+            reader_failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        probes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  UpdateGenOptions gen;
+  gen.seed = 4242;
+  UpdateGenerator writer(&store, generated->root, gen);
+  for (size_t i = 0; i < kWriterSteps; ++i) {
+    ASSERT_TRUE(writer.Step().ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(reader_failed.load());
+  EXPECT_GT(probes.load(), 0);
+  LabelIndexSnapshotPtr final_snapshot = store.AcquireIndexSnapshot();
+  ASSERT_NE(final_snapshot, nullptr);
+  EXPECT_GT(final_snapshot->epoch, start_epoch);
+
+  // Quiesced: the final snapshot answers exactly like traversal.
+  ObjectStore::Options scan_options;
+  scan_options.enable_label_index = false;
+  std::vector<uint32_t> ids = IndexEvalPathIds(
+      *final_snapshot, root_id, root_label, deep_path, nullptr, nullptr);
+  OidSet via_store = EvalPath(store, generated->root, deep_path);
+  std::vector<Oid> via_index;
+  via_index.reserve(ids.size());
+  for (uint32_t id : ids) via_index.push_back(Oid::FromId(id));
+  std::sort(via_index.begin(), via_index.end());
+  EXPECT_EQ(via_index, via_store.elements());
+}
+
+// A tight Put/Remove churn loop on one OID: the worst case for epoch
+// publication frequency (every mutation dirties the same shards).
+TEST(IndexConcurrencyTest, ChurnOnOneOidKeepsEpochsMonotonic) {
+  ObjectStore store;
+  ASSERT_TRUE(store.PutSet(Oid("R"), "root").ok());
+  const uint32_t root_id = Oid("R").id();
+  Oid hot("HOT");
+  auto path = Path::Parse("flicker");
+  ASSERT_TRUE(path.ok());
+  const Path flicker = *path;
+  const std::string root_label = "root";
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> reader_failed{false};
+  std::thread reader([&] {
+    uint64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      LabelIndexSnapshotPtr snapshot = store.AcquireIndexSnapshot();
+      if (snapshot == nullptr || snapshot->epoch < last_epoch) {
+        reader_failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      last_epoch = snapshot->epoch;
+      std::vector<uint32_t> reached = IndexEvalPathIds(
+          *snapshot, root_id, root_label, flicker, nullptr, nullptr);
+      // The child either is or is not there — never anything else.
+      if (reached.size() > 1 ||
+          (reached.size() == 1 && reached[0] != hot.id())) {
+        reader_failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(store.PutAtomic(hot, "flicker", Value::Int(i)).ok());
+    ASSERT_TRUE(store.Insert(Oid("R"), hot).ok());
+    ASSERT_TRUE(store.Delete(Oid("R"), hot).ok());
+    ASSERT_TRUE(store.Remove(hot).ok());
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_FALSE(reader_failed.load());
+}
+
+}  // namespace
+}  // namespace gsv

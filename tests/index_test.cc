@@ -1,0 +1,587 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/view_definition.h"
+#include "core/virtual_view.h"
+#include "oem/label_index.h"
+#include "oem/store.h"
+#include "path/navigate.h"
+#include "path/path.h"
+#include "path/path_index.h"
+#include "query/evaluator.h"
+#include "workload/dag_gen.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+namespace gsv {
+namespace {
+
+ObjectStore::Options ScanOptions() {
+  ObjectStore::Options options;
+  options.enable_label_index = false;
+  return options;
+}
+
+Path P(const std::string& text) {
+  auto path = Path::Parse(text);
+  EXPECT_TRUE(path.ok()) << text;
+  return *path;
+}
+
+std::vector<std::string> Strs(const std::vector<Oid>& oids) {
+  std::vector<std::string> out;
+  out.reserve(oids.size());
+  for (const Oid& oid : oids) out.push_back(oid.str());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Postings: the LSM-lite list must behave exactly like a sorted set under
+// arbitrary interleavings of adds and erases, across compactions.
+// ---------------------------------------------------------------------------
+
+TEST(PostingsTest, MatchesReferenceSetUnderRandomOps) {
+  std::mt19937_64 rng(7);
+  Postings postings;
+  std::set<uint64_t> reference;
+  // A small value domain forces duplicate adds, erase-of-absent, and many
+  // compactions (threshold 64) over 4000 operations.
+  std::uniform_int_distribution<uint64_t> value_dist(0, 299);
+  std::uniform_int_distribution<int> op_dist(0, 2);
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t v = value_dist(rng);
+    if (op_dist(rng) != 0) {
+      EXPECT_EQ(postings.Add(v), reference.insert(v).second);
+    } else {
+      EXPECT_EQ(postings.Erase(v), reference.erase(v) > 0);
+    }
+    if (i % 97 == 0) {
+      EXPECT_EQ(postings.Size(), reference.size());
+      EXPECT_EQ(postings.Contains(v), reference.count(v) > 0);
+    }
+  }
+  EXPECT_EQ(postings.Size(), reference.size());
+  std::vector<uint64_t> scanned;
+  postings.Scan([&](uint64_t v) { scanned.push_back(v); });
+  EXPECT_EQ(scanned, std::vector<uint64_t>(reference.begin(), reference.end()));
+  // Range scans agree with the reference on random windows.
+  for (int i = 0; i < 20; ++i) {
+    uint64_t lo = value_dist(rng);
+    uint64_t hi = lo + value_dist(rng) % 50;
+    std::vector<uint64_t> got;
+    postings.ScanRange(lo, hi, [&](uint64_t v) { got.push_back(v); });
+    std::vector<uint64_t> want(reference.lower_bound(lo),
+                               reference.lower_bound(hi));
+    EXPECT_EQ(got, want) << "[" << lo << ", " << hi << ")";
+  }
+}
+
+TEST(PostingsTest, EraseFromBaseThenReAdd) {
+  Postings postings;
+  for (uint64_t v = 0; v < 200; v += 2) postings.Add(v);  // compacts into base
+  for (uint64_t v = 0; v < 200; v += 4) EXPECT_TRUE(postings.Erase(v));
+  for (uint64_t v = 0; v < 200; v += 4) EXPECT_FALSE(postings.Contains(v));
+  for (uint64_t v = 0; v < 200; v += 4) EXPECT_TRUE(postings.Add(v));
+  std::vector<uint64_t> scanned;
+  postings.Scan([&](uint64_t v) { scanned.push_back(v); });
+  std::vector<uint64_t> want;
+  for (uint64_t v = 0; v < 200; v += 2) want.push_back(v);
+  EXPECT_EQ(scanned, want);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots: epochs advance monotonically and published snapshots are frozen.
+// ---------------------------------------------------------------------------
+
+TEST(LabelIndexSnapshotTest, EpochsAdvanceAndOldSnapshotsStayFrozen) {
+  ObjectStore store;
+  ASSERT_TRUE(store.PutSet(Oid("R"), "root").ok());
+  ASSERT_TRUE(store.PutAtomic(Oid("A1"), "age", Value::Int(1)).ok());
+  ASSERT_TRUE(store.Insert(Oid("R"), Oid("A1")).ok());
+
+  LabelIndexSnapshotPtr before = store.AcquireIndexSnapshot();
+  ASSERT_NE(before, nullptr);
+  const Postings* ages_before = before->Labels("age");
+  ASSERT_NE(ages_before, nullptr);
+  EXPECT_EQ(ages_before->Size(), 1u);
+
+  ASSERT_TRUE(store.PutAtomic(Oid("A2"), "age", Value::Int(2)).ok());
+  ASSERT_TRUE(store.Insert(Oid("R"), Oid("A2")).ok());
+
+  LabelIndexSnapshotPtr after = store.AcquireIndexSnapshot();
+  ASSERT_NE(after, nullptr);
+  EXPECT_GT(after->epoch, before->epoch);
+  // The old snapshot still answers with the old world.
+  EXPECT_EQ(before->Labels("age")->Size(), 1u);
+  EXPECT_EQ(after->Labels("age")->Size(), 2u);
+  EXPECT_FALSE(before->Labels("age")->Contains(Oid("A2").id()));
+  EXPECT_TRUE(after->Labels("age")->Contains(Oid("A2").id()));
+
+  // Step postings: both directions carry the new edge only in `after`.
+  const StepBucket* step = after->Step("root", "age");
+  ASSERT_NE(step, nullptr);
+  EXPECT_TRUE(step->down.Contains(PackPair(Oid("R").id(), Oid("A2").id())));
+  EXPECT_TRUE(step->up.Contains(PackPair(Oid("A2").id(), Oid("R").id())));
+  const StepBucket* step_before = before->Step("root", "age");
+  ASSERT_NE(step_before, nullptr);
+  EXPECT_FALSE(
+      step_before->down.Contains(PackPair(Oid("R").id(), Oid("A2").id())));
+}
+
+TEST(LabelIndexSnapshotTest, DisabledIndexYieldsNullSnapshot) {
+  ObjectStore store(ScanOptions());
+  ASSERT_TRUE(store.PutSet(Oid("R"), "root").ok());
+  EXPECT_EQ(store.AcquireIndexSnapshot(), nullptr);
+}
+
+TEST(LabelIndexSnapshotTest, IndexRequiresParentIndex) {
+  ObjectStore::Options options;
+  options.enable_parent_index = false;
+  options.enable_label_index = true;  // overridden by the dependency rule
+  ObjectStore store(options);
+  EXPECT_FALSE(store.options().enable_label_index);
+  EXPECT_EQ(store.AcquireIndexSnapshot(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Primitive equivalence on a hand-built graph (tree + diamond DAG), checked
+// against a scan-configured twin receiving the identical mutation sequence.
+// ---------------------------------------------------------------------------
+
+class TwinStoreTest : public ::testing::Test {
+ protected:
+  // Applies `fn` to both stores and requires identical status.
+  void Both(const std::function<Status(ObjectStore&)>& fn) {
+    Status a = fn(indexed_);
+    Status b = fn(scan_);
+    ASSERT_EQ(a.ToString(), b.ToString());
+  }
+
+  void ExpectPrimitivesAgree(const Oid& start,
+                             const std::vector<std::string>& paths) {
+    for (const std::string& text : paths) {
+      Path path = P(text);
+      OidSet via_index = EvalPath(indexed_, start, path);
+      OidSet via_scan = EvalPath(scan_, start, path);
+      EXPECT_EQ(Strs(via_index.elements()), Strs(via_scan.elements()))
+          << "EvalPath " << text;
+      for (const Oid& n : via_scan) {
+        EXPECT_EQ(Strs(AncestorsByPath(indexed_, n, path)),
+                  Strs(AncestorsByPath(scan_, n, path)))
+            << "ancestor(" << n.str() << ", " << text << ")";
+        EXPECT_EQ(HasPathFromTo(indexed_, start, n, path),
+                  HasPathFromTo(scan_, start, n, path))
+            << "haspath(" << n.str() << ", " << text << ")";
+      }
+    }
+  }
+
+  ObjectStore indexed_;
+  ObjectStore scan_{ScanOptions()};
+};
+
+TEST_F(TwinStoreTest, HandBuiltTreeAndDiamond) {
+  Both([](ObjectStore& s) { return s.PutSet(Oid("R"), "root"); });
+  Both([](ObjectStore& s) { return s.PutSet(Oid("G1"), "grp"); });
+  Both([](ObjectStore& s) { return s.PutSet(Oid("G2"), "grp"); });
+  Both([](ObjectStore& s) { return s.PutSet(Oid("M"), "mid"); });
+  Both([](ObjectStore& s) {
+    return s.PutAtomic(Oid("L1"), "age", Value::Int(10));
+  });
+  Both([](ObjectStore& s) {
+    return s.PutAtomic(Oid("L2"), "age", Value::Int(20));
+  });
+  Both([](ObjectStore& s) { return s.Insert(Oid("R"), Oid("G1")); });
+  Both([](ObjectStore& s) { return s.Insert(Oid("R"), Oid("G2")); });
+  // Diamond: both groups share M; M has two age leaves.
+  Both([](ObjectStore& s) { return s.Insert(Oid("G1"), Oid("M")); });
+  Both([](ObjectStore& s) { return s.Insert(Oid("G2"), Oid("M")); });
+  Both([](ObjectStore& s) { return s.Insert(Oid("M"), Oid("L1")); });
+  Both([](ObjectStore& s) { return s.Insert(Oid("M"), Oid("L2")); });
+
+  ExpectPrimitivesAgree(Oid("R"), {"grp", "grp.mid", "grp.mid.age"});
+
+  // Delete one diamond arm; the primitives keep agreeing.
+  Both([](ObjectStore& s) { return s.Delete(Oid("G2"), Oid("M")); });
+  ExpectPrimitivesAgree(Oid("R"), {"grp", "grp.mid", "grp.mid.age"});
+
+  // Modify keeps the label index untouched but must not desync anything.
+  Both([](ObjectStore& s) { return s.Modify(Oid("L1"), Value::Int(99)); });
+  ExpectPrimitivesAgree(Oid("R"), {"grp.mid.age"});
+}
+
+TEST_F(TwinStoreTest, MissingStartAndAbsentLabels) {
+  Both([](ObjectStore& s) { return s.PutSet(Oid("R"), "root"); });
+  EXPECT_TRUE(EvalPath(indexed_, Oid("nope"), P("grp")).empty());
+  EXPECT_TRUE(EvalPath(scan_, Oid("nope"), P("grp")).empty());
+  EXPECT_TRUE(EvalPath(indexed_, Oid("R"), P("absent.label")).empty());
+  EXPECT_TRUE(AncestorsByPath(indexed_, Oid("R"), P("absent")).empty());
+  EXPECT_FALSE(HasPathFromTo(indexed_, Oid("R"), Oid("R"), P("absent")));
+}
+
+TEST_F(TwinStoreTest, FilterAppliesToIndexPath) {
+  Both([](ObjectStore& s) { return s.PutSet(Oid("R"), "root"); });
+  Both([](ObjectStore& s) { return s.PutSet(Oid("G1"), "grp"); });
+  Both([](ObjectStore& s) { return s.PutSet(Oid("G2"), "grp"); });
+  Both([](ObjectStore& s) { return s.Insert(Oid("R"), Oid("G1")); });
+  Both([](ObjectStore& s) { return s.Insert(Oid("R"), Oid("G2")); });
+  OidFilter filter = [](const Oid& oid) { return oid != Oid("G2"); };
+  OidSet via_index = EvalPath(indexed_, Oid("R"), P("grp"), filter);
+  OidSet via_scan = EvalPath(scan_, Oid("R"), P("grp"), filter);
+  EXPECT_EQ(Strs(via_index.elements()), Strs(via_scan.elements()));
+  EXPECT_EQ(via_index.size(), 1u);
+  EXPECT_TRUE(via_index.Contains(Oid("G1")));
+}
+
+// Remove() leaves edges dangling; the index must skip them exactly as
+// traversal skips unresolvable children, and a re-Put must re-index the
+// surviving edges (parent_index_ entries outlive the child).
+TEST_F(TwinStoreTest, DanglingEdgesSkippedAndReindexedOnRePut) {
+  Both([](ObjectStore& s) { return s.PutSet(Oid("R"), "root"); });
+  Both([](ObjectStore& s) { return s.PutSet(Oid("G1"), "grp"); });
+  Both([](ObjectStore& s) { return s.PutSet(Oid("G2"), "grp"); });
+  Both([](ObjectStore& s) { return s.Insert(Oid("R"), Oid("G1")); });
+  Both([](ObjectStore& s) { return s.Insert(Oid("R"), Oid("G2")); });
+  Both([](ObjectStore& s) {
+    return s.PutAtomic(Oid("L1"), "age", Value::Int(5));
+  });
+  Both([](ObjectStore& s) { return s.Insert(Oid("G1"), Oid("L1")); });
+
+  // Remove G1 outright: R -> G1 dangles, G1 -> L1 dies with it.
+  Both([](ObjectStore& s) { return s.Remove(Oid("G1")); });
+  ExpectPrimitivesAgree(Oid("R"), {"grp", "grp.age"});
+  EXPECT_EQ(EvalPath(indexed_, Oid("R"), P("grp")).size(), 1u);
+
+  // Re-Put under the same OID with a different label: the dangling R -> G1
+  // edge springs back to life under the new label in both stores.
+  Both([](ObjectStore& s) { return s.PutSet(Oid("G1"), "team"); });
+  ExpectPrimitivesAgree(Oid("R"), {"grp", "team"});
+  EXPECT_EQ(EvalPath(indexed_, Oid("R"), P("team")).size(), 1u);
+}
+
+TEST_F(TwinStoreTest, SetValueRawTransitionsKeepIndexInLockstep) {
+  Both([](ObjectStore& s) { return s.PutSet(Oid("R"), "root"); });
+  Both([](ObjectStore& s) { return s.PutSet(Oid("X"), "box"); });
+  Both([](ObjectStore& s) { return s.Insert(Oid("R"), Oid("X")); });
+  Both([](ObjectStore& s) {
+    return s.PutAtomic(Oid("L1"), "age", Value::Int(3));
+  });
+  Both([](ObjectStore& s) { return s.Insert(Oid("X"), Oid("L1")); });
+  ExpectPrimitivesAgree(Oid("R"), {"box", "box.age"});
+
+  // set -> atomic drops the outgoing edge.
+  Both([](ObjectStore& s) { return s.SetValueRaw(Oid("X"), Value::Int(1)); });
+  ExpectPrimitivesAgree(Oid("R"), {"box", "box.age"});
+  EXPECT_TRUE(EvalPath(indexed_, Oid("R"), P("box.age")).empty());
+
+  // atomic -> set with a fresh child list restores edges.
+  Both([](ObjectStore& s) {
+    return s.SetValueRaw(Oid("X"), Value::Set(OidSet({Oid("L1")})));
+  });
+  ExpectPrimitivesAgree(Oid("R"), {"box", "box.age"});
+  EXPECT_EQ(EvalPath(indexed_, Oid("R"), P("box.age")).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Dangling-edge accounting: the Remove-time log and the full audit.
+// ---------------------------------------------------------------------------
+
+TEST(DanglingTest, RemoveLogsDanglingParentsWhenEnabled) {
+  ObjectStore::Options options;
+  options.check_dangling = true;
+  ObjectStore store(options);
+  ASSERT_TRUE(store.PutSet(Oid("P1"), "grp").ok());
+  ASSERT_TRUE(store.PutSet(Oid("P2"), "grp").ok());
+  ASSERT_TRUE(store.PutAtomic(Oid("C"), "age", Value::Int(1)).ok());
+  ASSERT_TRUE(store.Insert(Oid("P1"), Oid("C")).ok());
+  ASSERT_TRUE(store.Insert(Oid("P2"), Oid("C")).ok());
+
+  ASSERT_TRUE(store.Remove(Oid("C")).ok());
+  ASSERT_EQ(store.dangling_log().size(), 2u);
+  EXPECT_TRUE(store.dangling_log()[0] ==
+              (DanglingEdge{Oid("P1"), Oid("C")}));
+  EXPECT_TRUE(store.dangling_log()[1] ==
+              (DanglingEdge{Oid("P2"), Oid("C")}));
+
+  // The audit finds the same edges from the graph alone.
+  std::vector<DanglingEdge> audit = store.AuditDanglingEdges();
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_TRUE(audit[0] == store.dangling_log()[0]);
+  EXPECT_TRUE(audit[1] == store.dangling_log()[1]);
+
+  // Re-Put heals the graph: the audit comes back clean, the log persists
+  // until cleared (it is a history, not a live view).
+  ASSERT_TRUE(store.PutAtomic(Oid("C"), "age", Value::Int(2)).ok());
+  EXPECT_TRUE(store.AuditDanglingEdges().empty());
+  EXPECT_EQ(store.dangling_log().size(), 2u);
+  store.ClearDanglingLog();
+  EXPECT_TRUE(store.dangling_log().empty());
+}
+
+TEST(DanglingTest, RemoveDoesNotLogByDefault) {
+  ObjectStore store;
+  ASSERT_TRUE(store.PutSet(Oid("P"), "grp").ok());
+  ASSERT_TRUE(store.PutAtomic(Oid("C"), "age", Value::Int(1)).ok());
+  ASSERT_TRUE(store.Insert(Oid("P"), Oid("C")).ok());
+  ASSERT_TRUE(store.Remove(Oid("C")).ok());
+  EXPECT_TRUE(store.dangling_log().empty());
+  EXPECT_EQ(store.AuditDanglingEdges().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: the index-backed plan does no edge traversal, counts probes; the
+// scan plan counts fallbacks.
+// ---------------------------------------------------------------------------
+
+TEST(IndexMetricsTest, ProbesAndFallbacksAreAttributed) {
+  ObjectStore indexed;
+  ObjectStore scan(ScanOptions());
+  TreeGenOptions tree;
+  tree.levels = 3;
+  tree.fanout = 3;
+  ASSERT_TRUE(GenerateTree(&indexed, tree).ok());
+  auto scan_tree = GenerateTree(&scan, tree);
+  ASSERT_TRUE(scan_tree.ok());
+  Oid root = scan_tree->root;
+
+  indexed.metrics().Reset();
+  scan.metrics().Reset();
+  Path path = P("n1_0.n2_0.age");
+  OidSet a = EvalPath(indexed, root, path);
+  OidSet b = EvalPath(scan, root, path);
+  EXPECT_EQ(Strs(a.elements()), Strs(b.elements()));
+
+  EXPECT_GT(indexed.metrics().index_probes.load(), 0);
+  EXPECT_EQ(indexed.metrics().index_fallbacks.load(), 0);
+  EXPECT_EQ(indexed.metrics().edges_traversed.load(), 0);
+  EXPECT_EQ(scan.metrics().index_probes.load(), 0);
+  EXPECT_GT(scan.metrics().index_fallbacks.load(), 0);
+  EXPECT_GT(scan.metrics().edges_traversed.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property suite: index-backed results must be byte-identical to
+// scan-backed results over mixed update streams, on trees and DAGs.
+// ---------------------------------------------------------------------------
+
+struct IndexPropertyParam {
+  uint64_t seed;
+  size_t levels;
+  size_t fanout;
+  size_t label_variety;
+  size_t sel_levels;
+  int64_t bound;
+  size_t updates;
+};
+
+std::string IndexParamName(
+    const ::testing::TestParamInfo<IndexPropertyParam>& info) {
+  const IndexPropertyParam& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_l" + std::to_string(p.levels) +
+         "_f" + std::to_string(p.fanout) + "_v" +
+         std::to_string(p.label_variety) + "_s" +
+         std::to_string(p.sel_levels) + "_b" + std::to_string(p.bound);
+}
+
+const IndexPropertyParam kIndexParams[] = {
+    {11, 3, 3, 1, 1, 50, 120}, {12, 3, 3, 1, 2, 50, 120},
+    {13, 4, 2, 1, 2, 30, 120}, {14, 4, 2, 2, 3, 70, 100},
+    {15, 3, 4, 2, 1, 50, 120}, {16, 5, 2, 1, 3, 40, 100},
+    {17, 2, 5, 1, 1, 90, 150}, {18, 4, 3, 3, 2, 60, 100},
+};
+
+class IndexPropertyTest
+    : public ::testing::TestWithParam<IndexPropertyParam> {
+ protected:
+  // Paths "n1_0", "n1_0.n2_0", ..., down to the age leaves — the probe set
+  // compared after every update.
+  std::vector<Path> TreePaths(size_t levels) {
+    std::vector<Path> paths;
+    std::string text;
+    for (size_t d = 1; d < levels; ++d) {
+      if (!text.empty()) text += ".";
+      text += "n" + std::to_string(d) + "_0";
+      paths.push_back(P(text));
+    }
+    paths.push_back(P(text.empty() ? "age" : text + ".age"));
+    return paths;
+  }
+
+  void ExpectStoresAgree(const ObjectStore& indexed, const ObjectStore& scan,
+                         const Oid& root, const std::vector<Path>& paths,
+                         const ViewDefinition& def, size_t step) {
+    QueryPlan plan;
+    auto via_index = EvaluateView(indexed, def, &plan);
+    auto via_scan = EvaluateView(scan, def);
+    ASSERT_TRUE(via_index.ok());
+    ASSERT_TRUE(via_scan.ok());
+    ASSERT_EQ(Strs(via_index->elements()), Strs(via_scan->elements()))
+        << "query diverged after update " << step;
+    EXPECT_EQ(plan.select, QueryPlan::Select::kIndexProbe);
+
+    for (const Path& path : paths) {
+      OidSet reached_index = EvalPath(indexed, root, path);
+      OidSet reached_scan = EvalPath(scan, root, path);
+      ASSERT_EQ(Strs(reached_index.elements()), Strs(reached_scan.elements()))
+          << "EvalPath diverged after update " << step;
+      // Sample a few reached nodes for the inverse primitives; checking all
+      // of them on every step would be quadratic in tree size.
+      const std::vector<Oid>& nodes = reached_scan.elements();
+      for (size_t i = 0; i < nodes.size(); i += (nodes.size() / 4) + 1) {
+        const Oid& n = nodes[i];
+        ASSERT_EQ(Strs(AncestorsByPath(indexed, n, path)),
+                  Strs(AncestorsByPath(scan, n, path)))
+            << "ancestor diverged at " << n.str() << " after " << step;
+        ASSERT_EQ(HasPathFromTo(indexed, root, n, path),
+                  HasPathFromTo(scan, root, n, path))
+            << "haspath diverged at " << n.str() << " after " << step;
+        ASSERT_EQ(Strs(indexed.Parents(n)), Strs(scan.Parents(n)))
+            << "parents diverged at " << n.str() << " after " << step;
+      }
+    }
+  }
+};
+
+TEST_P(IndexPropertyTest, TreeStreamsStayByteIdentical) {
+  const IndexPropertyParam& p = GetParam();
+  ObjectStore indexed;
+  ObjectStore scan(ScanOptions());
+  TreeGenOptions tree;
+  tree.levels = p.levels;
+  tree.fanout = p.fanout;
+  tree.label_variety = p.label_variety;
+  tree.seed = p.seed;
+  auto indexed_tree = GenerateTree(&indexed, tree);
+  auto scan_tree = GenerateTree(&scan, tree);
+  ASSERT_TRUE(indexed_tree.ok());
+  ASSERT_TRUE(scan_tree.ok());
+  Oid root = indexed_tree->root;
+  auto def = ViewDefinition::Parse(
+      TreeViewDefinition("PV", root, p.sel_levels, p.levels, p.bound));
+  ASSERT_TRUE(def.ok());
+  std::vector<Path> paths = TreePaths(p.levels);
+
+  UpdateGenOptions gen;
+  gen.seed = p.seed + 9000;
+  UpdateGenerator indexed_gen(&indexed, root, gen);
+  UpdateGenerator scan_gen(&scan, root, gen);
+  for (size_t i = 0; i < p.updates; ++i) {
+    auto a = indexed_gen.Step();
+    auto b = scan_gen.Step();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->ToString(), b->ToString()) << "lockstep broke at " << i;
+    ExpectStoresAgree(indexed, scan, root, paths, *def, i);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_P(IndexPropertyTest, DagStreamsStayByteIdentical) {
+  const IndexPropertyParam& p = GetParam();
+  ObjectStore indexed;
+  ObjectStore scan(ScanOptions());
+  DagGenOptions dag;
+  dag.levels = std::max<size_t>(p.levels, 2);
+  dag.width = p.fanout * 3;
+  dag.seed = p.seed;
+  auto indexed_dag = GenerateDag(&indexed, dag);
+  auto scan_dag = GenerateDag(&scan, dag);
+  ASSERT_TRUE(indexed_dag.ok());
+  ASSERT_TRUE(scan_dag.ok());
+  Oid root = indexed_dag->root;
+  size_t sel = std::min<size_t>(p.sel_levels, dag.levels - 1);
+  if (sel == 0) sel = 1;
+  auto def = ViewDefinition::Parse(
+      DagViewDefinition("DV", root, sel, dag.levels, p.bound));
+  ASSERT_TRUE(def.ok());
+
+  std::vector<Path> paths;
+  std::string text;
+  for (size_t d = 1; d < dag.levels; ++d) {
+    if (!text.empty()) text += ".";
+    text += "d" + std::to_string(d);
+    paths.push_back(P(text));
+  }
+  paths.push_back(P(text.empty() ? "age" : text + ".age"));
+
+  UpdateGenOptions gen;
+  gen.mode = UpdateMode::kDagPreserving;
+  gen.seed = p.seed + 9500;
+  UpdateGenerator indexed_gen(&indexed, root, gen);
+  UpdateGenerator scan_gen(&scan, root, gen);
+  for (size_t i = 0; i < p.updates; ++i) {
+    auto a = indexed_gen.Step();
+    auto b = scan_gen.Step();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->ToString(), b->ToString()) << "lockstep broke at " << i;
+    ExpectStoresAgree(indexed, scan, root, paths, *def, i);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Remove + re-Put interleaved with the stream: the hard case for dangling
+// re-indexing under randomized shapes.
+TEST_P(IndexPropertyTest, RemoveRePutKeepsStoresIdentical) {
+  const IndexPropertyParam& p = GetParam();
+  ObjectStore indexed;
+  ObjectStore scan(ScanOptions());
+  TreeGenOptions tree;
+  tree.levels = p.levels;
+  tree.fanout = p.fanout;
+  tree.label_variety = p.label_variety;
+  tree.seed = p.seed;
+  auto indexed_tree = GenerateTree(&indexed, tree);
+  auto scan_tree = GenerateTree(&scan, tree);
+  ASSERT_TRUE(indexed_tree.ok());
+  ASSERT_TRUE(scan_tree.ok());
+  Oid root = indexed_tree->root;
+  std::vector<Path> paths = TreePaths(p.levels);
+  auto def = ViewDefinition::Parse(
+      TreeViewDefinition("PV", root, p.sel_levels, p.levels, p.bound));
+  ASSERT_TRUE(def.ok());
+
+  // Repeatedly Remove() a random leaf outright (leaving its edge dangling),
+  // run a few stream updates, then re-Put it.
+  std::mt19937_64 rng(p.seed + 77);
+  UpdateGenOptions gen;
+  gen.seed = p.seed + 9900;
+  UpdateGenerator indexed_gen(&indexed, root, gen);
+  UpdateGenerator scan_gen(&scan, root, gen);
+  const std::vector<Oid>& leaves = indexed_tree->leaves;
+  ASSERT_FALSE(leaves.empty());
+  for (int round = 0; round < 10; ++round) {
+    const Oid& victim = leaves[rng() % leaves.size()];
+    if (indexed.Contains(victim)) {
+      ASSERT_TRUE(indexed.Remove(victim).ok());
+      ASSERT_TRUE(scan.Remove(victim).ok());
+    }
+    ExpectStoresAgree(indexed, scan, root, paths, *def, round);
+    if (HasFatalFailure()) return;
+    for (int i = 0; i < 5; ++i) {
+      auto a = indexed_gen.Step();
+      auto b = scan_gen.Step();
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      ASSERT_EQ(a->ToString(), b->ToString());
+    }
+    if (!indexed.Contains(victim)) {
+      Value value = Value::Int(static_cast<int64_t>(rng() % 100));
+      ASSERT_TRUE(indexed.PutAtomic(victim, "age", value).ok());
+      ASSERT_TRUE(scan.PutAtomic(victim, "age", value).ok());
+    }
+    ExpectStoresAgree(indexed, scan, root, paths, *def, round);
+    if (HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IndexPropertyTest,
+                         ::testing::ValuesIn(kIndexParams), IndexParamName);
+
+}  // namespace
+}  // namespace gsv

@@ -340,8 +340,29 @@ TEST_F(EvaluatorTest, ExplainMatchesEvaluateAndTracesSteps) {
   EXPECT_EQ(explanation->steps[0].frontier_after, 2u);
   EXPECT_EQ(explanation->candidates, 2u);
   EXPECT_EQ(explanation->passed_condition, 1u);
-  EXPECT_GT(explanation->total_edges, 0);
+  // Index on (the default): the select stage is answered by posting probes,
+  // not edge walks.
+  EXPECT_EQ(explanation->plan.select, QueryPlan::Select::kIndexProbe);
+  EXPECT_GT(explanation->plan.index_probes, 0);
+  EXPECT_NE(explanation->ToString().find("plan: index-probe"),
+            std::string::npos);
   EXPECT_NE(explanation->ToString().find(".professor: 1 -> 2"),
+            std::string::npos);
+}
+
+TEST_F(EvaluatorTest, ExplainReportsTraversalPlanWithoutIndex) {
+  ObjectStore store(
+      ObjectStore::Options{.enable_parent_index = true,
+                           .enable_label_index = false});
+  ASSERT_TRUE(BuildPersonDb(&store).ok());
+  auto explanation =
+      ExplainQueryText(store, "SELECT ROOT.professor X WHERE X.age > 40");
+  ASSERT_TRUE(explanation.ok()) << explanation.status().ToString();
+  EXPECT_EQ(explanation->plan.select, QueryPlan::Select::kTraversal);
+  EXPECT_EQ(explanation->plan.index_probes, 0);
+  EXPECT_GT(explanation->plan.index_fallbacks, 0);
+  EXPECT_GT(explanation->total_edges, 0);
+  EXPECT_NE(explanation->ToString().find("plan: traversal"),
             std::string::npos);
 }
 
