@@ -55,11 +55,15 @@ class TablePrinter {
 
 // Newline-delimited JSON records for downstream plotting: one object per
 // Record() call. Field values are pre-formatted — pass Num()/Micros() output
-// for numbers and Quoted() output for strings.
+// for numbers and Quoted() output for strings. Every record leads with a
+// `schema` tag (record-shape version, so mixed .jsonl files stay
+// self-describing) and the workload `seed` (so any row can be re-run).
 class JsonLines {
  public:
   // `path` empty: records go to stdout. Otherwise they append to the file.
-  explicit JsonLines(const std::string& path = "") {
+  explicit JsonLines(const std::string& path = "",
+                     std::string schema = "gsv.bench.v1", uint64_t seed = 0)
+      : schema_(std::move(schema)), seed_(seed) {
     if (!path.empty()) {
       file_ = std::fopen(path.c_str(), "w");
       if (file_ == nullptr) {
@@ -77,16 +81,17 @@ class JsonLines {
   void Record(
       const std::vector<std::pair<std::string, std::string>>& fields) {
     FILE* out = file_ != nullptr ? file_ : stdout;
-    std::fputc('{', out);
-    for (size_t i = 0; i < fields.size(); ++i) {
-      if (i > 0) std::fputs(", ", out);
-      std::fprintf(out, "\"%s\": %s", fields[i].first.c_str(),
-                   fields[i].second.c_str());
+    std::fprintf(out, "{\"schema\": \"%s\", \"seed\": %llu", schema_.c_str(),
+                 static_cast<unsigned long long>(seed_));
+    for (const auto& [name, value] : fields) {
+      std::fprintf(out, ", \"%s\": %s", name.c_str(), value.c_str());
     }
     std::fputs("}\n", out);
   }
 
  private:
+  std::string schema_;
+  uint64_t seed_ = 0;
   std::FILE* file_ = nullptr;
 };
 

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       "%zu updates, %zu views, level-2 events, drain every <batch> updates\n\n",
       kTotalUpdates, kViews);
 
-  JsonLines json(json_path);
+  JsonLines json(json_path, "gsv.exp13.v1", /*seed=*/131);
   TablePrinter table({"batch", "threads", "drain_us", "upd/sec", "coalesced",
                       "screened", "speedup"});
 

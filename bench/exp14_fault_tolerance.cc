@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
       "drops, event duplicates and wrapper call failures alike\n\n",
       kTotalUpdates, kViews);
 
-  JsonLines json(json_path);
+  JsonLines json(json_path, "gsv.exp14.v1", /*seed=*/131);
   TablePrinter table({"fault%", "batch", "drain_us", "upd/sec", "quarant",
                       "resyncs", "retries", "recover_us"});
 

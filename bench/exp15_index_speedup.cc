@@ -180,7 +180,7 @@ int main(int argc, char** argv) {
       "E15: label/path index speedup (maintenance + query), %s sweep\n\n",
       smoke ? "smoke" : "full");
 
-  JsonLines json(json_path);
+  JsonLines json(json_path, "gsv.exp15.v1", /*seed=*/151);
   TablePrinter table({"shape", "index", "maint_us", "query_us", "edges",
                       "probes", "fallbacks", "speedup"});
 

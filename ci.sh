@@ -3,7 +3,8 @@
 # perf smoke of the label-index speedup experiment (catches silent index
 # regressions that correctness tests cannot see), then an
 # Address+UB-Sanitizer build of the robustness and fault-injection tests
-# (the quarantine/resync error paths are where lifetime bugs hide), then a
+# (the quarantine/resync error paths are where lifetime bugs hide — and the
+# durability suite's randomized kill-mid-batch crash test with them), then a
 # ThreadSanitizer build of the batch-engine and index-concurrency tests to
 # prove the parallel drain and the lock-free snapshot publication are
 # race-free. Run from the repo root.
@@ -22,10 +23,14 @@ echo "=== perf-smoke: index speedup floor (E15 --smoke, 1.5x bar) ==="
 ./build/bench/exp15_index_speedup --smoke
 
 echo
-echo "=== asan: robustness + fault-injection tests under address;undefined ==="
+echo "=== recovery-smoke: checkpoint+WAL restart floor (E16 --smoke, 1.5x bar) ==="
+./build/bench/exp16_recovery --smoke
+
+echo
+echo "=== asan: robustness + fault-injection + durability tests under address;undefined ==="
 cmake -B build-asan -S . -DGSV_SANITIZE="address;undefined" >/dev/null
 cmake --build build-asan -j "${JOBS}" --target gsv_robustness_test \
-  --target gsv_fault_tolerance_test
+  --target gsv_fault_tolerance_test --target gsv_recovery_test
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L asan
 
 echo

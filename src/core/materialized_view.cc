@@ -39,6 +39,35 @@ Status MaterializedView::Initialize(const ObjectStore& base) {
   return Status::Ok();
 }
 
+Status MaterializedView::AdoptExisting() {
+  if (bootstrapped_) {
+    return Status::FailedPrecondition("view " + def_.name() +
+                                      " already bootstrapped");
+  }
+  const Object* view_object = store_->Get(view_oid());
+  if (view_object == nullptr) {
+    return Status::NotFound("view object " + view_oid().str() +
+                            " not in the delegate store");
+  }
+  if (!view_object->IsSet()) {
+    return Status::FailedPrecondition("view object " + view_oid().str() +
+                                      " must have set type");
+  }
+  if (!store_->DatabaseOid(def_.name()).valid()) {
+    GSV_RETURN_IF_ERROR(store_->RegisterDatabase(def_.name(), view_oid()));
+  }
+  base_members_.clear();
+  for (const Oid& delegate : view_object->children()) {
+    if (!delegate.IsDelegateOf(view_oid())) {
+      return Status::Internal("view object " + view_oid().str() +
+                              " holds non-delegate child " + delegate.str());
+    }
+    base_members_.Insert(delegate.BaseIn(view_oid()));
+  }
+  bootstrapped_ = true;
+  return Status::Ok();
+}
+
 Value MaterializedView::DelegateValue(const Value& value) const {
   if (!value.IsSet()) return value;
   OidSet children;
@@ -72,6 +101,7 @@ Status MaterializedView::VInsert(const Object& base_object) {
   }
   base_members_.Insert(base_oid);
   ++stats_.v_inserts;
+  if (delta_sink_ != nullptr) delta_sink_->OnVInsert(*this, base_object);
 
   if (options_.swizzle) {
     // Re-swizzle: delegates of this view that reference base_oid now point
@@ -114,14 +144,16 @@ Status MaterializedView::VDelete(const Oid& base_oid) {
   GSV_RETURN_IF_ERROR(store_->Remove(delegate_oid));
   base_members_.Erase(base_oid);
   ++stats_.v_deletes;
+  if (delta_sink_ != nullptr) delta_sink_->OnVDelete(*this, base_oid);
   return Status::Ok();
 }
 
 Status MaterializedView::SyncUpdate(const Update& update) {
   if (!options_.sync_values) return Status::Ok();
+  if (!ContainsBase(update.parent)) return Status::Ok();
+  if (delta_sink_ != nullptr) delta_sink_->OnSync(*this, update);
   switch (update.kind) {
     case UpdateKind::kInsert: {
-      if (!ContainsBase(update.parent)) return Status::Ok();
       Oid delegate = DelegateOid(update.parent);
       Oid child = (options_.swizzle && ContainsBase(update.child))
                       ? DelegateOid(update.child)
@@ -132,7 +164,6 @@ Status MaterializedView::SyncUpdate(const Update& update) {
       return store_->AddChildRaw(delegate, child);
     }
     case UpdateKind::kDelete: {
-      if (!ContainsBase(update.parent)) return Status::Ok();
       Oid delegate = DelegateOid(update.parent);
       if (options_.emit_basic_updates) {
         const Object* object = store_->Get(delegate);
@@ -146,7 +177,6 @@ Status MaterializedView::SyncUpdate(const Update& update) {
       return store_->RemoveChildRaw(delegate, DelegateOid(update.child));
     }
     case UpdateKind::kModify: {
-      if (!ContainsBase(update.parent)) return Status::Ok();
       Oid delegate = DelegateOid(update.parent);
       if (options_.emit_basic_updates) {
         const Object* object = store_->Get(delegate);
@@ -164,8 +194,10 @@ Status MaterializedView::RefreshDelegate(const Object& base_object) {
   if (!ContainsBase(base_object.oid())) {
     return Status::NotFound("no delegate for " + base_object.oid().str());
   }
-  return store_->SetValueRaw(DelegateOid(base_object.oid()),
-                             DelegateValue(base_object.value()));
+  GSV_RETURN_IF_ERROR(store_->SetValueRaw(DelegateOid(base_object.oid()),
+                                          DelegateValue(base_object.value())));
+  if (delta_sink_ != nullptr) delta_sink_->OnRefresh(*this, base_object);
+  return Status::Ok();
 }
 
 }  // namespace gsv

@@ -18,6 +18,26 @@ namespace gsv {
 // <MV, mview, set, {delegate OIDs}>, registered as a database under the
 // view's name so it can be queried like any GSDB (§3.3).
 //
+class MaterializedView;
+
+// Observer of the *applied* view deltas — exactly the mutations that
+// changed this view's materialized state (ignored duplicate V_inserts /
+// absent V_deletes do not fire). The warehouse durability subsystem logs
+// these to its write-ahead log so recovery can redo maintenance without
+// re-running Algorithm 1. Callbacks run synchronously inside the mutation,
+// under the same external synchronization as the store write itself.
+class ViewDeltaSink {
+ public:
+  virtual ~ViewDeltaSink() = default;
+  virtual void OnVInsert(const MaterializedView& view,
+                         const Object& base_object) = 0;
+  virtual void OnVDelete(const MaterializedView& view,
+                         const Oid& base_oid) = 0;
+  virtual void OnSync(const MaterializedView& view, const Update& update) = 0;
+  virtual void OnRefresh(const MaterializedView& view,
+                         const Object& base_object) = 0;
+};
+
 // The delegate store may be the same store as the base data (centralized,
 // §4) or a different one (warehouse, §5); delegate set values hold base
 // OIDs unless edge swizzling is enabled.
@@ -65,6 +85,14 @@ class MaterializedView : public ViewStorage {
   // for every member (initial materialization).
   Status Initialize(const ObjectStore& base);
 
+  // Rebinds this view to state already present in the delegate store —
+  // the crash-recovery path, where the store was reloaded from a
+  // checkpoint image before the view object existed in memory. The view
+  // object must exist; membership is re-derived from its delegate
+  // children, and the database registration is re-created when the image
+  // carried none. Mutually exclusive with Bootstrap()/Initialize().
+  Status AdoptExisting();
+
   // ---- ViewStorage ----
   const Oid& view_oid() const override { return def_.view_oid(); }
   bool ContainsBase(const Oid& base_oid) const override {
@@ -99,6 +127,11 @@ class MaterializedView : public ViewStorage {
     return Oid::Delegate(view_oid(), base_oid);
   }
 
+  // Installs an applied-delta observer (nullptr detaches). Not owned; must
+  // outlive its installation.
+  void set_delta_sink(ViewDeltaSink* sink) { delta_sink_ = sink; }
+  ViewDeltaSink* delta_sink() const { return delta_sink_; }
+
  private:
   // Copies `value`, swizzling child OIDs that have delegates (when enabled).
   Value DelegateValue(const Value& value) const;
@@ -108,6 +141,7 @@ class MaterializedView : public ViewStorage {
   Options options_;
   OidSet base_members_;
   Stats stats_;
+  ViewDeltaSink* delta_sink_ = nullptr;
   bool bootstrapped_ = false;
 };
 

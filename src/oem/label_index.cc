@@ -76,11 +76,11 @@ const Postings* LabelIndexSnapshot::Labels(const std::string& label) const {
 }
 
 const StepBucket* LabelIndexSnapshot::Step(
-    const std::string& parent_label, const std::string& child_label) const {
+    std::string_view parent_label, std::string_view child_label) const {
   const IndexShard* shard =
-      shards[std::hash<std::string>{}(child_label) % kIndexShards].get();
+      shards[std::hash<std::string_view>{}(child_label) % kIndexShards].get();
   if (shard == nullptr) return nullptr;
-  auto it = shard->steps.find(StepKey{parent_label, child_label});
+  auto it = shard->steps.find(StepKeyView{parent_label, child_label});
   return it == shard->steps.end() ? nullptr : &it->second;
 }
 

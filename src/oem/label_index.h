@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -173,12 +174,45 @@ struct StepKey {
   }
 };
 
+// Borrowed form of StepKey for heterogeneous lookup: the navigation hot
+// path probes one step per frontier hop, and materializing a StepKey there
+// means two string copies per probe.
+struct StepKeyView {
+  std::string_view parent_label;
+  std::string_view child_label;
+};
+
 struct StepKeyHash {
-  size_t operator()(const StepKey& key) const {
-    size_t h = std::hash<std::string>{}(key.parent_label);
-    h ^= std::hash<std::string>{}(key.child_label) + 0x9e3779b97f4a7c15ULL +
+  using is_transparent = void;
+  // std::hash<std::string_view> is guaranteed to agree with
+  // std::hash<std::string> on equal content, so both forms land in the
+  // same bucket.
+  size_t operator()(std::string_view parent, std::string_view child) const {
+    size_t h = std::hash<std::string_view>{}(parent);
+    h ^= std::hash<std::string_view>{}(child) + 0x9e3779b97f4a7c15ULL +
          (h << 6) + (h >> 2);
     return h;
+  }
+  size_t operator()(const StepKey& key) const {
+    return (*this)(key.parent_label, key.child_label);
+  }
+  size_t operator()(const StepKeyView& key) const {
+    return (*this)(key.parent_label, key.child_label);
+  }
+};
+
+struct StepKeyEqual {
+  using is_transparent = void;
+  static StepKeyView View(const StepKey& key) {
+    return {key.parent_label, key.child_label};
+  }
+  static StepKeyView View(const StepKeyView& key) { return key; }
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    StepKeyView lhs = View(a);
+    StepKeyView rhs = View(b);
+    return lhs.parent_label == rhs.parent_label &&
+           lhs.child_label == rhs.child_label;
   }
 };
 
@@ -186,7 +220,7 @@ struct StepKeyHash {
 // publishing an epoch clones only the shards a mutation dirtied.
 struct IndexShard {
   std::unordered_map<std::string, Postings> labels;  // label -> oid ids
-  std::unordered_map<StepKey, StepBucket, StepKeyHash> steps;
+  std::unordered_map<StepKey, StepBucket, StepKeyHash, StepKeyEqual> steps;
   std::unordered_map<std::string, Postings> up_any;  // child label -> up edges
 };
 
@@ -198,10 +232,11 @@ struct LabelIndexSnapshot {
   uint64_t epoch = 0;
   std::array<std::shared_ptr<const IndexShard>, kIndexShards> shards;
 
-  // All return nullptr when the key has no postings.
+  // All return nullptr when the key has no postings. Step takes views and
+  // probes without materializing a StepKey (no per-probe allocation).
   const Postings* Labels(const std::string& label) const;
-  const StepBucket* Step(const std::string& parent_label,
-                         const std::string& child_label) const;
+  const StepBucket* Step(std::string_view parent_label,
+                         std::string_view child_label) const;
   const Postings* UpAny(const std::string& child_label) const;
 };
 

@@ -1,6 +1,7 @@
 #include "oem/serialize.h"
 
 #include <algorithm>
+#include <string_view>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -57,12 +58,25 @@ Result<std::string> UnescapeString(const std::string& line, size_t* pos) {
   return Status::InvalidArgument("unterminated string in: " + line);
 }
 
-// Splits on single spaces, no empty tokens.
-std::vector<std::string> Tokens(const std::string& text) {
-  std::vector<std::string> out;
-  std::istringstream in(text);
-  std::string token;
-  while (in >> token) out.push_back(token);
+// Splits on runs of spaces, no empty tokens. The views alias `text`, so
+// callers must keep the line alive while using them; the checkpoint/cache
+// load path parses hundreds of thousands of tokens, and a per-token
+// std::string (let alone a per-line istringstream) dominates restart time.
+std::vector<std::string_view> Tokens(std::string_view text) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t' ||
+                               text[i] == '\r')) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t' &&
+           text[i] != '\r') {
+      ++i;
+    }
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
   return out;
 }
 
@@ -120,44 +134,53 @@ Status ReadStore(std::istream& in, ObjectStore* store) {
 
     if (line.rfind("obj ", 0) == 0) {
       // obj <oid> <label> <type> <payload...>
-      std::vector<std::string> head = Tokens(line.substr(0, line.find('"')));
+      std::vector<std::string_view> head =
+          Tokens(std::string_view(line).substr(0, line.find('"')));
       if (head.size() < 4) return fail("malformed object record");
       const Oid oid(head[1]);
-      const std::string& label = head[2];
-      const std::string& type = head[3];
+      std::string label(head[2]);
+      const std::string_view type = head[3];
       Status status;
       if (type == "int") {
         if (head.size() != 5) return fail("int record needs one value");
         std::optional<int64_t> value = ParseInt64(head[4]);
-        if (!value.has_value()) return fail("bad integer '" + head[4] + "'");
-        status = store->PutAtomic(oid, label, Value::Int(*value));
+        if (!value.has_value()) {
+          return fail("bad integer '" + std::string(head[4]) + "'");
+        }
+        status = store->PutAtomic(oid, std::move(label), Value::Int(*value));
       } else if (type == "real") {
         if (head.size() != 5) return fail("real record needs one value");
         std::optional<double> value = ParseDouble(head[4]);
-        if (!value.has_value()) return fail("bad real '" + head[4] + "'");
-        status = store->PutAtomic(oid, label, Value::Real(*value));
+        if (!value.has_value()) {
+          return fail("bad real '" + std::string(head[4]) + "'");
+        }
+        status = store->PutAtomic(oid, std::move(label), Value::Real(*value));
       } else if (type == "bool") {
         if (head.size() != 5) return fail("bool record needs one value");
-        status = store->PutAtomic(oid, label, Value::Bool(head[4] == "true"));
+        status = store->PutAtomic(oid, std::move(label),
+                                  Value::Bool(head[4] == "true"));
       } else if (type == "string") {
         size_t pos = line.find('"');
         if (pos == std::string::npos) return fail("string record needs quotes");
         GSV_ASSIGN_OR_RETURN(std::string text, UnescapeString(line, &pos));
-        status = store->PutAtomic(oid, label, Value::Str(std::move(text)));
+        status = store->PutAtomic(oid, std::move(label),
+                                  Value::Str(std::move(text)));
       } else if (type == "set") {
         std::vector<Oid> children;
+        children.reserve(head.size() - 4);
         for (size_t i = 4; i < head.size(); ++i) {
           children.push_back(Oid(head[i]));
         }
-        status = store->PutSet(oid, label, std::move(children));
+        status = store->PutSet(oid, std::move(label), std::move(children));
       } else {
-        return fail("unknown type '" + type + "'");
+        return fail("unknown type '" + std::string(type) + "'");
       }
       GSV_RETURN_IF_ERROR(status);
     } else if (line.rfind("db ", 0) == 0) {
-      std::vector<std::string> head = Tokens(line);
+      std::vector<std::string_view> head = Tokens(line);
       if (head.size() != 3) return fail("malformed db record");
-      GSV_RETURN_IF_ERROR(store->RegisterDatabase(head[1], Oid(head[2])));
+      GSV_RETURN_IF_ERROR(
+          store->RegisterDatabase(std::string(head[1]), Oid(head[2])));
     } else {
       return fail("unknown record '" + line + "'");
     }

@@ -230,6 +230,33 @@ Status ObjectStore::Apply(const Update& update) {
   return Status::InvalidArgument("unknown update kind");
 }
 
+Result<bool> ObjectStore::ApplyFromLog(const Update& update) {
+  switch (update.kind) {
+    case UpdateKind::kInsert: {
+      const Object* parent = Get(update.parent);
+      if (parent == nullptr || !parent->IsSet()) return false;
+      if (parent->children().Contains(update.child)) return false;
+      GSV_RETURN_IF_ERROR(AddChildRaw(update.parent, update.child));
+      return true;
+    }
+    case UpdateKind::kDelete: {
+      const Object* parent = Get(update.parent);
+      if (parent == nullptr || !parent->IsSet()) return false;
+      if (!parent->children().Contains(update.child)) return false;
+      GSV_RETURN_IF_ERROR(RemoveChildRaw(update.parent, update.child));
+      return true;
+    }
+    case UpdateKind::kModify: {
+      const Object* object = Get(update.parent);
+      if (object == nullptr || !object->IsAtomic()) return false;
+      if (object->value() == update.new_value) return false;
+      GSV_RETURN_IF_ERROR(SetValueRaw(update.parent, update.new_value));
+      return true;
+    }
+  }
+  return Status::InvalidArgument("unknown update kind");
+}
+
 Status ObjectStore::AddChildRaw(const Oid& parent, const Oid& child) {
   auto it = objects_.find(parent);
   ++metrics_.lookups;

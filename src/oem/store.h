@@ -136,6 +136,17 @@ class ObjectStore {
   // Applies any basic update.
   Status Apply(const Update& update);
 
+  // ---- Log replay (durability subsystem) ----
+
+  // Applies a basic update recorded in a write-ahead log: idempotent and
+  // silent. No listener runs (replay must not re-trigger maintenance or
+  // monitors), and an update whose precondition no longer holds — parent
+  // gone, edge already present/absent — is skipped rather than failed,
+  // because an at-least-once log may carry updates the restored state
+  // already reflects. Returns true when the store actually changed.
+  // Indexes are maintained exactly as by the live path.
+  Result<bool> ApplyFromLog(const Update& update);
+
   // ---- Raw edits (view-storage bookkeeping; NOT basic updates) ----
   //
   // These mutate objects without notifying listeners and without requiring

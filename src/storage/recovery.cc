@@ -1,0 +1,94 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+
+namespace gsv {
+
+Result<RecoveryPlan> PlanRecovery(const std::string& dir) {
+  RecoveryPlan plan;
+
+  Result<LoadedCheckpoint> checkpoint = LoadLatestCheckpoint(dir);
+  if (checkpoint.ok()) {
+    plan.have_checkpoint = true;
+    plan.checkpoint = std::move(checkpoint).value();
+    plan.watermarks = plan.checkpoint.manifest.watermarks;
+  } else if (checkpoint.status().code() != StatusCode::kNotFound) {
+    return checkpoint.status();
+  }
+
+  GSV_ASSIGN_OR_RETURN(WalScan scan, ScanWal(dir));
+  plan.log_torn = scan.torn;
+  plan.torn_bytes = scan.torn_bytes;
+  if (scan.torn) {
+    plan.need_truncate = true;
+    plan.truncate_segment = scan.torn_segment;
+    plan.truncate_offset = scan.torn_offset;
+  }
+
+  const uint64_t base_lsn =
+      plan.have_checkpoint ? plan.checkpoint.manifest.wal_lsn : 0;
+
+  // Locate the last commit above the checkpoint; everything at or below it
+  // is the committed zone.
+  size_t last_commit = scan.records.size();  // npos
+  for (size_t i = scan.records.size(); i-- > 0;) {
+    const WalRecord& record = scan.records[i];
+    if (record.lsn <= base_lsn) break;
+    if (record.type == WalRecordType::kCommit) {
+      last_commit = i;
+      break;
+    }
+  }
+
+  plan.next_lsn = base_lsn + 1;
+  bool tail_started = false;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    WalRecord& record = scan.records[i];
+    if (record.lsn <= base_lsn) continue;
+    const bool committed = last_commit != scan.records.size() &&
+                           i <= last_commit;
+    if (committed) {
+      if (record.type == WalRecordType::kCommit) {
+        plan.watermarks = record.watermarks;
+      }
+      plan.next_lsn = record.lsn + 1;
+      plan.committed.push_back(std::move(record));
+      continue;
+    }
+    // The interrupted group. The physical log is cut back to its first
+    // record — a tear, if any, lies strictly after every valid record, so
+    // this truncation subsumes the tear's. The surviving events re-log
+    // with fresh LSNs during the live replay.
+    if (!tail_started) {
+      tail_started = true;
+      plan.need_truncate = true;
+      plan.truncate_segment = record.segment;
+      plan.truncate_offset = record.offset;
+    }
+    if (record.type == WalRecordType::kViewDelta) {
+      ++plan.tail_deltas_dropped;
+      continue;
+    }
+    plan.tail.push_back(std::move(record));
+  }
+  return plan;
+}
+
+Status ApplyLogTruncation(const std::string& dir, const RecoveryPlan& plan) {
+  if (!plan.need_truncate) return Status::Ok();
+  return TruncateWal(dir, plan.truncate_segment, plan.truncate_offset);
+}
+
+Result<size_t> ReplayEventsInto(const std::vector<WalRecord>& records,
+                                ObjectStore* store) {
+  size_t applied = 0;
+  for (const WalRecord& record : records) {
+    if (record.type != WalRecordType::kEvent) continue;
+    GSV_ASSIGN_OR_RETURN(bool did_apply,
+                         store->ApplyFromLog(record.event.ToUpdate()));
+    if (did_apply) ++applied;
+  }
+  return applied;
+}
+
+}  // namespace gsv

@@ -1,0 +1,83 @@
+#ifndef GSV_STORAGE_RECOVERY_H_
+#define GSV_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oem/store.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Crash-recovery planning: turns the on-disk durability state (checkpoints
+// + WAL segments) into an executable plan. The planner only reads; the
+// warehouse applies the plan (truncation, state restore, redo, replay) via
+// Warehouse::EnableDurability.
+//
+// The plan's shape follows the commit-group invariant the logger maintains:
+// every commit record certifies that all preceding records are fully
+// applied and that the warehouse was quiescent (no pending events) at that
+// instant. Hence three zones:
+//
+//   lsn <= checkpoint.wal_lsn   already inside the checkpoint image — skip;
+//   up to the last commit       `committed`: redo the view deltas locally,
+//                               no Algorithm 1, no source queries;
+//   after the last commit       `tail`: the group a crash interrupted. Its
+//                               delta records are dropped (a partial redo
+//                               could apply half a maintenance step); its
+//                               event records replay through *live*
+//                               maintenance instead, which is convergent
+//                               exactly like an at-least-once redelivery.
+//
+// A torn physical tail (power loss mid-write) is cut at the first invalid
+// byte; an interrupted logical tail is cut at its first record and
+// re-appended by the live replay, so the log never carries uncommitted
+// deltas across a restart.
+struct RecoveryPlan {
+  bool have_checkpoint = false;
+  LoadedCheckpoint checkpoint;  // meaningful when have_checkpoint
+
+  // Committed zone (in LSN order): kEvent / kViewDelta / kViewDef / kCommit
+  // records above the checkpoint and at or below the last commit.
+  std::vector<WalRecord> committed;
+  // Watermarks as of the last commit (falling back to the checkpoint's).
+  std::vector<WalWatermark> watermarks;
+
+  // Uncommitted zone: events and view definitions to replay through live
+  // maintenance. Delta records of the interrupted group are not here.
+  std::vector<WalRecord> tail;
+  size_t tail_deltas_dropped = 0;
+
+  // Physical log repair to apply before reopening the Wal for append.
+  bool need_truncate = false;
+  std::string truncate_segment;  // file name within the durability dir
+  uint64_t truncate_offset = 0;
+  bool log_torn = false;       // the scan hit a torn/corrupt record
+  uint64_t torn_bytes = 0;     // bytes dropped by the physical tear
+
+  // One past the last surviving committed record; the LSN the reopened Wal
+  // continues from (tail records re-log with fresh LSNs from here).
+  uint64_t next_lsn = 1;
+};
+
+// Reads checkpoints and WAL under `dir` and computes the plan. Read-only.
+Result<RecoveryPlan> PlanRecovery(const std::string& dir);
+
+// Applies the plan's physical log repair (torn-tail / uncommitted-group
+// truncation). No-op when the plan needs none.
+Status ApplyLogTruncation(const std::string& dir, const RecoveryPlan& plan);
+
+// Standalone event redo into a plain store (wal_inspect --apply, tests):
+// applies every kEvent record's base update to `store` through the
+// idempotent ObjectStore::ApplyFromLog entry point, skipping records whose
+// preconditions no longer hold (at-least-once semantics). Returns the
+// number of updates applied.
+Result<size_t> ReplayEventsInto(const std::vector<WalRecord>& records,
+                                ObjectStore* store);
+
+}  // namespace gsv
+
+#endif  // GSV_STORAGE_RECOVERY_H_

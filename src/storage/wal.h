@@ -1,0 +1,244 @@
+#ifndef GSV_STORAGE_WAL_H_
+#define GSV_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oem/object.h"
+#include "oem/oid.h"
+#include "oem/update.h"
+#include "util/status.h"
+#include "warehouse/update_event.h"
+
+namespace gsv {
+
+// Binary write-ahead log for the warehouse durability subsystem.
+//
+// The log records, in integration order:
+//
+//   * every UpdateEvent the warehouse accepted from a source channel
+//     (after duplicate dropping), tagged with the source name — enough to
+//     re-run maintenance from scratch;
+//   * every view-maintenance delta actually applied to a materialized view
+//     (V_insert / V_delete / value sync / delegate refresh) — enough to
+//     redo maintenance *without* re-running Algorithm 1 or querying any
+//     source;
+//   * commit records marking group boundaries. The warehouse appends one
+//     per drain (ProcessPending / ProcessPendingBatch slice) and per
+//     inline dispatch, carrying the per-source sequence watermarks as of
+//     that instant. Everything between two commits is one group: either
+//     all of a group's deltas are redone on recovery, or (for the
+//     uncommitted tail) the events are replayed through live maintenance
+//     instead;
+//   * view-definition records, so recovery knows which views existed even
+//     without a checkpoint.
+//
+// On-disk format. A log is a directory of segment files named
+// `wal-<first-lsn, 12 digits>.log`; LSNs increase by exactly 1 per record,
+// so segment boundaries are recoverable from the names alone. Each record
+// is framed as
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//   payload = [u8 type][u64 lsn][type-specific body]
+//
+// with all integers little-endian and every OID written as its string (the
+// dense interned ids are process-local and do not survive a restart). A
+// record is written with a single write(2) call, so a crash tears at most
+// the final record; ScanWal detects the torn tail by length/CRC and reports
+// the byte offset to truncate back to.
+//
+// Fsync policy trade-offs (see DESIGN.md §4e): kAlways makes every record
+// durable before Append returns (one fsync per record — safest, slowest);
+// kCommit syncs once per commit record, i.e. once per drained batch, so a
+// crash can lose at most the uncommitted tail of the current group (which
+// recovery re-derives from the sources' current state anyway — the
+// convergence argument of the deferred drain); kNever leaves syncing to the
+// OS (benchmarks, bulk loads).
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). `seed` chains incremental
+// computations: pass the previous return value to continue a running CRC.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+enum class FsyncPolicy {
+  kNever = 0,   // never fsync (OS decides)
+  kCommit = 1,  // fsync on commit records (group commit)
+  kAlways = 2,  // fsync after every record
+};
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+enum class WalRecordType : uint8_t {
+  kEvent = 1,      // accepted source UpdateEvent
+  kViewDelta = 2,  // applied view-maintenance delta
+  kCommit = 3,     // group boundary + source watermarks
+  kViewDef = 4,    // DefineView
+};
+
+enum class ViewDeltaOp : uint8_t {
+  kVInsert = 1,  // delegate created (payload: base object)
+  kVDelete = 2,  // delegate removed (payload: base OID)
+  kSync = 3,     // delegate value synced (payload: the base update)
+  kRefresh = 4,  // delegate value recopied (payload: base object)
+};
+
+// Per-source sequence watermark carried by commit records: the sequence of
+// the last event integrated from that source (SourceMonitor numbering).
+struct WalWatermark {
+  std::string source;
+  uint64_t last_sequence = 0;
+  bool operator==(const WalWatermark& other) const {
+    return source == other.source && last_sequence == other.last_sequence;
+  }
+};
+
+// One decoded log record. Which fields are meaningful depends on `type`;
+// unused fields keep their defaults. The builders below fill exactly the
+// fields their record type owns.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCommit;
+  uint64_t lsn = 0;  // assigned by Wal::Append
+
+  // kEvent
+  std::string source;
+  UpdateEvent event;
+
+  // kViewDelta
+  std::string view;
+  ViewDeltaOp op = ViewDeltaOp::kVInsert;
+  std::optional<Object> object;  // kVInsert / kRefresh
+  Oid base_oid;                  // kVDelete
+  Update update;                 // kSync
+
+  // kCommit
+  std::vector<WalWatermark> watermarks;
+
+  // kViewDef
+  std::string definition;
+  int cache_mode = 0;  // Warehouse::CacheMode as int
+  bool deferred = false;
+
+  // Reader-side provenance (not serialized): where the record starts and
+  // ends inside its segment file. Recovery truncates at these offsets.
+  std::string segment;
+  uint64_t offset = 0;
+  uint64_t end_offset = 0;
+
+  static WalRecord Event(std::string source, UpdateEvent event);
+  static WalRecord VInsert(std::string view, Object base_object);
+  static WalRecord VDelete(std::string view, Oid base_oid);
+  static WalRecord Sync(std::string view, Update update);
+  static WalRecord Refresh(std::string view, Object base_object);
+  static WalRecord Commit(std::vector<WalWatermark> watermarks);
+  static WalRecord ViewDef(std::string definition, int cache_mode,
+                           std::string source);
+};
+
+// Append side. Thread-compatible: callers hold the warehouse's external
+// synchronization (the same discipline as every other mutation).
+class Wal {
+ public:
+  struct Options {
+    FsyncPolicy fsync = FsyncPolicy::kCommit;
+  };
+
+  // Opens `dir` (created if missing) for appending. New records continue
+  // the newest existing segment; when the directory has none, the first
+  // segment is created as wal-<next_lsn>.log. `next_lsn` must be one past
+  // the last valid record on disk (ScanWal().next_lsn after truncation).
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           const Options& options,
+                                           uint64_t next_lsn);
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Stamps record.lsn, frames and appends it. Fsyncs under kAlways, and for
+  // kCommit records also under kCommit (group commit).
+  Status Append(WalRecord record);
+
+  // Flushes the active segment to stable storage now.
+  Status Sync();
+
+  // Closes the active segment and starts a fresh one named after the next
+  // LSN. Called by the checkpoint writer so a durable checkpoint can retire
+  // all earlier segments wholesale.
+  Status Roll();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  const std::string& dir() const { return dir_; }
+  int64_t bytes_written() const { return bytes_written_; }
+  int64_t records_appended() const { return records_appended_; }
+
+  // ---- Crash injection (tests) ----
+  //
+  // After `budget` more payload bytes, the next write is cut short mid-
+  // record (a torn tail, exactly as a power loss would leave) and the Wal
+  // enters a permanently failed state: every later Append/Sync returns
+  // kDataLoss. Negative budget disables injection.
+  void set_crash_after_bytes(int64_t budget) { crash_budget_ = budget; }
+  bool crashed() const { return crashed_; }
+
+ private:
+  Wal(std::string dir, Options options, uint64_t next_lsn)
+      : dir_(std::move(dir)), options_(options), next_lsn_(next_lsn) {}
+
+  Status OpenSegment(const std::string& path);
+  Status WriteFrame(const std::string& payload);
+
+  std::string dir_;
+  Options options_;
+  uint64_t next_lsn_ = 1;
+  int fd_ = -1;
+  std::string active_segment_;
+  int64_t bytes_written_ = 0;
+  int64_t records_appended_ = 0;
+  int64_t crash_budget_ = -1;
+  bool crashed_ = false;
+};
+
+// One segment file, in LSN order.
+struct WalSegmentInfo {
+  std::string path;        // full path
+  std::string name;        // file name
+  uint64_t first_lsn = 0;  // from the name
+};
+
+// Lists the segment files of `dir`, sorted by first LSN. An empty or
+// missing directory yields an empty list.
+Result<std::vector<WalSegmentInfo>> ListWalSegments(const std::string& dir);
+
+// Result of scanning a whole log directory.
+struct WalScan {
+  std::vector<WalRecord> records;  // every valid record, in LSN order
+  uint64_t next_lsn = 1;           // one past the last valid record
+  // A record failed framing/CRC/LSN validation. Everything from
+  // (torn_segment, torn_offset) on is invalid; valid_records holds only the
+  // prefix. TruncateWal cuts the log back to this point.
+  bool torn = false;
+  std::string torn_segment;  // file name within dir
+  uint64_t torn_offset = 0;  // keep [0, torn_offset) of that segment
+  uint64_t torn_bytes = 0;   // bytes past the valid prefix, all segments
+};
+
+// Reads and validates every segment of `dir`. Never modifies the files.
+Result<WalScan> ScanWal(const std::string& dir);
+
+// Truncates `segment` (a file name within `dir`) to `offset` bytes and
+// deletes every later segment — the mutation matching a torn WalScan.
+Status TruncateWal(const std::string& dir, const std::string& segment,
+                   uint64_t offset);
+
+// ---- Record codec (exposed for wal_inspect and tests) ----
+
+// Serializes the payload (type + lsn + body, no frame).
+std::string EncodeWalPayload(const WalRecord& record);
+// Parses a payload produced by EncodeWalPayload.
+Result<WalRecord> DecodeWalPayload(const std::string& payload);
+// Human-readable one-line form (wal_inspect).
+std::string WalRecordToString(const WalRecord& record);
+
+}  // namespace gsv
+
+#endif  // GSV_STORAGE_WAL_H_

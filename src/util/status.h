@@ -20,6 +20,7 @@ enum class StatusCode {
   kInternal,          // invariant violation inside the library
   kUnavailable,       // transient: source down / channel fault — retryable
   kDeadlineExceeded,  // retry budget exhausted before the call succeeded
+  kDataLoss,          // durable state unusable: torn/corrupt log or snapshot
 };
 
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -63,6 +64,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

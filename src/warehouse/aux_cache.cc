@@ -1,9 +1,20 @@
 #include "warehouse/aux_cache.h"
 
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "oem/serialize.h"
 #include "path/navigate.h"
 #include "path/path_index.h"
 
 namespace gsv {
+
+namespace {
+// Separates the known-value preamble from the serialized corridor store.
+constexpr char kCacheHeader[] = "# gsv-aux-cache v1";
+constexpr char kStoreMarker[] = "%%store";
+}  // namespace
 
 AuxiliaryCache::AuxiliaryCache(Mode mode, Oid root, Path corridor)
     : mode_(mode), root_(std::move(root)), corridor_(std::move(corridor)) {}
@@ -193,6 +204,45 @@ Status AuxiliaryCache::OnEvent(const UpdateEvent& event,
     }
   }
   return Status::InvalidArgument("unknown update kind");
+}
+
+Status AuxiliaryCache::SaveTo(std::ostream& out) const {
+  out << kCacheHeader << '\n';
+  for (const Oid& oid : values_known_) {
+    out << "known " << oid.str() << '\n';
+  }
+  out << kStoreMarker << '\n';
+  return WriteStore(store_, out);
+}
+
+Status AuxiliaryCache::LoadFrom(std::istream& in) {
+  if (store_.size() != 0 || !depths_.empty()) {
+    return Status::FailedPrecondition(
+        "AuxiliaryCache::LoadFrom requires an empty cache");
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheHeader) {
+    return Status::DataLoss("aux cache image: bad header");
+  }
+  bool store_section = false;
+  while (std::getline(in, line)) {
+    if (line == kStoreMarker) {
+      store_section = true;
+      break;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("known ", 0) != 0) {
+      return Status::DataLoss("aux cache image: unexpected line '" + line +
+                              "'");
+    }
+    values_known_.Insert(Oid(line.substr(6)));
+  }
+  if (!store_section) {
+    return Status::DataLoss("aux cache image: missing store section");
+  }
+  GSV_RETURN_IF_ERROR(ReadStore(in, &store_));
+  RecomputeMembership();
+  return Status::Ok();
 }
 
 std::vector<Path> AuxiliaryCache::CorridorPathsFromRoot(const Oid& n) const {

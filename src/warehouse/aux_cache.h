@@ -1,6 +1,7 @@
 #ifndef GSV_WAREHOUSE_AUX_CACHE_H_
 #define GSV_WAREHOUSE_AUX_CACHE_H_
 
+#include <iosfwd>
 #include <optional>
 #include <set>
 #include <string>
@@ -98,6 +99,21 @@ class AuxiliaryCache {
   const ObjectStore& store() const { return store_; }
   size_t size() const { return depths_.size(); }
   Mode mode() const { return mode_; }
+
+  // ---- Persistence (durability subsystem) ----
+  //
+  // The cache state round-trips as text: the known-value OID list plus the
+  // corridor store in the oem/serialize format, both in sorted order so the
+  // bytes are deterministic for a given corridor state. Mode, root and
+  // corridor path come from the constructor (the checkpoint manifest
+  // records them with the view definition); LoadFrom rebuilds the depth map
+  // from the reloaded store.
+
+  // Writes the cache state to `out` (deterministic bytes).
+  Status SaveTo(std::ostream& out) const;
+  // Restores state saved by SaveTo into this (freshly constructed or
+  // Reset) cache, then recomputes corridor membership.
+  Status LoadFrom(std::istream& in);
 
  private:
   // Adds `object` to the corridor at `depth` and recursively pulls its

@@ -33,6 +33,10 @@ class SourceMonitor : public UpdateListener {
   void set_level(ReportingLevel level) { level_ = level; }
   // Sequence number of the most recently emitted event (0 = none yet).
   uint64_t last_sequence() const { return sequence_; }
+  // Restores the sequence counter after a warehouse recovery, so events
+  // emitted post-restart continue the numbering the recovered watermark
+  // left off at (the integrator expects n+1 next).
+  void set_last_sequence(uint64_t sequence) { sequence_ = sequence; }
 
  private:
   ReportingLevel level_;

@@ -5,15 +5,8 @@
 
 namespace gsv {
 
-Warehouse::Warehouse(ObjectStore* store) : store_(store) {}
-
-Warehouse::~Warehouse() {
-  for (auto& source : sources_) {
-    if (source->store != nullptr && source->monitor != nullptr) {
-      source->store->RemoveListener(source->monitor.get());
-    }
-  }
-}
+// The constructor and destructor live in warehouse_durability.cc, where
+// WarehouseDurability is a complete type for the unique_ptr member.
 
 Status Warehouse::ConnectSource(ObjectStore* source, Oid source_root,
                                 ReportingLevel level, std::string name) {
@@ -73,31 +66,23 @@ void Warehouse::RecomputeRelevantLabels(ViewEntry& entry) {
                           entry.def.predicate().has_value();
 }
 
-Status Warehouse::DefineView(std::string_view definition,
-                             CacheMode cache_mode,
-                             const std::string& source_name) {
-  if (sources_.empty()) {
-    return Status::FailedPrecondition("connect a source before DefineView");
-  }
-  size_t source_index = 0;
+Result<size_t> Warehouse::ResolveSourceIndex(
+    const std::string& source_name) const {
   if (source_name.empty()) {
     if (sources_.size() > 1) {
       return Status::InvalidArgument(
           "several sources are connected; name one in DefineView");
     }
-  } else {
-    bool found = false;
-    for (size_t i = 0; i < sources_.size(); ++i) {
-      if (sources_[i]->name == source_name) {
-        source_index = i;
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      return Status::NotFound("unknown source '" + source_name + "'");
-    }
+    return size_t{0};
   }
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i]->name == source_name) return i;
+  }
+  return Status::NotFound("unknown source '" + source_name + "'");
+}
+
+Result<std::unique_ptr<Warehouse::ViewEntry>> Warehouse::BuildViewEntry(
+    size_t source_index, std::string_view definition, CacheMode cache_mode) {
   SourceEntry& source = *sources_[source_index];
 
   GSV_ASSIGN_OR_RETURN(ViewDefinition def, ViewDefinition::Parse(definition));
@@ -111,31 +96,57 @@ Status Warehouse::DefineView(std::string_view definition,
         source.root.str() + ")");
   }
 
-  auto entry = std::make_unique<ViewEntry>(ViewEntry{
-      source_index, def, def.sel_path(), def.cond_path(), def.full_path(),
-      {}, false, nullptr, nullptr, nullptr, nullptr});
+  auto entry = std::make_unique<ViewEntry>(def);
+  entry->source_index = source_index;
+  entry->definition_text = std::string(definition);
+  entry->cache_mode = cache_mode;
+  entry->sel_path = def.sel_path();
+  entry->cond_path = def.cond_path();
+  entry->full_path = def.full_path();
   RecomputeRelevantLabels(*entry);
 
   entry->view = std::make_unique<MaterializedView>(store_, def);
-  // Initial materialization reads the source directly: it is part of view
-  // setup, not of incremental maintenance (§4 assumes an initially correct
-  // materialized view).
-  GSV_RETURN_IF_ERROR(entry->view->Initialize(*source.store));
-
   if (cache_mode != CacheMode::kNone) {
     entry->cache = std::make_unique<AuxiliaryCache>(
         cache_mode == CacheMode::kFull ? AuxiliaryCache::Mode::kFull
                                        : AuxiliaryCache::Mode::kLabelsOnly,
         source.root, entry->full_path);
-    GSV_RETURN_IF_ERROR(entry->cache->Initialize(source.wrapper.get()));
   }
-
   entry->accessor =
       std::make_unique<RemoteAccessor>(source.wrapper.get(), &costs_);
   if (entry->cache != nullptr) entry->accessor->set_cache(entry->cache.get());
   entry->maintainer = std::make_unique<Algorithm1Maintainer>(
       entry->view.get(), entry->accessor.get(), def, source.root);
+  return entry;
+}
+
+Status Warehouse::DefineView(std::string_view definition,
+                             CacheMode cache_mode,
+                             const std::string& source_name) {
+  if (sources_.empty()) {
+    return Status::FailedPrecondition("connect a source before DefineView");
+  }
+  GSV_ASSIGN_OR_RETURN(size_t source_index, ResolveSourceIndex(source_name));
+  SourceEntry& source = *sources_[source_index];
+
+  GSV_ASSIGN_OR_RETURN(std::unique_ptr<ViewEntry> entry,
+                       BuildViewEntry(source_index, definition, cache_mode));
+
+  // Log the definition (and, via the delta sink, the initial membership)
+  // before materializing, so recovery can re-bootstrap the view from the
+  // log alone when no checkpoint covers it yet.
+  LogViewDef(entry->definition_text, cache_mode, source.name);
+  AttachSink(entry->view.get());
+
+  // Initial materialization reads the source directly: it is part of view
+  // setup, not of incremental maintenance (§4 assumes an initially correct
+  // materialized view).
+  GSV_RETURN_IF_ERROR(entry->view->Initialize(*source.store));
+  if (entry->cache != nullptr) {
+    GSV_RETURN_IF_ERROR(entry->cache->Initialize(source.wrapper.get()));
+  }
   views_.push_back(std::move(entry));
+  LogCommit();
   return Status::Ok();
 }
 
@@ -195,11 +206,15 @@ void Warehouse::Deliver(size_t source_index, const UpdateEvent& event) {
     }
     source.next_sequence = event.sequence + 1;
   }
+  // Accepted: log before queueing/applying, so a crash after this point
+  // still replays the event (the commit record decides committed vs tail).
+  LogEvent(source, event);
   if (deferred_) {
     pending_.emplace_back(source_index, event);
     return;
   }
   DispatchEvent(source_index, event);
+  LogCommit();  // inline dispatch forms its own commit group
 }
 
 void Warehouse::DispatchEvent(size_t source_index, const UpdateEvent& event) {
@@ -377,6 +392,9 @@ Status Warehouse::ResyncStaleViews() {
     Status status = TryResyncView(*entry, /*force=*/true);
     if (!status.ok() && first_error.ok()) first_error = status;
   }
+  // Resync deltas (recompute + buffered replay) were logged via the sinks;
+  // close their group when the warehouse is quiescent.
+  if (pending_.empty()) LogCommit();
   return first_error;
 }
 
@@ -485,6 +503,7 @@ Status Warehouse::ProcessPending() {
     }
   }
   if (!first_error.ok()) last_status_ = first_error;
+  LogCommit();  // the drain is quiescent here: one commit closes the group
   return first_error;
 }
 

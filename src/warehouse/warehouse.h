@@ -11,6 +11,8 @@
 #include "core/materialized_view.h"
 #include "core/view_definition.h"
 #include "oem/store.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
 #include "util/thread_pool.h"
 #include "warehouse/aux_cache.h"
 #include "warehouse/cost_model.h"
@@ -23,6 +25,9 @@
 #include "warehouse/wrapper.h"
 
 namespace gsv {
+
+struct RecoveryPlan;
+struct WarehouseDurability;
 
 // The data warehouse of §5 / Figure 6: materialized views live here; base
 // objects live at one or more autonomous sources that export update events
@@ -184,6 +189,68 @@ class Warehouse {
   // an open breaker). Returns Ok when no views remain stale.
   Status ResyncStaleViews();
 
+  // ---- Durability (write-ahead log, checkpoints, crash recovery) ----
+  //
+  // EnableDurability attaches a WAL + checkpoint directory to this
+  // warehouse. Every accepted update event and every applied view delta is
+  // logged; a commit record (carrying the per-source sequence watermarks)
+  // closes each group — one per inline dispatch, one per drain — and
+  // certifies that the warehouse was quiescent when it was written.
+  //
+  // If `dir` already holds durable state, EnableDurability *recovers* it:
+  // the latest valid checkpoint is loaded (delegate store, view
+  // memberships, §5.2 corridor caches, watermarks), the committed log tail
+  // is redone locally from the view-delta records (no source queries), and
+  // the uncommitted tail — truncated at the first record past the last
+  // commit, which subsumes any torn write — is replayed through live
+  // maintenance by re-delivering its events. A torn log additionally
+  // quarantines every view (an accepted event may have been lost in the
+  // tear), so the first drain resyncs from current source state — the PR 2
+  // fallback for an unusable log. Sources must be connected (same names)
+  // before calling; views must not be defined when recovering state.
+  struct DurabilityOptions {
+    std::string dir;  // WAL segments + checkpoints live here
+    FsyncPolicy fsync = FsyncPolicy::kCommit;
+    // Automatically checkpoint at the first quiescent commit after this
+    // many logged events (0 = only explicit WriteCheckpoint calls).
+    uint64_t checkpoint_interval_events = 0;
+  };
+
+  struct RecoveryReport {
+    bool recovered_checkpoint = false;
+    uint64_t checkpoint_id = 0;     // id of the checkpoint restored
+    size_t views_restored = 0;      // adopted from the checkpoint image
+    size_t views_redefined = 0;     // re-bootstrapped from kViewDef records
+    size_t deltas_redone = 0;       // committed-zone deltas applied locally
+    size_t events_replayed = 0;     // uncommitted tail events re-delivered
+    size_t tail_deltas_dropped = 0; // uncommitted deltas discarded
+    bool log_torn = false;          // a torn/corrupt record was truncated
+    uint64_t torn_bytes = 0;
+    bool caches_reloaded = false;   // corridor caches came from the image
+  };
+
+  struct DurabilityStats {
+    int64_t events_logged = 0;
+    int64_t deltas_logged = 0;
+    int64_t commits_logged = 0;
+    int64_t checkpoints_written = 0;
+  };
+
+  Status EnableDurability(const DurabilityOptions& options);
+  bool durable() const { return durability_ != nullptr; }
+  // Snapshots the warehouse at the current quiescent point (pending queue
+  // must be empty): delegate store, corridor caches, watermarks and view
+  // definitions, then rolls the log and retires segments older than the
+  // previous retained checkpoint. Never blocks concurrent readers — the
+  // capture reads through the store's published index snapshots.
+  Status WriteCheckpoint();
+  // What EnableDurability recovered (zeroed on a fresh directory).
+  const RecoveryReport& recovery_report() const;
+  const DurabilityStats& durability_stats() const;
+  // The live log (null when durability is off). Exposed for tests and
+  // tools (crash injection, forced sync).
+  Wal* wal();
+
   MaterializedView* view(const std::string& name);
   const Algorithm1Maintainer* maintainer(const std::string& name) const;
   const AuxiliaryCache* cache(const std::string& name) const;
@@ -211,8 +278,11 @@ class Warehouse {
   };
 
   struct ViewEntry {
+    explicit ViewEntry(ViewDefinition d) : def(std::move(d)) {}
     size_t source_index = 0;
     ViewDefinition def;
+    std::string definition_text;  // original text, for checkpoint manifests
+    CacheMode cache_mode = CacheMode::kNone;
     Path sel_path;
     Path cond_path;
     Path full_path;
@@ -262,6 +332,26 @@ class Warehouse {
   // Lazily builds/resizes the worker pool for `threads` workers.
   ThreadPool* Pool(size_t threads);
 
+  // ---- Durability internals (warehouse_durability.cc) ----
+  // Resolves a source by name (the sole source when empty).
+  Result<size_t> ResolveSourceIndex(const std::string& source_name) const;
+  // Parses + validates a definition and builds a ViewEntry with its view,
+  // cache and maintainer objects constructed but nothing initialized.
+  Result<std::unique_ptr<ViewEntry>> BuildViewEntry(size_t source_index,
+                                                    std::string_view definition,
+                                                    CacheMode cache_mode);
+  // Logging hooks; all no-ops when durability is off or paused.
+  void LogEvent(const SourceEntry& source, const UpdateEvent& event);
+  void LogViewDef(const std::string& definition, CacheMode cache_mode,
+                  const std::string& source_name);
+  void LogCommit();
+  // Points the view's delta sink at the WAL (no-op when durability is off).
+  void AttachSink(MaterializedView* view);
+  // Recovery steps.
+  Status RestoreFromPlan(const RecoveryPlan& plan);
+  Status RestoreView(const CheckpointViewState& state, bool adopt);
+  Status RedoDelta(const WalRecord& record);
+
   SourceEntry& SourceOf(const ViewEntry& entry) {
     return *sources_[entry.source_index];
   }
@@ -276,6 +366,8 @@ class Warehouse {
   Status last_status_;
   std::unique_ptr<ThreadPool> pool_;
   size_t pool_threads_ = 0;
+  // Durability state (WAL, stats, recovery report); null when disabled.
+  std::unique_ptr<WarehouseDurability> durability_;
 };
 
 }  // namespace gsv

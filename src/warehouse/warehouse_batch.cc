@@ -263,6 +263,9 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
   }
 
   if (!first_error.ok()) last_status_ = first_error;
+  // The batch drained to quiescence: one commit record closes the group
+  // (every event and view delta logged above is certified applied).
+  LogCommit();
   return first_error;
 }
 

@@ -1,0 +1,703 @@
+// Durability suite: WAL framing/scan/truncation, crash injection, checkpoint
+// round trips and fallback, the recovery planner's three zones, and the
+// end-to-end guarantee — a warehouse killed at an arbitrary point in a
+// batched drain recovers to a state byte-identical to a twin that never
+// crashed.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/virtual_view.h"
+#include "oem/serialize.h"
+#include "oem/store.h"
+#include "query/evaluator.h"
+#include "storage/checkpoint.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+#include "warehouse/aux_cache.h"
+#include "warehouse/warehouse.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+namespace gsv {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  std::string path = ::testing::TempDir() + "gsv_recovery_" + tag;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+UpdateEvent MakeInsertEvent(uint64_t sequence) {
+  UpdateEvent event;
+  event.kind = UpdateKind::kInsert;
+  event.parent = Oid("p1");
+  event.child = Oid("c1");
+  event.level = ReportingLevel::kWithValues;
+  event.sequence = sequence;
+  OidSet children;
+  children.Insert(Oid("c1"));
+  event.parent_object = Object(Oid("p1"), "folder", Value::Set(children));
+  event.child_object = Object(Oid("c1"), "age", Value::Int(41));
+  RootPathInfo info;
+  info.oids = {Oid("r"), Oid("p1")};
+  info.labels = Path(std::vector<std::string>{"folder"});
+  event.root_path = info;
+  return event;
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(WalCodecTest, AllRecordTypesRoundTrip) {
+  std::vector<WalRecord> records;
+  records.push_back(WalRecord::Event("source1", MakeInsertEvent(7)));
+  records.push_back(
+      WalRecord::VInsert("WV", Object(Oid("x"), "age", Value::Int(3))));
+  records.push_back(WalRecord::VDelete("WV", Oid("x")));
+  records.push_back(WalRecord::Sync(
+      "WV", Update::Modify(Oid("x"), Value::Int(3), Value::Int(4))));
+  records.push_back(
+      WalRecord::Refresh("WV", Object(Oid("y"), "name",
+                                      Value::Str("a \"quoted\" name\n"))));
+  records.push_back(WalRecord::Commit({{"source1", 7}, {"source2", 0}}));
+  records.push_back(
+      WalRecord::ViewDef("define mview WV as: SELECT r.a X", 2, "source1"));
+
+  uint64_t lsn = 1;
+  for (WalRecord& record : records) {
+    record.lsn = lsn++;
+    auto decoded = DecodeWalPayload(EncodeWalPayload(record));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(WalRecordToString(decoded.value()), WalRecordToString(record));
+    EXPECT_EQ(decoded.value().type, record.type);
+    EXPECT_EQ(decoded.value().lsn, record.lsn);
+  }
+
+  // Spot checks beyond the string form.
+  auto event = DecodeWalPayload(EncodeWalPayload(records[0]));
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(event.value().source, "source1");
+  EXPECT_EQ(event.value().event.sequence, 7u);
+  ASSERT_TRUE(event.value().event.child_object.has_value());
+  EXPECT_EQ(event.value().event.child_object->value(), Value::Int(41));
+  ASSERT_TRUE(event.value().event.root_path.has_value());
+  EXPECT_EQ(event.value().event.root_path->oids.size(), 2u);
+
+  auto commit = DecodeWalPayload(EncodeWalPayload(records[5]));
+  ASSERT_TRUE(commit.ok());
+  ASSERT_EQ(commit.value().watermarks.size(), 2u);
+  EXPECT_EQ(commit.value().watermarks[0].source, "source1");
+  EXPECT_EQ(commit.value().watermarks[0].last_sequence, 7u);
+}
+
+// ------------------------------------------------------------- append/scan
+
+TEST(WalTest, AppendScanRoundTripAcrossSegments) {
+  std::string dir = TempDir("append_scan");
+  {
+    auto wal = Wal::Open(dir, Wal::Options{FsyncPolicy::kNever}, 1);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          wal.value()->Append(WalRecord::Event("s", MakeInsertEvent(i + 1)))
+              .ok());
+    }
+    ASSERT_TRUE(wal.value()->Roll().ok());
+    ASSERT_TRUE(wal.value()->Append(WalRecord::Commit({{"s", 5}})).ok());
+    EXPECT_EQ(wal.value()->next_lsn(), 7u);
+  }
+
+  auto segments = ListWalSegments(dir);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments.value().size(), 2u);
+  EXPECT_EQ(segments.value()[0].first_lsn, 1u);
+  EXPECT_EQ(segments.value()[1].first_lsn, 6u);
+
+  auto scan = ScanWal(dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan.value().torn);
+  ASSERT_EQ(scan.value().records.size(), 6u);
+  EXPECT_EQ(scan.value().next_lsn, 7u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(scan.value().records[i].lsn, i + 1);
+  }
+  EXPECT_EQ(scan.value().records[5].type, WalRecordType::kCommit);
+
+  // Reopen continues the newest segment and the LSN sequence.
+  auto reopened = Wal::Open(dir, Wal::Options{FsyncPolicy::kNever},
+                            scan.value().next_lsn);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE(
+      reopened.value()->Append(WalRecord::VDelete("WV", Oid("x"))).ok());
+  auto rescan = ScanWal(dir);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan.value().records.size(), 7u);
+  EXPECT_EQ(rescan.value().records.back().lsn, 7u);
+}
+
+TEST(WalTest, ScanDetectsTornTailAndTruncateRepairs) {
+  std::string dir = TempDir("torn");
+  {
+    auto wal = Wal::Open(dir, Wal::Options{FsyncPolicy::kNever}, 1);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          wal.value()->Append(WalRecord::VDelete("WV", Oid("x"))).ok());
+    }
+  }
+  // A power loss mid-write: garbage bytes that are not a complete frame.
+  auto segments = ListWalSegments(dir);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments.value().size(), 1u);
+  {
+    std::ofstream out(segments.value()[0].path,
+                      std::ios::binary | std::ios::app);
+    out.write("\x40\x00\x00\x00junk", 8);
+  }
+
+  auto scan = ScanWal(dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().torn);
+  EXPECT_EQ(scan.value().records.size(), 3u);
+  EXPECT_EQ(scan.value().next_lsn, 4u);
+  EXPECT_EQ(scan.value().torn_bytes, 8u);
+
+  ASSERT_TRUE(TruncateWal(dir, scan.value().torn_segment,
+                          scan.value().torn_offset)
+                  .ok());
+  auto rescan = ScanWal(dir);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_FALSE(rescan.value().torn);
+  EXPECT_EQ(rescan.value().records.size(), 3u);
+}
+
+TEST(WalTest, CrashInjectionTearsTheTailAndSticks) {
+  std::string dir = TempDir("crash");
+  auto wal = Wal::Open(dir, Wal::Options{FsyncPolicy::kNever}, 1);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->Append(WalRecord::VDelete("WV", Oid("x"))).ok());
+  int64_t clean_bytes = wal.value()->bytes_written();
+
+  wal.value()->set_crash_after_bytes(5);  // mid-frame of the next record
+  Status torn = wal.value()->Append(WalRecord::VDelete("WV", Oid("y")));
+  EXPECT_EQ(torn.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(wal.value()->crashed());
+  // Sticky: the log stays dead.
+  EXPECT_EQ(wal.value()->Append(WalRecord::Commit({})).code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(wal.value()->Sync().code(), StatusCode::kDataLoss);
+
+  auto scan = ScanWal(dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().torn);
+  ASSERT_EQ(scan.value().records.size(), 1u);
+  EXPECT_EQ(static_cast<int64_t>(scan.value().torn_offset), clean_bytes);
+}
+
+// ------------------------------------------------------------- checkpoints
+
+CheckpointCapture MakeCapture(uint64_t id, const std::string& marker) {
+  CheckpointCapture capture;
+  capture.manifest.id = id;
+  capture.manifest.wal_lsn = id * 10;
+  capture.manifest.watermarks = {{"source1", id * 10}};
+  CheckpointViewState view;
+  view.name = "WV";
+  view.source = "source1";
+  view.cache_mode = 2;
+  view.stale = false;
+  view.definition = "define mview WV as: SELECT r.a X WHERE X.age <= 50";
+  capture.manifest.views.push_back(view);
+  capture.store_text = "# store " + marker + "\n";
+  capture.cache_texts.emplace_back("WV", "# cache " + marker + "\n");
+  return capture;
+}
+
+TEST(CheckpointTest, PersistLoadRoundTrip) {
+  std::string dir = TempDir("ckpt_roundtrip");
+  ASSERT_TRUE(PersistCheckpoint(dir, MakeCapture(1, "one")).ok());
+
+  auto loaded = LoadLatestCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().manifest.id, 1u);
+  EXPECT_EQ(loaded.value().manifest.wal_lsn, 10u);
+  ASSERT_EQ(loaded.value().manifest.watermarks.size(), 1u);
+  EXPECT_EQ(loaded.value().manifest.watermarks[0].last_sequence, 10u);
+  ASSERT_EQ(loaded.value().manifest.views.size(), 1u);
+  EXPECT_EQ(loaded.value().manifest.views[0].definition,
+            "define mview WV as: SELECT r.a X WHERE X.age <= 50");
+  EXPECT_EQ(loaded.value().store_text, "# store one\n");
+  ASSERT_EQ(loaded.value().cache_texts.count("WV"), 1u);
+  EXPECT_EQ(loaded.value().cache_texts.at("WV"), "# cache one\n");
+}
+
+TEST(CheckpointTest, CorruptNewestFallsBackToPrevious) {
+  std::string dir = TempDir("ckpt_fallback");
+  ASSERT_TRUE(PersistCheckpoint(dir, MakeCapture(1, "one")).ok());
+  ASSERT_TRUE(PersistCheckpoint(dir, MakeCapture(2, "two")).ok());
+
+  // Flip the newest checkpoint's store file: CRC mismatch.
+  {
+    std::ofstream out(dir + "/checkpoint-000002/store.gsv",
+                      std::ios::binary | std::ios::trunc);
+    out << "# corrupted\n";
+  }
+  auto loaded = LoadLatestCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().manifest.id, 1u);
+  EXPECT_EQ(loaded.value().store_text, "# store one\n");
+}
+
+TEST(CheckpointTest, RetentionKeepsTheTwoNewest) {
+  std::string dir = TempDir("ckpt_retention");
+  for (uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(
+        PersistCheckpoint(dir, MakeCapture(id, std::to_string(id))).ok());
+  }
+  auto list = ListCheckpoints(dir);
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list.value().size(), 2u);
+  EXPECT_EQ(list.value()[0].id, 3u);
+  EXPECT_EQ(list.value()[1].id, 4u);
+}
+
+// ---------------------------------------------------------------- planner
+
+TEST(RecoveryPlanTest, PartitionsCommittedAndUncommittedTail) {
+  std::string dir = TempDir("plan");
+  {
+    auto wal = Wal::Open(dir, Wal::Options{FsyncPolicy::kNever}, 1);
+    ASSERT_TRUE(wal.ok());
+    Wal& w = *wal.value();
+    ASSERT_TRUE(w.Append(WalRecord::Event("source1", MakeInsertEvent(1))).ok());
+    ASSERT_TRUE(
+        w.Append(WalRecord::VInsert("WV", Object(Oid("p1"), "folder",
+                                                 Value::Set(OidSet()))))
+            .ok());
+    ASSERT_TRUE(w.Append(WalRecord::Commit({{"source1", 1}})).ok());
+    // Interrupted group: an event and a delta, no commit.
+    ASSERT_TRUE(w.Append(WalRecord::Event("source1", MakeInsertEvent(2))).ok());
+    ASSERT_TRUE(w.Append(WalRecord::VDelete("WV", Oid("p1"))).ok());
+  }
+
+  auto plan = PlanRecovery(dir);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_FALSE(plan.value().have_checkpoint);
+  ASSERT_EQ(plan.value().committed.size(), 3u);
+  EXPECT_EQ(plan.value().committed[2].type, WalRecordType::kCommit);
+  ASSERT_EQ(plan.value().watermarks.size(), 1u);
+  EXPECT_EQ(plan.value().watermarks[0].last_sequence, 1u);
+  ASSERT_EQ(plan.value().tail.size(), 1u);
+  EXPECT_EQ(plan.value().tail[0].type, WalRecordType::kEvent);
+  EXPECT_EQ(plan.value().tail[0].event.sequence, 2u);
+  EXPECT_EQ(plan.value().tail_deltas_dropped, 1u);
+  EXPECT_TRUE(plan.value().need_truncate);
+  EXPECT_FALSE(plan.value().log_torn);
+  EXPECT_EQ(plan.value().next_lsn, 4u);
+
+  // The truncation physically drops the uncommitted group.
+  ASSERT_TRUE(ApplyLogTruncation(dir, plan.value()).ok());
+  auto scan = ScanWal(dir);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_FALSE(scan.value().torn);
+  EXPECT_EQ(scan.value().records.size(), 3u);
+}
+
+// ---------------------------------------------------------- ApplyFromLog
+
+TEST(ApplyFromLogTest, IdempotentRedoOfBasicUpdates) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Put(Object(Oid("r"), "root", Value::Set(OidSet()))).ok());
+  ASSERT_TRUE(store.Put(Object(Oid("a"), "age", Value::Int(1))).ok());
+
+  Update insert = Update::Insert(Oid("r"), Oid("a"));
+  auto first = store.ApplyFromLog(insert);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value());
+  auto again = store.ApplyFromLog(insert);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value());  // edge already present: skipped
+
+  Update modify = Update::Modify(Oid("a"), Value::Int(1), Value::Int(2));
+  ASSERT_TRUE(store.ApplyFromLog(modify).value());
+  EXPECT_FALSE(store.ApplyFromLog(modify).value());  // value already 2
+
+  Update remove = Update::Delete(Oid("r"), Oid("a"));
+  ASSERT_TRUE(store.ApplyFromLog(remove).value());
+  EXPECT_FALSE(store.ApplyFromLog(remove).value());  // edge already gone
+
+  // Preconditions gone entirely: skip, never error.
+  auto orphan = store.ApplyFromLog(Update::Insert(Oid("ghost"), Oid("a")));
+  ASSERT_TRUE(orphan.ok());
+  EXPECT_FALSE(orphan.value());
+}
+
+// ------------------------------------------------------- aux cache images
+
+TEST(AuxCachePersistenceTest, SaveLoadRoundTripIsByteStable) {
+  ObjectStore source;
+  TreeGenOptions tree_options;
+  tree_options.levels = 3;
+  tree_options.fanout = 3;
+  tree_options.seed = 5;
+  auto tree = GenerateTree(&source, tree_options);
+  ASSERT_TRUE(tree.ok());
+
+  WarehouseCosts costs;
+  SourceWrapper wrapper(&source, &costs);
+  Path corridor(std::vector<std::string>{"n1_0", "n2_0", "age"});
+  AuxiliaryCache cache(AuxiliaryCache::Mode::kFull, tree->root, corridor);
+  ASSERT_TRUE(cache.Initialize(&wrapper).ok());
+  ASSERT_GT(cache.size(), 1u);
+
+  std::ostringstream saved;
+  ASSERT_TRUE(cache.SaveTo(saved).ok());
+
+  AuxiliaryCache reloaded(AuxiliaryCache::Mode::kFull, tree->root, corridor);
+  std::istringstream in(saved.str());
+  ASSERT_TRUE(reloaded.LoadFrom(in).ok());
+  EXPECT_EQ(reloaded.size(), cache.size());
+
+  std::ostringstream resaved;
+  ASSERT_TRUE(reloaded.SaveTo(resaved).ok());
+  EXPECT_EQ(resaved.str(), saved.str());
+
+  // A fresh (non-empty) cache refuses to load over itself.
+  std::istringstream again(saved.str());
+  EXPECT_EQ(reloaded.LoadFrom(again).code(), StatusCode::kFailedPrecondition);
+}
+
+// ----------------------------------------------------- warehouse end-to-end
+
+struct TwinRig {
+  TreeGenOptions tree_options;
+  std::string definition;
+  Oid root;
+
+  ObjectStore source_twin;
+  ObjectStore source_durable;
+  ObjectStore store_twin;
+  std::unique_ptr<Warehouse> twin;
+
+  std::unique_ptr<UpdateGenerator> gen_twin;
+  std::unique_ptr<UpdateGenerator> gen_durable;
+
+  void Init(uint64_t tree_seed, uint64_t update_seed) {
+    tree_options.levels = 3;
+    tree_options.fanout = 3;
+    tree_options.seed = tree_seed;
+    auto tree_t = GenerateTree(&source_twin, tree_options);
+    auto tree_d = GenerateTree(&source_durable, tree_options);
+    ASSERT_TRUE(tree_t.ok());
+    ASSERT_TRUE(tree_d.ok());
+    ASSERT_EQ(tree_t->root, tree_d->root);
+    root = tree_t->root;
+    definition = TreeViewDefinition("WV", root, 2, 3, 50);
+
+    twin = std::make_unique<Warehouse>(&store_twin);
+    ASSERT_TRUE(
+        twin->ConnectSource(&source_twin, root, ReportingLevel::kWithValues)
+            .ok());
+    twin->set_deferred(true);
+    ASSERT_TRUE(twin->DefineView(definition, Warehouse::CacheMode::kFull).ok());
+
+    UpdateGenOptions gen_options;
+    gen_options.seed = update_seed;
+    gen_twin =
+        std::make_unique<UpdateGenerator>(&source_twin, root, gen_options);
+    gen_durable =
+        std::make_unique<UpdateGenerator>(&source_durable, root, gen_options);
+  }
+
+  // Byte-identical convergence between the twin and a recovered warehouse.
+  void ExpectConverged(Warehouse& recovered, ObjectStore& store_recovered) {
+    EXPECT_EQ(StoreToString(source_durable), StoreToString(source_twin));
+    EXPECT_EQ(StoreToString(store_recovered), StoreToString(store_twin));
+    const AuxiliaryCache* cache_t = twin->cache("WV");
+    const AuxiliaryCache* cache_r = recovered.cache("WV");
+    ASSERT_NE(cache_t, nullptr);
+    ASSERT_NE(cache_r, nullptr);
+    std::ostringstream bytes_t;
+    std::ostringstream bytes_r;
+    ASSERT_TRUE(cache_t->SaveTo(bytes_t).ok());
+    ASSERT_TRUE(cache_r->SaveTo(bytes_r).ok());
+    EXPECT_EQ(bytes_r.str(), bytes_t.str());
+
+    auto def = ViewDefinition::Parse(definition);
+    ASSERT_TRUE(def.ok());
+    auto truth = EvaluateView(source_durable, def.value());
+    ASSERT_TRUE(truth.ok());
+    MaterializedView* view = recovered.view("WV");
+    ASSERT_NE(view, nullptr);
+    EXPECT_EQ(view->BaseMembers(), truth.value());
+  }
+};
+
+TEST(WarehouseDurabilityTest, CleanRestartRestoresByteIdenticalState) {
+  std::string dir = TempDir("clean_restart");
+  TwinRig rig;
+  ASSERT_NO_FATAL_FAILURE(rig.Init(/*tree_seed=*/11, /*update_seed=*/201));
+
+  uint64_t twin_watermark = 0;
+  {
+    ObjectStore store_d;
+    Warehouse durable(&store_d);
+    ASSERT_TRUE(durable
+                    .ConnectSource(&rig.source_durable, rig.root,
+                                   ReportingLevel::kWithValues)
+                    .ok());
+    durable.set_deferred(true);
+    Warehouse::DurabilityOptions options;
+    options.dir = dir;
+    options.fsync = FsyncPolicy::kCommit;
+    ASSERT_TRUE(durable.EnableDurability(options).ok());
+    ASSERT_TRUE(
+        durable.DefineView(rig.definition, Warehouse::CacheMode::kFull).ok());
+
+    for (size_t i = 0; i < 120; ++i) {
+      ASSERT_TRUE(rig.gen_twin->Step().ok());
+      ASSERT_TRUE(rig.gen_durable->Step().ok());
+      if ((i + 1) % 25 == 0) {
+        ASSERT_TRUE(rig.twin->ProcessPendingBatch().ok());
+        ASSERT_TRUE(durable.ProcessPendingBatch().ok());
+      }
+    }
+    ASSERT_TRUE(rig.twin->ProcessPendingBatch().ok());
+    ASSERT_TRUE(durable.ProcessPendingBatch().ok());
+    EXPECT_GT(durable.durability_stats().events_logged, 0);
+    EXPECT_GT(durable.durability_stats().deltas_logged, 0);
+    EXPECT_GT(durable.durability_stats().commits_logged, 0);
+
+    // Graceful shutdown: checkpoint at a quiescent point, then destroy.
+    ASSERT_TRUE(durable.WriteCheckpoint().ok());
+    EXPECT_EQ(StoreToString(store_d), StoreToString(rig.store_twin));
+    twin_watermark = rig.twin->monitor()->last_sequence();
+    EXPECT_EQ(durable.monitor()->last_sequence(), twin_watermark);
+  }
+
+  // Recover into a fresh warehouse over the same (surviving) source.
+  ObjectStore store_r;
+  Warehouse recovered(&store_r);
+  ASSERT_TRUE(recovered
+                  .ConnectSource(&rig.source_durable, rig.root,
+                                 ReportingLevel::kWithValues)
+                  .ok());
+  recovered.set_deferred(true);
+  Warehouse::DurabilityOptions options;
+  options.dir = dir;
+  ASSERT_TRUE(recovered.EnableDurability(options).ok());
+
+  const Warehouse::RecoveryReport& report = recovered.recovery_report();
+  EXPECT_TRUE(report.recovered_checkpoint);
+  EXPECT_EQ(report.views_restored, 1u);
+  EXPECT_EQ(report.deltas_redone, 0u);     // checkpoint was the last action
+  EXPECT_EQ(report.events_replayed, 0u);
+  EXPECT_TRUE(report.caches_reloaded);     // clean path: image bytes reused
+  EXPECT_FALSE(report.log_torn);
+  // The clean fast path recovers without a single source query.
+  EXPECT_EQ(recovered.costs().source_queries.load(), 0);
+  EXPECT_EQ(recovered.costs().cache_maintenance_queries.load(), 0);
+
+  ASSERT_NO_FATAL_FAILURE(rig.ExpectConverged(recovered, store_r));
+  EXPECT_EQ(recovered.monitor()->last_sequence(), twin_watermark);
+
+  // Watermark continuity: post-recovery events keep integrating seamlessly.
+  for (size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(rig.gen_twin->Step().ok());
+    ASSERT_TRUE(rig.gen_durable->Step().ok());
+  }
+  ASSERT_TRUE(rig.twin->ProcessPendingBatch().ok());
+  ASSERT_TRUE(recovered.ProcessPendingBatch().ok());
+  EXPECT_EQ(recovered.costs().events_duplicate_dropped.load(), 0);
+  EXPECT_EQ(recovered.costs().events_gap_detected.load(), 0);
+  ASSERT_NO_FATAL_FAILURE(rig.ExpectConverged(recovered, store_r));
+}
+
+TEST(WarehouseDurabilityTest, UncommittedTailReplaysThroughLiveMaintenance) {
+  std::string dir = TempDir("tail_replay");
+  TwinRig rig;
+  ASSERT_NO_FATAL_FAILURE(rig.Init(/*tree_seed=*/13, /*update_seed=*/307));
+
+  {
+    ObjectStore store_d;
+    Warehouse durable(&store_d);
+    ASSERT_TRUE(durable
+                    .ConnectSource(&rig.source_durable, rig.root,
+                                   ReportingLevel::kWithValues)
+                    .ok());
+    durable.set_deferred(true);
+    Warehouse::DurabilityOptions options;
+    options.dir = dir;
+    ASSERT_TRUE(durable.EnableDurability(options).ok());
+    ASSERT_TRUE(
+        durable.DefineView(rig.definition, Warehouse::CacheMode::kFull).ok());
+    for (size_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(rig.gen_durable->Step().ok());
+    }
+    ASSERT_TRUE(durable.ProcessPendingBatch().ok());
+    // Ten more accepted (and logged) events, never drained: the process
+    // "dies" with an uncommitted tail in the log.
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(rig.gen_durable->Step().ok());
+    }
+    EXPECT_EQ(durable.pending_events(), 10u);
+  }
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(rig.gen_twin->Step().ok());
+  }
+  ASSERT_TRUE(rig.twin->ProcessPendingBatch().ok());
+
+  ObjectStore store_r;
+  Warehouse recovered(&store_r);
+  ASSERT_TRUE(recovered
+                  .ConnectSource(&rig.source_durable, rig.root,
+                                 ReportingLevel::kWithValues)
+                  .ok());
+  recovered.set_deferred(true);
+  Warehouse::DurabilityOptions options;
+  options.dir = dir;
+  ASSERT_TRUE(recovered.EnableDurability(options).ok());
+
+  const Warehouse::RecoveryReport& report = recovered.recovery_report();
+  EXPECT_FALSE(report.log_torn);
+  EXPECT_EQ(report.views_redefined, 1u);  // no checkpoint: kViewDef redo
+  EXPECT_GT(report.deltas_redone, 0u);
+  EXPECT_EQ(report.events_replayed, 10u);
+  ASSERT_NO_FATAL_FAILURE(rig.ExpectConverged(recovered, store_r));
+}
+
+// The headline property test: kill the warehouse at an arbitrary byte of
+// its WAL stream — mid-event, mid-delta, mid-commit, mid-batch — recover,
+// finish the workload, and the result is byte-identical to the twin.
+TEST(WarehouseDurabilityTest, RandomizedKillMidBatchConvergesByteIdentical) {
+  constexpr size_t kUpdates = 150;
+  constexpr size_t kDrainEvery = 7;
+
+  // Probe run: how many WAL bytes does the full workload produce?
+  int64_t total_bytes = 0;
+  {
+    std::string dir = TempDir("kill_probe");
+    TwinRig rig;
+    ASSERT_NO_FATAL_FAILURE(rig.Init(/*tree_seed=*/17, /*update_seed=*/501));
+    ObjectStore store_d;
+    Warehouse durable(&store_d);
+    ASSERT_TRUE(durable
+                    .ConnectSource(&rig.source_durable, rig.root,
+                                   ReportingLevel::kWithValues)
+                    .ok());
+    durable.set_deferred(true);
+    Warehouse::DurabilityOptions options;
+    options.dir = dir;
+    ASSERT_TRUE(durable.EnableDurability(options).ok());
+    ASSERT_TRUE(
+        durable.DefineView(rig.definition, Warehouse::CacheMode::kFull).ok());
+    for (size_t i = 0; i < kUpdates; ++i) {
+      ASSERT_TRUE(rig.gen_durable->Step().ok());
+      if ((i + 1) % kDrainEvery == 0) {
+        ASSERT_TRUE(durable.ProcessPendingBatch().ok());
+      }
+    }
+    ASSERT_TRUE(durable.ProcessPendingBatch().ok());
+    total_bytes = durable.wal()->bytes_written();
+    std::filesystem::remove_all(dir);
+  }
+  ASSERT_GT(total_bytes, 0);
+
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    SCOPED_TRACE("iteration " + std::to_string(iteration));
+    // Odd twentieths plus a small skew: crash points spread across the
+    // whole stream and land at varying offsets within records.
+    int64_t budget =
+        total_bytes * (2 * iteration + 1) / 20 + 3 * iteration + 1;
+    std::string dir = TempDir("kill_" + std::to_string(iteration));
+
+    TwinRig rig;
+    ASSERT_NO_FATAL_FAILURE(rig.Init(/*tree_seed=*/17, /*update_seed=*/501));
+
+    Warehouse::DurabilityOptions options;
+    options.dir = dir;
+    options.fsync = FsyncPolicy::kCommit;
+    options.checkpoint_interval_events = 40;
+
+    size_t applied = 0;
+    bool crashed = false;
+    {
+      ObjectStore store_d;
+      Warehouse durable(&store_d);
+      ASSERT_TRUE(durable
+                      .ConnectSource(&rig.source_durable, rig.root,
+                                     ReportingLevel::kWithValues)
+                      .ok());
+      durable.set_deferred(true);
+      ASSERT_TRUE(durable.EnableDurability(options).ok());
+      ASSERT_TRUE(
+          durable.DefineView(rig.definition, Warehouse::CacheMode::kFull)
+              .ok());
+      durable.wal()->set_crash_after_bytes(budget);
+      while (applied < kUpdates) {
+        ASSERT_TRUE(rig.gen_durable->Step().ok());
+        ++applied;
+        if (durable.wal()->crashed()) {
+          crashed = true;
+          break;
+        }
+        if (applied % kDrainEvery == 0) {
+          durable.ProcessPendingBatch();  // errors surface via last_status_
+          if (durable.wal()->crashed()) {
+            crashed = true;
+            break;
+          }
+        }
+      }
+      // The dead warehouse is simply abandoned here (destructor only
+      // detaches the monitor — exactly what a process death would leave).
+    }
+
+    // Twin processes the identical full workload, uninterrupted.
+    for (size_t i = 0; i < kUpdates; ++i) {
+      ASSERT_TRUE(rig.gen_twin->Step().ok());
+      if ((i + 1) % kDrainEvery == 0) {
+        ASSERT_TRUE(rig.twin->ProcessPendingBatch().ok());
+      }
+    }
+    ASSERT_TRUE(rig.twin->ProcessPendingBatch().ok());
+
+    // Recover and finish the workload.
+    ObjectStore store_r;
+    Warehouse recovered(&store_r);
+    ASSERT_TRUE(recovered
+                    .ConnectSource(&rig.source_durable, rig.root,
+                                   ReportingLevel::kWithValues)
+                    .ok());
+    recovered.set_deferred(true);
+    Warehouse::DurabilityOptions resume = options;
+    ASSERT_TRUE(recovered.EnableDurability(resume).ok())
+        << recovered.last_status().ToString();
+    if (crashed) {
+      // A crash mid-write must be visible as a torn log (and trigger the
+      // quarantine+resync fallback) unless it cut exactly between records.
+      SCOPED_TRACE(recovered.recovery_report().log_torn ? "torn" : "clean");
+    }
+    while (applied < kUpdates) {
+      ASSERT_TRUE(rig.gen_durable->Step().ok());
+      ++applied;
+      if (applied % kDrainEvery == 0) {
+        ASSERT_TRUE(recovered.ProcessPendingBatch().ok())
+            << recovered.last_status().ToString();
+      }
+    }
+    ASSERT_TRUE(recovered.ProcessPendingBatch().ok());
+    ASSERT_EQ(recovered.stale_view_count(), 0u);
+
+    ASSERT_NO_FATAL_FAILURE(rig.ExpectConverged(recovered, store_r));
+  }
+}
+
+}  // namespace
+}  // namespace gsv

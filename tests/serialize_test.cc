@@ -60,6 +60,68 @@ TEST(SerializeTest, RoundTripsGeneratedTree) {
   EXPECT_EQ(loaded.size(), store.size());
 }
 
+TEST(SerializeTest, RoundTripsDagWithSharedChildren) {
+  // A diamond: two parents share a child, and a deeper node is reachable
+  // along both arms — serialization must preserve the sharing, not expand
+  // it into a tree.
+  ObjectStore store;
+  ASSERT_TRUE(store.PutAtomic(Oid("D.leaf"), "age", Value::Int(9)).ok());
+  ASSERT_TRUE(store.PutSet(Oid("D.l"), "left", {Oid("D.leaf")}).ok());
+  ASSERT_TRUE(store.PutSet(Oid("D.r"), "right", {Oid("D.leaf")}).ok());
+  ASSERT_TRUE(store.PutSet(Oid("D"), "root", {Oid("D.l"), Oid("D.r")}).ok());
+  ASSERT_TRUE(store.RegisterDatabase("diamond", Oid("D")).ok());
+
+  std::string text = StoreToString(store);
+  ObjectStore loaded;
+  ASSERT_TRUE(StoreFromString(text, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 4u);
+  EXPECT_TRUE(loaded.Get(Oid("D.l"))->children().Contains(Oid("D.leaf")));
+  EXPECT_TRUE(loaded.Get(Oid("D.r"))->children().Contains(Oid("D.leaf")));
+  // Both arms resolve to the SAME object, and the canonical form is stable.
+  EXPECT_EQ(loaded.Get(Oid("D.leaf")), loaded.Get(Oid("D.leaf")));
+  EXPECT_EQ(StoreToString(loaded), text);
+}
+
+TEST(SerializeTest, RoundTripsCyclicStore) {
+  // OEM graphs may contain cycles (§2); the writer emits plain edge lists,
+  // so a cycle must survive a round trip without recursion or expansion.
+  ObjectStore store;
+  ASSERT_TRUE(store.PutSet(Oid("C.a"), "a").ok());
+  ASSERT_TRUE(store.PutSet(Oid("C.b"), "b").ok());
+  ASSERT_TRUE(store.AddChildRaw(Oid("C.a"), Oid("C.b")).ok());
+  ASSERT_TRUE(store.AddChildRaw(Oid("C.b"), Oid("C.a")).ok());  // back edge
+  ASSERT_TRUE(store.AddChildRaw(Oid("C.a"), Oid("C.a")).ok());  // self loop
+
+  std::string text = StoreToString(store);
+  ObjectStore loaded;
+  ASSERT_TRUE(StoreFromString(text, &loaded).ok());
+  EXPECT_TRUE(loaded.Get(Oid("C.a"))->children().Contains(Oid("C.b")));
+  EXPECT_TRUE(loaded.Get(Oid("C.a"))->children().Contains(Oid("C.a")));
+  EXPECT_TRUE(loaded.Get(Oid("C.b"))->children().Contains(Oid("C.a")));
+  EXPECT_EQ(StoreToString(loaded), text);
+}
+
+TEST(SerializeTest, RoundTripsDelegateOids) {
+  // Delegate OIDs ("MV.P1" style, from Oid::Delegate) are ordinary interned
+  // strings; a serialized view store must restore them verbatim, including
+  // edges from the view object to its delegates.
+  ObjectStore store;
+  Oid member = Oid("P1");
+  Oid delegate = Oid::Delegate(Oid("MV"), member);
+  ASSERT_TRUE(store.PutAtomic(delegate, "person", Value::Int(30)).ok());
+  ASSERT_TRUE(store.PutSet(Oid("MV"), "mview", {delegate}).ok());
+  ASSERT_TRUE(store.RegisterDatabase("MV", Oid("MV")).ok());
+
+  std::string text = StoreToString(store);
+  ObjectStore loaded;
+  ASSERT_TRUE(StoreFromString(text, &loaded).ok());
+  const Object* copy = loaded.Get(Oid::Delegate(Oid("MV"), member));
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->value().AsInt(), 30);
+  EXPECT_TRUE(loaded.Get(Oid("MV"))->children().Contains(delegate));
+  EXPECT_EQ(StoreToString(loaded), text);
+}
+
 TEST(SerializeTest, IgnoresCommentsAndBlankLines) {
   ObjectStore store;
   ASSERT_TRUE(StoreFromString("# header\n\nobj A lab int 1\n\n", &store).ok());

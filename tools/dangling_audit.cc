@@ -4,33 +4,59 @@
 // deliberately omits them, so an audit is how an operator checks a store
 // whose history is unknown.
 //
-// Usage: dangling_audit <store.gsv>
-// Exit status: 0 when clean, 1 when dangling edges were found, 2 on error.
+// Usage: dangling_audit [--quiet] <store.gsv> [<store.gsv> ...]
+// Exit status: 0 when every store is clean, 1 when any store has dangling
+// edges, 2 on error — so a CI stage can gate on the audit directly. With
+// --quiet only failing stores print.
 
 #include <cstdio>
+#include <cstring>
 
 #include "oem/serialize.h"
 #include "oem/store.h"
 
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <store.gsv>\n", argv[0]);
-    return 2;
-  }
+namespace {
+
+// 0 clean, 1 dangling, 2 load error.
+int AuditOne(const char* path, bool quiet) {
   gsv::ObjectStore store;
-  gsv::Status loaded = gsv::LoadStoreFromFile(argv[1], &store);
+  gsv::Status loaded = gsv::LoadStoreFromFile(path, &store);
   if (!loaded.ok()) {
-    std::fprintf(stderr, "failed to load %s: %s\n", argv[1],
+    std::fprintf(stderr, "failed to load %s: %s\n", path,
                  loaded.ToString().c_str());
     return 2;
   }
 
   std::vector<gsv::DanglingEdge> dangling = store.AuditDanglingEdges();
-  std::printf("%s: %zu objects, %zu dangling edge(s)\n", argv[1],
-              store.size(), dangling.size());
+  if (!quiet || !dangling.empty()) {
+    std::printf("%s: %zu objects, %zu dangling edge(s)\n", path, store.size(),
+                dangling.size());
+  }
   for (const gsv::DanglingEdge& edge : dangling) {
     std::printf("  %s -> %s (child missing)\n", edge.parent.str().c_str(),
                 edge.child.str().c_str());
   }
   return dangling.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  int first = 1;
+  if (first < argc && std::strcmp(argv[first], "--quiet") == 0) {
+    quiet = true;
+    ++first;
+  }
+  if (first >= argc) {
+    std::fprintf(stderr, "usage: %s [--quiet] <store.gsv> [<store.gsv> ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  int worst = 0;
+  for (int i = first; i < argc; ++i) {
+    int result = AuditOne(argv[i], quiet);
+    if (result > worst) worst = result;
+  }
+  return worst;
 }
