@@ -27,6 +27,10 @@ echo "=== recovery-smoke: checkpoint+WAL restart floor (E16 --smoke, 1.5x bar) =
 ./build/bench/exp16_recovery --smoke
 
 echo
+echo "=== perf-smoke: shard scaling floor (E17 --smoke, 1.5x bar) ==="
+./build/bench/exp17_shard_scaling --smoke
+
+echo
 echo "=== asan: robustness + fault-injection + durability tests under address;undefined ==="
 cmake -B build-asan -S . -DGSV_SANITIZE="address;undefined" >/dev/null
 cmake --build build-asan -j "${JOBS}" --target gsv_robustness_test \

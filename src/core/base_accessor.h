@@ -78,6 +78,21 @@ class BaseAccessor {
   Stats stats_;
 };
 
+// Batched predicate existence check over the candidate frontier of an
+// indexed eval: `ids` (sorted ascending, unique, all carrying `label`) came
+// out of IndexEvalPathIds. Instead of a Get+Holds round trip per id, one
+// monotone sweep over the label's value postings answers every candidate
+// whose value is a bucketable integer — only candidates the buckets cannot
+// speak for (reals, strings, out-of-range ints, which CompareValues may
+// still satisfy numerically) fall back to the store. Exact for every
+// predicate shape; non-window shapes (kNe, non-integer literals) degrade to
+// the per-id loop internally.
+bool AnyCandidateSatisfies(const ObjectStore& store,
+                           const LabelIndexSnapshot& snapshot,
+                           const std::vector<uint32_t>& ids,
+                           const std::string& label, const Predicate& pred,
+                           StoreMetrics* metrics);
+
 // Direct implementation over a local ObjectStore (centralized system, §4).
 class LocalAccessor : public BaseAccessor {
  public:

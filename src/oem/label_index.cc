@@ -93,6 +93,23 @@ const Postings* LabelIndexSnapshot::UpAny(
   return it == shard->up_any.end() ? nullptr : &it->second;
 }
 
+const Postings* LabelIndexSnapshot::Values(const std::string& label) const {
+  const IndexShard* shard =
+      shards[std::hash<std::string>{}(label) % kIndexShards].get();
+  if (shard == nullptr) return nullptr;
+  auto it = shard->values.find(label);
+  return it == shard->values.end() ? nullptr : &it->second;
+}
+
+const Postings* LabelIndexSnapshot::ValuesOther(
+    const std::string& label) const {
+  const IndexShard* shard =
+      shards[std::hash<std::string>{}(label) % kIndexShards].get();
+  if (shard == nullptr) return nullptr;
+  auto it = shard->values_other.find(label);
+  return it == shard->values_other.end() ? nullptr : &it->second;
+}
+
 IndexShard& LabelIndex::Dirty(const std::string& label) {
   int shard = ShardOf(label);
   dirty_mask_ |= 1u << shard;
@@ -109,6 +126,36 @@ void LabelIndex::RemoveObject(const std::string& label, uint32_t oid) {
   if (it == shard.labels.end()) return;
   it->second.Erase(oid);
   if (it->second.Empty()) shard.labels.erase(it);
+}
+
+void LabelIndex::AddValue(const std::string& label, uint32_t oid,
+                          const Value& value) {
+  if (value.IsSet()) return;
+  IndexShard& shard = Dirty(label);
+  uint32_t bucket = 0;
+  if (ValueBucketOf(value, &bucket)) {
+    shard.values[label].Add(PackPair(oid, bucket));
+  } else {
+    shard.values_other[label].Add(oid);
+  }
+}
+
+void LabelIndex::RemoveValue(const std::string& label, uint32_t oid,
+                             const Value& value) {
+  if (value.IsSet()) return;
+  IndexShard& shard = Dirty(label);
+  uint32_t bucket = 0;
+  if (ValueBucketOf(value, &bucket)) {
+    auto it = shard.values.find(label);
+    if (it == shard.values.end()) return;
+    it->second.Erase(PackPair(oid, bucket));
+    if (it->second.Empty()) shard.values.erase(it);
+  } else {
+    auto it = shard.values_other.find(label);
+    if (it == shard.values_other.end()) return;
+    it->second.Erase(oid);
+    if (it->second.Empty()) shard.values_other.erase(it);
+  }
 }
 
 // Step buckets and up_any both live in the child label's shard, so one edge

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "oem/value.h"
+
 namespace gsv {
 
 // Incrementally maintained label/path indexes (§4.4 generalised).
@@ -44,6 +46,22 @@ inline uint64_t PackPair(uint32_t hi, uint32_t lo) {
 inline uint32_t PairHi(uint64_t v) { return static_cast<uint32_t>(v >> 32); }
 inline uint32_t PairLo(uint64_t v) {
   return static_cast<uint32_t>(v & 0xffffffffu);
+}
+
+// Order-preserving bucket of an atomic integer value that fits in 32 bits:
+// bucket(v) = v - INT32_MIN, a bijection on [INT32_MIN, INT32_MAX]. Value
+// postings pack (oid id << 32 | bucket), so one monotone posting sweep over
+// a sorted candidate frontier answers a comparison predicate for every
+// in-range integer without fetching a single object. Returns false for
+// anything else (sets, reals, strings, bools, out-of-range ints) — those
+// values are tracked in the `values_other` postings and confirmed against
+// the store individually.
+inline bool ValueBucketOf(const Value& value, uint32_t* bucket) {
+  if (value.type() != ValueType::kInt) return false;
+  int64_t v = value.AsInt();
+  if (v < INT32_MIN || v > INT32_MAX) return false;
+  *bucket = static_cast<uint32_t>(v - INT32_MIN);
+  return true;
 }
 
 // An LSM-lite posting list: a shared immutable sorted base plus small sorted
@@ -222,6 +240,12 @@ struct IndexShard {
   std::unordered_map<std::string, Postings> labels;  // label -> oid ids
   std::unordered_map<StepKey, StepBucket, StepKeyHash, StepKeyEqual> steps;
   std::unordered_map<std::string, Postings> up_any;  // child label -> up edges
+  // Value postings (per label): (oid id << 32 | bucket) for bucketable
+  // atomic integers, and plain oid ids for other atomic values. Together
+  // they make predicate rechecks a posting sweep instead of a per-id
+  // Get+Holds loop; ids absent from both are set objects.
+  std::unordered_map<std::string, Postings> values;
+  std::unordered_map<std::string, Postings> values_other;
 };
 
 inline constexpr int kIndexShards = 16;
@@ -238,6 +262,8 @@ struct LabelIndexSnapshot {
   const StepBucket* Step(std::string_view parent_label,
                          std::string_view child_label) const;
   const Postings* UpAny(const std::string& child_label) const;
+  const Postings* Values(const std::string& label) const;
+  const Postings* ValuesOther(const std::string& label) const;
 };
 
 using LabelIndexSnapshotPtr = std::shared_ptr<const LabelIndexSnapshot>;
@@ -252,6 +278,10 @@ class LabelIndex {
                const std::string& child_label, uint32_t child);
   void RemoveEdge(const std::string& parent_label, uint32_t parent,
                   const std::string& child_label, uint32_t child);
+  // Value-posting hooks for atomic objects (no-ops for set values). The
+  // store calls them alongside AddObject/RemoveObject and on every modify.
+  void AddValue(const std::string& label, uint32_t oid, const Value& value);
+  void RemoveValue(const std::string& label, uint32_t oid, const Value& value);
 
   // Installs a new immutable snapshot if anything changed since the last
   // publish. Clean shards are shared with the previous snapshot; dirty ones

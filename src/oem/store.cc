@@ -213,6 +213,11 @@ Status ObjectStore::Modify(const Oid& oid, Value new_value) {
     return Status::InvalidArgument("modify: new value must be atomic");
   }
   Value old_value = it->second.value();
+  if (options_.enable_label_index) {
+    label_index_.RemoveValue(it->second.label(), oid.id(), old_value);
+    label_index_.AddValue(it->second.label(), oid.id(), new_value);
+    label_index_.Publish();  // listeners must probe the post-update epoch
+  }
   it->second.mutable_value() = new_value;
   Notify(Update::Modify(oid, std::move(old_value), std::move(new_value)));
   return Status::Ok();
@@ -337,6 +342,10 @@ Status ObjectStore::SetValueRaw(const Oid& oid, Value value) {
     }
     if (options_.enable_parent_index) UnindexChildren(it->second);
   }
+  if (options_.enable_label_index) {
+    label_index_.RemoveValue(it->second.label(), oid.id(), it->second.value());
+    label_index_.AddValue(it->second.label(), oid.id(), value);
+  }
   it->second.mutable_value() = std::move(value);
   if (it->second.IsSet()) {
     if (options_.enable_parent_index) IndexChildren(it->second);
@@ -449,6 +458,7 @@ const Object* ObjectStore::RawGet(const Oid& oid) const {
 
 void ObjectStore::LabelIndexPutObject(const Object& object) {
   label_index_.AddObject(object.label(), object.oid().id());
+  label_index_.AddValue(object.label(), object.oid().id(), object.value());
   if (object.IsSet()) {
     for (const Oid& child : object.children()) {
       LabelIndexAddEdge(object, child);
@@ -471,6 +481,7 @@ void ObjectStore::LabelIndexPutObject(const Object& object) {
 
 void ObjectStore::LabelIndexRemoveObject(const Object& object) {
   label_index_.RemoveObject(object.label(), object.oid().id());
+  label_index_.RemoveValue(object.label(), object.oid().id(), object.value());
   if (object.IsSet()) {
     for (const Oid& child : object.children()) {
       LabelIndexRemoveEdge(object, child);

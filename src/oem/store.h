@@ -45,6 +45,23 @@ struct StoreMetrics {
   }
 
   void Reset() { *this = StoreMetrics(); }
+
+  // Adds `other`'s counters into this sheet (relaxed). A sharded warehouse
+  // keeps one delegate store per shard; whole-warehouse reporting merges
+  // their metrics instead of quoting shard 0.
+  StoreMetrics& Merge(const StoreMetrics& other) {
+    auto add = [](std::atomic<int64_t>* into, const std::atomic<int64_t>& from) {
+      into->fetch_add(from.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    };
+    add(&edges_traversed, other.edges_traversed);
+    add(&parent_lookups, other.parent_lookups);
+    add(&objects_scanned, other.objects_scanned);
+    add(&lookups, other.lookups);
+    add(&index_probes, other.index_probes);
+    add(&index_fallbacks, other.index_fallbacks);
+    return *this;
+  }
 };
 
 // An edge whose child OID no longer resolves to an object.

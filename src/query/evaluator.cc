@@ -73,6 +73,29 @@ Result<OidSet> EvaluateQueryText(const ObjectStore& store,
   return EvaluateQuery(store, query);
 }
 
+std::vector<Oid> MergeSortedOidRuns(std::vector<std::vector<Oid>> runs) {
+  std::vector<Oid> merged;
+  size_t total = 0;
+  for (const std::vector<Oid>& run : runs) total += run.size();
+  merged.reserve(total);
+  // K stays tiny (shard counts), so a linear scan over the run heads beats
+  // a heap and keeps the merge allocation-free past the reserve.
+  std::vector<size_t> heads(runs.size(), 0);
+  for (;;) {
+    size_t best = runs.size();
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (heads[i] >= runs[i].size()) continue;
+      if (best == runs.size() || runs[i][heads[i]] < runs[best][heads[best]]) {
+        best = i;
+      }
+    }
+    if (best == runs.size()) break;
+    const Oid& next = runs[best][heads[best]++];
+    if (merged.empty() || merged.back() != next) merged.push_back(next);
+  }
+  return merged;
+}
+
 Object MakeAnswerObject(const Oid& ans_oid, const OidSet& answer) {
   return Object(ans_oid, "answer", Value::Set(answer));
 }

@@ -46,6 +46,13 @@ Result<OidSet> EvaluateQuery(const ObjectStore& store, const Query& query,
 Result<OidSet> EvaluateQueryText(const ObjectStore& store,
                                  std::string_view text);
 
+// K-way merge of individually sorted (lexicographic, duplicate-free) OID
+// runs into one sorted, duplicate-free answer — the merge half of a
+// sharded view read, where each shard contributes the slice of members it
+// owns. Slices of a partitioned view are disjoint, so the merge of K runs
+// is byte-identical to the single run a 1-shard warehouse produces.
+std::vector<Oid> MergeSortedOidRuns(std::vector<std::vector<Oid>> runs);
+
 // Wraps an answer set as the paper's answer object
 // <ans_oid, answer, set, value(ANS)> (§2). Does not insert it anywhere.
 Object MakeAnswerObject(const Oid& ans_oid, const OidSet& answer);

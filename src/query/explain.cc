@@ -140,4 +140,21 @@ Result<QueryExplanation> ExplainQueryText(const ObjectStore& store,
   return ExplainQuery(store, query);
 }
 
+std::string ShardedViewExplanation::ToString() const {
+  std::ostringstream out;
+  out << "sharded view '" << view << "': " << total_members << " member"
+      << (total_members == 1 ? "" : "s") << " across " << shards << " shard"
+      << (shards == 1 ? "" : "s") << "\n";
+  out << "  fan-out: per-shard slices [";
+  for (size_t i = 0; i < members_per_shard.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << members_per_shard[i];
+  }
+  out << "], k-way merged in lexicographic OID order\n";
+  out << "  cross-shard traffic: " << cross_shard_exports << " exported, "
+      << cross_shard_applies << " applied, " << cross_shard_probes
+      << " membership probes\n";
+  return out.str();
+}
+
 }  // namespace gsv

@@ -48,6 +48,23 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
 Result<QueryExplanation> ExplainQueryText(const ObjectStore& store,
                                           std::string_view text);
 
+// Fan-out account of one sharded view read: how many members each shard's
+// slice contributed to the k-way merge, plus the warehouse's cumulative
+// cross-shard traffic. ShardedWarehouse::ExplainView fills it; the bench
+// and the shell print it.
+struct ShardedViewExplanation {
+  std::string view;
+  uint32_t shards = 0;
+  size_t total_members = 0;
+  std::vector<size_t> members_per_shard;
+  // Cumulative cross-shard maintenance traffic (merged WarehouseCosts).
+  int64_t cross_shard_exports = 0;
+  int64_t cross_shard_applies = 0;
+  int64_t cross_shard_probes = 0;
+
+  std::string ToString() const;
+};
+
 }  // namespace gsv
 
 #endif  // GSV_QUERY_EXPLAIN_H_

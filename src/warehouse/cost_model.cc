@@ -4,6 +4,42 @@
 
 namespace gsv {
 
+namespace {
+void Accumulate(std::atomic<int64_t>* into, const std::atomic<int64_t>& from) {
+  into->fetch_add(from.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+}
+}  // namespace
+
+WarehouseCosts& WarehouseCosts::Merge(const WarehouseCosts& other) {
+  Accumulate(&events_received, other.events_received);
+  Accumulate(&events_screened_out, other.events_screened_out);
+  Accumulate(&events_local_only, other.events_local_only);
+  Accumulate(&events_coalesced, other.events_coalesced);
+  Accumulate(&source_queries, other.source_queries);
+  Accumulate(&objects_shipped, other.objects_shipped);
+  Accumulate(&values_shipped, other.values_shipped);
+  Accumulate(&cache_maintenance_queries, other.cache_maintenance_queries);
+  Accumulate(&cache_hits, other.cache_hits);
+  Accumulate(&cache_misses, other.cache_misses);
+  Accumulate(&index_probes, other.index_probes);
+  Accumulate(&index_fallbacks, other.index_fallbacks);
+  Accumulate(&events_duplicate_dropped, other.events_duplicate_dropped);
+  Accumulate(&events_gap_detected, other.events_gap_detected);
+  Accumulate(&events_buffered_stale, other.events_buffered_stale);
+  Accumulate(&wrapper_retries, other.wrapper_retries);
+  Accumulate(&wrapper_failures, other.wrapper_failures);
+  Accumulate(&breaker_trips, other.breaker_trips);
+  Accumulate(&breaker_rejections, other.breaker_rejections);
+  Accumulate(&views_quarantined, other.views_quarantined);
+  Accumulate(&view_resyncs, other.view_resyncs);
+  Accumulate(&resync_failures, other.resync_failures);
+  Accumulate(&cross_shard_exports, other.cross_shard_exports);
+  Accumulate(&cross_shard_applies, other.cross_shard_applies);
+  Accumulate(&cross_shard_probes, other.cross_shard_probes);
+  return *this;
+}
+
 std::string WarehouseCosts::ToString() const {
   std::ostringstream out;
   out << "events=" << events_received
@@ -34,6 +70,12 @@ std::string WarehouseCosts::ToString() const {
         << " quarantined=" << views_quarantined
         << " resyncs=" << view_resyncs
         << " resync_failures=" << resync_failures;
+  }
+  if (cross_shard_exports > 0 || cross_shard_applies > 0 ||
+      cross_shard_probes > 0) {
+    out << " xshard_exports=" << cross_shard_exports
+        << " xshard_applies=" << cross_shard_applies
+        << " xshard_probes=" << cross_shard_probes;
   }
   return out.str();
 }

@@ -47,6 +47,11 @@ struct WarehouseCosts {
   std::atomic<int64_t> view_resyncs{0};          // successful resyncs
   std::atomic<int64_t> resync_failures{0};       // resync attempts that died
 
+  // Cross-shard maintenance (sharded warehouse only; zero otherwise).
+  std::atomic<int64_t> cross_shard_exports{0};  // view ops routed to peers
+  std::atomic<int64_t> cross_shard_applies{0};  // peer ops applied here
+  std::atomic<int64_t> cross_shard_probes{0};   // foreign membership lookups
+
   WarehouseCosts() = default;
   WarehouseCosts(const WarehouseCosts& other) { *this = other; }
   WarehouseCosts& operator=(const WarehouseCosts& other) {
@@ -82,10 +87,22 @@ struct WarehouseCosts {
         other.views_quarantined.load(std::memory_order_relaxed);
     view_resyncs = other.view_resyncs.load(std::memory_order_relaxed);
     resync_failures = other.resync_failures.load(std::memory_order_relaxed);
+    cross_shard_exports =
+        other.cross_shard_exports.load(std::memory_order_relaxed);
+    cross_shard_applies =
+        other.cross_shard_applies.load(std::memory_order_relaxed);
+    cross_shard_probes =
+        other.cross_shard_probes.load(std::memory_order_relaxed);
     return *this;
   }
 
   void Reset() { *this = WarehouseCosts(); }
+
+  // Adds `other`'s counters into this sheet (relaxed loads and adds). A
+  // sharded warehouse keeps one sheet per shard; explain and the benches
+  // merge them so reported totals cover the whole warehouse, not shard 0.
+  WarehouseCosts& Merge(const WarehouseCosts& other);
+
   std::string ToString() const;
 };
 

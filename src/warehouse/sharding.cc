@@ -1,0 +1,25 @@
+#include "warehouse/sharding.h"
+
+#include <utility>
+
+namespace gsv {
+
+std::vector<std::pair<Oid, std::string>> ViewContentLines(
+    const MaterializedView& view) {
+  std::vector<std::pair<Oid, std::string>> lines;
+  const OidSet members = view.BaseMembers();
+  lines.reserve(members.size());
+  // OidSet iterates in lexicographic OID order, so the slice comes out
+  // pre-sorted for the k-way merge.
+  for (const Oid& base : members) {
+    const Object* delegate = view.store().Get(view.DelegateOid(base));
+    std::string text = delegate == nullptr
+                           ? std::string("<missing delegate>")
+                           : delegate->label() + " " +
+                                 delegate->value().ToString();
+    lines.emplace_back(base, std::move(text));
+  }
+  return lines;
+}
+
+}  // namespace gsv

@@ -1,0 +1,176 @@
+#ifndef GSV_WAREHOUSE_SHARDING_H_
+#define GSV_WAREHOUSE_SHARDING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/materialized_view.h"
+#include "core/view_storage.h"
+#include "oem/object.h"
+#include "oem/oid.h"
+#include "oem/update.h"
+#include "warehouse/cost_model.h"
+#include "warehouse/update_event.h"
+
+namespace gsv {
+
+// Shard participation for a partitioned warehouse.
+//
+// The interned 4-byte OID space makes ownership a mask: shard
+// `mix(oid.id()) & (K-1)` owns the object, for K a power of two. Interned
+// ids are dense (allocation order), which follows graph construction order
+// — siblings and cousins sit at *regular strides*, so masking raw ids
+// clusters structurally-related objects (e.g. every leaf-level parent of a
+// uniform tree) onto a couple of residues and starves the other shards. A
+// Fibonacci multiply plus an xor-fold decorrelates the stride before the
+// mask, keeping the split near-uniform for any population. Every shard
+// warehouse materializes exactly the members it owns; the union over
+// shards — disjoint by construction — is the full view, and merging
+// per-shard members in canonical lexicographic OID order reproduces the
+// 1-shard answer byte-for-byte.
+
+inline uint32_t ShardOfOid(const Oid& oid, uint32_t shard_mask) {
+  uint32_t h = oid.id() * 2654435761u;  // 2^32 / golden ratio
+  h ^= h >> 16;                         // fold entropy into the masked bits
+  return h & shard_mask;
+}
+
+// Routing anchor of an update event. Modifies route by the modified
+// object. Inserts and deletes route by the *child*: a long update stream
+// concentrates structural changes on a few hub parents (the root of an
+// eroding tree ends up absorbing a large share of attach/detach traffic),
+// and parent-routing would serialize that share onto one shard; children
+// are diverse (fresh objects, detached subtree roots), so child-routing
+// keeps the load near-uniform. Ordering stays safe: every event on the
+// same edge (N1, N2) shares its anchor, so edge-level insert/delete pairs
+// stay in one per-shard sequence domain, and the evaluating shard exports
+// whatever it derives for members it does not own.
+inline uint32_t RouteShardOf(const UpdateEvent& event, uint32_t shard_mask) {
+  const Oid& anchor = event.child.valid() ? event.child : event.parent;
+  return ShardOfOid(anchor, shard_mask);
+}
+
+// A view operation produced at one shard for a member another shard owns.
+// Maintenance evaluates against the frozen final source state, so the op is
+// correct wherever it lands; the coordinator redistributes outboxes to the
+// owning shards between the evaluation barrier and the verification sweep.
+struct ForeignViewOp {
+  enum class Kind { kVInsert, kVDelete, kSync };
+  Kind kind = Kind::kVInsert;
+  std::string view;  // view (definition) name, identical across shards
+  Object object;     // kVInsert: the base object to delegate
+  Oid base_oid;      // kVDelete: the member to drop
+  Update update;     // kSync: the base update to propagate into values
+};
+
+// The shard that must apply a foreign op: the owner of the member (or, for
+// syncs, of the updated base object) it targets.
+inline uint32_t OwnerOfOp(const ForeignViewOp& op, uint32_t mask) {
+  switch (op.kind) {
+    case ForeignViewOp::Kind::kVInsert:
+      return ShardOfOid(op.object.oid(), mask);
+    case ForeignViewOp::Kind::kVDelete:
+      return ShardOfOid(op.base_oid, mask);
+    case ForeignViewOp::Kind::kSync:
+      return ShardOfOid(op.update.parent, mask);
+  }
+  return 0;
+}
+
+// Answers cross-shard membership questions. Algorithm 1's delete cases
+// consult ContainsBase on members the evaluating shard may not own ("if Y
+// in MV"); the resolver is the cross-shard accessor stub that answers for
+// the whole warehouse. During a batch drain the coordinator freezes a
+// membership snapshot (evaluation reads a consistent pre-drain state, like
+// any two parallel batch workers); inline dispatch probes the owning shard
+// live.
+class CrossShardResolver {
+ public:
+  virtual ~CrossShardResolver() = default;
+  // True when `base` is currently a member of `view` in any shard.
+  virtual bool ViewContains(const std::string& view, const Oid& base) const = 0;
+};
+
+// ViewStorage decorator that scopes one shard's slice of a view: owned
+// operations go to the wrapped MaterializedView, foreign ones are exported
+// to the shard's outbox, and foreign membership reads go through the
+// resolver. The maintenance stack (Algorithm 1, batch buffers, level-1
+// rechecks) runs unchanged on top of it.
+class ShardScopedStorage : public ViewStorage {
+ public:
+  ShardScopedStorage(MaterializedView* inner, uint32_t shard_index,
+                     uint32_t shard_mask, const CrossShardResolver* resolver,
+                     std::vector<ForeignViewOp>* outbox, WarehouseCosts* costs)
+      : inner_(inner),
+        shard_index_(shard_index),
+        shard_mask_(shard_mask),
+        resolver_(resolver),
+        outbox_(outbox),
+        costs_(costs) {}
+
+  bool Owns(const Oid& base_oid) const {
+    return ShardOfOid(base_oid, shard_mask_) == shard_index_;
+  }
+
+  // ---- ViewStorage ----
+  const Oid& view_oid() const override { return inner_->view_oid(); }
+
+  bool ContainsBase(const Oid& base_oid) const override {
+    if (Owns(base_oid)) return inner_->ContainsBase(base_oid);
+    ++costs_->cross_shard_probes;
+    return resolver_ != nullptr &&
+           resolver_->ViewContains(inner_->def().name(), base_oid);
+  }
+
+  Status VInsert(const Object& base_object) override {
+    if (Owns(base_object.oid())) return inner_->VInsert(base_object);
+    Export(ForeignViewOp::Kind::kVInsert).object = base_object;
+    return Status::Ok();
+  }
+
+  Status VDelete(const Oid& base_oid) override {
+    if (Owns(base_oid)) return inner_->VDelete(base_oid);
+    Export(ForeignViewOp::Kind::kVDelete).base_oid = base_oid;
+    return Status::Ok();
+  }
+
+  OidSet BaseMembers() const override { return inner_->BaseMembers(); }
+
+  Status SyncUpdate(const Update& update) override {
+    if (Owns(update.parent)) return inner_->SyncUpdate(update);
+    Export(ForeignViewOp::Kind::kSync).update = update;
+    return Status::Ok();
+  }
+
+  MaterializedView* inner() { return inner_; }
+
+ private:
+  ForeignViewOp& Export(ForeignViewOp::Kind kind) {
+    ++costs_->cross_shard_exports;
+    ForeignViewOp op;
+    op.kind = kind;
+    op.view = inner_->def().name();
+    outbox_->push_back(std::move(op));
+    return outbox_->back();
+  }
+
+  MaterializedView* inner_;
+  uint32_t shard_index_;
+  uint32_t shard_mask_;
+  const CrossShardResolver* resolver_;
+  std::vector<ForeignViewOp>* outbox_;
+  WarehouseCosts* costs_;
+};
+
+// Canonical per-member content lines of one view slice: (base OID, "label
+// value") in lexicographic base-OID order. The sharded coordinator merges
+// the slices of all shards; a 1-shard warehouse's single slice produces the
+// byte-identical result — the twin tests compare exactly these strings.
+std::vector<std::pair<Oid, std::string>> ViewContentLines(
+    const MaterializedView& view);
+
+}  // namespace gsv
+
+#endif  // GSV_WAREHOUSE_SHARDING_H_

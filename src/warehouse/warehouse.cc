@@ -10,6 +10,22 @@ namespace gsv {
 
 Status Warehouse::ConnectSource(ObjectStore* source, Oid source_root,
                                 ReportingLevel level, std::string name) {
+  return ConnectSourceInternal(source, std::move(source_root), level,
+                               std::move(name), /*install_monitor=*/true);
+}
+
+Status Warehouse::ConnectSourceRouted(ObjectStore* source, Oid source_root,
+                                      std::string name) {
+  // The reporting level rides on the routed events themselves; the entry
+  // only needs the wrapper and the sequence domain.
+  return ConnectSourceInternal(source, std::move(source_root),
+                               ReportingLevel::kWithValues, std::move(name),
+                               /*install_monitor=*/false);
+}
+
+Status Warehouse::ConnectSourceInternal(ObjectStore* source, Oid source_root,
+                                        ReportingLevel level, std::string name,
+                                        bool install_monitor) {
   if (!source->Contains(source_root)) {
     return Status::NotFound("source root " + source_root.str() +
                             " not found at source");
@@ -30,13 +46,128 @@ Status Warehouse::ConnectSource(ObjectStore* source, Oid source_root,
   entry->store = source;
   entry->root = std::move(source_root);
   entry->wrapper = std::make_unique<SourceWrapper>(source, &costs_);
-  size_t index = sources_.size();
-  entry->monitor = std::make_unique<SourceMonitor>(
-      level, entry->root,
-      [this, index](const UpdateEvent& event) { OnEvent(index, event); });
-  source->AddListener(entry->monitor.get());
+  if (install_monitor) {
+    size_t index = sources_.size();
+    entry->monitor = std::make_unique<SourceMonitor>(
+        level, entry->root,
+        [this, index](const UpdateEvent& event) { OnEvent(index, event); });
+    source->AddListener(entry->monitor.get());
+  }
   sources_.push_back(std::move(entry));
   return Status::Ok();
+}
+
+Status Warehouse::BindShard(uint32_t shard_index, uint32_t shard_mask,
+                            const CrossShardResolver* resolver) {
+  if (!views_.empty()) {
+    return Status::FailedPrecondition("BindShard before any DefineView");
+  }
+  if ((shard_index & shard_mask) != shard_index) {
+    return Status::InvalidArgument("shard index outside the mask");
+  }
+  binding_ = ShardBinding{shard_index, shard_mask, resolver};
+  return Status::Ok();
+}
+
+uint64_t Warehouse::last_delivered_sequence(
+    const std::string& source_name) const {
+  for (const auto& source : sources_) {
+    if (source->name == source_name) return source->next_sequence - 1;
+  }
+  return 0;
+}
+
+Status Warehouse::ApplyForeignOps(const std::vector<ForeignViewOp>& ops) {
+  Status first_error;
+  ViewEntry* memo = nullptr;  // producers emit runs of ops on one view
+  for (const ForeignViewOp& op : ops) {
+    // Ops for members other shards own are someone else's to apply. The
+    // coordinator hands every producer outbox to every shard unfiltered —
+    // the scan here is cheap and parallel, where pre-bucketing the ops by
+    // owner would serialize a move of every op on the coordinator.
+    if (binding_.has_value() &&
+        OwnerOfOp(op, binding_->shard_mask) != binding_->shard_index) {
+      continue;
+    }
+    ViewEntry* entry = nullptr;
+    if (memo != nullptr && memo->def.name() == op.view) {
+      entry = memo;
+    } else {
+      for (auto& candidate : views_) {
+        if (candidate->def.name() == op.view) {
+          entry = candidate.get();
+          break;
+        }
+      }
+      memo = entry;
+    }
+    if (entry == nullptr) {
+      if (first_error.ok()) {
+        first_error =
+            Status::NotFound("foreign op for unknown view '" + op.view + "'");
+      }
+      continue;
+    }
+    // A quarantined view skips the op: its post-resync recompute derives
+    // the full current membership, which subsumes anything a peer computed.
+    if (entry->stale) continue;
+    ++costs_.cross_shard_applies;
+    Status status;
+    switch (op.kind) {
+      case ForeignViewOp::Kind::kVInsert:
+        status = entry->view->VInsert(op.object);
+        break;
+      case ForeignViewOp::Kind::kVDelete:
+        status = entry->view->VDelete(op.base_oid);
+        break;
+      case ForeignViewOp::Kind::kSync:
+        status = entry->view->SyncUpdate(op.update);
+        break;
+    }
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  if (!first_error.ok()) last_status_ = first_error;
+  return first_error;
+}
+
+Status Warehouse::RunVerificationSweep() {
+  Status first_error;
+  for (auto& entry : views_) {
+    if (entry->stale) continue;  // swept after resync instead
+    Status status = VerifyMembers(*entry);
+    if (!status.ok()) {
+      if (IsSourceFailure(status)) {
+        Quarantine(*entry, status);
+        continue;
+      }
+      if (first_error.ok()) first_error = status;
+    }
+  }
+  if (!first_error.ok()) last_status_ = first_error;
+  return first_error;
+}
+
+void Warehouse::PruneForeignMembers(ViewEntry& entry, bool export_members) {
+  if (!binding_.has_value()) return;
+  const SourceEntry& source = SourceOf(entry);
+  const OidSet members = entry.view->BaseMembers();
+  for (const Oid& member : members) {
+    if (ShardOfOid(member, binding_->shard_mask) == binding_->shard_index) {
+      continue;
+    }
+    if (export_members) {
+      const Object* object = source.store->Get(member);
+      if (object != nullptr) {
+        ++costs_.cross_shard_exports;
+        ForeignViewOp op;
+        op.kind = ForeignViewOp::Kind::kVInsert;
+        op.view = entry.def.name();
+        op.object = *object;
+        outbox_.push_back(std::move(op));
+      }
+    }
+    entry.view->VDelete(member);
+  }
 }
 
 void Warehouse::SetPathKnowledge(PathKnowledge knowledge) {
@@ -107,16 +238,27 @@ Result<std::unique_ptr<Warehouse::ViewEntry>> Warehouse::BuildViewEntry(
 
   entry->view = std::make_unique<MaterializedView>(store_, def);
   if (cache_mode != CacheMode::kNone) {
+    // Corridor caches hold whole-source subtrees, which cuts across the
+    // ownership partition; a sharded deployment runs cache-less shards.
+    if (binding_.has_value()) {
+      return Status::InvalidArgument(
+          "sharded warehouses support CacheMode::kNone only");
+    }
     entry->cache = std::make_unique<AuxiliaryCache>(
         cache_mode == CacheMode::kFull ? AuxiliaryCache::Mode::kFull
                                        : AuxiliaryCache::Mode::kLabelsOnly,
         source.root, entry->full_path);
   }
+  if (binding_.has_value()) {
+    entry->scoped = std::make_unique<ShardScopedStorage>(
+        entry->view.get(), binding_->shard_index, binding_->shard_mask,
+        binding_->resolver, &outbox_, &costs_);
+  }
   entry->accessor =
       std::make_unique<RemoteAccessor>(source.wrapper.get(), &costs_);
   if (entry->cache != nullptr) entry->accessor->set_cache(entry->cache.get());
   entry->maintainer = std::make_unique<Algorithm1Maintainer>(
-      entry->view.get(), entry->accessor.get(), def, source.root);
+      entry->storage(), entry->accessor.get(), def, source.root);
   return entry;
 }
 
@@ -142,6 +284,9 @@ Status Warehouse::DefineView(std::string_view definition,
   // setup, not of incremental maintenance (§4 assumes an initially correct
   // materialized view).
   GSV_RETURN_IF_ERROR(entry->view->Initialize(*source.store));
+  // Every shard of a partitioned warehouse runs this same initialization,
+  // so each just drops the members it doesn't own — no exports needed.
+  PruneForeignMembers(*entry, /*export_members=*/false);
   if (entry->cache != nullptr) {
     GSV_RETURN_IF_ERROR(entry->cache->Initialize(source.wrapper.get()));
   }
@@ -155,6 +300,13 @@ MaterializedView* Warehouse::view(const std::string& name) {
     if (entry->def.name() == name) return entry->view.get();
   }
   return nullptr;
+}
+
+std::vector<std::string> Warehouse::view_names() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& entry : views_) names.push_back(entry->def.name());
+  return names;
 }
 
 const Algorithm1Maintainer* Warehouse::maintainer(
@@ -328,6 +480,10 @@ Status Warehouse::TryResyncView(ViewEntry& entry, bool force) {
     ++costs_.resync_failures;
     return status;
   }
+  // Sharded: the recompute derived the *whole* view. Keep the owned slice;
+  // export the rest as V_inserts so owners that missed the lost events
+  // converge too (their stale extras fall to their next sweep).
+  PruneForeignMembers(entry, /*export_members=*/true);
   if (entry.cache != nullptr) {
     entry.cache->Reset();
     status = entry.cache->Initialize(source.wrapper.get());
@@ -524,7 +680,7 @@ Status Warehouse::HandleEventForView(ViewEntry& entry,
     if (!EventRelevant(entry, event)) {
       ++costs_.events_screened_out;
       // Delegate values must still track the base (§3.2).
-      Status status = entry.view->SyncUpdate(event.ToUpdate());
+      Status status = entry.storage()->SyncUpdate(event.ToUpdate());
       if (entry.cache != nullptr) {
         if (event.kind == UpdateKind::kDelete) entry.cache->Prune();
         entry.cache->FlushIndexCounters(&costs_);
@@ -538,7 +694,7 @@ Status Warehouse::HandleEventForView(ViewEntry& entry,
   Status status;
   if (event.kind == UpdateKind::kModify &&
       event.level == ReportingLevel::kOidsOnly) {
-    status = Level1ModifyRecheck(entry, event, entry.view.get(),
+    status = Level1ModifyRecheck(entry, event, entry.storage(),
                                  entry.accessor.get());
   } else {
     status = entry.maintainer->Maintain(event.ToUpdate());

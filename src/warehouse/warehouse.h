@@ -2,9 +2,11 @@
 #define GSV_WAREHOUSE_WAREHOUSE_H_
 
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/algorithm1.h"
@@ -20,6 +22,7 @@
 #include "warehouse/monitor.h"
 #include "warehouse/path_knowledge.h"
 #include "warehouse/remote_accessor.h"
+#include "warehouse/sharding.h"
 #include "warehouse/update_batch.h"
 #include "warehouse/update_event.h"
 #include "warehouse/wrapper.h"
@@ -64,6 +67,56 @@ class Warehouse {
   // "source<N>" is generated. Roots must be distinct across sources.
   Status ConnectSource(ObjectStore* source, Oid source_root,
                        ReportingLevel level, std::string name = "");
+
+  // ---- Shard participation (partitioned OID space) ----
+  //
+  // A ShardedWarehouse coordinator runs K of these warehouses, each bound
+  // to one slice of the interned OID space: shard `oid.id() & (K-1)` owns
+  // the object. A bound warehouse materializes only the view members it
+  // owns; maintenance ops for foreign members queue in the outbox for the
+  // coordinator to redistribute, and foreign membership reads go through
+  // the coordinator's resolver. Must be called before any DefineView;
+  // `resolver` must outlive the warehouse.
+  Status BindShard(uint32_t shard_index, uint32_t shard_mask,
+                   const CrossShardResolver* resolver);
+  bool sharded() const { return binding_.has_value(); }
+
+  // ConnectSource without a monitor: the coordinator routes events here by
+  // owning shard (re-stamped into this warehouse's per-source sequence
+  // domain) through InjectRoutedEvent, which runs the normal delivery path
+  // — fault injection, duplicate drop, gap detection — per shard.
+  Status ConnectSourceRouted(ObjectStore* source, Oid source_root,
+                             std::string name = "");
+  void InjectRoutedEvent(size_t source_index, const UpdateEvent& event) {
+    OnEvent(source_index, event);
+  }
+
+  // Drains the outbox (ops this shard produced for members other shards
+  // own). The coordinator delivers them via the owners' ApplyForeignOps.
+  std::vector<ForeignViewOp> TakeForeignOps() {
+    return std::exchange(outbox_, {});
+  }
+  // Applies peer-produced ops for members this shard owns; ops targeting
+  // other shards' members are skipped, so callers may pass whole producer
+  // outboxes unfiltered. Ops naming a quarantined view are buffered into
+  // its stale queue's blind spot — the post-resync recompute subsumes
+  // them — and ops for unknown views fail.
+  Status ApplyForeignOps(const std::vector<ForeignViewOp>& ops);
+
+  // The deferred-drain verification sweep (see ProcessPending), standalone:
+  // every fresh view re-verifies its members against current source state
+  // and drops the underivable. The coordinator runs this after foreign ops
+  // land, when a batch had run with BatchOptions::run_sweep = false.
+  Status RunVerificationSweep();
+
+  // Closes the current durability commit group (no-op when durability is
+  // off). The coordinator commits each shard only after cross-shard ops
+  // applied, so a shard's log never certifies a half-delivered batch.
+  void CommitDurable() { LogCommit(); }
+
+  // Highest event sequence integrated from `source_name` (0 when none) —
+  // after recovery the coordinator restamps its router from this.
+  uint64_t last_delivered_sequence(const std::string& source_name) const;
 
   // Parses "define mview NAME as: ...", materializes it from the current
   // source state (setup, not metered as maintenance cost), and starts
@@ -150,6 +203,11 @@ class Warehouse {
     // Fan out independent root subtrees within a view (sound on tree
     // bases; disabled automatically for a view whose root is a member).
     bool split_subtrees = true;
+    // A sharded coordinator defers these two: the sweep must wait for the
+    // foreign ops of every shard to land, and the commit must not certify
+    // a batch whose cross-shard ops are still in flight.
+    bool run_sweep = true;
+    bool log_commit = true;
   };
   Status ProcessPendingBatch(const BatchOptions& options);
   Status ProcessPendingBatch() { return ProcessPendingBatch(BatchOptions{}); }
@@ -252,6 +310,8 @@ class Warehouse {
   Wal* wal();
 
   MaterializedView* view(const std::string& name);
+  // Names of the defined views, in definition order.
+  std::vector<std::string> view_names() const;
   const Algorithm1Maintainer* maintainer(const std::string& name) const;
   const AuxiliaryCache* cache(const std::string& name) const;
 
@@ -289,9 +349,18 @@ class Warehouse {
     std::set<std::string> relevant_labels;  // feasible corridor labels
     bool modify_relevant = false;           // can a modify affect membership?
     std::unique_ptr<MaterializedView> view;
+    // Shard scoping decorator (bound warehouses only): owned ops hit
+    // `view`, foreign ops queue in the warehouse outbox.
+    std::unique_ptr<ShardScopedStorage> scoped;
     std::unique_ptr<AuxiliaryCache> cache;
     std::unique_ptr<RemoteAccessor> accessor;
     std::unique_ptr<Algorithm1Maintainer> maintainer;
+    // Where maintenance writes: the scoped storage when sharded, the view
+    // itself otherwise.
+    ViewStorage* storage() {
+      return scoped != nullptr ? static_cast<ViewStorage*>(scoped.get())
+                               : view.get();
+    }
     // Quarantine state: a stale view serves its last consistent contents;
     // events arriving while stale buffer here for post-resync replay.
     bool stale = false;
@@ -331,6 +400,18 @@ class Warehouse {
   void RecomputeRelevantLabels(ViewEntry& entry);
   // Lazily builds/resizes the worker pool for `threads` workers.
   ThreadPool* Pool(size_t threads);
+  // Shared body of ConnectSource / ConnectSourceRouted.
+  Status ConnectSourceInternal(ObjectStore* source, Oid source_root,
+                               ReportingLevel level, std::string name,
+                               bool install_monitor);
+  // Drops members of `entry` that another shard owns (no-op unbound). A
+  // full materialization — Initialize or a resync recompute — derives the
+  // whole view; the foreign members belong to the peers. With
+  // `export_members` set each pruned member is first exported as a foreign
+  // V_insert so owners that missed the underlying events converge (the
+  // resync path); DefineView prunes silently since every shard runs the
+  // same initialization.
+  void PruneForeignMembers(ViewEntry& entry, bool export_members);
 
   // ---- Durability internals (warehouse_durability.cc) ----
   // Resolves a source by name (the sole source when empty).
@@ -356,11 +437,19 @@ class Warehouse {
     return *sources_[entry.source_index];
   }
 
+  struct ShardBinding {
+    uint32_t shard_index = 0;
+    uint32_t shard_mask = 0;
+    const CrossShardResolver* resolver = nullptr;
+  };
+
   ObjectStore* store_;
   std::vector<std::unique_ptr<SourceEntry>> sources_;
   PathKnowledge knowledge_;
   WarehouseCosts costs_;
   std::vector<std::unique_ptr<ViewEntry>> views_;
+  std::optional<ShardBinding> binding_;
+  std::vector<ForeignViewOp> outbox_;
   bool deferred_ = false;
   std::vector<std::pair<size_t, UpdateEvent>> pending_;
   Status last_status_;

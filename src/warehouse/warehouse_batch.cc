@@ -94,8 +94,10 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
     // detached subtrees readable in the cache until the post-replay Prune().
     std::unordered_map<std::string, bool> edge_labels;
     std::unordered_map<std::string, bool> modify_labels;
+    // Storage-level membership so a sharded slice answers for the whole
+    // view (the root's delegate may live at a peer shard).
     const bool view_splittable =
-        split && !entry.view->ContainsBase(source.root);
+        split && !entry.storage()->ContainsBase(source.root);
     std::map<uint32_t, size_t> group_index;  // ordered => deterministic replay
     auto* task_base = &eval_tasks;  // indices stay valid; pointers may not
 
@@ -148,7 +150,7 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
         EvalTask task;
         task.view_index = view_index;
         task.group_key = key;
-        task.buffer = std::make_unique<BufferedViewStorage>(entry.view.get());
+        task.buffer = std::make_unique<BufferedViewStorage>(entry.storage());
         task_base->push_back(std::move(task));
       }
       (*task_base)[it->second].events.emplace_back(&event, relevant);
@@ -213,7 +215,9 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
       continue;
     }
     if (!task.status.ok() && first_error.ok()) first_error = task.status;
-    Status status = task.buffer->ReplayInto(entry.view.get());
+    // Replay through the scoped storage when sharded: owned ops land in the
+    // view, foreign ops queue in the outbox — still single-threaded here.
+    Status status = task.buffer->ReplayInto(entry.storage());
     if (!status.ok() && first_error.ok()) first_error = status;
     entry.maintainer->MergeStats(task.stats);
   }
@@ -227,45 +231,50 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
 
   // ---- Phase 4: the deferred-drain verification sweep (see
   // ProcessPending), read-only in parallel, deletions after the barrier.
-  std::vector<SweepTask> sweep_tasks;
-  for (size_t view_index = 0; view_index < views_.size(); ++view_index) {
-    if (!touched[views_[view_index]->source_index]) continue;
-    if (views_[view_index]->stale) continue;  // swept after resync instead
-    SweepTask task;
-    task.view_index = view_index;
-    sweep_tasks.push_back(std::move(task));
-  }
-  for (SweepTask& task : sweep_tasks) {
-    pool->Submit([this, &task] {
-      ViewEntry& entry = *views_[task.view_index];
-      SourceEntry& source = *sources_[entry.source_index];
-      RemoteAccessor accessor(source.wrapper.get(), &costs_);
-      if (entry.cache != nullptr) accessor.set_cache(entry.cache.get());
-      task.status = CollectUnderivable(entry, &accessor, &task.doomed);
-    });
-  }
-  pool->Wait();
-  for (SweepTask& task : sweep_tasks) {
-    ViewEntry& entry = *views_[task.view_index];
-    if (!task.status.ok()) {
-      if (IsSourceFailure(task.status)) {
-        // The sweep could not verify membership against the source; the
-        // collected deletions are unreliable. Quarantine instead of acting.
-        Quarantine(entry, task.status);
-        continue;
-      }
-      if (first_error.ok()) first_error = task.status;
+  // A sharded coordinator runs the batch with run_sweep off and sweeps
+  // (RunVerificationSweep) only after every shard's foreign ops landed.
+  if (options.run_sweep) {
+    std::vector<SweepTask> sweep_tasks;
+    for (size_t view_index = 0; view_index < views_.size(); ++view_index) {
+      if (!touched[views_[view_index]->source_index]) continue;
+      if (views_[view_index]->stale) continue;  // swept after resync instead
+      SweepTask task;
+      task.view_index = view_index;
+      sweep_tasks.push_back(std::move(task));
     }
-    for (const Oid& member : task.doomed) {
-      Status status = entry.view->VDelete(member);
-      if (!status.ok() && first_error.ok()) first_error = status;
+    for (SweepTask& task : sweep_tasks) {
+      pool->Submit([this, &task] {
+        ViewEntry& entry = *views_[task.view_index];
+        SourceEntry& source = *sources_[entry.source_index];
+        RemoteAccessor accessor(source.wrapper.get(), &costs_);
+        if (entry.cache != nullptr) accessor.set_cache(entry.cache.get());
+        task.status = CollectUnderivable(entry, &accessor, &task.doomed);
+      });
+    }
+    pool->Wait();
+    for (SweepTask& task : sweep_tasks) {
+      ViewEntry& entry = *views_[task.view_index];
+      if (!task.status.ok()) {
+        if (IsSourceFailure(task.status)) {
+          // The sweep could not verify membership against the source; the
+          // collected deletions are unreliable. Quarantine instead of acting.
+          Quarantine(entry, task.status);
+          continue;
+        }
+        if (first_error.ok()) first_error = task.status;
+      }
+      for (const Oid& member : task.doomed) {
+        Status status = entry.view->VDelete(member);
+        if (!status.ok() && first_error.ok()) first_error = status;
+      }
     }
   }
 
   if (!first_error.ok()) last_status_ = first_error;
   // The batch drained to quiescence: one commit record closes the group
-  // (every event and view delta logged above is certified applied).
-  LogCommit();
+  // (every event and view delta logged above is certified applied). The
+  // sharded coordinator commits instead, after cross-shard ops delivered.
+  if (options.log_commit) LogCommit();
   return first_error;
 }
 

@@ -14,8 +14,11 @@
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "warehouse/fault_injector.h"
+#include "warehouse/sharded_warehouse.h"
+#include "warehouse/sharding.h"
 #include "warehouse/update_batch.h"
 #include "warehouse/warehouse.h"
+#include "workload/dag_gen.h"
 #include "workload/tree_gen.h"
 #include "workload/update_gen.h"
 
@@ -539,6 +542,168 @@ TEST(BatchFaultToleranceTest, MidBatchSourceOutageBuffersTheWholeSlice) {
   ASSERT_TRUE(rig.warehouse->ResyncStaleViews().ok());
   EXPECT_EQ(rig.warehouse->stale_view_count(), 0u);
   rig.ExpectMatchesTruth();
+}
+
+// ----------------------------------------------- sharded == single shard
+
+namespace {
+
+// Twin rig: one source store feeds both a plain warehouse and a K-shard
+// ShardedWarehouse, each through its own monitor, so both observe the
+// identical update stream. After every drain the sharded read path
+// (fan-out + K-way merge) must reproduce the plain warehouse's view byte
+// for byte — same members in the same order, same delegate content lines.
+struct ShardedTwinConfig {
+  std::string name;
+  uint32_t shards = 4;
+  size_t threads = 4;
+  bool dag = false;         // §6 DAG workload instead of a tree
+  uint64_t seed = 1;
+  size_t updates = 300;
+  size_t drain_every = 50;
+};
+
+void ExpectShardedMatchesPlain(ShardedWarehouse& sharded, Warehouse& plain,
+                               const std::string& view_name) {
+  MaterializedView* view = plain.view(view_name);
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(sharded.ViewMembers(view_name), view->BaseMembers().elements());
+  const auto plain_lines = ViewContentLines(*view);
+  const auto sharded_lines = sharded.ViewContents(view_name);
+  ASSERT_EQ(sharded_lines.size(), plain_lines.size());
+  for (size_t i = 0; i < plain_lines.size(); ++i) {
+    ASSERT_EQ(sharded_lines[i].first, plain_lines[i].first) << "member " << i;
+    ASSERT_EQ(sharded_lines[i].second, plain_lines[i].second)
+        << sharded_lines[i].first.str();
+  }
+}
+
+void RunShardedTwinCheck(const ShardedTwinConfig& config) {
+  SCOPED_TRACE(config.name);
+  ObjectStore source;
+  Oid root;
+  std::string definition;
+  UpdateGenOptions gen_options;
+  gen_options.seed = config.seed + 7;
+  // Distinct OID prefixes per config keep the interned id assignment (and
+  // hence the shard split) independent of test execution order.
+  const std::string prefix = "tw_" + config.name + "_";
+  if (config.dag) {
+    DagGenOptions dag_options;
+    dag_options.levels = 4;
+    dag_options.width = 12;
+    dag_options.max_parents = 3;
+    dag_options.seed = config.seed;
+    dag_options.oid_prefix = prefix;
+    auto dag = GenerateDag(&source, dag_options);
+    ASSERT_TRUE(dag.ok());
+    root = dag->root;
+    definition = DagViewDefinition("WV", root, 2, 4, 60);
+    gen_options.mode = UpdateMode::kDagPreserving;
+  } else {
+    TreeGenOptions tree_options;
+    tree_options.levels = 4;
+    tree_options.fanout = 4;
+    tree_options.seed = config.seed;
+    tree_options.oid_prefix = prefix;
+    auto tree = GenerateTree(&source, tree_options);
+    ASSERT_TRUE(tree.ok());
+    root = tree->root;
+    definition = TreeViewDefinition("WV", root, 2, 4, 60);
+  }
+  gen_options.oid_prefix = prefix + "u";
+
+  ObjectStore plain_store;
+  Warehouse plain(&plain_store);
+  ASSERT_TRUE(
+      plain.ConnectSource(&source, root, ReportingLevel::kWithValues).ok());
+  ASSERT_TRUE(plain.DefineView(definition).ok());
+  plain.set_deferred(true);
+
+  ShardedWarehouse sharded(config.shards);
+  ASSERT_TRUE(sharded.init_status().ok());
+  ASSERT_TRUE(
+      sharded.ConnectSource(&source, root, ReportingLevel::kWithValues).ok());
+  ASSERT_TRUE(sharded.DefineView(definition).ok());
+  sharded.set_deferred(true);
+
+  // The initial materializations must already agree.
+  ExpectShardedMatchesPlain(sharded, plain, "WV");
+
+  UpdateGenerator gen(&source, root, gen_options);
+  for (size_t applied = 0; applied < config.updates;
+       applied += config.drain_every) {
+    size_t burst = std::min(config.drain_every, config.updates - applied);
+    ASSERT_TRUE(gen.Run(burst).ok());
+    ASSERT_TRUE(plain.ProcessPendingBatch().ok())
+        << plain.last_status().ToString();
+    ASSERT_TRUE(sharded.ProcessPendingBatch(config.threads).ok());
+    ExpectShardedMatchesPlain(sharded, plain, "WV");
+
+    // Both twins must equal the query over current source state.
+    auto def = ViewDefinition::Parse(definition);
+    ASSERT_TRUE(def.ok());
+    auto truth = EvaluateView(source, *def);
+    ASSERT_TRUE(truth.ok());
+    EXPECT_EQ(sharded.ViewMembers("WV"), truth->elements())
+        << "after " << applied + burst;
+  }
+
+  if (config.shards > 1) {
+    // The split is real: members land on more than one shard, and the
+    // maintenance ran through the cross-shard machinery.
+    const ShardedViewExplanation explain = sharded.ExplainView("WV");
+    size_t populated = 0;
+    for (size_t count : explain.members_per_shard) populated += count > 0;
+    EXPECT_GT(populated, 1u) << explain.ToString();
+    const WarehouseCosts costs = sharded.MergedCosts();
+    EXPECT_GT(costs.cross_shard_exports + costs.cross_shard_applies +
+                  costs.cross_shard_probes,
+              0)
+        << "twin never exercised a cross-shard edge";
+  }
+}
+
+}  // namespace
+
+TEST(ShardedTwinTest, TreeOneShardDegenerate) {
+  RunShardedTwinCheck({"tree_k1", 1, 1, false, 11});
+}
+
+TEST(ShardedTwinTest, TreeTwoShards) {
+  RunShardedTwinCheck({"tree_k2", 2, 2, false, 12});
+}
+
+TEST(ShardedTwinTest, TreeFourShards) {
+  RunShardedTwinCheck({"tree_k4", 4, 4, false, 13});
+}
+
+TEST(ShardedTwinTest, TreeEightShardsEightThreads) {
+  RunShardedTwinCheck({"tree_k8", 8, 8, false, 14});
+}
+
+TEST(ShardedTwinTest, DagTwoShards) {
+  RunShardedTwinCheck({"dag_k2", 2, 2, true, 15});
+}
+
+TEST(ShardedTwinTest, DagFourShards) {
+  RunShardedTwinCheck({"dag_k4", 4, 4, true, 16});
+}
+
+TEST(ShardedTwinTest, RandomSeedsStayByteIdentical) {
+  for (uint64_t seed = 20; seed < 24; ++seed) {
+    RunShardedTwinCheck({"tree_rand" + std::to_string(seed), 4, 4, false,
+                         seed, 150, 30});
+    RunShardedTwinCheck({"dag_rand" + std::to_string(seed), 4, 4, true, seed,
+                         150, 30});
+  }
+}
+
+TEST(ShardedTwinTest, ThreadCountDoesNotChangeResults) {
+  // Same events, different drain parallelism: contents must not depend on
+  // how many workers the coordinator uses.
+  RunShardedTwinCheck({"tree_k4_t1", 4, 1, false, 31});
+  RunShardedTwinCheck({"tree_k4_t8", 4, 8, false, 31});
 }
 
 }  // namespace

@@ -6,9 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "core/base_accessor.h"
 #include "core/view_definition.h"
 #include "core/virtual_view.h"
+#include "query/condition.h"
 #include "oem/label_index.h"
+#include "oem/oid_table.h"
 #include "oem/store.h"
 #include "path/navigate.h"
 #include "path/path.h"
@@ -582,6 +585,118 @@ TEST_P(IndexPropertyTest, RemoveRePutKeepsStoresIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, IndexPropertyTest,
                          ::testing::ValuesIn(kIndexParams), IndexParamName);
+
+// ---------------------------------------------------------------------------
+// Batched predicate recheck: AnyCandidateSatisfies must agree with the
+// per-candidate Get+Holds loop for every predicate shape and value mix.
+// ---------------------------------------------------------------------------
+
+TEST(ValuePostingsTest, AnyCandidateSatisfiesMatchesReferenceLoop) {
+  ObjectStore store;
+  ASSERT_TRUE(store.PutSet(Oid("vp_R"), "root").ok());
+
+  // A value mix that exercises every posting path: bucketable ints,
+  // out-of-bucket-range ints, reals, strings, booleans.
+  std::mt19937_64 rng(42);
+  std::vector<Oid> atoms;
+  for (int i = 0; i < 200; ++i) {
+    Value value;
+    switch (rng() % 8) {
+      case 0:
+        value = Value::Real(static_cast<double>(rng() % 100) / 3.0);
+        break;
+      case 1:
+        value = Value::Str("s" + std::to_string(rng() % 50));
+        break;
+      case 2:
+        value = Value::Int(static_cast<int64_t>(rng() % 7) * 3000000000LL -
+                           9000000000LL);  // beyond the int32 buckets
+        break;
+      case 3:
+        value = Value::Bool(rng() % 2 == 0);
+        break;
+      default:
+        value = Value::Int(static_cast<int64_t>(rng() % 200) - 50);
+        break;
+    }
+    Oid oid("vp_A" + std::to_string(i));
+    ASSERT_TRUE(store.PutAtomic(oid, "age", std::move(value)).ok());
+    ASSERT_TRUE(store.Insert(Oid("vp_R"), oid).ok());
+    atoms.push_back(oid);
+  }
+
+  LabelIndexSnapshotPtr snapshot = store.AcquireIndexSnapshot();
+  ASSERT_NE(snapshot, nullptr);
+
+  const std::vector<Value> literals = {
+      Value::Int(0),    Value::Int(60),   Value::Int(-50),
+      Value::Int(149),  Value::Int(500),  Value::Int(-9000000000LL),
+      Value::Real(7.5), Value::Str("s7"), Value::Bool(true)};
+  const std::vector<CompareOp> ops = {CompareOp::kEq, CompareOp::kNe,
+                                      CompareOp::kLt, CompareOp::kLe,
+                                      CompareOp::kGt, CompareOp::kGe};
+
+  for (int round = 0; round < 200; ++round) {
+    // Random sorted unique candidate frontier (sometimes empty).
+    std::vector<uint32_t> ids;
+    for (const Oid& oid : atoms) {
+      if (rng() % 4 == 0) ids.push_back(oid.id());
+    }
+    std::sort(ids.begin(), ids.end());
+
+    Predicate pred;
+    pred.op = ops[rng() % ops.size()];
+    pred.literal = literals[rng() % literals.size()];
+
+    bool expected = false;
+    for (uint32_t id : ids) {
+      const Object* object = store.Get(Oid(OidTable::Global().String(id)));
+      ASSERT_NE(object, nullptr);
+      if (pred.Holds(object->value())) {
+        expected = true;
+        break;
+      }
+    }
+
+    StoreMetrics metrics;
+    EXPECT_EQ(AnyCandidateSatisfies(store, *snapshot, ids, "age", pred,
+                                    &metrics),
+              expected)
+        << "round " << round << ": " << pred.ToString();
+  }
+}
+
+TEST(ValuePostingsTest, ModifyMovesValuesBetweenBuckets) {
+  ObjectStore store;
+  ASSERT_TRUE(store.PutSet(Oid("vm_R"), "root").ok());
+  ASSERT_TRUE(store.PutAtomic(Oid("vm_A"), "age", Value::Int(10)).ok());
+  ASSERT_TRUE(store.Insert(Oid("vm_R"), Oid("vm_A")).ok());
+
+  StoreMetrics metrics;
+  Predicate pred;
+  pred.op = CompareOp::kGt;
+  pred.literal = Value::Int(50);
+  const std::vector<uint32_t> ids = {Oid("vm_A").id()};
+
+  LabelIndexSnapshotPtr snapshot = store.AcquireIndexSnapshot();
+  EXPECT_FALSE(AnyCandidateSatisfies(store, *snapshot, ids, "age", pred,
+                                     &metrics));
+
+  // Modify republishes the value postings; the sweep sees the new bucket.
+  ASSERT_TRUE(store.Modify(Oid("vm_A"), Value::Int(80)).ok());
+  snapshot = store.AcquireIndexSnapshot();
+  EXPECT_TRUE(AnyCandidateSatisfies(store, *snapshot, ids, "age", pred,
+                                    &metrics));
+
+  // And a swap to a non-bucketable value falls back to the store, exactly.
+  ASSERT_TRUE(store.Modify(Oid("vm_A"), Value::Real(80.5)).ok());
+  snapshot = store.AcquireIndexSnapshot();
+  EXPECT_TRUE(AnyCandidateSatisfies(store, *snapshot, ids, "age", pred,
+                                    &metrics));
+  pred.op = CompareOp::kLt;
+  EXPECT_FALSE(AnyCandidateSatisfies(store, *snapshot, ids, "age", pred,
+                                     &metrics));
+}
 
 }  // namespace
 }  // namespace gsv

@@ -12,6 +12,8 @@
 #include "warehouse/monitor.h"
 #include "warehouse/path_knowledge.h"
 #include "warehouse/update_event.h"
+#include "warehouse/sharded_warehouse.h"
+#include "warehouse/sharding.h"
 #include "warehouse/source_wrapper_gsdb.h"
 #include "warehouse/warehouse.h"
 #include "warehouse/wrapper.h"
@@ -1030,6 +1032,204 @@ TEST(SourceWrapperGsdbTest, Validation) {
   EXPECT_FALSE(relational.InsertRow("t", {Value::SetOf({})}).ok());
   EXPECT_FALSE(relational.DeleteRow("t", 99).ok());
   EXPECT_FALSE(relational.UpdateRow("t", 0, "x", Value::Int(1)).ok());
+}
+
+// ------------------------------------------------------ sharded warehouse
+
+// Small twin rig for the sharded tests: one source tree observed by both a
+// plain warehouse and a K-shard coordinator. `prefix` keeps the interned
+// OIDs (and so the shard split) unique per test.
+struct ShardedRig {
+  ObjectStore source;
+  ObjectStore plain_store;
+  std::unique_ptr<Warehouse> plain;
+  std::unique_ptr<ShardedWarehouse> sharded;
+  std::unique_ptr<UpdateGenerator> gen;
+  Oid root;
+  std::string definition;
+
+  void Build(uint32_t shards, const std::string& prefix, bool deferred) {
+    TreeGenOptions tree_options;
+    tree_options.levels = 3;
+    tree_options.fanout = 4;
+    tree_options.seed = 101;
+    tree_options.oid_prefix = prefix;
+    auto tree = GenerateTree(&source, tree_options);
+    ASSERT_TRUE(tree.ok());
+    root = tree->root;
+    definition = TreeViewDefinition("SWV", root, 2, 3, 50);
+
+    plain = std::make_unique<Warehouse>(&plain_store);
+    ASSERT_TRUE(
+        plain->ConnectSource(&source, root, ReportingLevel::kWithValues).ok());
+    ASSERT_TRUE(plain->DefineView(definition).ok());
+    plain->set_deferred(deferred);
+
+    sharded = std::make_unique<ShardedWarehouse>(shards);
+    ASSERT_TRUE(sharded->init_status().ok());
+    ASSERT_TRUE(
+        sharded->ConnectSource(&source, root, ReportingLevel::kWithValues)
+            .ok());
+    ASSERT_TRUE(sharded->DefineView(definition).ok());
+    sharded->set_deferred(deferred);
+
+    UpdateGenOptions gen_options;
+    gen_options.seed = 211;
+    gen_options.oid_prefix = prefix + "u";
+    gen = std::make_unique<UpdateGenerator>(&source, root, gen_options);
+  }
+
+  void ExpectTwinsIdentical() {
+    MaterializedView* view = plain->view("SWV");
+    ASSERT_NE(view, nullptr);
+    EXPECT_EQ(sharded->ViewMembers("SWV"), view->BaseMembers().elements());
+    EXPECT_EQ(sharded->ViewContents("SWV"), ViewContentLines(*view));
+  }
+};
+
+TEST(ShardedWarehouseTest, RejectsNonPowerOfTwoShardCounts) {
+  ShardedWarehouse bad(3);
+  EXPECT_FALSE(bad.init_status().ok());
+  ShardedWarehouse good(4);
+  EXPECT_TRUE(good.init_status().ok());
+  EXPECT_EQ(good.shard_count(), 4u);
+}
+
+TEST(ShardedWarehouseTest, ShardsRejectAuxCaches) {
+  // The §5.2 corridor cuts across the partition, so a bound shard only
+  // accepts cache-less views; the coordinator always defines them that way.
+  ShardedRig rig;
+  ASSERT_NO_FATAL_FAILURE(rig.Build(2, "shc_", /*deferred=*/false));
+  Status status = rig.sharded->shard(0).DefineView(
+      TreeViewDefinition("SWV2", rig.root, 2, 3, 50),
+      Warehouse::CacheMode::kFull);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("CacheMode::kNone"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ShardedWarehouseTest, InlineModeConvergesAfterEveryEvent) {
+  ShardedRig rig;
+  ASSERT_NO_FATAL_FAILURE(rig.Build(4, "shi_", /*deferred=*/false));
+  ASSERT_NO_FATAL_FAILURE(rig.ExpectTwinsIdentical());
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(rig.gen->Step().ok());
+    // Inline dispatch maintains on arrival and redistributes cross-shard
+    // ops per event — the twins may never drift, even between drains.
+    ASSERT_NO_FATAL_FAILURE(rig.ExpectTwinsIdentical()) << "event " << i;
+  }
+  const WarehouseCosts costs = rig.sharded->MergedCosts();
+  EXPECT_GT(costs.cross_shard_exports + costs.cross_shard_applies +
+                costs.cross_shard_probes,
+            0);
+}
+
+TEST(ShardedWarehouseTest, DroppedShardDeliveryQuarantinesAndResyncHeals) {
+  ShardedRig rig;
+  ASSERT_NO_FATAL_FAILURE(rig.Build(4, "shq_", /*deferred=*/true));
+
+  // Healthy warm-up drain.
+  ASSERT_TRUE(rig.gen->Run(40).ok());
+  ASSERT_TRUE(rig.plain->ProcessPendingBatch().ok());
+  ASSERT_TRUE(rig.sharded->ProcessPendingBatch(4).ok());
+  ASSERT_NO_FATAL_FAILURE(rig.ExpectTwinsIdentical());
+
+  // Lose one delivery on shard 1's channel while its wrapper is down, so
+  // the gap quarantines that shard's slice and the drain cannot resync it.
+  FaultInjector injector(FaultProfile{});
+  ASSERT_TRUE(rig.sharded->SetFaultInjector("source1", 1, &injector).ok());
+  injector.DropNextEvents(1);
+  injector.set_down(true);
+  ASSERT_TRUE(rig.gen->Run(60).ok());
+  ASSERT_TRUE(rig.plain->ProcessPendingBatch().ok());
+  ASSERT_TRUE(rig.sharded->ProcessPendingBatch(4).ok());
+  EXPECT_GT(rig.sharded->stale_view_count(), 0u);
+
+  // Heal the channel: the coordinated resync recomputes the quarantined
+  // slice, re-exports its foreign members, and sweeps the peers, so the
+  // twins are byte-identical again.
+  injector.Heal();
+  ASSERT_TRUE(rig.sharded->ResyncStaleViews().ok());
+  EXPECT_EQ(rig.sharded->stale_view_count(), 0u);
+  ASSERT_NO_FATAL_FAILURE(rig.ExpectTwinsIdentical());
+
+  // The healed coordinator keeps converging on later drains.
+  ASSERT_TRUE(rig.gen->Run(40).ok());
+  ASSERT_TRUE(rig.plain->ProcessPendingBatch().ok());
+  ASSERT_TRUE(rig.sharded->ProcessPendingBatch(4).ok());
+  ASSERT_NO_FATAL_FAILURE(rig.ExpectTwinsIdentical());
+}
+
+TEST(ShardedWarehouseTest, ExplainReportsSlicesAndMergedTotals) {
+  ShardedRig rig;
+  ASSERT_NO_FATAL_FAILURE(rig.Build(4, "she_", /*deferred=*/true));
+  ASSERT_TRUE(rig.gen->Run(60).ok());
+  ASSERT_TRUE(rig.sharded->ProcessPendingBatch(4).ok());
+
+  const ShardedViewExplanation explain = rig.sharded->ExplainView("SWV");
+  EXPECT_EQ(explain.view, "SWV");
+  EXPECT_EQ(explain.shards, 4u);
+  ASSERT_EQ(explain.members_per_shard.size(), 4u);
+  size_t total = 0;
+  for (size_t count : explain.members_per_shard) total += count;
+  EXPECT_EQ(explain.total_members, total);
+  EXPECT_EQ(explain.total_members, rig.sharded->ViewMembers("SWV").size());
+  const std::string text = explain.ToString();
+  EXPECT_NE(text.find("sharded view 'SWV'"), std::string::npos) << text;
+  EXPECT_NE(text.find("cross-shard traffic"), std::string::npos) << text;
+}
+
+TEST(ShardedWarehouseTest, DrainTimingsDecomposeTheCriticalPath) {
+  ShardedRig rig;
+  ASSERT_NO_FATAL_FAILURE(rig.Build(4, "sht_", /*deferred=*/true));
+  ASSERT_TRUE(rig.gen->Run(50).ok());
+  ASSERT_TRUE(rig.sharded->ProcessPendingBatch(4).ok());
+  ASSERT_EQ(rig.sharded->drain_timings().size(), 1u);
+  const ShardedWarehouse::DrainTiming& timing =
+      rig.sharded->drain_timings()[0];
+  EXPECT_GE(timing.serial_micros, 0);
+  EXPECT_EQ(timing.eval_micros.size(), 4u);
+  rig.sharded->clear_drain_timings();
+  EXPECT_TRUE(rig.sharded->drain_timings().empty());
+}
+
+TEST(WarehouseCostsTest, MergeAddsEveryCounterIntoTheTarget) {
+  WarehouseCosts a;
+  WarehouseCosts b;
+  a.events_received = 3;
+  b.events_received = 4;
+  b.source_queries = 7;
+  a.view_resyncs = 2;
+  b.cross_shard_exports = 5;
+  a.cross_shard_probes = 1;
+  b.cross_shard_probes = 2;
+  a.Merge(b);
+  EXPECT_EQ(a.events_received.load(), 7);
+  EXPECT_EQ(a.source_queries.load(), 7);
+  EXPECT_EQ(a.view_resyncs.load(), 2);
+  EXPECT_EQ(a.cross_shard_exports.load(), 5);
+  EXPECT_EQ(a.cross_shard_probes.load(), 3);
+  EXPECT_EQ(b.events_received.load(), 4) << "merge must not mutate source";
+}
+
+TEST(StoreMetricsTest, MergeAddsEveryCounterIntoTheTarget) {
+  StoreMetrics a;
+  StoreMetrics b;
+  a.edges_traversed = 10;
+  b.edges_traversed = 5;
+  b.parent_lookups = 3;
+  a.objects_scanned = 1;
+  b.lookups = 8;
+  a.index_probes = 2;
+  b.index_fallbacks = 6;
+  a.Merge(b);
+  EXPECT_EQ(a.edges_traversed.load(), 15);
+  EXPECT_EQ(a.parent_lookups.load(), 3);
+  EXPECT_EQ(a.objects_scanned.load(), 1);
+  EXPECT_EQ(a.lookups.load(), 8);
+  EXPECT_EQ(a.index_probes.load(), 2);
+  EXPECT_EQ(a.index_fallbacks.load(), 6);
+  EXPECT_EQ(b.edges_traversed.load(), 5) << "merge must not mutate source";
 }
 
 }  // namespace

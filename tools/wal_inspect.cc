@@ -7,11 +7,21 @@
 //   wal_inspect apply <dir> <out>   replay the logged base updates into an
 //                                   empty store and save it as <out> (text)
 //
+// A ShardedWarehouse durability directory holds one sub-directory per shard
+// (shard-0, shard-1, ...), each a complete WAL+checkpoint home of its own.
+// When <dir> looks like one, every command enumerates the shard
+// sub-directories, runs against each under a "=== shard-<i> ===" banner
+// (apply writes <out>.shard-<i> per shard — the routed slices are not
+// totally ordered against each other, so they are not merged), and exits
+// with the worst per-shard status.
+//
 // Exit status: 0 clean, 1 when verify finds a torn/corrupt tail, 2 on error.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "oem/serialize.h"
 #include "oem/store.h"
@@ -122,15 +132,53 @@ int Apply(const std::string& dir, const std::string& out_path) {
   return 0;
 }
 
+// Shard homes of a ShardedWarehouse durability directory: shard-0..shard-K
+// in index order. Empty when `dir` is a plain single-warehouse home.
+std::vector<std::string> ShardDirs(const std::string& dir) {
+  std::vector<std::string> dirs;
+  for (uint32_t i = 0;; ++i) {
+    std::string sub = dir + "/shard-" + std::to_string(i);
+    std::error_code ec;
+    if (!std::filesystem::is_directory(sub, ec)) break;
+    dirs.push_back(std::move(sub));
+  }
+  return dirs;
+}
+
+int RunCommand(const std::string& command, const std::string& dir,
+               const char* out) {
+  if (command == "dump") return Dump(dir);
+  if (command == "verify") return Verify(dir);
+  if (command == "checkpoints") return Checkpoints(dir);
+  if (command == "apply") return Apply(dir, out);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage(argv[0]);
   std::string command = argv[1];
   std::string dir = argv[2];
-  if (command == "dump" && argc == 3) return Dump(dir);
-  if (command == "verify" && argc == 3) return Verify(dir);
-  if (command == "checkpoints" && argc == 3) return Checkpoints(dir);
-  if (command == "apply" && argc == 4) return Apply(dir, argv[3]);
-  return Usage(argv[0]);
+  bool takes_out = command == "apply";
+  if (command != "dump" && command != "verify" && command != "checkpoints" &&
+      !takes_out) {
+    return Usage(argv[0]);
+  }
+  if (argc != (takes_out ? 4 : 3)) return Usage(argv[0]);
+
+  std::vector<std::string> shard_dirs = ShardDirs(dir);
+  if (shard_dirs.empty()) {
+    return RunCommand(command, dir, takes_out ? argv[3] : nullptr);
+  }
+  int worst = 0;
+  for (size_t i = 0; i < shard_dirs.size(); ++i) {
+    std::printf("=== shard-%zu ===\n", i);
+    std::string out;
+    if (takes_out) out = std::string(argv[3]) + ".shard-" + std::to_string(i);
+    int status =
+        RunCommand(command, shard_dirs[i], takes_out ? out.c_str() : nullptr);
+    if (status > worst) worst = status;
+  }
+  return worst;
 }
