@@ -4,7 +4,8 @@
 # regressions that correctness tests cannot see), then an
 # Address+UB-Sanitizer build of the robustness and fault-injection tests
 # (the quarantine/resync error paths are where lifetime bugs hide — and the
-# durability suite's randomized kill-mid-batch crash test with them), then a
+# durability suite's randomized kill-mid-batch crash test and the
+# replication suite's kill-mid-ship twin test with them), then a
 # ThreadSanitizer build of the batch-engine and index-concurrency tests to
 # prove the parallel drain and the lock-free snapshot publication are
 # race-free. Run from the repo root.
@@ -31,10 +32,15 @@ echo "=== perf-smoke: shard scaling floor (E17 --smoke, 1.5x bar) ==="
 ./build/bench/exp17_shard_scaling --smoke
 
 echo
-echo "=== asan: robustness + fault-injection + durability tests under address;undefined ==="
+echo "=== replication-smoke: follower catch-up floor (E18 --smoke, 1.5x bar) ==="
+./build/bench/exp18_replication --smoke
+
+echo
+echo "=== asan: robustness + fault-injection + durability + replication tests under address;undefined ==="
 cmake -B build-asan -S . -DGSV_SANITIZE="address;undefined" >/dev/null
 cmake --build build-asan -j "${JOBS}" --target gsv_robustness_test \
-  --target gsv_fault_tolerance_test --target gsv_recovery_test
+  --target gsv_fault_tolerance_test --target gsv_recovery_test \
+  --target gsv_replication_test
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L asan
 
 echo

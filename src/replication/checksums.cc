@@ -1,0 +1,217 @@
+#include "replication/checksums.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/materialized_view.h"
+#include "core/view_definition.h"
+#include "oem/serialize.h"
+#include "oem/store.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+#include "warehouse/sharded_warehouse.h"
+#include "warehouse/sharding.h"
+#include "warehouse/warehouse.h"
+
+namespace gsv {
+
+uint32_t ChecksumOfContentLines(
+    const std::vector<std::pair<Oid, std::string>>& lines) {
+  uint32_t crc = 0;
+  for (const auto& [oid, line] : lines) {
+    const std::string& name = oid.str();
+    crc = Crc32(name.data(), name.size(), crc);
+    crc = Crc32(" ", 1, crc);
+    crc = Crc32(line.data(), line.size(), crc);
+    crc = Crc32("\n", 1, crc);
+  }
+  return crc;
+}
+
+std::string EncodeChecksumStamp(const ChecksumStamp& stamp) {
+  std::ostringstream out;
+  out << "lsn " << stamp.lsn << "\n";
+  for (const ViewChecksum& view : stamp.views) {
+    out << "view " << view.crc << " " << view.members << " " << view.view
+        << "\n";
+  }
+  return out.str();
+}
+
+Result<ChecksumStamp> DecodeChecksumStamp(const std::string& text) {
+  ChecksumStamp stamp;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_lsn = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "lsn") {
+      if (!(fields >> stamp.lsn)) {
+        return Status::DataLoss("checksums: malformed lsn line");
+      }
+      saw_lsn = true;
+    } else if (tag == "view") {
+      ViewChecksum view;
+      if (!(fields >> view.crc >> view.members)) {
+        return Status::DataLoss("checksums: malformed view line");
+      }
+      std::getline(fields, view.view);
+      if (!view.view.empty() && view.view.front() == ' ') {
+        view.view.erase(0, 1);
+      }
+      if (view.view.empty()) {
+        return Status::DataLoss("checksums: view line without a name");
+      }
+      stamp.views.push_back(std::move(view));
+    } else {
+      return Status::DataLoss("checksums: unknown line tag '" + tag + "'");
+    }
+  }
+  if (!saw_lsn) return Status::DataLoss("checksums: missing lsn line");
+  return stamp;
+}
+
+Result<ChecksumStamp> ChecksumDurabilityHome(const std::string& dir) {
+  GSV_ASSIGN_OR_RETURN(RecoveryPlan plan, PlanRecovery(dir));
+
+  ObjectStore store;
+  std::vector<std::pair<std::string, std::unique_ptr<MaterializedView>>>
+      views;
+  auto define = [&](const std::string& definition,
+                    bool adopt) -> Status {
+    GSV_ASSIGN_OR_RETURN(ViewDefinition def,
+                         ViewDefinition::Parse(definition));
+    auto view = std::make_unique<MaterializedView>(&store, def);
+    GSV_RETURN_IF_ERROR(adopt ? view->AdoptExisting() : view->Bootstrap());
+    views.emplace_back(def.name(), std::move(view));
+    return Status::Ok();
+  };
+
+  if (plan.have_checkpoint) {
+    GSV_RETURN_IF_ERROR(
+        StoreFromString(plan.checkpoint.store_text, &store));
+    for (const CheckpointViewState& state : plan.checkpoint.manifest.views) {
+      GSV_RETURN_IF_ERROR(define(state.definition, /*adopt=*/true));
+    }
+  }
+  for (const WalRecord& record : plan.committed) {
+    switch (record.type) {
+      case WalRecordType::kViewDef:
+        GSV_RETURN_IF_ERROR(define(record.definition, /*adopt=*/false));
+        break;
+      case WalRecordType::kViewDelta: {
+        MaterializedView* target = nullptr;
+        for (auto& [name, view] : views) {
+          if (name == record.view) {
+            target = view.get();
+            break;
+          }
+        }
+        if (target == nullptr) {
+          return Status::DataLoss("checksums: delta for unknown view '" +
+                                  record.view + "' in " + dir);
+        }
+        Status applied = Status::Ok();
+        switch (record.op) {
+          case ViewDeltaOp::kVInsert:
+            applied = record.object.has_value()
+                          ? target->VInsert(*record.object)
+                          : Status::DataLoss("v_insert without object");
+            break;
+          case ViewDeltaOp::kVDelete:
+            applied = target->VDelete(record.base_oid);
+            break;
+          case ViewDeltaOp::kSync:
+            applied = target->SyncUpdate(record.update);
+            break;
+          case ViewDeltaOp::kRefresh:
+            applied = record.object.has_value()
+                          ? target->RefreshDelegate(*record.object)
+                          : Status::DataLoss("refresh without object");
+            break;
+        }
+        GSV_RETURN_IF_ERROR(applied);
+        break;
+      }
+      case WalRecordType::kEvent:
+      case WalRecordType::kCommit:
+      case WalRecordType::kEpoch:
+        break;
+    }
+  }
+
+  ChecksumStamp stamp;
+  stamp.lsn = plan.next_lsn - 1;
+  for (const auto& [name, view] : views) {
+    ViewChecksum checksum;
+    checksum.view = name;
+    const auto lines = ViewContentLines(*view);
+    checksum.crc = ChecksumOfContentLines(lines);
+    checksum.members = lines.size();
+    stamp.views.push_back(std::move(checksum));
+  }
+  return stamp;
+}
+
+namespace {
+
+Status WriteStampFile(const std::string& dir, const ChecksumStamp& stamp) {
+  const std::string path = dir + "/" + ChecksumFileName();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::Internal("checksums: cannot write " + tmp);
+    out << EncodeChecksumStamp(stamp);
+    out.flush();
+    if (!out) return Status::Internal("checksums: cannot write " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("checksums: cannot publish " + path + ": " +
+                            ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status PublishChecksums(Warehouse& warehouse) {
+  if (!warehouse.durable()) {
+    return Status::FailedPrecondition(
+        "checksums: warehouse has no durability home");
+  }
+  if (warehouse.pending_events() != 0) {
+    return Status::FailedPrecondition(
+        "checksums: drain pending events first (the stamp must sit on a "
+        "commit watermark)");
+  }
+  ChecksumStamp stamp;
+  stamp.lsn = warehouse.wal()->next_lsn() - 1;
+  for (const std::string& name : warehouse.view_names()) {
+    const MaterializedView* view = warehouse.view(name);
+    if (view == nullptr) continue;
+    ViewChecksum checksum;
+    checksum.view = name;
+    const auto lines = ViewContentLines(*view);
+    checksum.crc = ChecksumOfContentLines(lines);
+    checksum.members = lines.size();
+    stamp.views.push_back(std::move(checksum));
+  }
+  return WriteStampFile(warehouse.wal()->dir(), stamp);
+}
+
+Status PublishChecksums(ShardedWarehouse& warehouse) {
+  for (uint32_t i = 0; i < warehouse.shard_count(); ++i) {
+    GSV_RETURN_IF_ERROR(PublishChecksums(warehouse.shard(i)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace gsv

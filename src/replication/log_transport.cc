@@ -1,0 +1,97 @@
+#include "replication/log_transport.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace gsv {
+
+namespace fs = std::filesystem;
+
+Result<std::vector<TransportSegment>> FileLogTransport::ListSegments() {
+  GSV_ASSIGN_OR_RETURN(std::vector<WalSegmentInfo> infos,
+                       ListWalSegments(dir_));
+  std::vector<TransportSegment> segments;
+  segments.reserve(infos.size());
+  for (const WalSegmentInfo& info : infos) {
+    TransportSegment segment;
+    segment.name = info.name;
+    segment.first_lsn = info.first_lsn;
+    std::error_code ec;
+    uintmax_t size = fs::file_size(info.path, ec);
+    if (ec) {
+      // Retired between listing and stat: treat the whole listing as a
+      // transient miss so the caller retries against a settled view.
+      return Status::Unavailable("transport: segment " + info.name +
+                                 " vanished mid-listing");
+    }
+    segment.size = static_cast<uint64_t>(size);
+    segments.push_back(std::move(segment));
+  }
+  return segments;
+}
+
+Result<TransportChunk> FileLogTransport::ReadSegment(
+    const std::string& segment, uint64_t offset, uint64_t max_bytes) {
+  if (segment.find('/') != std::string::npos) {
+    return Status::InvalidArgument("transport: segment name with a path: " +
+                                   segment);
+  }
+  const std::string path = dir_ + "/" + segment;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Unavailable("transport: cannot open " + path);
+  }
+  in.seekg(0, std::ios::end);
+  const uint64_t size = static_cast<uint64_t>(in.tellg());
+  TransportChunk chunk;
+  chunk.offset = offset;
+  if (offset >= size) {
+    chunk.at_end = true;
+    return chunk;
+  }
+  const uint64_t take = std::min<uint64_t>(max_bytes, size - offset);
+  chunk.data.resize(static_cast<size_t>(take));
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(chunk.data.data(), static_cast<std::streamsize>(take));
+  if (static_cast<uint64_t>(in.gcount()) != take) {
+    return Status::Unavailable("transport: short read from " + path);
+  }
+  chunk.at_end = offset + take >= size;
+  return chunk;
+}
+
+Result<std::string> FileLogTransport::FetchFile(const std::string& name) {
+  if (name.find("..") != std::string::npos) {
+    return Status::InvalidArgument("transport: path escape in " + name);
+  }
+  const std::string path = dir_ + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+      return Status::NotFound("transport: no file " + name);
+    }
+    return Status::Unavailable("transport: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<FenceInfo> FileLogTransport::FetchFence() { return ReadFence(dir_); }
+
+Status FileLogTransport::PublishFence(uint64_t epoch,
+                                      const std::string& owner) {
+  GSV_ASSIGN_OR_RETURN(FenceInfo standing, ReadFence(dir_));
+  if (standing.epoch >= epoch) {
+    return Status::FailedPrecondition(
+        "transport: fence epoch " + std::to_string(standing.epoch) +
+        " already at or above " + std::to_string(epoch));
+  }
+  return WriteFence(dir_, epoch, owner);
+}
+
+}  // namespace gsv

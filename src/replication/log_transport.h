@@ -1,0 +1,92 @@
+#ifndef GSV_REPLICATION_LOG_TRANSPORT_H_
+#define GSV_REPLICATION_LOG_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// Transport abstraction for WAL shipping: how a follower sees one primary
+// durability home (one WAL directory — for a sharded primary the follower
+// holds one transport per shard-<i> home). The interface is deliberately
+// dumb — list, ranged read, whole-file fetch — so a file copy, an object
+// store, or a socket protocol can all implement it; correctness lives
+// entirely in the follower's validation (frame CRCs, LSN continuity,
+// commit-boundary application), never in transport guarantees. Every call
+// may fail transiently (kUnavailable) and every read may return short,
+// duplicated, or corrupted bytes; see FaultInjectedTransport.
+
+// One shippable WAL segment as the transport last saw it.
+struct TransportSegment {
+  std::string name;        // wal-<12 digits>.log
+  uint64_t first_lsn = 0;  // from the name
+  uint64_t size = 0;       // bytes visible at listing time (may grow)
+};
+
+// A ranged read's result. `offset` is where the returned bytes *actually*
+// start: a duplicating transport may deliver bytes the follower already
+// has (offset < requested), and a torn read returns fewer bytes than were
+// available. Consumers must dedupe by offset and treat short reads as
+// retry-later, not end-of-log.
+struct TransportChunk {
+  uint64_t offset = 0;
+  std::string data;
+  bool at_end = false;  // no bytes past offset+data.size() at read time
+};
+
+class LogTransport {
+ public:
+  virtual ~LogTransport() = default;
+
+  // Shippable WAL segments of the remote home, sorted by first LSN.
+  // Retired (checkpoint-covered) segments disappear from this listing —
+  // a follower that still needs them must re-seed from a checkpoint.
+  virtual Result<std::vector<TransportSegment>> ListSegments() = 0;
+
+  // Reads up to `max_bytes` of `segment` starting at byte `offset`.
+  // An offset at or past the current end yields an empty at_end chunk.
+  virtual Result<TransportChunk> ReadSegment(const std::string& segment,
+                                            uint64_t offset,
+                                            uint64_t max_bytes) = 0;
+
+  // Fetches a whole non-segment file by home-relative path (CURRENT,
+  // checkpoint-<id>/MANIFEST, checkpoint-<id>/store.gsv, CHECKSUMS).
+  // kNotFound when the remote home has no such file.
+  virtual Result<std::string> FetchFile(const std::string& name) = 0;
+
+  // Reads the remote home's FENCE (epoch 0 when absent).
+  virtual Result<FenceInfo> FetchFence() = 0;
+
+  // Raises the remote home's FENCE — the promotion-time write that cuts
+  // off the old primary (see wal.h). Refuses to lower a standing fence.
+  virtual Status PublishFence(uint64_t epoch, const std::string& owner) = 0;
+};
+
+// Ships from a local filesystem directory (the primary's durability home
+// on a shared disk / NFS mount — and the transport every test drives).
+class FileLogTransport : public LogTransport {
+ public:
+  explicit FileLogTransport(std::string dir) : dir_(std::move(dir)) {}
+
+  Result<std::vector<TransportSegment>> ListSegments() override;
+  Result<TransportChunk> ReadSegment(const std::string& segment,
+                                     uint64_t offset,
+                                     uint64_t max_bytes) override;
+  Result<std::string> FetchFile(const std::string& name) override;
+  Result<FenceInfo> FetchFence() override;
+  Status PublishFence(uint64_t epoch, const std::string& owner) override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_REPLICATION_LOG_TRANSPORT_H_

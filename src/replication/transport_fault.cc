@@ -1,0 +1,117 @@
+#include "replication/transport_fault.h"
+
+#include <algorithm>
+
+namespace gsv {
+
+Status FaultInjectedTransport::MaybeFail(const char* op) {
+  if (down_) {
+    ++ops_failed_;
+    return Status::Unavailable(std::string("transport fault: ") + op +
+                               " (down)");
+  }
+  if (forced_failures_ > 0) {
+    --forced_failures_;
+    ++ops_failed_;
+    return Status::Unavailable(std::string("transport fault: ") + op +
+                               " (scripted)");
+  }
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    ++ops_failed_;
+    return Status::Unavailable(std::string("transport fault: ") + op +
+                               " (burst)");
+  }
+  if (profile_.fail_rate > 0.0 && rng_.NextDouble() < profile_.fail_rate) {
+    burst_remaining_ = std::max(0, profile_.fail_burst - 1);
+    ++ops_failed_;
+    return Status::Unavailable(std::string("transport fault: ") + op);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<TransportSegment>> FaultInjectedTransport::ListSegments() {
+  GSV_RETURN_IF_ERROR(MaybeFail("list"));
+  if (have_listing_ && profile_.stale_list_rate > 0.0 &&
+      rng_.NextDouble() < profile_.stale_list_rate) {
+    // Delayed delivery: the follower sees yesterday's directory. Newly
+    // rolled segments and fresh tail bytes stay invisible this round.
+    ++lists_delayed_;
+    return last_listing_;
+  }
+  GSV_ASSIGN_OR_RETURN(std::vector<TransportSegment> fresh,
+                       base_->ListSegments());
+  last_listing_ = fresh;
+  have_listing_ = true;
+  return fresh;
+}
+
+Result<TransportChunk> FaultInjectedTransport::ReadSegment(
+    const std::string& segment, uint64_t offset, uint64_t max_bytes) {
+  GSV_RETURN_IF_ERROR(MaybeFail("read"));
+  uint64_t effective_offset = offset;
+  bool duplicated = false;
+  if (offset > 0 && profile_.duplicate_rate > 0.0 &&
+      rng_.NextDouble() < profile_.duplicate_rate) {
+    // Re-delivery: the chunk restarts up to 64 bytes early, handing the
+    // follower bytes it already mirrored. Dedupe is the receiver's job.
+    effective_offset = offset - std::min<uint64_t>(offset, 1 + rng_.Uniform(64));
+    duplicated = true;
+  }
+  GSV_ASSIGN_OR_RETURN(TransportChunk chunk,
+                       base_->ReadSegment(segment, effective_offset,
+                                          max_bytes));
+  if (duplicated && !chunk.data.empty()) ++reads_duplicated_;
+  if (!chunk.data.empty() && profile_.torn_read_rate > 0.0 &&
+      rng_.NextDouble() < profile_.torn_read_rate) {
+    // Torn ship: only a prefix arrives, usually mid-frame. at_end must
+    // drop too — the receiver cannot tell a tear from a quiet tail.
+    chunk.data.resize(static_cast<size_t>(rng_.Uniform(chunk.data.size())));
+    chunk.at_end = false;
+    ++reads_torn_;
+  }
+  if (!chunk.data.empty() && profile_.flip_rate > 0.0 &&
+      rng_.NextDouble() < profile_.flip_rate) {
+    const uint64_t bit = rng_.Uniform(chunk.data.size() * 8);
+    chunk.data[static_cast<size_t>(bit / 8)] ^=
+        static_cast<char>(1u << (bit % 8));
+    ++bits_flipped_;
+  }
+  return chunk;
+}
+
+Result<std::string> FaultInjectedTransport::FetchFile(
+    const std::string& name) {
+  GSV_RETURN_IF_ERROR(MaybeFail("fetch"));
+  return base_->FetchFile(name);
+}
+
+Result<FenceInfo> FaultInjectedTransport::FetchFence() {
+  if (down_) {
+    ++ops_failed_;
+    return Status::Unavailable("transport fault: fence (down)");
+  }
+  return base_->FetchFence();
+}
+
+Status FaultInjectedTransport::PublishFence(uint64_t epoch,
+                                            const std::string& owner) {
+  if (down_) {
+    ++ops_failed_;
+    return Status::Unavailable("transport fault: fence (down)");
+  }
+  return base_->PublishFence(epoch, owner);
+}
+
+void FaultInjectedTransport::Heal() {
+  profile_.fail_rate = 0.0;
+  profile_.stale_list_rate = 0.0;
+  profile_.torn_read_rate = 0.0;
+  profile_.duplicate_rate = 0.0;
+  profile_.flip_rate = 0.0;
+  down_ = false;
+  forced_failures_ = 0;
+  burst_remaining_ = 0;
+}
+
+}  // namespace gsv

@@ -1,0 +1,100 @@
+#ifndef GSV_REPLICATION_TRANSPORT_FAULT_H_
+#define GSV_REPLICATION_TRANSPORT_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replication/log_transport.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// How badly the shipping channel misbehaves. One seeded PRNG drives every
+// draw (the FaultInjector discipline from the source channel), so a
+// profile reproduces the same fault schedule on every run. Each fault
+// models a real WAN pathology the follower must absorb:
+//
+//   fail_rate / fail_burst  transient outage: any call returns
+//                           kUnavailable, in bursts (retry/backoff fodder)
+//   stale_list_rate         delayed delivery: ListSegments replays an
+//                           earlier listing, hiding fresh segments/bytes
+//   torn_read_rate          a read stops short mid-frame (torn ship)
+//   duplicate_rate          a read restarts before the requested offset,
+//                           re-delivering bytes the follower already has
+//   flip_rate               a read arrives with one bit flipped — only
+//                           the frame CRC stands between this and silent
+//                           divergence
+struct TransportFaultProfile {
+  uint64_t seed = 1;
+  double fail_rate = 0.0;
+  int fail_burst = 1;
+  double stale_list_rate = 0.0;
+  double torn_read_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double flip_rate = 0.0;
+};
+
+// Decorates any LogTransport with the profile's faults. Fence operations
+// are never faulted probabilistically (a lost fence write is a protocol
+// bug, not a transport blip — PublishFence callers must see real
+// outcomes); set_down covers outage testing for them.
+class FaultInjectedTransport : public LogTransport {
+ public:
+  FaultInjectedTransport(std::unique_ptr<LogTransport> base,
+                         const TransportFaultProfile& profile)
+      : base_(std::move(base)), profile_(profile), rng_(profile.seed) {}
+
+  Result<std::vector<TransportSegment>> ListSegments() override;
+  Result<TransportChunk> ReadSegment(const std::string& segment,
+                                     uint64_t offset,
+                                     uint64_t max_bytes) override;
+  Result<std::string> FetchFile(const std::string& name) override;
+  Result<FenceInfo> FetchFence() override;
+  Status PublishFence(uint64_t epoch, const std::string& owner) override;
+
+  // ---- Scripted controls ----
+
+  // Hard outage: everything (fences included) fails until set_down(false).
+  void set_down(bool down) { down_ = down; }
+  bool down() const { return down_; }
+  // The next `n` list/read/fetch calls fail regardless of the profile.
+  void FailNextOps(int n) { forced_failures_ += n; }
+  // Clears scripted faults and zeroes every rate: the channel is perfect
+  // from here on (the recovery half of fault tests).
+  void Heal();
+
+  // ---- Introspection ----
+
+  int64_t ops_failed() const { return ops_failed_; }
+  int64_t lists_delayed() const { return lists_delayed_; }
+  int64_t reads_torn() const { return reads_torn_; }
+  int64_t reads_duplicated() const { return reads_duplicated_; }
+  int64_t bits_flipped() const { return bits_flipped_; }
+
+  LogTransport* base() { return base_.get(); }
+
+ private:
+  // kUnavailable when this op should fail (probabilistic burst/scripted).
+  Status MaybeFail(const char* op);
+
+  std::unique_ptr<LogTransport> base_;
+  TransportFaultProfile profile_;
+  Random rng_;
+  bool down_ = false;
+  int forced_failures_ = 0;
+  int burst_remaining_ = 0;
+  std::vector<TransportSegment> last_listing_;
+  bool have_listing_ = false;
+  int64_t ops_failed_ = 0;
+  int64_t lists_delayed_ = 0;
+  int64_t reads_torn_ = 0;
+  int64_t reads_duplicated_ = 0;
+  int64_t bits_flipped_ = 0;
+};
+
+}  // namespace gsv
+
+#endif  // GSV_REPLICATION_TRANSPORT_FAULT_H_

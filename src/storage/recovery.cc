@@ -69,6 +69,11 @@ Result<RecoveryPlan> PlanRecovery(const std::string& dir) {
       ++plan.tail_deltas_dropped;
       continue;
     }
+    if (record.type == WalRecordType::kEpoch) {
+      // Writer-session header, not replayable state; the next writer
+      // stamps its own on open.
+      continue;
+    }
     plan.tail.push_back(std::move(record));
   }
   return plan;

@@ -318,6 +318,14 @@ WalRecord WalRecord::Event(std::string source, UpdateEvent event) {
   return record;
 }
 
+WalRecord WalRecord::Epoch(uint64_t epoch, std::string owner) {
+  WalRecord record;
+  record.type = WalRecordType::kEpoch;
+  record.epoch = epoch;
+  record.owner = std::move(owner);
+  return record;
+}
+
 WalRecord WalRecord::VInsert(std::string view, Object base_object) {
   WalRecord record;
   record.type = WalRecordType::kViewDelta;
@@ -410,6 +418,10 @@ std::string EncodeWalPayload(const WalRecord& record) {
       PutU8(&payload, static_cast<uint8_t>(record.cache_mode));
       PutString(&payload, record.source);
       break;
+    case WalRecordType::kEpoch:
+      PutU64(&payload, record.epoch);
+      PutString(&payload, record.owner);
+      break;
   }
   return payload;
 }
@@ -457,6 +469,10 @@ Result<WalRecord> DecodeWalPayload(const std::string& payload) {
       record.cache_mode = static_cast<int>(in.U8());
       record.source = in.String();
       break;
+    case WalRecordType::kEpoch:
+      record.epoch = in.U64();
+      record.owner = in.String();
+      break;
     default:
       return in.Error("unknown record type");
   }
@@ -501,11 +517,79 @@ std::string WalRecordToString(const WalRecord& record) {
           << " cache=" << record.cache_mode << " '" << record.definition
           << '\'';
       break;
+    case WalRecordType::kEpoch:
+      out << "epoch " << record.epoch << " owner=" << record.owner;
+      break;
   }
   return out.str();
 }
 
+// ---- Epoch fence ----
+
+namespace {
+constexpr char kFenceFileName[] = "FENCE";
+constexpr char kFencedPrefix[] = "wal: fenced:";
+}  // namespace
+
+Result<FenceInfo> ReadFence(const std::string& dir) {
+  std::ifstream in(dir + "/" + kFenceFileName);
+  if (!in) return FenceInfo{};  // no fence file: unfenced
+  FenceInfo fence;
+  std::string key;
+  if (!(in >> key >> fence.epoch) || key != "epoch") {
+    return Status::DataLoss("wal: malformed FENCE file in " + dir);
+  }
+  if (in >> key && key == "owner") {
+    std::getline(in, fence.owner);
+    if (!fence.owner.empty() && fence.owner.front() == ' ') {
+      fence.owner.erase(0, 1);
+    }
+  }
+  return fence;
+}
+
+Status WriteFence(const std::string& dir, uint64_t epoch,
+                  const std::string& owner) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("wal: cannot create " + dir + ": " + ec.message());
+  }
+  const std::string tmp = dir + "/" + kFenceFileName + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::Internal("wal: cannot write " + tmp);
+    out << "epoch " << epoch << "\nowner " << owner << "\n";
+    out.flush();
+    if (!out) return Status::Internal("wal: cannot write " + tmp);
+  }
+  fs::rename(tmp, dir + "/" + kFenceFileName, ec);
+  if (ec) {
+    return Status::Internal("wal: cannot publish fence in " + dir + ": " +
+                            ec.message());
+  }
+  return Status::Ok();
+}
+
+bool IsFencedStatus(const Status& status) {
+  return status.code() == StatusCode::kFailedPrecondition &&
+         status.message().rfind(kFencedPrefix, 0) == 0;
+}
+
 // ---- Append side ----
+
+Status Wal::CheckFence() const {
+  if (options_.writer_epoch == 0) return Status::Ok();
+  GSV_ASSIGN_OR_RETURN(FenceInfo fence, ReadFence(dir_));
+  if (fence.epoch > options_.writer_epoch) {
+    return Status::FailedPrecondition(
+        std::string(kFencedPrefix) + " writer epoch " +
+        std::to_string(options_.writer_epoch) + " superseded by fence epoch " +
+        std::to_string(fence.epoch) +
+        (fence.owner.empty() ? std::string() : " held by " + fence.owner));
+  }
+  return Status::Ok();
+}
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
                                        const Options& options,
@@ -519,10 +603,26 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
   GSV_ASSIGN_OR_RETURN(std::vector<WalSegmentInfo> segments,
                        ListWalSegments(dir));
   std::unique_ptr<Wal> wal(new Wal(dir, options, next_lsn));
+  if (options.writer_epoch > 0) {
+    // Claim the fence: refuse to open under a higher fence, raise a lower
+    // one to this writer's epoch so any stale co-writer gets cut off.
+    GSV_RETURN_IF_ERROR(wal->CheckFence());
+    GSV_ASSIGN_OR_RETURN(FenceInfo fence, ReadFence(dir));
+    if (fence.epoch < options.writer_epoch) {
+      GSV_RETURN_IF_ERROR(
+          WriteFence(dir, options.writer_epoch, options.owner));
+    }
+  }
   std::string path = segments.empty()
                          ? dir + "/" + SegmentName(next_lsn)
                          : segments.back().path;
   GSV_RETURN_IF_ERROR(wal->OpenSegment(path));
+  if (options.writer_epoch > 0) {
+    // Stamp the writer's generation so readers can attribute every byte
+    // that follows (a new header per writer session, even mid-segment).
+    GSV_RETURN_IF_ERROR(wal->Append(
+        WalRecord::Epoch(options.writer_epoch, options.owner)));
+  }
   return wal;
 }
 
@@ -582,6 +682,7 @@ Status Wal::WriteFrame(const std::string& payload) {
 }
 
 Status Wal::Append(WalRecord record) {
+  GSV_RETURN_IF_ERROR(CheckFence());
   record.lsn = next_lsn_;
   std::string payload = EncodeWalPayload(record);
   GSV_RETURN_IF_ERROR(WriteFrame(payload));
@@ -604,25 +705,44 @@ Status Wal::Sync() {
 
 Status Wal::Roll() {
   if (crashed_) return Status::DataLoss("wal: crashed (injected)");
+  GSV_RETURN_IF_ERROR(CheckFence());
   GSV_RETURN_IF_ERROR(Sync());
-  return OpenSegment(dir_ + "/" + SegmentName(next_lsn_));
+  GSV_RETURN_IF_ERROR(OpenSegment(dir_ + "/" + SegmentName(next_lsn_)));
+  if (options_.writer_epoch > 0) {
+    // Fresh segment, fresh header: every segment leads with its writer's
+    // epoch so a shipped segment carries its provenance stand-alone.
+    return Append(WalRecord::Epoch(options_.writer_epoch, options_.owner));
+  }
+  return Status::Ok();
 }
 
 // ---- Scan side ----
 
-Result<std::vector<WalSegmentInfo>> ListWalSegments(const std::string& dir) {
+Result<std::vector<WalSegmentInfo>> ListWalSegments(
+    const std::string& dir, std::vector<std::string>* warnings) {
   std::vector<WalSegmentInfo> segments;
   std::error_code ec;
   fs::directory_iterator it(dir, ec);
   if (ec) return segments;  // missing directory = empty log
+  auto warn = [&](const std::string& name, const char* why) {
+    if (warnings != nullptr) {
+      warnings->push_back("wal: skipping " + dir + "/" + name + ": " + why);
+    }
+  };
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
     if (name.rfind(kSegmentPrefix, 0) != 0) continue;
-    if (name.size() <= std::strlen(kSegmentPrefix) + std::strlen(kSegmentSuffix))
+    if (!entry.is_regular_file(ec) || ec) {
+      warn(name, "segment-like name but not a regular file");
       continue;
-    if (name.substr(name.size() - std::strlen(kSegmentSuffix)) !=
-        kSegmentSuffix)
+    }
+    if (name.size() <=
+            std::strlen(kSegmentPrefix) + std::strlen(kSegmentSuffix) ||
+        name.substr(name.size() - std::strlen(kSegmentSuffix)) !=
+            kSegmentSuffix) {
+      warn(name, "segment-like name without the .log suffix");
       continue;
+    }
     const std::string digits = name.substr(
         std::strlen(kSegmentPrefix),
         name.size() - std::strlen(kSegmentPrefix) - std::strlen(kSegmentSuffix));
@@ -635,7 +755,10 @@ Result<std::vector<WalSegmentInfo>> ListWalSegments(const std::string& dir) {
       }
       first_lsn = first_lsn * 10 + static_cast<uint64_t>(c - '0');
     }
-    if (!numeric) continue;
+    if (!numeric) {
+      warn(name, "segment-like name with non-numeric LSN");
+      continue;
+    }
     segments.push_back(WalSegmentInfo{entry.path().string(), name, first_lsn});
   }
   std::sort(segments.begin(), segments.end(),
@@ -706,15 +829,20 @@ Result<WalScan> ScanWal(const std::string& dir) {
     }
 
     if (torn_here) {
+      if (seg + 1 < segments.size()) {
+        // A crash can only tear the active tail. Damage in an interior
+        // segment is corrupted *committed* history — truncating here would
+        // silently drop records later segments still reference, so refuse.
+        return Status::DataLoss(
+            "wal: corrupt record at " + info.name + " offset " +
+            std::to_string(pos) +
+            " in a non-final segment (committed history damaged; " +
+            "truncation would lose acknowledged records)");
+      }
       scan.torn = true;
       scan.torn_segment = info.name;
       scan.torn_offset = pos;
       scan.torn_bytes += data.size() - pos;
-      for (size_t later = seg + 1; later < segments.size(); ++later) {
-        std::error_code size_ec;
-        uintmax_t size = fs::file_size(segments[later].path, size_ec);
-        if (!size_ec) scan.torn_bytes += static_cast<uint64_t>(size);
-      }
       break;  // everything after the tear is suspect
     }
   }

@@ -74,6 +74,7 @@ enum class WalRecordType : uint8_t {
   kViewDelta = 2,  // applied view-maintenance delta
   kCommit = 3,     // group boundary + source watermarks
   kViewDef = 4,    // DefineView
+  kEpoch = 5,      // writer-epoch segment header (replication fencing)
 };
 
 enum class ViewDeltaOp : uint8_t {
@@ -119,6 +120,14 @@ struct WalRecord {
   int cache_mode = 0;  // Warehouse::CacheMode as int
   bool deferred = false;
 
+  // kEpoch: the writer's fencing epoch and an informational owner id. A
+  // writer opening or rolling a segment stamps one of these first, so a
+  // reader (crash recovery, a replication follower) can tell which primary
+  // generation produced every byte that follows — the segment-header half
+  // of the split-brain fence.
+  uint64_t epoch = 0;
+  std::string owner;
+
   // Reader-side provenance (not serialized): where the record starts and
   // ends inside its segment file. Recovery truncates at these offsets.
   std::string segment;
@@ -126,6 +135,7 @@ struct WalRecord {
   uint64_t end_offset = 0;
 
   static WalRecord Event(std::string source, UpdateEvent event);
+  static WalRecord Epoch(uint64_t epoch, std::string owner);
   static WalRecord VInsert(std::string view, Object base_object);
   static WalRecord VDelete(std::string view, Oid base_oid);
   static WalRecord Sync(std::string view, Update update);
@@ -135,12 +145,42 @@ struct WalRecord {
                            std::string source);
 };
 
+// ---- Epoch fence (replication failover) ----
+//
+// A durability directory may carry a FENCE file naming the minimum writer
+// epoch allowed to append. Promotion of a read replica bumps the fence in
+// the old primary's home; the old primary's next append observes the higher
+// fence and is rejected (kFailedPrecondition), so two writers can never
+// both commit into one log — the no-split-brain guarantee. Writers that
+// never set a writer_epoch (plain single-node durability) skip the check
+// entirely and behave exactly as before.
+struct FenceInfo {
+  uint64_t epoch = 0;   // minimum epoch allowed to write; 0 = unfenced
+  std::string owner;    // informational: who holds the fence
+};
+
+// Reads <dir>/FENCE. A missing file yields epoch 0 (unfenced); a malformed
+// file is a corruption error.
+Result<FenceInfo> ReadFence(const std::string& dir);
+// Atomically (tmp + rename) writes <dir>/FENCE.
+Status WriteFence(const std::string& dir, uint64_t epoch,
+                  const std::string& owner);
+// True when `status` is a fence rejection from Wal::Append/Roll.
+bool IsFencedStatus(const Status& status);
+
 // Append side. Thread-compatible: callers hold the warehouse's external
 // synchronization (the same discipline as every other mutation).
 class Wal {
  public:
   struct Options {
     FsyncPolicy fsync = FsyncPolicy::kCommit;
+    // Fencing: when writer_epoch > 0 the writer claims the directory's
+    // fence on open (rejected if the standing fence is higher), stamps a
+    // kEpoch header record into every segment it opens or rolls, and
+    // re-checks the fence before every append so a concurrent promotion
+    // cuts it off at the next write.
+    uint64_t writer_epoch = 0;
+    std::string owner;  // informational fence holder / epoch-record id
   };
 
   // Opens `dir` (created if missing) for appending. New records continue
@@ -186,6 +226,8 @@ class Wal {
 
   Status OpenSegment(const std::string& path);
   Status WriteFrame(const std::string& payload);
+  // kFailedPrecondition when the directory's fence exceeds writer_epoch.
+  Status CheckFence() const;
 
   std::string dir_;
   Options options_;
@@ -206,8 +248,13 @@ struct WalSegmentInfo {
 };
 
 // Lists the segment files of `dir`, sorted by first LSN. An empty or
-// missing directory yields an empty list.
-Result<std::vector<WalSegmentInfo>> ListWalSegments(const std::string& dir);
+// missing directory yields an empty list. Unrelated files (checkpoints,
+// CURRENT, FENCE, editor droppings) never fail the enumeration: anything
+// that is not a well-formed `wal-<digits>.log` regular file is skipped,
+// and names that *look* like segments but are malformed (bad digits, a
+// directory, a stray suffix) are reported through `warnings` when given.
+Result<std::vector<WalSegmentInfo>> ListWalSegments(
+    const std::string& dir, std::vector<std::string>* warnings = nullptr);
 
 // Result of scanning a whole log directory.
 struct WalScan {
@@ -223,6 +270,14 @@ struct WalScan {
 };
 
 // Reads and validates every segment of `dir`. Never modifies the files.
+//
+// A torn or corrupt record is only survivable where a crash can produce
+// one: in the *final* segment (the active tail a power loss tears). There
+// the scan reports `torn` and the valid prefix, and recovery truncates.
+// The same damage in a non-final segment means committed history was
+// corrupted after the fact (bit rot, tampering, a mis-shipped replica
+// segment) — no truncation can honestly repair that, so the scan fails
+// loudly with kDataLoss instead of silently dropping the suffix.
 Result<WalScan> ScanWal(const std::string& dir);
 
 // Truncates `segment` (a file name within `dir`) to `offset` bytes and

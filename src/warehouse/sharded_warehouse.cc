@@ -358,6 +358,8 @@ Status ShardedWarehouse::EnableDurability(const DurabilityOptions& options) {
     shard_options.fsync = options.fsync;
     shard_options.checkpoint_interval_events =
         options.checkpoint_interval_events;
+    shard_options.epoch = options.epoch;
+    shard_options.owner = options.owner;
     GSV_RETURN_IF_ERROR(shards_[i]->EnableDurability(shard_options));
     const Warehouse::RecoveryReport& report = shards_[i]->recovery_report();
     if (report.views_restored + report.views_redefined +

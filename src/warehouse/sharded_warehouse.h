@@ -47,6 +47,10 @@ class ShardedWarehouse {
     std::string dir;  // per-shard state lands in <dir>/shard-<i>
     FsyncPolicy fsync = FsyncPolicy::kCommit;
     uint64_t checkpoint_interval_events = 0;
+    // Fencing epoch applied to every shard's WAL (see Warehouse::
+    // DurabilityOptions::epoch). One fence per shard home.
+    uint64_t epoch = 0;
+    std::string owner;
   };
 
   // `shards` must be a power of two >= 1.

@@ -272,6 +272,12 @@ class Warehouse {
     // Automatically checkpoint at the first quiescent commit after this
     // many logged events (0 = only explicit WriteCheckpoint calls).
     uint64_t checkpoint_interval_events = 0;
+    // Replication fencing (see wal.h FenceInfo): when epoch > 0 the WAL
+    // claims the directory fence on open, stamps kEpoch headers into its
+    // segments, and every append re-checks the fence — a promoted replica
+    // raising the fence cuts this writer off at its next log write.
+    uint64_t epoch = 0;
+    std::string owner;
   };
 
   struct RecoveryReport {

@@ -180,6 +180,8 @@ Status Warehouse::EnableDurability(const DurabilityOptions& options) {
   d->logging_paused = true;
   Wal::Options wal_options;
   wal_options.fsync = options.fsync;
+  wal_options.writer_epoch = options.epoch;
+  wal_options.owner = options.owner;
   GSV_ASSIGN_OR_RETURN(d->wal, Wal::Open(options.dir, wal_options,
                                          plan.next_lsn));
   GSV_ASSIGN_OR_RETURN(std::vector<CheckpointInfo> checkpoints,
@@ -293,6 +295,7 @@ Status Warehouse::RestoreFromPlan(const RecoveryPlan& plan) {
       }
       case WalRecordType::kEvent:   // base objects live at the source
       case WalRecordType::kCommit:  // watermarks come from the plan
+      case WalRecordType::kEpoch:   // writer-session header, no state
         break;
     }
   }

@@ -6,6 +6,10 @@
 //   wal_inspect checkpoints <dir>   list checkpoints and the newest manifest
 //   wal_inspect apply <dir> <out>   replay the logged base updates into an
 //                                   empty store and save it as <out> (text)
+//   wal_inspect diff <dirA> <dirB>  compare two durability homes: segment
+//                                   LSN ranges/bytes and the view-content
+//                                   checksums of their committed states
+//                                   (primary vs replica divergence check)
 //
 // A ShardedWarehouse durability directory holds one sub-directory per shard
 // (shard-0, shard-1, ...), each a complete WAL+checkpoint home of its own.
@@ -15,16 +19,21 @@
 // totally ordered against each other, so they are not merged), and exits
 // with the worst per-shard status.
 //
-// Exit status: 0 clean, 1 when verify finds a torn/corrupt tail, 2 on error.
+// Exit status: 0 clean, 1 when verify finds a torn/corrupt tail or diff
+// finds divergence, 2 on error.
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "oem/serialize.h"
 #include "oem/store.h"
+#include "replication/checksums.h"
 #include "storage/checkpoint.h"
 #include "storage/recovery.h"
 #include "storage/wal.h"
@@ -34,9 +43,16 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s dump|verify|checkpoints <dir>\n"
-               "       %s apply <dir> <out.gsv>\n",
-               argv0, argv0);
+               "       %s apply <dir> <out.gsv>\n"
+               "       %s diff <dirA> <dirB>\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+void PrintWarnings(const std::vector<std::string>& warnings) {
+  for (const std::string& warning : warnings) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
 }
 
 int Dump(const std::string& dir) {
@@ -52,7 +68,9 @@ int Dump(const std::string& dir) {
 }
 
 int Verify(const std::string& dir) {
-  auto segments = gsv::ListWalSegments(dir);
+  std::vector<std::string> warnings;
+  auto segments = gsv::ListWalSegments(dir, &warnings);
+  PrintWarnings(warnings);
   if (!segments.ok()) {
     std::fprintf(stderr, "%s\n", segments.status().ToString().c_str());
     return 2;
@@ -132,6 +150,115 @@ int Apply(const std::string& dir, const std::string& out_path) {
   return 0;
 }
 
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Compares two durability homes. Divergence — shared segment bytes that
+// disagree, or view content that differs — exits 1. One home simply being
+// *behind* the other (shorter segment files, older watermark: the normal
+// state of a lagging replica) is reported but is still divergence for the
+// purposes of the exit status: the caller asked whether the homes match.
+int Diff(const std::string& dir_a, const std::string& dir_b) {
+  std::vector<std::string> warnings;
+  auto segments_a = gsv::ListWalSegments(dir_a, &warnings);
+  auto segments_b = gsv::ListWalSegments(dir_b, &warnings);
+  PrintWarnings(warnings);
+  if (!segments_a.ok() || !segments_b.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (segments_a.ok() ? segments_b.status() : segments_a.status())
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+
+  int divergences = 0;
+  std::map<std::string, int> sides;  // 1 = A, 2 = B, 3 = both
+  for (const auto& info : segments_a.value()) sides[info.name] |= 1;
+  for (const auto& info : segments_b.value()) sides[info.name] |= 2;
+  for (const auto& [name, side] : sides) {
+    if (side != 3) {
+      // Segment sets may legitimately differ: checkpoints retire covered
+      // segments independently on each side. Report, don't flag.
+      std::printf("segment %s: only in %s\n", name.c_str(),
+                  side == 1 ? dir_a.c_str() : dir_b.c_str());
+      continue;
+    }
+    const std::string bytes_a = ReadFileBytes(dir_a + "/" + name);
+    const std::string bytes_b = ReadFileBytes(dir_b + "/" + name);
+    const size_t shared = std::min(bytes_a.size(), bytes_b.size());
+    if (bytes_a.compare(0, shared, bytes_b, 0, shared) != 0) {
+      std::printf("segment %s: DIVERGED (shared %zu-byte prefix differs)\n",
+                  name.c_str(), shared);
+      ++divergences;
+    } else if (bytes_a.size() != bytes_b.size()) {
+      std::printf("segment %s: %s is behind by %zu byte(s)\n", name.c_str(),
+                  bytes_a.size() < bytes_b.size() ? dir_a.c_str()
+                                                  : dir_b.c_str(),
+                  bytes_a.size() > bytes_b.size()
+                      ? bytes_a.size() - bytes_b.size()
+                      : bytes_b.size() - bytes_a.size());
+      ++divergences;
+    } else {
+      std::printf("segment %s: identical (%zu byte(s))\n", name.c_str(),
+                  bytes_a.size());
+    }
+  }
+
+  auto stamp_a = gsv::ChecksumDurabilityHome(dir_a);
+  auto stamp_b = gsv::ChecksumDurabilityHome(dir_b);
+  if (!stamp_a.ok() || !stamp_b.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (stamp_a.ok() ? stamp_b.status() : stamp_a.status())
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+  std::printf("committed lsn: %llu vs %llu\n",
+              static_cast<unsigned long long>(stamp_a.value().lsn),
+              static_cast<unsigned long long>(stamp_b.value().lsn));
+  if (stamp_a.value().lsn != stamp_b.value().lsn) ++divergences;
+
+  std::map<std::string, std::pair<const gsv::ViewChecksum*,
+                                  const gsv::ViewChecksum*>>
+      by_view;
+  for (const auto& view : stamp_a.value().views) {
+    by_view[view.view].first = &view;
+  }
+  for (const auto& view : stamp_b.value().views) {
+    by_view[view.view].second = &view;
+  }
+  for (const auto& [name, pair] : by_view) {
+    if (pair.first == nullptr || pair.second == nullptr) {
+      std::printf("view %s: only in %s\n", name.c_str(),
+                  pair.first != nullptr ? dir_a.c_str() : dir_b.c_str());
+      ++divergences;
+    } else if (pair.first->crc != pair.second->crc ||
+               pair.first->members != pair.second->members) {
+      std::printf("view %s: DIVERGED (crc %u/%llu vs %u/%llu)\n",
+                  name.c_str(), pair.first->crc,
+                  static_cast<unsigned long long>(pair.first->members),
+                  pair.second->crc,
+                  static_cast<unsigned long long>(pair.second->members));
+      ++divergences;
+    } else {
+      std::printf("view %s: identical (crc %u, %llu member(s))\n",
+                  name.c_str(), pair.first->crc,
+                  static_cast<unsigned long long>(pair.first->members));
+    }
+  }
+
+  if (divergences == 0) {
+    std::printf("homes match\n");
+    return 0;
+  }
+  std::printf("%d divergence(s)\n", divergences);
+  return 1;
+}
+
 // Shard homes of a ShardedWarehouse durability directory: shard-0..shard-K
 // in index order. Empty when `dir` is a plain single-warehouse home.
 std::vector<std::string> ShardDirs(const std::string& dir) {
@@ -160,6 +287,26 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage(argv[0]);
   std::string command = argv[1];
   std::string dir = argv[2];
+  if (command == "diff") {
+    if (argc != 4) return Usage(argv[0]);
+    std::string dir_b = argv[3];
+    std::vector<std::string> shards_a = ShardDirs(dir);
+    std::vector<std::string> shards_b = ShardDirs(dir_b);
+    if (shards_a.size() != shards_b.size()) {
+      std::fprintf(stderr,
+                   "shard layout mismatch: %zu shard home(s) vs %zu\n",
+                   shards_a.size(), shards_b.size());
+      return 1;
+    }
+    if (shards_a.empty()) return Diff(dir, dir_b);
+    int worst = 0;
+    for (size_t i = 0; i < shards_a.size(); ++i) {
+      std::printf("=== shard-%zu ===\n", i);
+      int status = Diff(shards_a[i], shards_b[i]);
+      if (status > worst) worst = status;
+    }
+    return worst;
+  }
   bool takes_out = command == "apply";
   if (command != "dump" && command != "verify" && command != "checkpoints" &&
       !takes_out) {
