@@ -36,11 +36,23 @@ echo "=== replication-smoke: follower catch-up floor (E18 --smoke, 1.5x bar) ===
 ./build/bench/exp18_replication --smoke
 
 echo
+echo "=== perf-smoke: beyond-RAM paged store floors (E19 --smoke, 4x footprint) ==="
+./build/bench/exp19_paged_store --smoke
+
+echo
+echo "=== paged: recovery + replication + engine suites on the PagedEngine ==="
+# The same durability and replication properties, with every warehouse
+# delegate store and follower re-pointed at the on-disk paged engine
+# (tiny pool, so eviction runs constantly) through the env seam.
+GSV_STORAGE_ENGINE=paged:8:4096 \
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -L paged
+
+echo
 echo "=== asan: robustness + fault-injection + durability + replication tests under address;undefined ==="
 cmake -B build-asan -S . -DGSV_SANITIZE="address;undefined" >/dev/null
 cmake --build build-asan -j "${JOBS}" --target gsv_robustness_test \
   --target gsv_fault_tolerance_test --target gsv_recovery_test \
-  --target gsv_replication_test
+  --target gsv_replication_test --target gsv_storage_engine_test
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L asan
 
 echo

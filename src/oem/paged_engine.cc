@@ -1,0 +1,741 @@
+#include "oem/paged_engine.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "oem/serialize.h"
+#include "oem/store.h"
+#include "storage/wal.h"
+#include "util/string_util.h"
+
+namespace gsv {
+namespace {
+
+constexpr const char* kPageFileName = "pages.gsp";
+constexpr const char* kPageDirName = "PAGEDIR";
+
+// `min_key` encoded so the empty routing sentinel survives tokenization:
+// "k" + key (OID strings never contain whitespace).
+std::string EncodeKey(const std::string& key) { return "k" + key; }
+
+struct Frame {
+  uint64_t page_id = 0;
+  std::string min_key;  // routing lower bound; "" on the first page
+
+  // ---- On-disk extent (valid when on_disk) ----
+  bool on_disk = false;
+  uint64_t slot_start = 0;
+  uint32_t slot_count = 0;
+  uint32_t payload_bytes = 0;
+  uint32_t crc = 0;
+  uint64_t lsn = 0;            // bumped per writeback
+  uint64_t disk_objects = 0;   // object count as of the last writeback
+  std::string first_oid;       // OID range as of the last writeback
+  std::string last_oid;
+
+  // ---- Residency ----
+  bool loaded = false;
+  bool dirty = false;
+  bool ref = false;            // second-chance bit
+  int pins = 0;
+  uint64_t touched_epoch = 0;  // last epoch a pointer was handed out
+  size_t approx_bytes = 0;     // encoded-size estimate driving splits
+  std::unordered_map<Oid, Object, OidHash> objects;
+};
+
+class PagedEngine final : public StorageEngine {
+ public:
+  explicit PagedEngine(PagedEngineOptions options)
+      : options_(std::move(options)) {
+    if (options_.page_bytes == 0) options_.page_bytes = 64 * 1024;
+    if (options_.pool_pages == 0) options_.pool_pages = 1;
+    std::error_code ec;
+    std::filesystem::create_directories(options_.dir, ec);
+    // The home is scratch: always start empty (durable truth is the WAL +
+    // checkpoints; recovery re-seeds through the bulk-load path).
+    std::filesystem::remove(PageDirPath(), ec);
+    fd_ = ::open(PageFilePath().c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+    if (fd_ < 0) {
+      NoteIoError(Status::Internal("paged engine: cannot open " +
+                                   PageFilePath() + ": " +
+                                   std::strerror(errno)));
+    }
+  }
+
+  ~PagedEngine() override {
+    if (fd_ >= 0) ::close(fd_);
+    if (options_.wipe_on_close) {
+      std::error_code ec;
+      std::filesystem::remove_all(options_.dir, ec);
+    }
+  }
+
+  const char* EngineName() const override { return "paged"; }
+
+  const Object* Get(const Oid& oid) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    Frame* frame = RouteLocked(oid.str());
+    if (frame == nullptr || !FaultLocked(frame)) return nullptr;
+    TouchLocked(frame);
+    auto it = frame->objects.find(oid);
+    return it == frame->objects.end() ? nullptr : &it->second;
+  }
+
+  Object* GetMutable(const Oid& oid) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    Frame* frame = RouteLocked(oid.str());
+    if (frame == nullptr || !FaultLocked(frame)) return nullptr;
+    TouchLocked(frame);
+    auto it = frame->objects.find(oid);
+    if (it == frame->objects.end()) return nullptr;
+    frame->dirty = true;
+    return &it->second;
+  }
+
+  Status Put(Object object) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    const Oid oid = object.oid();
+    const std::string& key = oid.str();
+    if (pages_.empty()) CreateFrameLocked("");
+    Frame* frame = RouteLocked(key);
+    if (!FaultLocked(frame)) return io_error_;
+    if (frame->objects.count(oid) > 0) {
+      return Status::AlreadyExists("object " + key + " already exists");
+    }
+    frame->approx_bytes += EncodeObjectRecord(object).size() + 1;
+    frame->objects.emplace(oid, std::move(object));
+    frame->dirty = true;
+    TouchLocked(frame);
+    ++total_objects_;
+    if (frame->approx_bytes > options_.page_bytes &&
+        frame->objects.size() > 1) {
+      SplitLocked(frame);
+    }
+    return Status::Ok();
+  }
+
+  Status Erase(const Oid& oid) override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    Frame* frame = RouteLocked(oid.str());
+    if (frame == nullptr) {
+      return Status::NotFound("object " + oid.str() + " does not exist");
+    }
+    if (!FaultLocked(frame)) return io_error_;
+    if (frame->objects.erase(oid) == 0) {
+      return Status::NotFound("object " + oid.str() + " does not exist");
+    }
+    frame->dirty = true;
+    TouchLocked(frame);
+    --total_objects_;
+    return Status::Ok();
+  }
+
+  size_t Size() const override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    return total_objects_;
+  }
+
+  void ScanInOrder(const std::function<void(const Object&)>& fn) override {
+    ScanLocked(fn, /*ordered=*/true);
+  }
+
+  void ScanUnordered(const std::function<void(const Object&)>& fn) override {
+    ScanLocked(fn, /*ordered=*/false);
+  }
+
+  void SafePoint() override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    // No caller holds pointers now: every resident frame becomes a legal
+    // victim (the new epoch has touched nothing yet). Run the clock back
+    // down to budget.
+    ++epoch_;
+    EnforceBudgetLocked(options_.pool_pages);
+  }
+
+  Status Flush() override {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    for (auto& [key, frame] : pages_) {
+      if (frame->loaded && frame->dirty) WritebackLocked(frame.get());
+    }
+    if (!io_error_.ok()) return io_error_;
+    return WritePageDirLocked();
+  }
+
+  void AttachMetrics(StoreMetrics* metrics) override { metrics_ = metrics; }
+
+  void FillStatus(PagedEngineStatus* status) const {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    status->dir = options_.dir;
+    status->page_bytes = options_.page_bytes;
+    status->pool_pages = options_.pool_pages;
+    status->pages_total = pages_.size();
+    status->pages_resident = resident_;
+    status->pages_pinned = pinned_;
+    status->objects = total_objects_;
+    status->disk_slots = eof_slots_;
+    uint64_t payload = 0;
+    for (const auto& [key, frame] : pages_) {
+      if (frame->on_disk) payload += frame->payload_bytes;
+    }
+    status->disk_payload_bytes = payload;
+    status->io_error = io_error_;
+  }
+
+ private:
+  std::string PageFilePath() const {
+    return options_.dir + "/" + kPageFileName;
+  }
+  std::string PageDirPath() const { return options_.dir + "/" + kPageDirName; }
+
+  void NoteIoError(Status status) {
+    if (io_error_.ok()) io_error_ = std::move(status);
+  }
+
+  // The frame whose key range covers `key`, or nullptr on an empty store.
+  Frame* RouteLocked(const std::string& key) {
+    if (pages_.empty()) return nullptr;
+    auto it = pages_.upper_bound(key);
+    if (it != pages_.begin()) --it;
+    return it->second.get();
+  }
+
+  Frame* CreateFrameLocked(std::string min_key) {
+    auto frame = std::make_unique<Frame>();
+    frame->page_id = next_page_id_++;
+    frame->min_key = min_key;
+    frame->loaded = true;
+    frame->touched_epoch = epoch_;
+    Frame* raw = frame.get();
+    pages_.emplace(std::move(min_key), std::move(frame));
+    ++resident_;
+    return raw;
+  }
+
+  void TouchLocked(Frame* frame) {
+    frame->ref = true;
+    frame->touched_epoch = epoch_;
+  }
+
+  // Materializes the frame's objects, evicting cold frames first so the
+  // pool stays near budget. False on I/O or decode failure (sticky).
+  bool FaultLocked(Frame* frame) {
+    if (frame->loaded) return true;
+    EnforceBudgetLocked(
+        options_.pool_pages > 0 ? options_.pool_pages - 1 : 0);
+    if (metrics_ != nullptr) {
+      metrics_->page_faults.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!frame->on_disk) {
+      // Evicted while empty and clean: nothing to read back.
+      frame->loaded = true;
+      frame->approx_bytes = 0;
+      ++resident_;
+      return true;
+    }
+    std::string payload(frame->payload_bytes, '\0');
+    if (!ReadAt(frame->slot_start * options_.page_bytes, &payload)) {
+      return false;
+    }
+    if (Crc32(payload.data(), payload.size()) != frame->crc) {
+      NoteIoError(Status::DataLoss("paged engine: CRC mismatch on page " +
+                                   std::to_string(frame->page_id)));
+      return false;
+    }
+    size_t start = 0;
+    while (start < payload.size()) {
+      size_t end = payload.find('\n', start);
+      if (end == std::string::npos) end = payload.size();
+      std::string line = payload.substr(start, end - start);
+      start = end + 1;
+      if (line.empty()) continue;
+      Result<Object> object = DecodeObjectRecord(line);
+      if (!object.ok()) {
+        NoteIoError(Status::DataLoss("paged engine: bad record on page " +
+                                     std::to_string(frame->page_id) + ": " +
+                                     object.status().message()));
+        frame->objects.clear();
+        return false;
+      }
+      Oid oid = object.value().oid();
+      frame->objects.emplace(oid, std::move(object).value());
+    }
+    frame->loaded = true;
+    frame->approx_bytes = frame->payload_bytes;
+    ++resident_;
+    return true;
+  }
+
+  // Second-chance clock over resident frames until the pool is back at
+  // `target` or nothing is evictable. Only cold frames — untouched since
+  // before the last safe point, so no valid pointers reach into them — and
+  // unpinned ones are victims; a hot working set may overshoot the budget
+  // until the next SafePoint().
+  void EnforceBudgetLocked(uint64_t target) {
+    if (resident_ <= target || pages_.empty()) return;
+    size_t sweeps = 2 * pages_.size() + 2;
+    auto it = pages_.lower_bound(clock_key_);
+    while (resident_ > target && sweeps-- > 0) {
+      if (it == pages_.end()) it = pages_.begin();
+      Frame* frame = it->second.get();
+      ++it;
+      if (!frame->loaded || frame->pins > 0 ||
+          frame->touched_epoch >= epoch_) {
+        continue;
+      }
+      if (frame->ref) {
+        frame->ref = false;  // one more pass before eviction
+        continue;
+      }
+      EvictLocked(frame);
+    }
+    clock_key_ = it == pages_.end() ? std::string() : it->first;
+  }
+
+  bool EvictLocked(Frame* frame) {
+    if (frame->dirty && !WritebackLocked(frame)) return false;
+    frame->objects = std::unordered_map<Oid, Object, OidHash>();
+    frame->loaded = false;
+    frame->approx_bytes = 0;
+    --resident_;
+    if (metrics_ != nullptr) {
+      metrics_->page_evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  // Frame objects decorated with their interned key strings, sorted.
+  std::vector<std::pair<std::string_view, const Object*>> SortedLocked(
+      const Frame& frame) const {
+    std::vector<std::pair<std::string_view, const Object*>> sorted;
+    sorted.reserve(frame.objects.size());
+    for (const auto& [oid, object] : frame.objects) {
+      sorted.emplace_back(oid.str(), &object);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return sorted;
+  }
+
+  // Serializes the frame and writes it to a (possibly new) extent.
+  bool WritebackLocked(Frame* frame) {
+    auto sorted = SortedLocked(*frame);
+    std::string payload;
+    payload.reserve(frame->approx_bytes + 64);
+    for (const auto& [key, object] : sorted) {
+      payload += EncodeObjectRecord(*object);
+      payload += '\n';
+    }
+    const uint32_t slots = std::max<uint64_t>(
+        1, (payload.size() + options_.page_bytes - 1) / options_.page_bytes);
+    if (!frame->on_disk || frame->slot_count != slots) {
+      if (frame->on_disk) FreeExtentLocked(frame->slot_start,
+                                           frame->slot_count);
+      frame->slot_start = AllocExtentLocked(slots);
+      frame->slot_count = slots;
+    }
+    if (!WriteAt(frame->slot_start * options_.page_bytes, payload)) {
+      return false;
+    }
+    frame->payload_bytes = static_cast<uint32_t>(payload.size());
+    frame->crc = Crc32(payload.data(), payload.size());
+    frame->lsn = ++next_lsn_;
+    frame->disk_objects = sorted.size();
+    frame->first_oid = sorted.empty() ? "" : std::string(sorted.front().first);
+    frame->last_oid = sorted.empty() ? "" : std::string(sorted.back().first);
+    frame->on_disk = true;
+    frame->dirty = false;
+    frame->approx_bytes = payload.size();
+    if (metrics_ != nullptr) {
+      metrics_->page_writeback_bytes.fetch_add(
+          static_cast<int64_t>(payload.size()), std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  uint64_t AllocExtentLocked(uint32_t slots) {
+    auto it = free_extents_.lower_bound(slots);
+    if (it != free_extents_.end()) {
+      uint64_t start = it->second;
+      uint32_t have = it->first;
+      free_extents_.erase(it);
+      if (have > slots) free_extents_.emplace(have - slots, start + slots);
+      return start;
+    }
+    uint64_t start = eof_slots_;
+    eof_slots_ += slots;
+    return start;
+  }
+
+  void FreeExtentLocked(uint64_t start, uint32_t slots) {
+    free_extents_.emplace(slots, start);
+  }
+
+  // Rebalances an oversized frame: re-derives the exact encoded size and
+  // splits off the upper half into a new page (recursively, for a frame
+  // far over budget). Only called from Put — the one mutation whose
+  // contract already invalidates outstanding pointers.
+  void SplitLocked(Frame* frame) {
+    auto sorted = SortedLocked(*frame);
+    std::vector<size_t> sizes;
+    sizes.reserve(sorted.size());
+    size_t total = 0;
+    for (const auto& [key, object] : sorted) {
+      sizes.push_back(EncodeObjectRecord(*object).size() + 1);
+      total += sizes.back();
+    }
+    frame->approx_bytes = total;
+    if (total <= options_.page_bytes || sorted.size() <= 1) return;
+    size_t cut = 0, lower = 0;
+    while (cut < sorted.size() && lower + sizes[cut] <= total / 2) {
+      lower += sizes[cut++];
+    }
+    if (cut == 0) cut = 1;  // a giant head object: keep it alone
+    if (cut >= sorted.size()) cut = sorted.size() - 1;
+    Frame* upper = CreateFrameLocked(std::string(sorted[cut].first));
+    upper->dirty = true;
+    upper->ref = true;
+    size_t moved = 0;
+    for (size_t i = cut; i < sorted.size(); ++i) {
+      const Oid oid = sorted[i].second->oid();
+      auto node = frame->objects.extract(oid);
+      upper->objects.insert(std::move(node));
+      moved += sizes[i];
+    }
+    upper->approx_bytes = moved;
+    frame->approx_bytes = total - moved;
+    frame->dirty = true;
+    if (upper->approx_bytes > options_.page_bytes) SplitLocked(upper);
+    if (frame->approx_bytes > options_.page_bytes) SplitLocked(frame);
+  }
+
+  void ScanLocked(const std::function<void(const Object&)>& fn,
+                  bool ordered) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    for (auto it = pages_.begin(); it != pages_.end(); ++it) {
+      Frame* frame = it->second.get();
+      const bool was_loaded = frame->loaded;
+      if (!FaultLocked(frame)) continue;  // sticky io_error_ records it
+      ++frame->pins;
+      ++pinned_;
+      NotePinnedPeakLocked();
+      if (ordered) {
+        for (const auto& [key, object] : SortedLocked(*frame)) fn(*object);
+      } else {
+        for (const auto& [oid, object] : frame->objects) fn(object);
+      }
+      --frame->pins;
+      --pinned_;
+      if (!was_loaded && frame->pins == 0) {
+        // The scan faulted this page for itself: release it promptly so a
+        // full scan of a beyond-RAM store stays within budget. Marking it
+        // cold is safe — the references handed to `fn` were callback-local.
+        frame->ref = false;
+        frame->touched_epoch = epoch_ > 0 ? epoch_ - 1 : 0;
+        if (resident_ > options_.pool_pages) EvictLocked(frame);
+      }
+    }
+  }
+
+  void NotePinnedPeakLocked() {
+    if (metrics_ == nullptr) return;
+    int64_t peak =
+        metrics_->pages_pinned_peak.load(std::memory_order_relaxed);
+    if (static_cast<int64_t>(pinned_) > peak) {
+      metrics_->pages_pinned_peak.store(static_cast<int64_t>(pinned_),
+                                        std::memory_order_relaxed);
+    }
+  }
+
+  bool ReadAt(uint64_t offset, std::string* buffer) {
+    size_t done = 0;
+    while (done < buffer->size()) {
+      ssize_t n = ::pread(fd_, buffer->data() + done, buffer->size() - done,
+                          static_cast<off_t>(offset + done));
+      if (n <= 0) {
+        NoteIoError(Status::DataLoss(
+            "paged engine: short read at offset " + std::to_string(offset) +
+            (n < 0 ? std::string(": ") + std::strerror(errno) : "")));
+        return false;
+      }
+      done += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool WriteAt(uint64_t offset, const std::string& payload) {
+    size_t done = 0;
+    while (done < payload.size()) {
+      ssize_t n = ::pwrite(fd_, payload.data() + done, payload.size() - done,
+                           static_cast<off_t>(offset + done));
+      if (n < 0) {
+        NoteIoError(Status::Internal("paged engine: write failed at offset " +
+                                     std::to_string(offset) + ": " +
+                                     std::strerror(errno)));
+        return false;
+      }
+      done += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  Status WritePageDirLocked() {
+    std::ostringstream out;
+    out << "# gsv paged pages v1\n";
+    out << "meta page_bytes " << options_.page_bytes << " pages "
+        << pages_.size() << " eof_slots " << eof_slots_ << "\n";
+    for (const auto& [key, frame] : pages_) {
+      if (!frame->on_disk) continue;  // empty, never-written page
+      out << "page " << frame->page_id << ' ' << EncodeKey(frame->min_key)
+          << ' ' << frame->slot_start << ' ' << frame->slot_count << ' '
+          << frame->payload_bytes << ' ' << frame->crc << ' ' << frame->lsn
+          << ' ' << frame->disk_objects << ' ' << EncodeKey(frame->first_oid)
+          << ' ' << EncodeKey(frame->last_oid) << ' '
+          << (frame->loaded ? "resident" : "evicted") << " clean\n";
+    }
+    std::string body = out.str();
+    std::ostringstream trailer;
+    trailer << "crc " << Crc32(body.data(), body.size()) << "\n";
+    const std::string tmp = PageDirPath() + ".tmp";
+    {
+      std::ofstream file(tmp, std::ios::trunc);
+      if (!file.is_open()) {
+        return Status::Internal("paged engine: cannot open " + tmp);
+      }
+      file << body << trailer.str();
+      if (!file.good()) {
+        return Status::Internal("paged engine: PAGEDIR write failed");
+      }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, PageDirPath(), ec);
+    if (ec) {
+      return Status::Internal("paged engine: PAGEDIR rename failed: " +
+                              ec.message());
+    }
+    return Status::Ok();
+  }
+
+  PagedEngineOptions options_;
+  mutable std::recursive_mutex mu_;
+  // min_key → frame. The first page's min_key is "" so every OID routes.
+  std::map<std::string, std::unique_ptr<Frame>> pages_;
+  std::multimap<uint32_t, uint64_t> free_extents_;  // slot_count → start
+  uint64_t eof_slots_ = 0;
+  uint64_t next_page_id_ = 1;
+  uint64_t next_lsn_ = 0;
+  uint64_t epoch_ = 1;
+  std::string clock_key_;  // clock hand position (map key)
+  size_t resident_ = 0;
+  size_t pinned_ = 0;
+  size_t total_objects_ = 0;
+  int fd_ = -1;
+  StoreMetrics* metrics_ = nullptr;
+  Status io_error_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageEngine> MakePagedEngine(PagedEngineOptions options) {
+  return std::make_unique<PagedEngine>(std::move(options));
+}
+
+StorageEngineFactory MakePagedEngineFactory(PagedEngineOptions options) {
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  return [options, counter]() -> std::unique_ptr<StorageEngine> {
+    PagedEngineOptions instance = options;
+    instance.dir = options.dir + "/eng-" +
+                   std::to_string(counter->fetch_add(1));
+    return MakePagedEngine(std::move(instance));
+  };
+}
+
+StorageEngineFactory MakeEngineFactoryFromEnv() {
+  const char* env = std::getenv("GSV_STORAGE_ENGINE");
+  if (env == nullptr || *env == '\0') return nullptr;
+  std::string spec(env);
+  if (spec == "memory") return nullptr;
+  if (spec.rfind("paged", 0) != 0) return nullptr;
+  PagedEngineOptions options;
+  options.wipe_on_close = true;
+  // "paged[:pool_pages[:page_bytes]]"
+  size_t colon = spec.find(':');
+  if (colon != std::string::npos) {
+    std::string rest = spec.substr(colon + 1);
+    size_t second = rest.find(':');
+    std::optional<int64_t> pool =
+        ParseInt64(second == std::string::npos ? rest
+                                               : rest.substr(0, second));
+    if (pool.has_value() && *pool > 0) {
+      options.pool_pages = static_cast<uint64_t>(*pool);
+    }
+    if (second != std::string::npos) {
+      std::optional<int64_t> bytes = ParseInt64(rest.substr(second + 1));
+      if (bytes.has_value() && *bytes > 0) {
+        options.page_bytes = static_cast<uint64_t>(*bytes);
+      }
+    }
+  }
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string root = (tmpdir != nullptr && *tmpdir != '\0')
+                         ? std::string(tmpdir)
+                         : std::string("/tmp");
+  std::string pattern = root + "/gsv-paged-XXXXXX";
+  std::vector<char> buf(pattern.begin(), pattern.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) return nullptr;
+  options.dir = buf.data();
+  return MakePagedEngineFactory(std::move(options));
+}
+
+bool QueryPagedEngineStatus(const StorageEngine* engine,
+                            PagedEngineStatus* status) {
+  const auto* paged = dynamic_cast<const PagedEngine*>(engine);
+  if (paged == nullptr) return false;
+  paged->FillStatus(status);
+  return true;
+}
+
+namespace {
+
+// Decodes a "k<key>" field; false when the prefix is missing.
+bool DecodeKeyField(std::string_view field, std::string* key) {
+  if (field.empty() || field[0] != 'k') return false;
+  *key = std::string(field.substr(1));
+  return true;
+}
+
+std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+}  // namespace
+
+Result<PageDirectory> ReadPageDirectory(const std::string& dir) {
+  std::ifstream in(dir + "/" + kPageDirName);
+  if (!in.is_open()) {
+    return Status::NotFound("no PAGEDIR in " + dir);
+  }
+  std::string body, line;
+  PageDirectory directory;
+  bool saw_trailer = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("crc ", 0) == 0) {
+      std::optional<int64_t> want = ParseInt64(std::string_view(line).substr(4));
+      if (!want.has_value()) {
+        return Status::DataLoss("PAGEDIR: malformed crc trailer");
+      }
+      if (Crc32(body.data(), body.size()) !=
+          static_cast<uint32_t>(*want)) {
+        return Status::DataLoss("PAGEDIR: trailer CRC mismatch");
+      }
+      saw_trailer = true;
+      break;
+    }
+    body += line;
+    body += '\n';
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string_view> f = SplitFields(line);
+    if (f.empty()) continue;
+    if (f[0] == "meta") {
+      for (size_t i = 1; i + 1 < f.size(); i += 2) {
+        std::optional<int64_t> v = ParseInt64(f[i + 1]);
+        if (!v.has_value()) continue;
+        if (f[i] == "page_bytes") directory.page_bytes = *v;
+        if (f[i] == "eof_slots") directory.eof_slots = *v;
+      }
+      continue;
+    }
+    if (f[0] != "page") {
+      return Status::DataLoss("PAGEDIR: unknown record '" + line + "'");
+    }
+    if (f.size() < 12) {
+      return Status::DataLoss("PAGEDIR: short page record '" + line + "'");
+    }
+    PageDirEntry entry;
+    auto num = [&](size_t idx, auto* out) {
+      std::optional<int64_t> v = ParseInt64(f[idx]);
+      if (v.has_value()) *out = static_cast<std::decay_t<decltype(*out)>>(*v);
+      return v.has_value();
+    };
+    bool ok = num(1, &entry.page_id) && num(3, &entry.slot_start) &&
+              num(4, &entry.slot_count) && num(5, &entry.payload_bytes) &&
+              num(6, &entry.crc) && num(7, &entry.lsn) &&
+              num(8, &entry.objects) &&
+              DecodeKeyField(f[2], &entry.min_key) &&
+              DecodeKeyField(f[9], &entry.first_oid) &&
+              DecodeKeyField(f[10], &entry.last_oid);
+    entry.resident = f[11] == "resident";
+    if (!ok) {
+      return Status::DataLoss("PAGEDIR: malformed page record '" + line +
+                              "'");
+    }
+    directory.pages.push_back(std::move(entry));
+  }
+  if (!saw_trailer) {
+    return Status::DataLoss("PAGEDIR: missing crc trailer");
+  }
+  return directory;
+}
+
+Status VerifyPagedImage(const std::string& dir, std::ostream* out) {
+  GSV_ASSIGN_OR_RETURN(PageDirectory directory, ReadPageDirectory(dir));
+  std::ifstream pages(dir + "/" + kPageFileName, std::ios::binary);
+  if (!pages.is_open()) {
+    return Status::NotFound("no " + std::string(kPageFileName) + " in " +
+                            dir);
+  }
+  Status result = Status::Ok();
+  for (const PageDirEntry& entry : directory.pages) {
+    std::string payload(entry.payload_bytes, '\0');
+    pages.seekg(static_cast<std::streamoff>(entry.slot_start *
+                                            directory.page_bytes));
+    pages.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    bool ok = pages.gcount() == static_cast<std::streamsize>(payload.size());
+    pages.clear();
+    if (ok) ok = Crc32(payload.data(), payload.size()) == entry.crc;
+    if (out != nullptr) {
+      *out << "page " << entry.page_id << " range [" << entry.first_oid
+           << " .. " << entry.last_oid << "] objects " << entry.objects
+           << " slots " << entry.slot_start << "+" << entry.slot_count
+           << " payload " << entry.payload_bytes << " lsn " << entry.lsn
+           << " clean " << (entry.resident ? "resident" : "evicted")
+           << " crc " << (ok ? "ok" : "MISMATCH") << "\n";
+    }
+    if (!ok && result.ok()) {
+      result = Status::DataLoss("page " + std::to_string(entry.page_id) +
+                                ": CRC mismatch");
+    }
+  }
+  if (out != nullptr) {
+    *out << directory.pages.size() << " page(s), page_bytes "
+         << directory.page_bytes << ", eof_slots " << directory.eof_slots
+         << ", " << (result.ok() ? "all CRCs ok" : result.message()) << "\n";
+  }
+  return result;
+}
+
+}  // namespace gsv

@@ -1,0 +1,132 @@
+#ifndef GSV_OEM_PAGED_ENGINE_H_
+#define GSV_OEM_PAGED_ENGINE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oem/storage_engine.h"
+#include "util/status.h"
+
+namespace gsv {
+
+// The beyond-RAM storage engine (DESIGN.md §4h): objects live in
+// fixed-size on-disk pages under a bounded buffer pool, so a store's
+// footprint is capped by `pool_pages * page_bytes` of RAM no matter how
+// large the graph grows.
+//
+// ## Page format
+//
+// A page's payload is a run of canonical checkpoint record lines
+// (serialize.h EncodeObjectRecord, '\n'-terminated) for a contiguous
+// lexicographic OID range — the PR 4 checkpoint encoding IS the page
+// image, so pages are human-readable, CRC-checkable with the WAL's Crc32,
+// and an in-order page walk reproduces the checkpoint byte-for-byte. All
+// pages live in one file (`pages.gsp`) carved into `page_bytes` slots; a
+// page whose payload outgrows one slot (a single huge set object, say)
+// occupies a multi-slot extent. Freed extents go on a first-fit free list
+// (no coalescing — pages are scratch, rebuilt from checkpoint on every
+// open, so fragmentation dies with the process).
+//
+// ## Directory
+//
+// `Flush()` writes every dirty page plus `PAGEDIR`: one line per page
+// (id, min key, extent, payload bytes, CRC, LSN, object count, OID range)
+// with a whole-file CRC trailer, atomically via tmp+rename. `wal_inspect
+// pages` reads it offline and re-verifies every page CRC against
+// `pages.gsp`.
+//
+// ## Caching & eviction
+//
+// Resident pages form a pool with pin counts and second-chance (clock)
+// eviction. Two rules keep the store's pointer contract honest — a
+// pointer from Get() stays valid until the object's own erase/re-put or
+// the next SafePoint():
+//   1. a frame touched since the last SafePoint() is never evicted
+//      mid-epoch (only "cold" frames — untouched since before the last
+//      safe point, whose pointers are already invalid — may be dropped
+//      when a fault overflows the pool);
+//   2. SafePoint() advances the epoch and runs the clock back down to
+//      budget, writing dirty victims out first.
+// The pool may therefore overshoot its budget between safe points by the
+// epoch's working set; callers bound that by placing safe points at their
+// natural quiescent boundaries (drain ends, checkpoint writes, bulk-load
+// strides). Scans pin the frame under the cursor and release pages they
+// themselves faulted, so a full scan of a beyond-RAM store stays within
+// budget.
+//
+// The engine's home directory is scratch: opening always starts empty
+// (durable truth is the WAL + checkpoints; recovery re-seeds through the
+// same bulk-load path as a fresh store).
+struct PagedEngineOptions {
+  std::string dir;                      // home (created; contents replaced)
+  uint64_t page_bytes = 64 * 1024;      // slot size = split target
+  uint64_t pool_pages = 64;             // buffer-pool budget, in slots
+  bool wipe_on_close = false;           // delete the home in the destructor
+};
+
+std::unique_ptr<StorageEngine> MakePagedEngine(PagedEngineOptions options);
+
+// A factory stamping out independent engines (one per shard / aux cache):
+// call n gets `<options.dir>/eng-<n>` as its home.
+StorageEngineFactory MakePagedEngineFactory(PagedEngineOptions options);
+
+// Reads GSV_STORAGE_ENGINE: "paged", "paged:<pool_pages>", or
+// "paged:<pool_pages>:<page_bytes>" yield a factory over a fresh
+// mkdtemp scratch root (wiped on engine close); unset/empty/"memory"
+// yields nullptr (the in-memory default). CI points the existing
+// recovery/replication suites at the paged backend through this.
+StorageEngineFactory MakeEngineFactoryFromEnv();
+
+// ---- Introspection (exp19, wal_inspect) ----
+
+struct PagedEngineStatus {
+  std::string dir;
+  uint64_t page_bytes = 0;
+  uint64_t pool_pages = 0;        // budget
+  uint64_t pages_total = 0;       // pages that exist (resident or not)
+  uint64_t pages_resident = 0;    // loaded frames right now
+  uint64_t pages_pinned = 0;
+  uint64_t objects = 0;
+  uint64_t disk_slots = 0;        // slots allocated in pages.gsp
+  uint64_t disk_payload_bytes = 0;  // sum of on-disk page payloads
+  Status io_error;                // sticky first I/O failure, if any
+};
+
+// Fills `status` when `engine` is a PagedEngine; false otherwise.
+bool QueryPagedEngineStatus(const StorageEngine* engine,
+                            PagedEngineStatus* status);
+
+// One PAGEDIR line, as read back by tooling.
+struct PageDirEntry {
+  uint64_t page_id = 0;
+  std::string min_key;     // routing lower bound ("" on the first page)
+  uint64_t slot_start = 0;
+  uint32_t slot_count = 0;
+  uint32_t payload_bytes = 0;
+  uint32_t crc = 0;
+  uint64_t lsn = 0;
+  uint64_t objects = 0;
+  std::string first_oid;   // "" when the page is empty
+  std::string last_oid;
+  bool resident = false;   // was the frame pooled when PAGEDIR was written
+};
+
+struct PageDirectory {
+  uint64_t page_bytes = 0;
+  uint64_t eof_slots = 0;
+  std::vector<PageDirEntry> pages;
+};
+
+// Parses `<dir>/PAGEDIR` (validating its trailer CRC).
+Result<PageDirectory> ReadPageDirectory(const std::string& dir);
+
+// Dumps the page directory to `out` (when non-null) and re-verifies every
+// page's CRC against pages.gsp. kDataLoss on any mismatch.
+Status VerifyPagedImage(const std::string& dir, std::ostream* out);
+
+}  // namespace gsv
+
+#endif  // GSV_OEM_PAGED_ENGINE_H_

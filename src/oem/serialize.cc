@@ -82,38 +82,95 @@ std::vector<std::string_view> Tokens(std::string_view text) {
 
 }  // namespace
 
-Status WriteStore(const ObjectStore& store, std::ostream& out) {
-  std::vector<const Object*> objects;
-  store.ForEach([&](const Object& object) { objects.push_back(&object); });
-  std::sort(objects.begin(), objects.end(),
-            [](const Object* a, const Object* b) { return a->oid() < b->oid(); });
-
-  out << "# gsview store: " << objects.size() << " objects\n";
-  for (const Object* object : objects) {
-    out << "obj " << object->oid().str() << ' ' << object->label() << ' ';
-    switch (object->type()) {
-      case ValueType::kInt:
-        out << "int " << object->value().AsInt();
-        break;
-      case ValueType::kReal:
-        out << "real " << object->value().AsReal();
-        break;
-      case ValueType::kString:
-        out << "string " << EscapeString(object->value().AsString());
-        break;
-      case ValueType::kBool:
-        out << "bool " << (object->value().AsBool() ? "true" : "false");
-        break;
-      case ValueType::kSet: {
-        out << "set";
-        for (const Oid& child : object->children()) {
-          out << ' ' << child.str();
-        }
-        break;
+std::string EncodeObjectRecord(const Object& object) {
+  std::ostringstream out;
+  out << "obj " << object.oid().str() << ' ' << object.label() << ' ';
+  switch (object.type()) {
+    case ValueType::kInt:
+      out << "int " << object.value().AsInt();
+      break;
+    case ValueType::kReal:
+      out << "real " << object.value().AsReal();
+      break;
+    case ValueType::kString:
+      out << "string " << EscapeString(object.value().AsString());
+      break;
+    case ValueType::kBool:
+      out << "bool " << (object.value().AsBool() ? "true" : "false");
+      break;
+    case ValueType::kSet: {
+      out << "set";
+      for (const Oid& child : object.children()) {
+        out << ' ' << child.str();
       }
+      break;
     }
-    out << '\n';
   }
+  return out.str();
+}
+
+Result<Object> DecodeObjectRecord(const std::string& line) {
+  // obj <oid> <label> <type> <payload...>
+  std::vector<std::string_view> head =
+      Tokens(std::string_view(line).substr(0, line.find('"')));
+  if (head.size() < 4 || head[0] != "obj") {
+    return Status::InvalidArgument("malformed object record");
+  }
+  const Oid oid(head[1]);
+  std::string label(head[2]);
+  const std::string_view type = head[3];
+  if (type == "int") {
+    if (head.size() != 5) {
+      return Status::InvalidArgument("int record needs one value");
+    }
+    std::optional<int64_t> value = ParseInt64(head[4]);
+    if (!value.has_value()) {
+      return Status::InvalidArgument("bad integer '" + std::string(head[4]) +
+                                     "'");
+    }
+    return Object(oid, std::move(label), Value::Int(*value));
+  }
+  if (type == "real") {
+    if (head.size() != 5) {
+      return Status::InvalidArgument("real record needs one value");
+    }
+    std::optional<double> value = ParseDouble(head[4]);
+    if (!value.has_value()) {
+      return Status::InvalidArgument("bad real '" + std::string(head[4]) +
+                                     "'");
+    }
+    return Object(oid, std::move(label), Value::Real(*value));
+  }
+  if (type == "bool") {
+    if (head.size() != 5) {
+      return Status::InvalidArgument("bool record needs one value");
+    }
+    return Object(oid, std::move(label), Value::Bool(head[4] == "true"));
+  }
+  if (type == "string") {
+    size_t pos = line.find('"');
+    if (pos == std::string::npos) {
+      return Status::InvalidArgument("string record needs quotes");
+    }
+    GSV_ASSIGN_OR_RETURN(std::string text, UnescapeString(line, &pos));
+    return Object(oid, std::move(label), Value::Str(std::move(text)));
+  }
+  if (type == "set") {
+    std::vector<Oid> children;
+    children.reserve(head.size() - 4);
+    for (size_t i = 4; i < head.size(); ++i) {
+      children.push_back(Oid(head[i]));
+    }
+    return Object(oid, std::move(label), Value::SetOf(std::move(children)));
+  }
+  return Status::InvalidArgument("unknown type '" + std::string(type) + "'");
+}
+
+Status WriteStore(const ObjectStore& store, std::ostream& out) {
+  out << "# gsview store: " << store.size() << " objects\n";
+  store.ScanInOrder([&](const Object& object) {
+    out << EncodeObjectRecord(object) << '\n';
+  });
   for (const std::string& name : store.DatabaseNames()) {
     out << "db " << name << ' ' << store.DatabaseOid(name).str() << '\n';
   }
@@ -124,6 +181,7 @@ Status WriteStore(const ObjectStore& store, std::ostream& out) {
 Status ReadStore(std::istream& in, ObjectStore* store) {
   std::string line;
   size_t line_number = 0;
+  size_t objects_loaded = 0;
   while (std::getline(in, line)) {
     ++line_number;
     auto fail = [&](const std::string& message) {
@@ -133,49 +191,13 @@ Status ReadStore(std::istream& in, ObjectStore* store) {
     if (line.empty() || line[0] == '#') continue;
 
     if (line.rfind("obj ", 0) == 0) {
-      // obj <oid> <label> <type> <payload...>
-      std::vector<std::string_view> head =
-          Tokens(std::string_view(line).substr(0, line.find('"')));
-      if (head.size() < 4) return fail("malformed object record");
-      const Oid oid(head[1]);
-      std::string label(head[2]);
-      const std::string_view type = head[3];
-      Status status;
-      if (type == "int") {
-        if (head.size() != 5) return fail("int record needs one value");
-        std::optional<int64_t> value = ParseInt64(head[4]);
-        if (!value.has_value()) {
-          return fail("bad integer '" + std::string(head[4]) + "'");
-        }
-        status = store->PutAtomic(oid, std::move(label), Value::Int(*value));
-      } else if (type == "real") {
-        if (head.size() != 5) return fail("real record needs one value");
-        std::optional<double> value = ParseDouble(head[4]);
-        if (!value.has_value()) {
-          return fail("bad real '" + std::string(head[4]) + "'");
-        }
-        status = store->PutAtomic(oid, std::move(label), Value::Real(*value));
-      } else if (type == "bool") {
-        if (head.size() != 5) return fail("bool record needs one value");
-        status = store->PutAtomic(oid, std::move(label),
-                                  Value::Bool(head[4] == "true"));
-      } else if (type == "string") {
-        size_t pos = line.find('"');
-        if (pos == std::string::npos) return fail("string record needs quotes");
-        GSV_ASSIGN_OR_RETURN(std::string text, UnescapeString(line, &pos));
-        status = store->PutAtomic(oid, std::move(label),
-                                  Value::Str(std::move(text)));
-      } else if (type == "set") {
-        std::vector<Oid> children;
-        children.reserve(head.size() - 4);
-        for (size_t i = 4; i < head.size(); ++i) {
-          children.push_back(Oid(head[i]));
-        }
-        status = store->PutSet(oid, std::move(label), std::move(children));
-      } else {
-        return fail("unknown type '" + std::string(type) + "'");
-      }
-      GSV_RETURN_IF_ERROR(status);
+      Result<Object> object = DecodeObjectRecord(line);
+      if (!object.ok()) return fail(object.status().message());
+      GSV_RETURN_IF_ERROR(store->Put(std::move(object).value()));
+      // Bulk load is a quiescent boundary every stretch of records: the
+      // caller holds no object pointers mid-load, so a bounded-pool engine
+      // can evict back to budget instead of materializing the whole image.
+      if (++objects_loaded % 2048 == 0) store->StorageSafePoint();
     } else if (line.rfind("db ", 0) == 0) {
       std::vector<std::string_view> head = Tokens(line);
       if (head.size() != 3) return fail("malformed db record");

@@ -24,8 +24,17 @@ namespace gsv {
 // backslash escapes for '"', '\' and newline. Lines starting with '#' and
 // blank lines are ignored on load.
 
-// Writes every object (sorted by OID for determinism) and every database
-// registration.
+// One object as its canonical record line ("obj ...", no trailing
+// newline). This is both the checkpoint line format and the unit the paged
+// storage engine packs into pages, so a page image is a byte slice of the
+// store's serialized form.
+std::string EncodeObjectRecord(const Object& object);
+
+// Parses one record produced by EncodeObjectRecord.
+Result<Object> DecodeObjectRecord(const std::string& line);
+
+// Writes every object (streamed in OID order — a paged store is captured
+// without materializing it) and every database registration.
 Status WriteStore(const ObjectStore& store, std::ostream& out);
 
 // Parses records into `store` (which may already hold objects; duplicate

@@ -1,0 +1,72 @@
+#include "oem/storage_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace gsv {
+
+namespace {
+
+// The original ObjectStore backing, verbatim: one node-stable hash table.
+// Pointers survive safe points and unrelated mutations; every operation is
+// O(1) expected. The whole store lives in RAM.
+class InMemoryEngine final : public StorageEngine {
+ public:
+  const char* EngineName() const override { return "memory"; }
+
+  const Object* Get(const Oid& oid) override {
+    auto it = objects_.find(oid);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+
+  Object* GetMutable(const Oid& oid) override {
+    auto it = objects_.find(oid);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+
+  Status Put(Object object) override {
+    const Oid oid = object.oid();
+    auto [it, inserted] = objects_.emplace(oid, std::move(object));
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("object " + oid.str() + " already exists");
+    }
+    return Status::Ok();
+  }
+
+  Status Erase(const Oid& oid) override {
+    if (objects_.erase(oid) == 0) {
+      return Status::NotFound("object " + oid.str() + " does not exist");
+    }
+    return Status::Ok();
+  }
+
+  size_t Size() const override { return objects_.size(); }
+
+  void ScanInOrder(const std::function<void(const Object&)>& fn) override {
+    std::vector<const Object*> sorted;
+    sorted.reserve(objects_.size());
+    for (const auto& [oid, object] : objects_) sorted.push_back(&object);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Object* a, const Object* b) {
+                return a->oid() < b->oid();  // lexicographic (Oid contract)
+              });
+    for (const Object* object : sorted) fn(*object);
+  }
+
+  void ScanUnordered(const std::function<void(const Object&)>& fn) override {
+    for (const auto& [oid, object] : objects_) fn(object);
+  }
+
+ private:
+  std::unordered_map<Oid, Object, OidHash> objects_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageEngine> MakeInMemoryEngine() {
+  return std::make_unique<InMemoryEngine>();
+}
+
+}  // namespace gsv

@@ -39,17 +39,16 @@ Status ObjectStore::Put(Object object) {
   if (!object.oid().valid()) {
     return Status::InvalidArgument("object has an invalid OID");
   }
-  auto [it, inserted] = objects_.emplace(object.oid(), std::move(object));
+  const Oid oid = object.oid();
+  Status status = engine_->Put(std::move(object));
   ++metrics_.lookups;
-  if (!inserted) {
-    return Status::AlreadyExists("object " + it->first.str() +
-                                 " already exists");
-  }
-  if (options_.enable_parent_index && it->second.IsSet()) {
-    IndexChildren(it->second);
+  if (!status.ok()) return status;
+  const Object* stored = engine_->Get(oid);
+  if (options_.enable_parent_index && stored->IsSet()) {
+    IndexChildren(*stored);
   }
   if (options_.enable_label_index) {
-    LabelIndexPutObject(it->second);
+    LabelIndexPutObject(*stored);
     label_index_.Publish();
   }
   return Status::Ok();
@@ -68,18 +67,18 @@ Status ObjectStore::PutSet(const Oid& oid, std::string label,
 }
 
 Status ObjectStore::Remove(const Oid& oid) {
-  auto it = objects_.find(oid);
+  const Object* object = engine_->Get(oid);
   ++metrics_.lookups;
-  if (it == objects_.end()) {
+  if (object == nullptr) {
     return Status::NotFound("object " + oid.str() + " does not exist");
   }
   if (options_.enable_label_index) {
-    LabelIndexRemoveObject(it->second);
+    LabelIndexRemoveObject(*object);
   }
-  if (options_.enable_parent_index && it->second.IsSet()) {
-    UnindexChildren(it->second);
+  if (options_.enable_parent_index && object->IsSet()) {
+    UnindexChildren(*object);
   }
-  objects_.erase(it);
+  GSV_RETURN_IF_ERROR(engine_->Erase(oid));
   // The removed object's own parent_index_ entry is kept: the surviving
   // parents still hold the (now dangling) edge, and a later re-Put of this
   // OID must find them to re-index. Only an empty entry is dropped.
@@ -105,13 +104,12 @@ Status ObjectStore::Remove(const Oid& oid) {
 
 const Object* ObjectStore::Get(const Oid& oid) const {
   ++metrics_.lookups;
-  auto it = objects_.find(oid);
-  return it == objects_.end() ? nullptr : &it->second;
+  return engine_->Get(oid);
 }
 
 bool ObjectStore::Contains(const Oid& oid) const {
   ++metrics_.lookups;
-  return objects_.count(oid) > 0;
+  return engine_->Get(oid) != nullptr;
 }
 
 std::vector<Oid> ObjectStore::Parents(const Oid& oid) const {
@@ -124,45 +122,53 @@ std::vector<Oid> ObjectStore::Parents(const Oid& oid) const {
   // No inverse index: scan every set object (§4.4: "evaluating the same
   // function may require a traversal").
   std::vector<Oid> parents;
-  for (const auto& [parent_oid, object] : objects_) {
+  engine_->ScanUnordered([&](const Object& object) {
     ++metrics_.objects_scanned;
     if (object.IsSet() && object.children().Contains(oid)) {
-      parents.push_back(parent_oid);
+      parents.push_back(object.oid());
     }
-  }
+  });
   std::sort(parents.begin(), parents.end());
   return parents;
 }
 
 void ObjectStore::ForEach(
     const std::function<void(const Object&)>& fn) const {
-  for (const auto& [oid, object] : objects_) {
+  engine_->ScanUnordered([&](const Object& object) {
     ++metrics_.objects_scanned;
     fn(object);
-  }
+  });
+}
+
+void ObjectStore::ScanInOrder(
+    const std::function<void(const Object&)>& fn) const {
+  engine_->ScanInOrder([&](const Object& object) {
+    ++metrics_.objects_scanned;
+    fn(object);
+  });
 }
 
 Status ObjectStore::Insert(const Oid& parent, const Oid& child) {
-  auto it = objects_.find(parent);
+  Object* object = engine_->GetMutable(parent);
   ++metrics_.lookups;
-  if (it == objects_.end()) {
+  if (object == nullptr) {
     return Status::NotFound("insert: parent " + parent.str() + " not found");
   }
-  if (!it->second.IsSet()) {
+  if (!object->IsSet()) {
     return Status::FailedPrecondition("insert: parent " + parent.str() +
                                       " is not a set object");
   }
   if (!Contains(child)) {
     return Status::NotFound("insert: child " + child.str() + " not found");
   }
-  if (!it->second.mutable_children().Insert(child)) {
+  if (!object->mutable_children().Insert(child)) {
     return Status::Ok();  // already a child: no-op, no notification
   }
   if (options_.enable_parent_index) {
     parent_index_[child].Insert(parent);
   }
   if (options_.enable_label_index) {
-    LabelIndexAddEdge(it->second, child);
+    LabelIndexAddEdge(*object, child);
     label_index_.Publish();  // listeners must probe the post-update epoch
   }
   Notify(Update::Insert(parent, child));
@@ -170,16 +176,16 @@ Status ObjectStore::Insert(const Oid& parent, const Oid& child) {
 }
 
 Status ObjectStore::Delete(const Oid& parent, const Oid& child) {
-  auto it = objects_.find(parent);
+  Object* object = engine_->GetMutable(parent);
   ++metrics_.lookups;
-  if (it == objects_.end()) {
+  if (object == nullptr) {
     return Status::NotFound("delete: parent " + parent.str() + " not found");
   }
-  if (!it->second.IsSet()) {
+  if (!object->IsSet()) {
     return Status::FailedPrecondition("delete: parent " + parent.str() +
                                       " is not a set object");
   }
-  if (!it->second.mutable_children().Erase(child)) {
+  if (!object->mutable_children().Erase(child)) {
     return Status::NotFound("delete: " + child.str() + " is not a child of " +
                             parent.str());
   }
@@ -191,7 +197,7 @@ Status ObjectStore::Delete(const Oid& parent, const Oid& child) {
     }
   }
   if (options_.enable_label_index) {
-    LabelIndexRemoveEdge(it->second, child);
+    LabelIndexRemoveEdge(*object, child);
     label_index_.Publish();
   }
   Notify(Update::Delete(parent, child));
@@ -199,12 +205,12 @@ Status ObjectStore::Delete(const Oid& parent, const Oid& child) {
 }
 
 Status ObjectStore::Modify(const Oid& oid, Value new_value) {
-  auto it = objects_.find(oid);
+  Object* object = engine_->GetMutable(oid);
   ++metrics_.lookups;
-  if (it == objects_.end()) {
+  if (object == nullptr) {
     return Status::NotFound("modify: object " + oid.str() + " not found");
   }
-  if (!it->second.IsAtomic()) {
+  if (!object->IsAtomic()) {
     return Status::FailedPrecondition(
         "modify: " + oid.str() +
         " is a set object; change sets via insert/delete");
@@ -212,13 +218,13 @@ Status ObjectStore::Modify(const Oid& oid, Value new_value) {
   if (new_value.IsSet()) {
     return Status::InvalidArgument("modify: new value must be atomic");
   }
-  Value old_value = it->second.value();
+  Value old_value = object->value();
   if (options_.enable_label_index) {
-    label_index_.RemoveValue(it->second.label(), oid.id(), old_value);
-    label_index_.AddValue(it->second.label(), oid.id(), new_value);
+    label_index_.RemoveValue(object->label(), oid.id(), old_value);
+    label_index_.AddValue(object->label(), oid.id(), new_value);
     label_index_.Publish();  // listeners must probe the post-update epoch
   }
-  it->second.mutable_value() = new_value;
+  object->mutable_value() = new_value;
   Notify(Update::Modify(oid, std::move(old_value), std::move(new_value)));
   return Status::Ok();
 }
@@ -263,21 +269,21 @@ Result<bool> ObjectStore::ApplyFromLog(const Update& update) {
 }
 
 Status ObjectStore::AddChildRaw(const Oid& parent, const Oid& child) {
-  auto it = objects_.find(parent);
+  Object* object = engine_->GetMutable(parent);
   ++metrics_.lookups;
-  if (it == objects_.end()) {
+  if (object == nullptr) {
     return Status::NotFound("raw add: parent " + parent.str() + " not found");
   }
-  if (!it->second.IsSet()) {
+  if (!object->IsSet()) {
     return Status::FailedPrecondition("raw add: parent " + parent.str() +
                                       " is not a set object");
   }
-  if (it->second.mutable_children().Insert(child)) {
+  if (object->mutable_children().Insert(child)) {
     if (options_.enable_parent_index) {
       parent_index_[child].Insert(parent);
     }
     if (options_.enable_label_index) {
-      LabelIndexAddEdge(it->second, child);
+      LabelIndexAddEdge(*object, child);
       label_index_.Publish();
     }
   }
@@ -285,17 +291,17 @@ Status ObjectStore::AddChildRaw(const Oid& parent, const Oid& child) {
 }
 
 Status ObjectStore::RemoveChildRaw(const Oid& parent, const Oid& child) {
-  auto it = objects_.find(parent);
+  Object* object = engine_->GetMutable(parent);
   ++metrics_.lookups;
-  if (it == objects_.end()) {
+  if (object == nullptr) {
     return Status::NotFound("raw remove: parent " + parent.str() +
                             " not found");
   }
-  if (!it->second.IsSet()) {
+  if (!object->IsSet()) {
     return Status::FailedPrecondition("raw remove: parent " + parent.str() +
                                       " is not a set object");
   }
-  if (it->second.mutable_children().Erase(child)) {
+  if (object->mutable_children().Erase(child)) {
     if (options_.enable_parent_index) {
       auto pit = parent_index_.find(child);
       if (pit != parent_index_.end()) {
@@ -304,7 +310,7 @@ Status ObjectStore::RemoveChildRaw(const Oid& parent, const Oid& child) {
       }
     }
     if (options_.enable_label_index) {
-      LabelIndexRemoveEdge(it->second, child);
+      LabelIndexRemoveEdge(*object, child);
       label_index_.Publish();
     }
   }
@@ -313,45 +319,45 @@ Status ObjectStore::RemoveChildRaw(const Oid& parent, const Oid& child) {
 
 Status ObjectStore::ReplaceChildRaw(const Oid& parent, const Oid& from,
                                     const Oid& to) {
-  auto it = objects_.find(parent);
+  const Object* object = engine_->Get(parent);
   ++metrics_.lookups;
-  if (it == objects_.end()) {
+  if (object == nullptr) {
     return Status::NotFound("raw replace: parent " + parent.str() +
                             " not found");
   }
-  if (!it->second.IsSet()) {
+  if (!object->IsSet()) {
     return Status::FailedPrecondition("raw replace: parent " + parent.str() +
                                       " is not a set object");
   }
-  if (!it->second.children().Contains(from)) return Status::Ok();
+  if (!object->children().Contains(from)) return Status::Ok();
   GSV_RETURN_IF_ERROR(RemoveChildRaw(parent, from));
   return AddChildRaw(parent, to);
 }
 
 Status ObjectStore::SetValueRaw(const Oid& oid, Value value) {
-  auto it = objects_.find(oid);
+  Object* object = engine_->GetMutable(oid);
   ++metrics_.lookups;
-  if (it == objects_.end()) {
+  if (object == nullptr) {
     return Status::NotFound("raw set: object " + oid.str() + " not found");
   }
-  if (it->second.IsSet()) {
+  if (object->IsSet()) {
     if (options_.enable_label_index) {
-      for (const Oid& child : it->second.children()) {
-        LabelIndexRemoveEdge(it->second, child);
+      for (const Oid& child : object->children()) {
+        LabelIndexRemoveEdge(*object, child);
       }
     }
-    if (options_.enable_parent_index) UnindexChildren(it->second);
+    if (options_.enable_parent_index) UnindexChildren(*object);
   }
   if (options_.enable_label_index) {
-    label_index_.RemoveValue(it->second.label(), oid.id(), it->second.value());
-    label_index_.AddValue(it->second.label(), oid.id(), value);
+    label_index_.RemoveValue(object->label(), oid.id(), object->value());
+    label_index_.AddValue(object->label(), oid.id(), value);
   }
-  it->second.mutable_value() = std::move(value);
-  if (it->second.IsSet()) {
-    if (options_.enable_parent_index) IndexChildren(it->second);
+  object->mutable_value() = std::move(value);
+  if (object->IsSet()) {
+    if (options_.enable_parent_index) IndexChildren(*object);
     if (options_.enable_label_index) {
-      for (const Oid& child : it->second.children()) {
-        LabelIndexAddEdge(it->second, child);
+      for (const Oid& child : object->children()) {
+        LabelIndexAddEdge(*object, child);
       }
     }
   }
@@ -436,9 +442,11 @@ size_t ObjectStore::CollectGarbage(const std::vector<Oid>& extra_roots) {
   }
 
   std::vector<Oid> doomed;
-  for (const auto& [oid, object] : objects_) {
-    if (reachable.find(oid.id()) == reachable.end()) doomed.push_back(oid);
-  }
+  engine_->ScanUnordered([&](const Object& object) {
+    if (reachable.find(object.oid().id()) == reachable.end()) {
+      doomed.push_back(object.oid());
+    }
+  });
   for (const Oid& oid : doomed) Remove(oid);
   return doomed.size();
 }
@@ -452,8 +460,7 @@ void ObjectStore::Notify(const Update& update) {
 }
 
 const Object* ObjectStore::RawGet(const Oid& oid) const {
-  auto it = objects_.find(oid);
-  return it == objects_.end() ? nullptr : &it->second;
+  return engine_->Get(oid);
 }
 
 void ObjectStore::LabelIndexPutObject(const Object& object) {
@@ -519,15 +526,15 @@ void ObjectStore::LabelIndexRemoveEdge(const Object& parent,
 
 std::vector<DanglingEdge> ObjectStore::AuditDanglingEdges() const {
   std::vector<DanglingEdge> dangling;
-  for (const auto& [oid, object] : objects_) {
+  engine_->ScanUnordered([&](const Object& object) {
     ++metrics_.objects_scanned;
-    if (!object.IsSet()) continue;
+    if (!object.IsSet()) return;
     for (const Oid& child : object.children()) {
-      if (objects_.find(child) == objects_.end()) {
-        dangling.push_back(DanglingEdge{oid, child});
+      if (engine_->Get(child) == nullptr) {
+        dangling.push_back(DanglingEdge{object.oid(), child});
       }
     }
-  }
+  });
   std::sort(dangling.begin(), dangling.end(),
             [](const DanglingEdge& a, const DanglingEdge& b) {
               if (a.parent != b.parent) return a.parent < b.parent;

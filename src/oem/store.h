@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "oem/label_index.h"
 #include "oem/object.h"
 #include "oem/oid.h"
+#include "oem/storage_engine.h"
 #include "oem/update.h"
 #include "oem/value.h"
 #include "util/status.h"
@@ -31,6 +33,11 @@ struct StoreMetrics {
   std::atomic<int64_t> lookups{0};          // OID hash-table probes
   std::atomic<int64_t> index_probes{0};     // label/step posting range scans
   std::atomic<int64_t> index_fallbacks{0};  // primitives answered by traversal
+  // ---- Buffer-pool counters (paged storage engine; zero on memory) ----
+  std::atomic<int64_t> page_faults{0};      // pages read in from the page file
+  std::atomic<int64_t> page_evictions{0};   // frames dropped from the pool
+  std::atomic<int64_t> page_writeback_bytes{0};  // dirty payload written out
+  std::atomic<int64_t> pages_pinned_peak{0};     // high-water of pinned frames
 
   StoreMetrics() = default;
   StoreMetrics(const StoreMetrics& other) { *this = other; }
@@ -41,6 +48,12 @@ struct StoreMetrics {
     lookups = other.lookups.load(std::memory_order_relaxed);
     index_probes = other.index_probes.load(std::memory_order_relaxed);
     index_fallbacks = other.index_fallbacks.load(std::memory_order_relaxed);
+    page_faults = other.page_faults.load(std::memory_order_relaxed);
+    page_evictions = other.page_evictions.load(std::memory_order_relaxed);
+    page_writeback_bytes =
+        other.page_writeback_bytes.load(std::memory_order_relaxed);
+    pages_pinned_peak =
+        other.pages_pinned_peak.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -60,6 +73,18 @@ struct StoreMetrics {
     add(&lookups, other.lookups);
     add(&index_probes, other.index_probes);
     add(&index_fallbacks, other.index_fallbacks);
+    add(&page_faults, other.page_faults);
+    add(&page_evictions, other.page_evictions);
+    add(&page_writeback_bytes, other.page_writeback_bytes);
+    // A high-water mark merges as a max: the fleet's peak is the worst
+    // shard's peak, not their sum.
+    int64_t other_peak =
+        other.pages_pinned_peak.load(std::memory_order_relaxed);
+    int64_t mine = pages_pinned_peak.load(std::memory_order_relaxed);
+    while (other_peak > mine &&
+           !pages_pinned_peak.compare_exchange_weak(
+               mine, other_peak, std::memory_order_relaxed)) {
+    }
     return *this;
   }
 };
@@ -95,11 +120,19 @@ class ObjectStore {
     // in dangling_log() (the paper leaves them dangling; the index skips
     // them, but callers may want to notice).
     bool check_dangling = false;
+    // Builds the storage engine backing this store's objects
+    // (storage_engine.h). Null selects the memory-resident default. The
+    // parent/label indexes, databases, and listeners stay in RAM regardless
+    // of engine; only the object bytes go through the seam.
+    StorageEngineFactory engine_factory;
   };
 
   ObjectStore() : ObjectStore(Options()) {}
-  explicit ObjectStore(Options options) : options_(options) {
+  explicit ObjectStore(Options options) : options_(std::move(options)) {
     if (!options_.enable_parent_index) options_.enable_label_index = false;
+    engine_ = options_.engine_factory ? options_.engine_factory()
+                                      : MakeInMemoryEngine();
+    engine_->AttachMetrics(&metrics_);
   }
 
   ObjectStore(const ObjectStore&) = delete;
@@ -123,10 +156,13 @@ class ObjectStore {
 
   // ---- Lookup ----
 
-  // Returns the object or nullptr. Pointers are invalidated by Put/Remove.
+  // Returns the object or nullptr. Pointers are invalidated by Put/Remove
+  // and by StorageSafePoint() (a paged engine may evict the backing page
+  // there; the in-memory engine happens to keep pointers stable, but code
+  // must not rely on that).
   const Object* Get(const Oid& oid) const;
   bool Contains(const Oid& oid) const;
-  size_t size() const { return objects_.size(); }
+  size_t size() const { return engine_->Size(); }
 
   // All parents of `oid` (objects whose set value contains it). Uses the
   // inverse index when enabled, otherwise a metered full scan.
@@ -134,6 +170,29 @@ class ObjectStore {
 
   // Iterates every object (unspecified order).
   void ForEach(const std::function<void(const Object&)>& fn) const;
+
+  // Iterates every object in canonical lexicographic OID order — the
+  // checkpoint/serialization order. On a paged engine this streams page by
+  // page within the pool budget, so a beyond-RAM store can be captured
+  // without materializing it. Metered like ForEach.
+  void ScanInOrder(const std::function<void(const Object&)>& fn) const;
+
+  // ---- Storage engine (DESIGN.md §4h) ----
+
+  // Declares that the caller holds no Object pointers into this store.
+  // A bounded-pool engine evicts back down to its budget here. Warehouse
+  // drains, checkpoint writers, and bulk loads call this at their
+  // quiescent boundaries; it is always safe (a no-op on memory).
+  void StorageSafePoint() { engine_->SafePoint(); }
+
+  // Writes the engine's dirty pages + page directory to its backing files
+  // (no-op on memory). WriteCheckpoint calls this so the paged image on
+  // disk is complete and CRC-verifiable at every checkpoint.
+  Status FlushStorage() { return engine_->Flush(); }
+
+  const char* engine_name() const { return engine_->EngineName(); }
+  // The engine itself, for diagnostics probes (wal_inspect, exp19).
+  StorageEngine* storage_engine() const { return engine_.get(); }
 
   // ---- Basic updates (paper §4.1) ----
 
@@ -251,7 +310,10 @@ class ObjectStore {
   void LabelIndexRemoveEdge(const Object& parent, const Oid& child);
 
   Options options_;
-  std::unordered_map<Oid, Object, OidHash> objects_;
+  // The bytes behind the objects (storage_engine.h). Const store methods
+  // call through the pointer: a paged engine's reads fault pages behind an
+  // internal lock, so concurrent const access stays safe.
+  std::unique_ptr<StorageEngine> engine_;
   // child -> parents. Maintained only when options_.enable_parent_index.
   // Entries survive Remove() of the child: the surviving parents still hold
   // the dangling edge, and a later re-Put must see them to re-index.

@@ -153,7 +153,34 @@ std::vector<Oid> AncestorsByPath(const ObjectStore& store, const Oid& n,
 
 namespace {
 
-void PathsFromToRec(const ObjectStore& store, const Oid& from,
+// Parents of `object` for the upward path walk. Hybrid: with a published
+// index snapshot the walk probes the `up_any` posting of the node's label
+// (one range scan over (child_id<<32)|parent_id keys) instead of touching
+// the parent index; both modes hand back canonical lexicographic OID order
+// so the enumeration — and any max_paths truncation — is byte-identical
+// whichever side answers.
+std::vector<Oid> WalkParents(const ObjectStore& store,
+                             const LabelIndexSnapshot* snapshot,
+                             const Object& object) {
+  if (snapshot == nullptr) return store.Parents(object.oid());
+  store.metrics().index_probes.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Oid> parents;
+  if (const Postings* up = snapshot->UpAny(object.label())) {
+    const uint32_t id = object.oid().id();
+    const uint64_t lo = static_cast<uint64_t>(id) << 32;
+    const uint64_t hi = id == 0xffffffffu
+                            ? ~uint64_t{0}
+                            : (static_cast<uint64_t>(id) + 1) << 32;
+    up->ScanRange(lo, hi, [&](uint64_t v) {
+      parents.push_back(Oid::FromId(static_cast<uint32_t>(v)));
+    });
+  }
+  SortOidsLexicographic(&parents);
+  return parents;
+}
+
+void PathsFromToRec(const ObjectStore& store,
+                    const LabelIndexSnapshot* snapshot, const Oid& from,
                     const Oid& current, std::vector<std::string>* labels_rev,
                     std::unordered_set<uint32_t>* on_stack,
                     size_t max_paths, size_t max_depth, const OidFilter& filter,
@@ -170,9 +197,9 @@ void PathsFromToRec(const ObjectStore& store, const Oid& from,
   if (object == nullptr) return;
   if (!on_stack->insert(current.id()).second) return;  // cycle guard
   labels_rev->push_back(object->label());
-  for (const Oid& parent : store.Parents(current)) {
-    PathsFromToRec(store, from, parent, labels_rev, on_stack, max_paths,
-                   max_depth, filter, out);
+  for (const Oid& parent : WalkParents(store, snapshot, *object)) {
+    PathsFromToRec(store, snapshot, from, parent, labels_rev, on_stack,
+                   max_paths, max_depth, filter, out);
     if (out->size() >= max_paths) break;
   }
   labels_rev->pop_back();
@@ -186,10 +213,12 @@ std::vector<Path> PathsFromTo(const ObjectStore& store, const Oid& from,
                               size_t max_depth, const OidFilter& filter) {
   std::vector<Path> out;
   if (!store.Contains(from) || !store.Contains(to)) return out;
+  LabelIndexSnapshotPtr snapshot = store.AcquireIndexSnapshot();
+  if (snapshot == nullptr) CountFallback(store);
   std::vector<std::string> labels_rev;
   std::unordered_set<uint32_t> on_stack;
-  PathsFromToRec(store, from, to, &labels_rev, &on_stack, max_paths, max_depth,
-                 filter, &out);
+  PathsFromToRec(store, snapshot.get(), from, to, &labels_rev, &on_stack,
+                 max_paths, max_depth, filter, &out);
   std::sort(out.begin(), out.end(), [](const Path& a, const Path& b) {
     return a.ToString() < b.ToString();
   });

@@ -26,6 +26,11 @@ std::string QueryExplanation::ToString() const {
   out << "\n  answer size " << answer.size() << "; " << total_edges
       << " edges, " << total_lookups << " lookups, " << plan.index_probes
       << " index probes, " << plan.index_fallbacks << " fallbacks";
+  // Paging appears only when the store's engine actually faulted, so the
+  // memory-engine output (and its golden tests) is unchanged.
+  if (total_page_faults > 0) {
+    out << ", " << total_page_faults << " page faults";
+  }
   return out.str();
 }
 
@@ -61,6 +66,7 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
   int64_t lookups_base = metrics.lookups;
   int64_t probes_base = metrics.index_probes;
   int64_t fallbacks_base = metrics.index_fallbacks;
+  int64_t faults_base = metrics.page_faults;
   explanation.plan.select =
       store.options().enable_label_index && query.select_path.IsConstant()
           ? QueryPlan::Select::kIndexProbe
@@ -131,6 +137,7 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
   explanation.total_lookups = metrics.lookups - lookups_base;
   explanation.plan.index_probes = metrics.index_probes - probes_base;
   explanation.plan.index_fallbacks = metrics.index_fallbacks - fallbacks_base;
+  explanation.total_page_faults = metrics.page_faults - faults_base;
   return explanation;
 }
 

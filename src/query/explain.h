@@ -37,6 +37,9 @@ struct QueryExplanation {
   QueryPlan plan;              // chosen select plan + index counter deltas
   int64_t total_edges = 0;
   int64_t total_lookups = 0;
+  // Buffer-pool faults this evaluation caused (paged storage engine only;
+  // always 0 on the memory engine, and then omitted from ToString).
+  int64_t total_page_faults = 0;
 
   std::string ToString() const;
 };

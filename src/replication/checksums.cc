@@ -95,7 +95,7 @@ Result<ChecksumStamp> ChecksumDurabilityHome(const std::string& dir) {
 
   if (plan.have_checkpoint) {
     GSV_RETURN_IF_ERROR(
-        StoreFromString(plan.checkpoint.store_text, &store));
+        ImportStoreImage(plan.checkpoint.store_text, &store));
     for (const CheckpointViewState& state : plan.checkpoint.manifest.views) {
       GSV_RETURN_IF_ERROR(define(state.definition, /*adopt=*/true));
     }

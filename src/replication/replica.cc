@@ -29,11 +29,20 @@ uint32_t U32At(const std::string& data, size_t at) {
 
 }  // namespace
 
+namespace {
+ObjectStore::Options ReplicaStoreOptions(const StorageEngineFactory& factory) {
+  ObjectStore::Options options;
+  options.engine_factory = factory;
+  return options;
+}
+}  // namespace
+
 Replica::Replica(std::unique_ptr<LogTransport> transport,
                  ReplicaOptions options)
-    : transport_(std::move(transport)),
-      options_(std::move(options)),
-      store_(std::make_unique<ObjectStore>()) {}
+    : transport_(std::move(transport)), options_(std::move(options)) {
+  store_ =
+      std::make_unique<ObjectStore>(ReplicaStoreOptions(options_.engine_factory));
+}
 
 Replica::~Replica() = default;
 
@@ -164,7 +173,8 @@ Status Replica::WipeLocal() {
     }
   }
   views_.clear();
-  store_ = std::make_unique<ObjectStore>();
+  store_ =
+      std::make_unique<ObjectStore>(ReplicaStoreOptions(options_.engine_factory));
   applied_lsn_ = 0;
   watermarks_.clear();
   mirror_segment_.clear();
@@ -264,10 +274,12 @@ Status Replica::ReseedFromPrimary() {
 }
 
 Status Replica::AdoptCheckpoint(const LoadedCheckpoint& checkpoint) {
-  GSV_RETURN_IF_ERROR(StoreFromString(checkpoint.store_text, store_.get()));
+  GSV_RETURN_IF_ERROR(ImportStoreImage(checkpoint.store_text, store_.get()));
   for (const CheckpointViewState& state : checkpoint.manifest.views) {
     GSV_RETURN_IF_ERROR(DefineReplicaView(state, /*adopt=*/true));
   }
+  // Seed complete: let a paged engine shed the bulk-load working set.
+  store_->StorageSafePoint();
   return Status::Ok();
 }
 
@@ -333,6 +345,9 @@ Status Replica::ApplyRecord(const WalRecord& record) {
     case WalRecordType::kCommit:
       watermarks_ = record.watermarks;
       ++stats_.commits_applied;
+      // Commit-group boundary: no object pointers are live, so a paged
+      // delegate store may evict back down to its pool budget here.
+      store_->StorageSafePoint();
       return Status::Ok();
     case WalRecordType::kEvent:  // base objects live at the sources
       return Status::Ok();
@@ -693,7 +708,7 @@ Status Replica::WriteLocalCheckpoint() {
   for (const ReplicaView& entry : views_) {
     capture.manifest.views.push_back(entry.state);
   }
-  capture.store_text = StoreToString(*store_);
+  GSV_ASSIGN_OR_RETURN(capture.store_text, ExportStoreImage(store_.get()));
   GSV_RETURN_IF_ERROR(PersistCheckpoint(options_.dir, capture));
   ++next_checkpoint_id_;
   ++stats_.checkpoints_written;

@@ -64,6 +64,12 @@ struct ReplicaOptions {
   // A validation failure at the same byte offset this many polls running
   // is persistent corruption, not a transport blip: self-heal by re-seed.
   int max_corrupt_rounds = 8;
+  // Builds the storage engine backing the follower's delegate store (and
+  // its re-seeded successors after a self-heal wipe). Called once per
+  // store construction; null = memory default. With a paged engine the
+  // follower seeds from the primary's checkpoint through the bulk-load
+  // seam without ever materializing the full store in RAM.
+  StorageEngineFactory engine_factory;
 };
 
 // The staleness watermark every read carries.

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "oem/serialize.h"
+#include "oem/store.h"
 #include "util/string_util.h"
 
 namespace gsv {
@@ -333,6 +335,22 @@ Result<LoadedCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
     if (loaded.ok()) return loaded;
   }
   return Status::NotFound("no usable checkpoint under " + dir);
+}
+
+Result<std::string> ExportStoreImage(ObjectStore* store) {
+  GSV_RETURN_IF_ERROR(store->FlushStorage());
+  std::string text = StoreToString(*store);
+  // The in-order capture scan released the pages it faulted as it went;
+  // one safe point afterwards settles the pool back to budget.
+  store->StorageSafePoint();
+  return text;
+}
+
+Status ImportStoreImage(const std::string& text, ObjectStore* store) {
+  // ReadStore safe-points every load stride; one more here bounds the tail.
+  GSV_RETURN_IF_ERROR(StoreFromString(text, store));
+  store->StorageSafePoint();
+  return Status::Ok();
 }
 
 }  // namespace gsv

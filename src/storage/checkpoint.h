@@ -12,6 +12,8 @@
 
 namespace gsv {
 
+class ObjectStore;
+
 // View checkpoints: durable snapshots of the warehouse's maintained state —
 // the delegate store (every materialized view's objects plus database
 // registrations), each view's §5.2 auxiliary cache, the per-source sequence
@@ -96,6 +98,20 @@ Result<std::vector<CheckpointInfo>> ListCheckpoints(const std::string& dir);
 // validation; used for retention decisions).
 Result<CheckpointManifest> ReadCheckpointManifest(
     const std::string& checkpoint_path);
+
+// ---- Store page images (storage-engine seam, DESIGN.md §4h) ----
+
+// Captures `store` as checkpoint text, streamed in OID order, after
+// flushing the storage engine's dirty pages — so a paged beyond-RAM store
+// is exported within its buffer-pool budget and its on-disk page image is
+// complete (CRC-verifiable) at every checkpoint.
+Result<std::string> ExportStoreImage(ObjectStore* store);
+
+// Bulk-loads checkpoint text into `store` through the engine seam, with
+// periodic storage safe points bounding resident memory — recovery and
+// replica seeding never materialize the full store in RAM on a paged
+// engine.
+Status ImportStoreImage(const std::string& text, ObjectStore* store);
 
 // Manifest text codec (exposed for tests and wal_inspect).
 std::string EncodeCheckpointManifest(

@@ -14,10 +14,20 @@ namespace {
 // Separates the known-value preamble from the serialized corridor store.
 constexpr char kCacheHeader[] = "# gsv-aux-cache v1";
 constexpr char kStoreMarker[] = "%%store";
+
+ObjectStore::Options CacheStoreOptions(StorageEngineFactory engine_factory) {
+  ObjectStore::Options options;
+  options.engine_factory = std::move(engine_factory);
+  return options;
+}
 }  // namespace
 
-AuxiliaryCache::AuxiliaryCache(Mode mode, Oid root, Path corridor)
-    : mode_(mode), root_(std::move(root)), corridor_(std::move(corridor)) {}
+AuxiliaryCache::AuxiliaryCache(Mode mode, Oid root, Path corridor,
+                               StorageEngineFactory engine_factory)
+    : mode_(mode),
+      root_(std::move(root)),
+      corridor_(std::move(corridor)),
+      store_(CacheStoreOptions(std::move(engine_factory))) {}
 
 bool AuxiliaryCache::ValueKnown(const Oid& oid) const {
   const Object* object = store_.Get(oid);

@@ -41,7 +41,10 @@ class AuxiliaryCache {
     kFull,        // everything: fully local maintenance
   };
 
-  AuxiliaryCache(Mode mode, Oid root, Path corridor);
+  // `engine_factory` builds the storage engine backing the corridor store
+  // (null = memory default); a beyond-RAM warehouse pages its caches too.
+  AuxiliaryCache(Mode mode, Oid root, Path corridor,
+                 StorageEngineFactory engine_factory = nullptr);
 
   // Loads the corridor by querying the source (metered).
   Status Initialize(SourceWrapper* wrapper);
@@ -70,6 +73,11 @@ class AuxiliaryCache {
   // it is surfaced on the warehouse cost sheet rather than lost in the
   // cache's private store.
   void FlushIndexCounters(WarehouseCosts* costs);
+
+  // Declares a storage quiescent point on the corridor store (see
+  // ObjectStore::StorageSafePoint): a paged engine may shrink back to its
+  // buffer-pool budget here. The warehouse calls this at drain boundaries.
+  void StorageSafePoint() { store_.StorageSafePoint(); }
 
   // ---- Locally answered accessor operations ----
 

@@ -37,6 +37,9 @@ WarehouseCosts& WarehouseCosts::Merge(const WarehouseCosts& other) {
   Accumulate(&cross_shard_exports, other.cross_shard_exports);
   Accumulate(&cross_shard_applies, other.cross_shard_applies);
   Accumulate(&cross_shard_probes, other.cross_shard_probes);
+  Accumulate(&store_page_faults, other.store_page_faults);
+  Accumulate(&store_page_evictions, other.store_page_evictions);
+  Accumulate(&store_writeback_bytes, other.store_writeback_bytes);
   return *this;
 }
 
@@ -76,6 +79,14 @@ std::string WarehouseCosts::ToString() const {
     out << " xshard_exports=" << cross_shard_exports
         << " xshard_applies=" << cross_shard_applies
         << " xshard_probes=" << cross_shard_probes;
+  }
+  // Paging counters only appear when a paged engine actually paged, so the
+  // memory-engine string (and every golden output) is unchanged.
+  if (store_page_faults > 0 || store_page_evictions > 0 ||
+      store_writeback_bytes > 0) {
+    out << " page_faults=" << store_page_faults
+        << " page_evictions=" << store_page_evictions
+        << " writeback_bytes=" << store_writeback_bytes;
   }
   return out.str();
 }

@@ -52,6 +52,13 @@ struct WarehouseCosts {
   std::atomic<int64_t> cross_shard_applies{0};  // peer ops applied here
   std::atomic<int64_t> cross_shard_probes{0};   // foreign membership lookups
 
+  // Delegate/cache store buffer pool (paged storage engine; zero on the
+  // memory engine). Flushed from StoreMetrics at storage quiescent points
+  // so maintenance cost sheets show the paging a drain actually caused.
+  std::atomic<int64_t> store_page_faults{0};
+  std::atomic<int64_t> store_page_evictions{0};
+  std::atomic<int64_t> store_writeback_bytes{0};
+
   WarehouseCosts() = default;
   WarehouseCosts(const WarehouseCosts& other) { *this = other; }
   WarehouseCosts& operator=(const WarehouseCosts& other) {
@@ -93,6 +100,12 @@ struct WarehouseCosts {
         other.cross_shard_applies.load(std::memory_order_relaxed);
     cross_shard_probes =
         other.cross_shard_probes.load(std::memory_order_relaxed);
+    store_page_faults =
+        other.store_page_faults.load(std::memory_order_relaxed);
+    store_page_evictions =
+        other.store_page_evictions.load(std::memory_order_relaxed);
+    store_writeback_bytes =
+        other.store_writeback_bytes.load(std::memory_order_relaxed);
     return *this;
   }
 

@@ -34,7 +34,7 @@ bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 }  // namespace
 
-ShardedWarehouse::ShardedWarehouse(uint32_t shards) {
+ShardedWarehouse::ShardedWarehouse(uint32_t shards, Options options) {
   if (!IsPowerOfTwo(shards)) {
     init_status_ =
         Status::InvalidArgument("shard count must be a power of two >= 1");
@@ -44,7 +44,9 @@ ShardedWarehouse::ShardedWarehouse(uint32_t shards) {
   stores_.reserve(shards);
   shards_.reserve(shards);
   for (uint32_t i = 0; i < shards; ++i) {
-    stores_.push_back(std::make_unique<ObjectStore>());
+    ObjectStore::Options store_options;
+    store_options.engine_factory = options.engine_factory;
+    stores_.push_back(std::make_unique<ObjectStore>(std::move(store_options)));
     auto warehouse = std::make_unique<Warehouse>(stores_.back().get());
     Status status = warehouse->BindShard(i, mask_, &directory_);
     if (!status.ok() && init_status_.ok()) init_status_ = status;

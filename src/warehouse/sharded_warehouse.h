@@ -53,8 +53,18 @@ class ShardedWarehouse {
     std::string owner;
   };
 
+  struct Options {
+    // Builds each shard's delegate-store engine (called once per shard —
+    // the factory must hand out a fresh engine, and for a paged engine a
+    // fresh scratch directory, per call; see MakePagedEngineFactory). Null
+    // selects the memory default.
+    StorageEngineFactory engine_factory;
+  };
+
   // `shards` must be a power of two >= 1.
-  explicit ShardedWarehouse(uint32_t shards);
+  explicit ShardedWarehouse(uint32_t shards)
+      : ShardedWarehouse(shards, Options()) {}
+  ShardedWarehouse(uint32_t shards, Options options);
   ~ShardedWarehouse();
 
   uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }

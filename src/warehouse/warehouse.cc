@@ -144,6 +144,7 @@ Status Warehouse::RunVerificationSweep() {
     }
   }
   if (!first_error.ok()) last_status_ = first_error;
+  StorageQuiescent();
   return first_error;
 }
 
@@ -247,7 +248,7 @@ Result<std::unique_ptr<Warehouse::ViewEntry>> Warehouse::BuildViewEntry(
     entry->cache = std::make_unique<AuxiliaryCache>(
         cache_mode == CacheMode::kFull ? AuxiliaryCache::Mode::kFull
                                        : AuxiliaryCache::Mode::kLabelsOnly,
-        source.root, entry->full_path);
+        source.root, entry->full_path, options_.aux_engine_factory);
   }
   if (binding_.has_value()) {
     entry->scoped = std::make_unique<ShardScopedStorage>(
@@ -292,6 +293,7 @@ Status Warehouse::DefineView(std::string_view definition,
   }
   views_.push_back(std::move(entry));
   LogCommit();
+  StorageQuiescent();
   return Status::Ok();
 }
 
@@ -367,6 +369,7 @@ void Warehouse::Deliver(size_t source_index, const UpdateEvent& event) {
   }
   DispatchEvent(source_index, event);
   LogCommit();  // inline dispatch forms its own commit group
+  StorageQuiescent();
 }
 
 void Warehouse::DispatchEvent(size_t source_index, const UpdateEvent& event) {
@@ -551,6 +554,7 @@ Status Warehouse::ResyncStaleViews() {
   // Resync deltas (recompute + buffered replay) were logged via the sinks;
   // close their group when the warehouse is quiescent.
   if (pending_.empty()) LogCommit();
+  StorageQuiescent();
   return first_error;
 }
 
@@ -660,6 +664,7 @@ Status Warehouse::ProcessPending() {
   }
   if (!first_error.ok()) last_status_ = first_error;
   LogCommit();  // the drain is quiescent here: one commit closes the group
+  StorageQuiescent();
   return first_error;
 }
 
@@ -751,6 +756,31 @@ Status Warehouse::Level1ModifyRecheck(ViewEntry& entry,
     }
   }
   return Status::Ok();
+}
+
+void Warehouse::StorageQuiescent() {
+  store_->StorageSafePoint();
+  for (auto& entry : views_) {
+    if (entry->cache != nullptr) entry->cache->StorageSafePoint();
+  }
+  // Flush the delegate store's buffer-pool deltas onto the cost sheet so
+  // maintenance reports show the paging the drain actually caused. (Cache
+  // stores report through the same StoreMetrics merge path as their index
+  // counters; the delegate store dominates and is what exp19 studies.)
+  const StoreMetrics& metrics = store_->metrics();
+  int64_t faults = metrics.page_faults.load(std::memory_order_relaxed);
+  int64_t evictions = metrics.page_evictions.load(std::memory_order_relaxed);
+  int64_t writeback =
+      metrics.page_writeback_bytes.load(std::memory_order_relaxed);
+  costs_.store_page_faults.fetch_add(faults - flushed_page_faults_,
+                                     std::memory_order_relaxed);
+  costs_.store_page_evictions.fetch_add(evictions - flushed_page_evictions_,
+                                        std::memory_order_relaxed);
+  costs_.store_writeback_bytes.fetch_add(writeback - flushed_writeback_bytes_,
+                                         std::memory_order_relaxed);
+  flushed_page_faults_ = faults;
+  flushed_page_evictions_ = evictions;
+  flushed_writeback_bytes_ = writeback;
 }
 
 ThreadPool* Warehouse::Pool(size_t threads) {

@@ -56,8 +56,17 @@ class Warehouse {
     kFull,        // §5.2 full corridor caching
   };
 
+  struct Options {
+    // Builds the storage engine backing each §5.2 corridor cache this
+    // warehouse creates in DefineView (one engine per cached view; null =
+    // memory default). The delegate store's own engine is chosen by
+    // whoever constructed `store` — the warehouse borrows, never owns, it.
+    StorageEngineFactory aux_engine_factory;
+  };
+
   // `store` holds this warehouse's delegates; must outlive the warehouse.
-  explicit Warehouse(ObjectStore* store);
+  explicit Warehouse(ObjectStore* store) : Warehouse(store, Options()) {}
+  Warehouse(ObjectStore* store, Options options);
   ~Warehouse();
 
   // Attaches a source (Figure 6 allows several): installs a monitor at
@@ -404,6 +413,12 @@ class Warehouse {
   Status Level1ModifyRecheck(ViewEntry& entry, const UpdateEvent& event,
                              ViewStorage* storage, BaseAccessor* accessor);
   void RecomputeRelevantLabels(ViewEntry& entry);
+  // Declares a storage quiescent point: no `const Object*` from the
+  // delegate store or a corridor cache is live past this call, so a paged
+  // engine may evict back down to its buffer-pool budget. Runs at the end
+  // of every drain / inline dispatch / resync / checkpoint, and flushes the
+  // engines' buffer-pool counter deltas onto the cost sheet while there.
+  void StorageQuiescent();
   // Lazily builds/resizes the worker pool for `threads` workers.
   ThreadPool* Pool(size_t threads);
   // Shared body of ConnectSource / ConnectSourceRouted.
@@ -450,6 +465,7 @@ class Warehouse {
   };
 
   ObjectStore* store_;
+  Options options_;
   std::vector<std::unique_ptr<SourceEntry>> sources_;
   PathKnowledge knowledge_;
   WarehouseCosts costs_;
@@ -461,6 +477,10 @@ class Warehouse {
   Status last_status_;
   std::unique_ptr<ThreadPool> pool_;
   size_t pool_threads_ = 0;
+  // Last-flushed delegate-store paging counters (StorageQuiescent deltas).
+  int64_t flushed_page_faults_ = 0;
+  int64_t flushed_page_evictions_ = 0;
+  int64_t flushed_writeback_bytes_ = 0;
   // Durability state (WAL, stats, recovery report); null when disabled.
   std::unique_ptr<WarehouseDurability> durability_;
 };

@@ -275,6 +275,7 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
   // (every event and view delta logged above is certified applied). The
   // sharded coordinator commits instead, after cross-shard ops delivered.
   if (options.log_commit) LogCommit();
+  StorageQuiescent();
   return first_error;
 }
 

@@ -70,7 +70,8 @@ struct WarehouseDurability : public ViewDeltaSink {
 
 // Defined here (not in warehouse.cc) so unique_ptr<WarehouseDurability> has
 // a complete type at construction and destruction.
-Warehouse::Warehouse(ObjectStore* store) : store_(store) {}
+Warehouse::Warehouse(ObjectStore* store, Options options)
+    : store_(store), options_(std::move(options)) {}
 
 Warehouse::~Warehouse() {
   for (auto& source : sources_) {
@@ -205,6 +206,7 @@ Status Warehouse::EnableDurability(const DurabilityOptions& options) {
   if (!has_state && !views_.empty()) {
     GSV_RETURN_IF_ERROR(WriteCheckpoint());
   }
+  StorageQuiescent();
   return Status::Ok();
 }
 
@@ -268,7 +270,7 @@ Status Warehouse::RestoreFromPlan(const RecoveryPlan& plan) {
   if (plan.have_checkpoint) {
     d.report.recovered_checkpoint = true;
     d.report.checkpoint_id = plan.checkpoint.manifest.id;
-    GSV_RETURN_IF_ERROR(StoreFromString(plan.checkpoint.store_text, store_));
+    GSV_RETURN_IF_ERROR(ImportStoreImage(plan.checkpoint.store_text, store_));
     for (const CheckpointViewState& state : plan.checkpoint.manifest.views) {
       GSV_RETURN_IF_ERROR(RestoreView(state, /*adopt=*/true));
       ++d.report.views_restored;
@@ -439,7 +441,7 @@ Status Warehouse::WriteCheckpoint() {
       capture.cache_texts.emplace_back(entry->def.name(), out.str());
     }
   }
-  capture.store_text = StoreToString(*store_);
+  GSV_ASSIGN_OR_RETURN(capture.store_text, ExportStoreImage(store_));
 
   // Persist (all the file IO), then start a fresh segment so whole old
   // segments can retire.
@@ -470,6 +472,7 @@ Status Warehouse::WriteCheckpoint() {
       }
     }
   }
+  StorageQuiescent();
   return Status::Ok();
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/virtual_view.h"
+#include "oem/paged_engine.h"
 #include "oem/serialize.h"
 #include "oem/store.h"
 #include "query/evaluator.h"
@@ -34,6 +35,23 @@ std::string TempDir(const std::string& tag) {
   std::string path = ::testing::TempDir() + "gsv_recovery_" + tag;
   std::filesystem::remove_all(path);
   return path;
+}
+
+// CI re-points this suite's durable/recovered warehouse delegate stores at
+// the paged engine via GSV_STORAGE_ENGINE=paged (ci.sh "paged" stage);
+// unset, the factory is null and the memory default serves. The twin
+// warehouses stay memory-resident on purpose, so under the env override
+// every byte-identity assertion below doubles as a cross-engine check.
+ObjectStore::Options DelegateStoreOptions() {
+  ObjectStore::Options options;
+  options.engine_factory = MakeEngineFactoryFromEnv();
+  return options;
+}
+
+ShardedWarehouse::Options ShardedDelegateOptions() {
+  ShardedWarehouse::Options options;
+  options.engine_factory = MakeEngineFactoryFromEnv();
+  return options;
 }
 
 UpdateEvent MakeInsertEvent(uint64_t sequence) {
@@ -448,7 +466,7 @@ TEST(WarehouseDurabilityTest, CleanRestartRestoresByteIdenticalState) {
 
   uint64_t twin_watermark = 0;
   {
-    ObjectStore store_d;
+    ObjectStore store_d(DelegateStoreOptions());
     Warehouse durable(&store_d);
     ASSERT_TRUE(durable
                     .ConnectSource(&rig.source_durable, rig.root,
@@ -484,7 +502,7 @@ TEST(WarehouseDurabilityTest, CleanRestartRestoresByteIdenticalState) {
   }
 
   // Recover into a fresh warehouse over the same (surviving) source.
-  ObjectStore store_r;
+  ObjectStore store_r(DelegateStoreOptions());
   Warehouse recovered(&store_r);
   ASSERT_TRUE(recovered
                   .ConnectSource(&rig.source_durable, rig.root,
@@ -527,7 +545,7 @@ TEST(WarehouseDurabilityTest, UncommittedTailReplaysThroughLiveMaintenance) {
   ASSERT_NO_FATAL_FAILURE(rig.Init(/*tree_seed=*/13, /*update_seed=*/307));
 
   {
-    ObjectStore store_d;
+    ObjectStore store_d(DelegateStoreOptions());
     Warehouse durable(&store_d);
     ASSERT_TRUE(durable
                     .ConnectSource(&rig.source_durable, rig.root,
@@ -555,7 +573,7 @@ TEST(WarehouseDurabilityTest, UncommittedTailReplaysThroughLiveMaintenance) {
   }
   ASSERT_TRUE(rig.twin->ProcessPendingBatch().ok());
 
-  ObjectStore store_r;
+  ObjectStore store_r(DelegateStoreOptions());
   Warehouse recovered(&store_r);
   ASSERT_TRUE(recovered
                   .ConnectSource(&rig.source_durable, rig.root,
@@ -587,7 +605,7 @@ TEST(WarehouseDurabilityTest, RandomizedKillMidBatchConvergesByteIdentical) {
     std::string dir = TempDir("kill_probe");
     TwinRig rig;
     ASSERT_NO_FATAL_FAILURE(rig.Init(/*tree_seed=*/17, /*update_seed=*/501));
-    ObjectStore store_d;
+    ObjectStore store_d(DelegateStoreOptions());
     Warehouse durable(&store_d);
     ASSERT_TRUE(durable
                     .ConnectSource(&rig.source_durable, rig.root,
@@ -630,7 +648,7 @@ TEST(WarehouseDurabilityTest, RandomizedKillMidBatchConvergesByteIdentical) {
     size_t applied = 0;
     bool crashed = false;
     {
-      ObjectStore store_d;
+      ObjectStore store_d(DelegateStoreOptions());
       Warehouse durable(&store_d);
       ASSERT_TRUE(durable
                       .ConnectSource(&rig.source_durable, rig.root,
@@ -671,7 +689,7 @@ TEST(WarehouseDurabilityTest, RandomizedKillMidBatchConvergesByteIdentical) {
     ASSERT_TRUE(rig.twin->ProcessPendingBatch().ok());
 
     // Recover and finish the workload.
-    ObjectStore store_r;
+    ObjectStore store_r(DelegateStoreOptions());
     Warehouse recovered(&store_r);
     ASSERT_TRUE(recovered
                     .ConnectSource(&rig.source_durable, rig.root,
@@ -737,7 +755,7 @@ TEST(ShardedDurabilityTest, RestartRestoresEveryShardAndRouterWatermarks) {
   UpdateGenerator gen(&source, tree->root, gen_options);
 
   {
-    ShardedWarehouse durable(kShards);
+    ShardedWarehouse durable(kShards, ShardedDelegateOptions());
     ASSERT_TRUE(durable.init_status().ok());
     ASSERT_TRUE(durable
                     .ConnectSource(&source, tree->root,
@@ -777,7 +795,7 @@ TEST(ShardedDurabilityTest, RestartRestoresEveryShardAndRouterWatermarks) {
         << "shard " << i;
   }
 
-  ShardedWarehouse recovered(kShards);
+  ShardedWarehouse recovered(kShards, ShardedDelegateOptions());
   ASSERT_TRUE(recovered.init_status().ok());
   ASSERT_TRUE(
       recovered

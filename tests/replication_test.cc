@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "oem/paged_engine.h"
 #include "oem/serialize.h"
 #include "oem/store.h"
 #include "replication/checksums.h"
@@ -39,6 +40,15 @@ std::string TempDir(const std::string& tag) {
   std::string path = ::testing::TempDir() + "gsv_replication_" + tag;
   std::filesystem::remove_all(path);
   return path;
+}
+
+// CI re-points the primaries' delegate stores and every follower at the
+// paged engine via GSV_STORAGE_ENGINE=paged (ci.sh "paged" stage); unset,
+// the factories are null and the memory default serves.
+ObjectStore::Options DelegateStoreOptions() {
+  ObjectStore::Options options;
+  options.engine_factory = MakeEngineFactoryFromEnv();
+  return options;
 }
 
 std::string ReadFileBytes(const std::string& path) {
@@ -359,7 +369,7 @@ struct PrimaryRig {
   std::string primary_dir;
 
   ObjectStore source;
-  ObjectStore store;
+  ObjectStore store{DelegateStoreOptions()};
   std::unique_ptr<Warehouse> warehouse;
   std::unique_ptr<UpdateGenerator> gen;
 
@@ -417,6 +427,7 @@ struct PrimaryRig {
 ReplicaOptions DefaultReplicaOptions(const std::string& dir_tag) {
   ReplicaOptions options;
   options.dir = TempDir(dir_tag);
+  options.engine_factory = MakeEngineFactoryFromEnv();
   return options;
 }
 
@@ -559,6 +570,7 @@ TEST(ReplicaTest, FollowerRestartsFromItsOwnHome) {
   {
     ReplicaOptions options;
     options.dir = replica_dir;
+    options.engine_factory = MakeEngineFactoryFromEnv();
     Replica replica(std::make_unique<FileLogTransport>(rig.primary_dir),
                     options);
     ASSERT_TRUE(replica.Start().ok());
@@ -575,6 +587,7 @@ TEST(ReplicaTest, FollowerRestartsFromItsOwnHome) {
 
   ReplicaOptions options;
   options.dir = replica_dir;
+  options.engine_factory = MakeEngineFactoryFromEnv();
   Replica reborn(std::make_unique<FileLogTransport>(rig.primary_dir),
                  options);
   ASSERT_TRUE(reborn.Start().ok()) << "local recovery";
@@ -700,7 +713,7 @@ TEST(ReplicaTest, PromotionFencesOldPrimaryAndResumesWrites) {
 
   // The follower's home now opens as the next primary's durability dir:
   // same sources, epoch = the granted fence — and accepts writes.
-  ObjectStore store_b;
+  ObjectStore store_b(DelegateStoreOptions());
   Warehouse primary_b(&store_b);
   ASSERT_TRUE(
       primary_b.ConnectSource(&rig.source, rig.root,
@@ -789,7 +802,9 @@ TEST_P(ReplicationPropertyTest, KillMidShipFollowerStaysByteIdentical) {
   }
   gen_options.seed = 77;
 
-  ShardedWarehouse primary(config.shards);
+  ShardedWarehouse::Options primary_options;
+  primary_options.engine_factory = MakeEngineFactoryFromEnv();
+  ShardedWarehouse primary(config.shards, primary_options);
   ASSERT_TRUE(primary.init_status().ok());
   ASSERT_TRUE(
       primary.ConnectSource(&source, root, ReportingLevel::kWithValues)
@@ -824,6 +839,7 @@ TEST_P(ReplicationPropertyTest, KillMidShipFollowerStaysByteIdentical) {
     }
     ReplicaOptions options;
     options.dir = replica_dir;
+    options.engine_factory = MakeEngineFactoryFromEnv();
     // Small chunks force many reads through the fault gauntlet.
     options.read_chunk_bytes = 512;
     return std::make_unique<ShardedReplica>(std::move(transports), options);

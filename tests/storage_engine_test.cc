@@ -1,0 +1,561 @@
+// Storage-engine suite (§4h): the StorageEngine contract on both shipped
+// engines, PagedEngine residency/eviction bounds, oversized-object
+// extents, offline image verification, the GSV_STORAGE_ENGINE env seam —
+// and the headline twin property: a store/warehouse/replica on the paged
+// engine under a pool small enough to force constant eviction is
+// byte-identical with a memory-engine twin at every commit watermark,
+// through checkpoints and crash recovery included.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/virtual_view.h"
+#include "oem/paged_engine.h"
+#include "oem/serialize.h"
+#include "oem/storage_engine.h"
+#include "oem/store.h"
+#include "query/evaluator.h"
+#include "replication/log_transport.h"
+#include "replication/replica.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
+#include "warehouse/aux_cache.h"
+#include "warehouse/sharding.h"
+#include "warehouse/warehouse.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+namespace gsv {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  std::string path = ::testing::TempDir() + "gsv_engine_" + tag;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+// A paged engine small enough that any non-trivial graph overflows the
+// pool: 512-byte pages, three frames. wipe_on_close keeps TempDir clean.
+PagedEngineOptions TinyPagedOptions(const std::string& tag,
+                                    uint64_t pool_pages = 3,
+                                    uint64_t page_bytes = 512) {
+  PagedEngineOptions options;
+  options.dir = TempDir(tag);
+  options.page_bytes = page_bytes;
+  options.pool_pages = pool_pages;
+  options.wipe_on_close = true;
+  return options;
+}
+
+ObjectStore::Options PagedStoreOptions(PagedEngineOptions engine_options) {
+  ObjectStore::Options options;
+  options.engine_factory = MakePagedEngineFactory(std::move(engine_options));
+  return options;
+}
+
+// ------------------------------------------------------- engine contract
+
+void ExerciseEngineContract(StorageEngine* engine) {
+  EXPECT_EQ(engine->Size(), 0u);
+  // Inserted out of lexicographic order on purpose.
+  ASSERT_TRUE(engine->Put(Object(Oid("m"), "age", Value::Int(7))).ok());
+  ASSERT_TRUE(engine->Put(Object(Oid("a:2"), "name", Value::Str("x"))).ok());
+  OidSet children;
+  children.Insert(Oid("m"));
+  ASSERT_TRUE(engine->Put(Object(Oid("a:10"), "set", Value::Set(children)))
+                  .ok());
+  EXPECT_EQ(engine->Size(), 3u);
+
+  // Duplicate put refused; the original survives.
+  EXPECT_EQ(engine->Put(Object(Oid("m"), "age", Value::Int(9))).code(),
+            StatusCode::kAlreadyExists);
+  const Object* got = engine->Get(Oid("m"));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->value().AsInt(), 7);
+  EXPECT_EQ(engine->Get(Oid("absent")), nullptr);
+
+  // Mutation through GetMutable sticks.
+  Object* mut = engine->GetMutable(Oid("m"));
+  ASSERT_NE(mut, nullptr);
+  mut->mutable_value() = Value::Int(41);
+  EXPECT_EQ(engine->Get(Oid("m"))->value().AsInt(), 41);
+
+  // Ordered scan yields canonical lexicographic OID order.
+  std::vector<std::string> order;
+  engine->ScanInOrder([&](const Object& object) {
+    order.push_back(object.oid().str());
+  });
+  EXPECT_EQ(order, (std::vector<std::string>{"a:10", "a:2", "m"}));
+
+  // Unordered scan visits the same set.
+  size_t visited = 0;
+  engine->ScanUnordered([&](const Object&) { ++visited; });
+  EXPECT_EQ(visited, 3u);
+
+  // Erase, then re-put under the same OID.
+  EXPECT_EQ(engine->Erase(Oid("absent")).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(engine->Erase(Oid("m")).ok());
+  EXPECT_EQ(engine->Size(), 2u);
+  EXPECT_EQ(engine->Get(Oid("m")), nullptr);
+  ASSERT_TRUE(engine->Put(Object(Oid("m"), "age", Value::Int(5))).ok());
+  EXPECT_EQ(engine->Get(Oid("m"))->value().AsInt(), 5);
+
+  // Safe points and flushes must not disturb contents.
+  engine->SafePoint();
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(engine->Size(), 3u);
+  EXPECT_EQ(engine->Get(Oid("a:2"))->value().AsString(), "x");
+}
+
+TEST(StorageEngineContractTest, InMemoryEngine) {
+  auto engine = MakeInMemoryEngine();
+  EXPECT_STREQ(engine->EngineName(), "memory");
+  ExerciseEngineContract(engine.get());
+}
+
+TEST(StorageEngineContractTest, PagedEngine) {
+  auto engine = MakePagedEngine(TinyPagedOptions("contract"));
+  EXPECT_STREQ(engine->EngineName(), "paged");
+  ExerciseEngineContract(engine.get());
+}
+
+// A store built without a factory runs on the memory engine; with the
+// paged factory it reports the paged engine.
+TEST(StorageEngineContractTest, StoreReportsItsEngine) {
+  ObjectStore memory_store;
+  EXPECT_STREQ(memory_store.engine_name(), "memory");
+  ObjectStore paged_store(PagedStoreOptions(TinyPagedOptions("report")));
+  EXPECT_STREQ(paged_store.engine_name(), "paged");
+}
+
+// --------------------------------------------------- residency / bounds
+
+TEST(PagedEngineTest, BeyondRamStoreStaysWithinPoolBudget) {
+  ObjectStore store(PagedStoreOptions(TinyPagedOptions("bounds")));
+  // ~200 atoms at ~30 bytes each over 512-byte pages: well past 4x the
+  // three-frame budget.
+  for (int i = 0; i < 200; ++i) {
+    std::ostringstream oid;
+    oid << "o" << i;
+    ASSERT_TRUE(store.PutAtomic(Oid(oid.str()), "age", Value::Int(i)).ok());
+    if (i % 25 == 24) store.StorageSafePoint();
+  }
+  store.StorageSafePoint();
+
+  PagedEngineStatus status;
+  ASSERT_TRUE(QueryPagedEngineStatus(store.storage_engine(), &status));
+  ASSERT_TRUE(status.io_error.ok()) << status.io_error.ToString();
+  EXPECT_EQ(status.objects, 200u);
+  EXPECT_GE(status.pages_total, 4 * status.pool_pages);  // beyond-RAM
+  EXPECT_LE(status.pages_resident, status.pool_pages);   // post-safe-point
+
+  // Every object reads back despite constant eviction.
+  for (int i = 0; i < 200; ++i) {
+    std::ostringstream oid;
+    oid << "o" << i;
+    const Object* object = store.Get(Oid(oid.str()));
+    ASSERT_NE(object, nullptr) << oid.str();
+    EXPECT_EQ(object->value().AsInt(), i);
+  }
+  EXPECT_GT(store.metrics().page_faults.load(), 0);
+  EXPECT_GT(store.metrics().page_evictions.load(), 0);
+
+  // A full ordered scan of the beyond-RAM store ends within budget again.
+  store.StorageSafePoint();
+  size_t scanned = 0;
+  std::string previous;
+  store.ScanInOrder([&](const Object& object) {
+    EXPECT_LT(previous, object.oid().str());
+    previous = object.oid().str();
+    ++scanned;
+  });
+  EXPECT_EQ(scanned, 200u);
+  store.StorageSafePoint();
+  ASSERT_TRUE(QueryPagedEngineStatus(store.storage_engine(), &status));
+  EXPECT_LE(status.pages_resident, status.pool_pages);
+}
+
+TEST(PagedEngineTest, OversizedObjectOccupiesMultiSlotExtent) {
+  ObjectStore store(
+      PagedStoreOptions(TinyPagedOptions("extent", 3, 256)));
+  ASSERT_TRUE(store.PutAtomic(Oid("small"), "age", Value::Int(1)).ok());
+  // One record several times the 256-byte slot size.
+  ASSERT_TRUE(store
+                  .PutAtomic(Oid("huge"), "blob",
+                             Value::Str(std::string(2000, 'z')))
+                  .ok());
+  store.StorageSafePoint();
+  ASSERT_TRUE(store.FlushStorage().ok());
+
+  PagedEngineStatus status;
+  ASSERT_TRUE(QueryPagedEngineStatus(store.storage_engine(), &status));
+  auto directory = ReadPageDirectory(status.dir);
+  ASSERT_TRUE(directory.ok()) << directory.status().ToString();
+  bool saw_extent = false;
+  for (const PageDirEntry& page : directory.value().pages) {
+    if (page.slot_count > 1) saw_extent = true;
+  }
+  EXPECT_TRUE(saw_extent);
+  EXPECT_TRUE(VerifyPagedImage(status.dir, nullptr).ok());
+
+  // The oversized object reads back intact after eviction pressure.
+  store.StorageSafePoint();
+  const Object* huge = store.Get(Oid("huge"));
+  ASSERT_NE(huge, nullptr);
+  EXPECT_EQ(huge->value().AsString(), std::string(2000, 'z'));
+}
+
+TEST(PagedEngineTest, VerifyPagedImageCatchesCorruption) {
+  ObjectStore store(PagedStoreOptions(TinyPagedOptions("corrupt")));
+  for (int i = 0; i < 40; ++i) {
+    std::ostringstream oid;
+    oid << "c" << i;
+    ASSERT_TRUE(store.PutAtomic(Oid(oid.str()), "age", Value::Int(i)).ok());
+  }
+  store.StorageSafePoint();
+  ASSERT_TRUE(store.FlushStorage().ok());
+  PagedEngineStatus status;
+  ASSERT_TRUE(QueryPagedEngineStatus(store.storage_engine(), &status));
+
+  std::ostringstream report;
+  ASSERT_TRUE(VerifyPagedImage(status.dir, &report).ok());
+  EXPECT_NE(report.str().find("all CRCs ok"), std::string::npos);
+
+  // Flip one payload byte of the first non-empty page in pages.gsp.
+  auto directory = ReadPageDirectory(status.dir);
+  ASSERT_TRUE(directory.ok());
+  const PageDirEntry* victim = nullptr;
+  for (const PageDirEntry& page : directory.value().pages) {
+    if (page.payload_bytes > 0) {
+      victim = &page;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  {
+    std::fstream file(status.dir + "/pages.gsp",
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(static_cast<std::streamoff>(victim->slot_start *
+                                           directory.value().page_bytes));
+    char byte = 0;
+    file.get(byte);
+    file.seekp(static_cast<std::streamoff>(victim->slot_start *
+                                           directory.value().page_bytes));
+    file.put(static_cast<char>(byte ^ 0x40));
+  }
+  EXPECT_EQ(VerifyPagedImage(status.dir, nullptr).code(),
+            StatusCode::kDataLoss);
+}
+
+// ------------------------------------------------------------- env seam
+
+TEST(PagedEngineTest, EngineFactoryFromEnv) {
+  const char* saved = std::getenv("GSV_STORAGE_ENGINE");
+  std::string saved_value = saved != nullptr ? saved : "";
+
+  ::unsetenv("GSV_STORAGE_ENGINE");
+  EXPECT_EQ(MakeEngineFactoryFromEnv(), nullptr);
+  ::setenv("GSV_STORAGE_ENGINE", "memory", 1);
+  EXPECT_EQ(MakeEngineFactoryFromEnv(), nullptr);
+
+  ::setenv("GSV_STORAGE_ENGINE", "paged:4:1024", 1);
+  StorageEngineFactory factory = MakeEngineFactoryFromEnv();
+  ASSERT_NE(factory, nullptr);
+  {
+    auto engine = factory();
+    ASSERT_NE(engine, nullptr);
+    EXPECT_STREQ(engine->EngineName(), "paged");
+    ASSERT_TRUE(engine->Put(Object(Oid("e"), "age", Value::Int(1))).ok());
+    EXPECT_EQ(engine->Size(), 1u);
+  }
+
+  if (saved != nullptr) {
+    ::setenv("GSV_STORAGE_ENGINE", saved_value.c_str(), 1);
+  } else {
+    ::unsetenv("GSV_STORAGE_ENGINE");
+  }
+}
+
+// ------------------------------------------------------- twin: raw store
+
+// The same generated tree and the same random update stream applied to a
+// memory-engine store and a paged-engine store (pool so small every batch
+// evicts): contents, checkpoint images, and the on-disk page image are
+// byte-identical at every watermark.
+void RunTwinStoreStream(UpdateMode mode, const std::string& tag,
+                        uint64_t seed) {
+  ObjectStore memory_store;
+  ObjectStore paged_store(PagedStoreOptions(TinyPagedOptions(tag)));
+
+  TreeGenOptions tree_options;
+  tree_options.levels = 4;
+  tree_options.fanout = 3;
+  tree_options.seed = seed;
+  auto tree_m = GenerateTree(&memory_store, tree_options);
+  auto tree_p = GenerateTree(&paged_store, tree_options);
+  ASSERT_TRUE(tree_m.ok());
+  ASSERT_TRUE(tree_p.ok());
+  ASSERT_EQ(tree_m->root, tree_p->root);
+
+  UpdateGenOptions gen_options;
+  gen_options.mode = mode;
+  gen_options.seed = seed + 1;
+  UpdateGenerator gen_m(&memory_store, tree_m->root, gen_options);
+  UpdateGenerator gen_p(&paged_store, tree_p->root, gen_options);
+
+  for (int i = 0; i < 250; ++i) {
+    ASSERT_TRUE(gen_m.Step().ok());
+    ASSERT_TRUE(gen_p.Step().ok());
+    if (i % 50 == 49) {
+      paged_store.StorageSafePoint();
+      ASSERT_EQ(StoreToString(paged_store), StoreToString(memory_store))
+          << "diverged at step " << i;
+    }
+  }
+  paged_store.StorageSafePoint();
+  EXPECT_GT(paged_store.metrics().page_evictions.load(), 0)
+      << "pool never overflowed; twin proves nothing";
+
+  // The checkpoint image round-trips identically through both engines.
+  auto image_m = ExportStoreImage(&memory_store);
+  auto image_p = ExportStoreImage(&paged_store);
+  ASSERT_TRUE(image_m.ok());
+  ASSERT_TRUE(image_p.ok());
+  EXPECT_EQ(image_p.value(), image_m.value());
+
+  // Bulk-load the image into a fresh paged store: same bytes again.
+  ObjectStore reloaded(PagedStoreOptions(TinyPagedOptions(tag + "_reload")));
+  ASSERT_TRUE(ImportStoreImage(image_m.value(), &reloaded).ok());
+  reloaded.StorageSafePoint();
+  EXPECT_EQ(StoreToString(reloaded), StoreToString(memory_store));
+
+  // And the flushed on-disk image passes offline verification.
+  ASSERT_TRUE(paged_store.FlushStorage().ok());
+  PagedEngineStatus status;
+  ASSERT_TRUE(QueryPagedEngineStatus(paged_store.storage_engine(), &status));
+  EXPECT_TRUE(VerifyPagedImage(status.dir, nullptr).ok());
+}
+
+TEST(EngineTwinTest, TreeStreamByteIdentical) {
+  RunTwinStoreStream(UpdateMode::kTreePreserving, "twin_tree", 17);
+}
+
+TEST(EngineTwinTest, DagStreamByteIdentical) {
+  RunTwinStoreStream(UpdateMode::kDagPreserving, "twin_dag", 23);
+}
+
+// -------------------------------------------------- twin: full warehouse
+
+// Two warehouses over identical sources and update streams; one runs its
+// delegate store AND its §5.2 corridor caches on the paged engine under a
+// two-frame pool. A warehouse's delegate store holds the view members, so
+// the views select whole tree levels (high bound, depths 3 and 4 of a
+// level-5 tree: ~320 members, dozens of pages) to push it beyond RAM.
+// Views, cache images, and checkpoint bytes must match the memory twin at
+// every drain watermark, and a restart from the paged warehouse's
+// durability home must land byte-identical too.
+TEST(EngineTwinTest, WarehouseViewsCachesAndRecoveryByteIdentical) {
+  const std::string wal_dir = TempDir("twin_wh_wal");
+
+  TreeGenOptions tree_options;
+  tree_options.levels = 5;
+  tree_options.fanout = 4;
+  tree_options.seed = 29;
+  ObjectStore source_m;
+  ObjectStore source_p;
+  auto tree_m = GenerateTree(&source_m, tree_options);
+  auto tree_p = GenerateTree(&source_p, tree_options);
+  ASSERT_TRUE(tree_m.ok());
+  ASSERT_TRUE(tree_p.ok());
+  const Oid root = tree_m->root;
+  const std::vector<std::string> definitions = {
+      TreeViewDefinition("WV3", root, 3, 5, 1000),
+      TreeViewDefinition("WV4", root, 4, 5, 1000)};
+  const std::vector<std::string> view_names = {"WV3", "WV4"};
+
+  ObjectStore store_m;
+  Warehouse warehouse_m(&store_m);
+  ASSERT_TRUE(
+      warehouse_m.ConnectSource(&source_m, root, ReportingLevel::kWithValues)
+          .ok());
+  warehouse_m.set_deferred(true);
+  for (const std::string& definition : definitions) {
+    ASSERT_TRUE(
+        warehouse_m.DefineView(definition, Warehouse::CacheMode::kFull).ok());
+  }
+
+  ObjectStore store_p(
+      PagedStoreOptions(TinyPagedOptions("twin_wh_store", 2)));
+  Warehouse::Options warehouse_options;
+  warehouse_options.aux_engine_factory =
+      MakePagedEngineFactory(TinyPagedOptions("twin_wh_aux", 2));
+  Warehouse warehouse_p(&store_p, warehouse_options);
+  ASSERT_TRUE(
+      warehouse_p.ConnectSource(&source_p, root, ReportingLevel::kWithValues)
+          .ok());
+  warehouse_p.set_deferred(true);
+  Warehouse::DurabilityOptions durability;
+  durability.dir = wal_dir;
+  durability.fsync = FsyncPolicy::kCommit;
+  ASSERT_TRUE(warehouse_p.EnableDurability(durability).ok());
+  for (const std::string& definition : definitions) {
+    ASSERT_TRUE(
+        warehouse_p.DefineView(definition, Warehouse::CacheMode::kFull).ok());
+  }
+
+  UpdateGenOptions gen_options;
+  gen_options.seed = 31;
+  UpdateGenerator gen_m(&source_m, root, gen_options);
+  UpdateGenerator gen_p(&source_p, root, gen_options);
+
+  auto expect_converged = [&](Warehouse& paged, ObjectStore& paged_store) {
+    ASSERT_EQ(StoreToString(paged_store), StoreToString(store_m));
+    for (size_t v = 0; v < view_names.size(); ++v) {
+      const AuxiliaryCache* cache_m = warehouse_m.cache(view_names[v]);
+      const AuxiliaryCache* cache_p = paged.cache(view_names[v]);
+      ASSERT_NE(cache_m, nullptr);
+      ASSERT_NE(cache_p, nullptr);
+      std::ostringstream bytes_m;
+      std::ostringstream bytes_p;
+      ASSERT_TRUE(cache_m->SaveTo(bytes_m).ok());
+      ASSERT_TRUE(cache_p->SaveTo(bytes_p).ok());
+      EXPECT_EQ(bytes_p.str(), bytes_m.str()) << view_names[v];
+
+      auto def = ViewDefinition::Parse(definitions[v]);
+      ASSERT_TRUE(def.ok());
+      auto truth = EvaluateView(source_m, def.value());
+      ASSERT_TRUE(truth.ok());
+      MaterializedView* view = paged.view(view_names[v]);
+      ASSERT_NE(view, nullptr);
+      EXPECT_EQ(view->BaseMembers(), truth.value()) << view_names[v];
+    }
+  };
+
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(gen_m.Step().ok());
+    ASSERT_TRUE(gen_p.Step().ok());
+    if (i % 25 == 24) {
+      ASSERT_TRUE(warehouse_m.ProcessPendingBatch().ok());
+      ASSERT_TRUE(warehouse_p.ProcessPendingBatch().ok());
+      ASSERT_NO_FATAL_FAILURE(expect_converged(warehouse_p, store_p));
+    }
+  }
+  // The paged delegate store is genuinely beyond its two-frame pool, and
+  // its paging showed up on the warehouse cost sheet (flushed at the
+  // drain quiescent points) — on the paged twin only.
+  PagedEngineStatus status;
+  ASSERT_TRUE(QueryPagedEngineStatus(store_p.storage_engine(), &status));
+  EXPECT_GT(status.pages_total, status.pool_pages);
+  EXPECT_GT(warehouse_p.costs().store_page_faults.load(), 0);
+  EXPECT_EQ(warehouse_m.costs().store_page_faults.load(), 0);
+
+  // Checkpoint, accept a never-drained tail, "crash", recover on a fresh
+  // paged store: the tail replays and the twins converge again.
+  ASSERT_TRUE(warehouse_p.WriteCheckpoint().ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(gen_m.Step().ok());
+    ASSERT_TRUE(gen_p.Step().ok());
+  }
+  EXPECT_EQ(warehouse_p.pending_events(), 10u);
+
+  ObjectStore store_r(
+      PagedStoreOptions(TinyPagedOptions("twin_wh_rec", 2)));
+  Warehouse::Options recovered_options;
+  recovered_options.aux_engine_factory =
+      MakePagedEngineFactory(TinyPagedOptions("twin_wh_rec_aux", 2));
+  Warehouse recovered(&store_r, recovered_options);
+  ASSERT_TRUE(
+      recovered.ConnectSource(&source_p, root, ReportingLevel::kWithValues)
+          .ok());
+  recovered.set_deferred(true);
+  Warehouse::DurabilityOptions recovery_options;
+  recovery_options.dir = wal_dir;
+  ASSERT_TRUE(recovered.EnableDurability(recovery_options).ok());
+  EXPECT_TRUE(recovered.recovery_report().recovered_checkpoint);
+
+  ASSERT_TRUE(warehouse_m.ProcessPendingBatch().ok());
+  ASSERT_TRUE(recovered.ProcessPendingBatch().ok());
+  ASSERT_NO_FATAL_FAILURE(expect_converged(recovered, store_r));
+}
+
+// ----------------------------------------------------- twin: replication
+
+// A follower whose delegate store runs on the paged engine seeds from the
+// primary's checkpoint through the bulk-load seam and stays byte-identical
+// with a memory-engine primary at every commit watermark. The views select
+// whole tree levels so the follower's store overflows its two-frame pool.
+TEST(EngineTwinTest, ReplicaCatchesUpOnPagedEngine) {
+  const std::string primary_dir = TempDir("twin_rep_primary");
+
+  TreeGenOptions tree_options;
+  tree_options.levels = 5;
+  tree_options.fanout = 4;
+  tree_options.seed = 37;
+  ObjectStore source;
+  auto tree = GenerateTree(&source, tree_options);
+  ASSERT_TRUE(tree.ok());
+  const Oid root = tree->root;
+  const std::vector<std::string> definitions = {
+      TreeViewDefinition("WV3", root, 3, 5, 1000),
+      TreeViewDefinition("WV4", root, 4, 5, 1000)};
+  const std::vector<std::string> view_names = {"WV3", "WV4"};
+
+  ObjectStore store;
+  Warehouse warehouse(&store);
+  ASSERT_TRUE(
+      warehouse.ConnectSource(&source, root, ReportingLevel::kWithValues)
+          .ok());
+  warehouse.set_deferred(true);
+  Warehouse::DurabilityOptions durability;
+  durability.dir = primary_dir;
+  durability.fsync = FsyncPolicy::kCommit;
+  ASSERT_TRUE(warehouse.EnableDurability(durability).ok());
+  for (const std::string& definition : definitions) {
+    ASSERT_TRUE(warehouse.DefineView(definition).ok());
+  }
+
+  ReplicaOptions replica_options;
+  replica_options.dir = TempDir("twin_rep_follower");
+  replica_options.engine_factory =
+      MakePagedEngineFactory(TinyPagedOptions("twin_rep_engine", 2));
+  Replica replica(std::make_unique<FileLogTransport>(primary_dir),
+                  std::move(replica_options));
+  ASSERT_TRUE(replica.Start().ok());
+  EXPECT_STREQ(replica.store().engine_name(), "paged");
+
+  UpdateGenOptions gen_options;
+  gen_options.seed = 41;
+  UpdateGenerator gen(&source, root, gen_options);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 25; ++i) ASSERT_TRUE(gen.Step().ok());
+    ASSERT_TRUE(warehouse.ProcessPending().ok());
+    Status caught = replica.CatchUp();
+    ASSERT_TRUE(caught.ok()) << caught.ToString();
+    EXPECT_EQ(StoreToString(replica.store()), StoreToString(store))
+        << "round " << round;
+    for (const std::string& name : view_names) {
+      const MaterializedView* primary_view = warehouse.view(name);
+      const MaterializedView* replica_view = replica.view(name);
+      ASSERT_NE(primary_view, nullptr);
+      ASSERT_NE(replica_view, nullptr);
+      EXPECT_EQ(ViewContentLines(*replica_view),
+                ViewContentLines(*primary_view))
+          << name;
+    }
+  }
+  EXPECT_GT(replica.store().metrics().page_faults.load(), 0);
+  EXPECT_EQ(replica.stats().self_heals, 0);
+}
+
+}  // namespace
+}  // namespace gsv

@@ -10,6 +10,11 @@
 //                                   LSN ranges/bytes and the view-content
 //                                   checksums of their committed states
 //                                   (primary vs replica divergence check)
+//   wal_inspect pages <dir>         dump a paged storage engine's page
+//                                   directory and CRC-verify every on-disk
+//                                   page against it; <dir> is an engine
+//                                   home (holds PAGEDIR) or a parent whose
+//                                   subdirectories are engine homes
 //
 // A ShardedWarehouse durability directory holds one sub-directory per shard
 // (shard-0, shard-1, ...), each a complete WAL+checkpoint home of its own.
@@ -22,6 +27,7 @@
 // Exit status: 0 clean, 1 when verify finds a torn/corrupt tail or diff
 // finds divergence, 2 on error.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -31,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "oem/paged_engine.h"
 #include "oem/serialize.h"
 #include "oem/store.h"
 #include "replication/checksums.h"
@@ -42,7 +49,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s dump|verify|checkpoints <dir>\n"
+               "usage: %s dump|verify|checkpoints|pages <dir>\n"
                "       %s apply <dir> <out.gsv>\n"
                "       %s diff <dirA> <dirB>\n",
                argv0, argv0, argv0);
@@ -259,6 +266,50 @@ int Diff(const std::string& dir_a, const std::string& dir_b) {
   return 1;
 }
 
+// Dumps and CRC-verifies a paged storage engine image (oem/paged_engine.h):
+// every PAGEDIR entry is printed, and each resident page's extent is read
+// back from pages.gsp and checked against the directory's CRC. Exit 1 on
+// corruption (directory trailer or page CRC mismatch), 2 when no image
+// exists at all.
+int PagesOne(const std::string& home) {
+  std::ostringstream out;
+  gsv::Status status = gsv::VerifyPagedImage(home, &out);
+  std::fputs(out.str().c_str(), stdout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return status.code() == gsv::StatusCode::kDataLoss ? 1 : 2;
+  }
+  return 0;
+}
+
+int Pages(const std::string& dir) {
+  std::error_code ec;
+  if (std::filesystem::exists(dir + "/PAGEDIR", ec)) return PagesOne(dir);
+  // A parent of engine homes (eng-<n> scratch dirs, one per store): verify
+  // each child that holds a directory file, in sorted order.
+  std::vector<std::string> homes;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::error_code child_ec;
+    if (entry.is_directory(child_ec) &&
+        std::filesystem::exists(entry.path() / "PAGEDIR", child_ec)) {
+      homes.push_back(entry.path().string());
+    }
+  }
+  if (homes.empty()) {
+    std::fprintf(stderr, "no paged-engine image (PAGEDIR) under %s\n",
+                 dir.c_str());
+    return 2;
+  }
+  std::sort(homes.begin(), homes.end());
+  int worst = 0;
+  for (const std::string& home : homes) {
+    std::printf("=== %s ===\n", home.c_str());
+    int status = PagesOne(home);
+    if (status > worst) worst = status;
+  }
+  return worst;
+}
+
 // Shard homes of a ShardedWarehouse durability directory: shard-0..shard-K
 // in index order. Empty when `dir` is a plain single-warehouse home.
 std::vector<std::string> ShardDirs(const std::string& dir) {
@@ -306,6 +357,12 @@ int main(int argc, char** argv) {
       if (status > worst) worst = status;
     }
     return worst;
+  }
+  if (command == "pages") {
+    // Paged-engine homes are not durability homes; Pages does its own
+    // child-directory enumeration instead of the shard-<i> convention.
+    if (argc != 3) return Usage(argv[0]);
+    return Pages(dir);
   }
   bool takes_out = command == "apply";
   if (command != "dump" && command != "verify" && command != "checkpoints" &&
