@@ -1,0 +1,367 @@
+// E20 — Paged-engine hot path: background writeback, pointer swizzling,
+// compressed pages (§4i).
+//
+// Three arms, each isolating one layer of the hot-path overhaul against
+// a control engine that differs only in that layer:
+//
+//   writeback   foreground cost of a churn stream (modifies + safe-point
+//               eviction bursts) with the background writeback thread vs
+//               the synchronous inline engine. The thread moves
+//               serialize/compress/pwrite off the caller's critical
+//               path, so the foreground must speed up by >= 2x full
+//               (1.2x smoke) at a starved pool;
+//   swizzle     random point reads over a fully resident store with the
+//               OID->Object* swizzle table vs the unswizzled route
+//               (key-range map + page + objects map per Get). Floor
+//               1.5x full (1.1x smoke);
+//   codec       stored bytes under the gsvz codec vs the raw text
+//               encoding of the same pages: footprint <= 0.6x full
+//               (0.8x smoke), with the cold file passing the same
+//               CRC + decode audit `wal_inspect pages` runs.
+//
+// The writeback arm replays its stream into a memory-engine twin and
+// requires byte-identical stores at the end, so the speedup is measured
+// on a provably correct execution. Emits one newline-delimited JSON
+// record per arm; --json=PATH redirects the records to a file.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "oem/paged_engine.h"
+#include "oem/serialize.h"
+#include "oem/store.h"
+#include "util/stopwatch.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+namespace {
+
+std::string EngineDir(const std::string& tag) {
+  std::string dir = "/tmp/gsv_exp20_" + tag;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gsv;         // NOLINT(build/namespaces)
+  using namespace gsv::bench;  // NOLINT(build/namespaces)
+
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  const uint64_t kPageBytes = 4096;
+  const uint64_t kSeed = 509;
+  // Floors: smoke keeps the stream short, so the bars are lenient; the
+  // full run enforces the headline claims.
+  const double kWritebackFloor = smoke ? 1.2 : 2.0;
+  const double kSwizzleFloor = smoke ? 1.1 : 1.5;
+  const double kCodecCeiling = smoke ? 0.8 : 0.6;
+
+  std::printf(
+      "E20: paged-engine hot path — writeback / swizzle / codec (%s)\n"
+      "floors: foreground churn >= %.1fx vs synchronous, point reads "
+      ">= %.1fx vs unswizzled, stored bytes <= %.1fx raw\n\n",
+      smoke ? "smoke" : "full", kWritebackFloor, kSwizzleFloor,
+      kCodecCeiling);
+
+  JsonLines json(json_path, "gsv.exp20.v1", kSeed);
+  TablePrinter table({"arm", "control_us", "subject_us", "ratio",
+                      "queue_peak", "steals", "sync_fb"});
+
+  // ---- Arm 1: background writeback vs synchronous inline writes. ----
+  // A starved pool over a churn stream: every safe point evicts dirty
+  // pages, so the write path runs constantly. Both engines compress, so
+  // the only difference is where serialize/encode/pwrite happen.
+  // The churn working set stays a small multiple of the pool: the claim
+  // is about the eviction-heavy hot path (every safe point spills dirty
+  // pages, every sweep faults them back), not store size — E19 owns the
+  // beyond-RAM scaling story. Growing the set much past the queue's
+  // drain rate just converts steals into disk faults both arms pay.
+  const int kChurnObjects = 600;
+  const int kChurnRounds = smoke ? 6 : 24;
+  const int kChurnTrials = smoke ? 2 : 3;
+  const int kChurnStride = 3;
+  double arm_us[2] = {0.0, 0.0};
+  PagedEngineStatus churn_status;
+  std::string churn_image;
+  for (int arm = 0; arm < 2; ++arm) {
+    const bool background = arm == 1;
+    PagedEngineOptions options;
+    options.dir = EngineDir(background ? "wb_bg" : "wb_sync");
+    options.page_bytes = kPageBytes;
+    options.pool_pages = 8;
+    options.codec = "compressed";
+    options.background_writeback = background;
+    // Sized for the burst: a safe point can evict far more pages than
+    // the thread drains before the next round of modifies faults them
+    // back, and every fault against a queued job is a zero-I/O steal.
+    // A starved queue would collapse into the inline fallback and
+    // measure the synchronous engine against itself.
+    options.writeback_queue = 4096;
+    options.wipe_on_close = true;
+    ObjectStore::Options store_options;
+    store_options.engine_factory = MakePagedEngineFactory(options);
+    ObjectStore store(store_options);
+    for (int i = 0; i < kChurnObjects; ++i) {
+      Check(store.PutAtomic(Oid("c" + std::to_string(i)), "payload",
+                            Value::Str("record " + std::to_string(i) +
+                                       " status=active owner=warehouse "
+                                       "shard=0 class=member")));
+    }
+    store.StorageSafePoint();
+    // Best-of-N trials: the background arm's win depends on how many
+    // faults catch their page still queued (a zero-I/O steal), which
+    // varies with thread scheduling — the best trial is the stable
+    // measure of what the engine delivers.
+    double best_us = 0.0;
+    for (int trial = 0; trial < kChurnTrials; ++trial) {
+      Stopwatch timer;
+      for (int round = 0; round < kChurnRounds; ++round) {
+        const int rev = trial * kChurnRounds + round;
+        for (int i = rev % kChurnStride; i < kChurnObjects;
+             i += kChurnStride) {
+          Check(store.Modify(Oid("c" + std::to_string(i)),
+                             Value::Str("record " + std::to_string(i) +
+                                        " status=active owner=warehouse "
+                                        "shard=0 class=member rev=" +
+                                        std::to_string(rev))));
+        }
+        store.StorageSafePoint();
+      }
+      const double trial_us = static_cast<double>(timer.ElapsedMicros());
+      if (trial == 0 || trial_us < best_us) best_us = trial_us;
+    }
+    arm_us[arm] = best_us;
+    Check(store.FlushStorage());
+    if (background) {
+      Check(QueryPagedEngineStatus(store.storage_engine(), &churn_status)
+                ? Status::Ok()
+                : Status::Internal("engine is not paged?"));
+      Check(churn_status.io_error);
+      churn_image = StoreToString(store);
+    }
+  }
+  // Correctness twin: the same stream on the memory engine must produce
+  // a byte-identical store image.
+  {
+    ObjectStore twin;
+    for (int i = 0; i < kChurnObjects; ++i) {
+      Check(twin.PutAtomic(Oid("c" + std::to_string(i)), "payload",
+                           Value::Str("record " + std::to_string(i) +
+                                      " status=active owner=warehouse "
+                                      "shard=0 class=member")));
+    }
+    for (int rev = 0; rev < kChurnTrials * kChurnRounds; ++rev) {
+      for (int i = rev % kChurnStride; i < kChurnObjects;
+           i += kChurnStride) {
+        Check(twin.Modify(Oid("c" + std::to_string(i)),
+                          Value::Str("record " + std::to_string(i) +
+                                     " status=active owner=warehouse "
+                                     "shard=0 class=member rev=" +
+                                     std::to_string(rev))));
+      }
+    }
+    if (churn_image != StoreToString(twin)) {
+      std::fprintf(stderr,
+                   "E20: background-writeback store diverged from the "
+                   "memory twin\n");
+      return 1;
+    }
+  }
+  const double writeback_ratio =
+      arm_us[1] == 0.0 ? 0.0 : arm_us[0] / arm_us[1];
+  table.Row({"writeback", Micros(arm_us[0]), Micros(arm_us[1]),
+             Ratio(writeback_ratio),
+             Num(static_cast<int64_t>(churn_status.writeback_queue_peak)),
+             Num(static_cast<int64_t>(churn_status.writeback_steals)),
+             Num(static_cast<int64_t>(
+                 churn_status.writeback_sync_fallbacks))});
+  json.Record(
+      {{"arm", "\"writeback\""},
+       {"sync_us", Micros(arm_us[0])},
+       {"background_us", Micros(arm_us[1])},
+       {"ratio", Micros(writeback_ratio)},
+       {"queue_peak",
+        Num(static_cast<int64_t>(churn_status.writeback_queue_peak))},
+       {"steals",
+        Num(static_cast<int64_t>(churn_status.writeback_steals))},
+       {"sync_fallbacks", Num(static_cast<int64_t>(
+                              churn_status.writeback_sync_fallbacks))}});
+
+  // ---- Arm 2: swizzled vs unswizzled point reads, fully resident. ----
+  const int kReadObjects = smoke ? 500 : 2000;
+  const long kReads = smoke ? 40000 : 400000;
+  double read_us[2] = {0.0, 0.0};
+  int64_t swizzle_hits = 0;
+  uint64_t swizzle_entries = 0;
+  for (int arm = 0; arm < 2; ++arm) {
+    const bool swizzle = arm == 1;
+    PagedEngineOptions options;
+    options.dir = EngineDir(swizzle ? "sw_on" : "sw_off");
+    options.page_bytes = kPageBytes;
+    options.pool_pages = 4096;  // everything stays resident
+    options.enable_swizzle = swizzle;
+    options.wipe_on_close = true;
+    ObjectStore::Options store_options;
+    store_options.engine_factory = MakePagedEngineFactory(options);
+    ObjectStore store(store_options);
+    for (int i = 0; i < kReadObjects; ++i) {
+      Check(store.PutAtomic(Oid("r" + std::to_string(i)), "age",
+                            Value::Int(i)));
+    }
+    // Evict + fault everything once so reads start from the slow path's
+    // steady state (and, with swizzling, a populated table).
+    store.StorageSafePoint();
+    Check(store.FlushStorage());
+    for (int i = 0; i < kReadObjects; ++i) {
+      if (store.Get(Oid("r" + std::to_string(i))) == nullptr) {
+        std::fprintf(stderr, "E20: lost r%d after safepoint\n", i);
+        return 1;
+      }
+    }
+    // Pre-build the OID list so the timed loop measures Get(), not
+    // string formatting.
+    std::vector<Oid> oids;
+    oids.reserve(kReadObjects);
+    for (int i = 0; i < kReadObjects; ++i) {
+      oids.push_back(Oid("r" + std::to_string(i)));
+    }
+    uint64_t lcg = kSeed;
+    int64_t checksum = 0;
+    Stopwatch timer;
+    for (long i = 0; i < kReads; ++i) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      const Object* object =
+          store.Get(oids[(lcg >> 33) % oids.size()]);
+      if (object == nullptr) {
+        std::fprintf(stderr, "E20: point read missed\n");
+        return 1;
+      }
+      checksum += object->value().AsInt();
+    }
+    read_us[arm] = static_cast<double>(timer.ElapsedMicros());
+    if (checksum < 0) std::printf("impossible %lld\n", (long long)checksum);
+    if (swizzle) {
+      swizzle_hits =
+          store.metrics().swizzle_hits.load(std::memory_order_relaxed);
+      PagedEngineStatus status;
+      if (QueryPagedEngineStatus(store.storage_engine(), &status)) {
+        swizzle_entries = status.swizzle_entries;
+      }
+    }
+  }
+  const double swizzle_ratio =
+      read_us[1] == 0.0 ? 0.0 : read_us[0] / read_us[1];
+  table.Row({"swizzle", Micros(read_us[0]), Micros(read_us[1]),
+             Ratio(swizzle_ratio), Num(swizzle_entries),
+             Num(swizzle_hits), Num(static_cast<int64_t>(0))});
+  json.Record({{"arm", "\"swizzle\""},
+               {"unswizzled_us", Micros(read_us[0])},
+               {"swizzled_us", Micros(read_us[1])},
+               {"ratio", Micros(swizzle_ratio)},
+               {"reads", Num(static_cast<int64_t>(kReads))},
+               {"swizzle_hits", Num(swizzle_hits)},
+               {"swizzle_entries",
+                Num(static_cast<int64_t>(swizzle_entries))}});
+
+  // ---- Arm 3: gsvz codec footprint vs the raw text encoding. ----
+  // A tree workload's checkpoint-style page text (labels, OIDs, repeated
+  // attribute names) is what the codec was tuned for.
+  double codec_ratio = 1.0;
+  {
+    PagedEngineOptions options;
+    options.dir = EngineDir("codec");
+    options.page_bytes = kPageBytes;
+    options.pool_pages = 8;
+    options.codec = "compressed";
+    options.wipe_on_close = true;
+    ObjectStore::Options store_options;
+    store_options.engine_factory = MakePagedEngineFactory(options);
+    ObjectStore store(store_options);
+    TreeGenOptions tree_options;
+    tree_options.levels = smoke ? 5 : 6;
+    tree_options.fanout = 5;
+    tree_options.seed = kSeed;
+    auto tree = GenerateTree(&store, tree_options);
+    Check(tree.status());
+    store.StorageSafePoint();
+    Check(store.FlushStorage());
+    PagedEngineStatus status;
+    if (!QueryPagedEngineStatus(store.storage_engine(), &status)) {
+      std::fprintf(stderr, "E20: engine is not paged?\n");
+      return 1;
+    }
+    Check(status.io_error);
+    if (status.disk_raw_bytes == 0) {
+      std::fprintf(stderr, "E20: codec arm flushed no pages\n");
+      return 1;
+    }
+    codec_ratio = static_cast<double>(status.disk_payload_bytes) /
+                  static_cast<double>(status.disk_raw_bytes);
+    // The cold file must survive the same audit `wal_inspect pages`
+    // runs: per-page CRC over stored bytes plus a decode check.
+    Status audit = VerifyPagedImage(status.dir, nullptr);
+    if (!audit.ok()) {
+      std::fprintf(stderr, "E20: compressed image failed audit: %s\n",
+                   audit.ToString().c_str());
+      return 1;
+    }
+    table.Row({"codec",
+               Num(static_cast<int64_t>(status.disk_raw_bytes)),
+               Num(static_cast<int64_t>(status.disk_payload_bytes)),
+               Ratio(codec_ratio),
+               Num(static_cast<int64_t>(status.pages_total)), "-", "-"});
+    json.Record(
+        {{"arm", "\"codec\""},
+         {"raw_bytes", Num(static_cast<int64_t>(status.disk_raw_bytes))},
+         {"stored_bytes",
+          Num(static_cast<int64_t>(status.disk_payload_bytes))},
+         {"ratio", Micros(codec_ratio)},
+         {"pages", Num(static_cast<int64_t>(status.pages_total))}});
+  }
+
+  std::printf("\n");
+  bool failed = false;
+  if (writeback_ratio < kWritebackFloor) {
+    std::fprintf(stderr,
+                 "E20 FAILED: background writeback sped the foreground "
+                 "up %.2fx (floor %.1fx) — the thread is not moving "
+                 "I/O off the critical path\n",
+                 writeback_ratio, kWritebackFloor);
+    failed = true;
+  }
+  if (swizzle_ratio < kSwizzleFloor) {
+    std::fprintf(stderr,
+                 "E20 FAILED: swizzled point reads won %.2fx (floor "
+                 "%.1fx) — the OID->pointer table is not paying for "
+                 "itself\n",
+                 swizzle_ratio, kSwizzleFloor);
+    failed = true;
+  }
+  if (codec_ratio > kCodecCeiling) {
+    std::fprintf(stderr,
+                 "E20 FAILED: gsvz stored %.2fx of the raw text "
+                 "(ceiling %.1fx) — the codec is not compressing "
+                 "checkpoint-style pages\n",
+                 codec_ratio, kCodecCeiling);
+    failed = true;
+  }
+  if (failed) return 1;
+  std::printf(
+      "E20 ok: writeback %.2fx (floor %.1fx), swizzle %.2fx (floor "
+      "%.1fx), codec %.2fx raw (ceiling %.1fx)\n",
+      writeback_ratio, kWritebackFloor, swizzle_ratio, kSwizzleFloor,
+      codec_ratio, kCodecCeiling);
+  return 0;
+}

@@ -6,9 +6,10 @@
 # (the quarantine/resync error paths are where lifetime bugs hide — and the
 # durability suite's randomized kill-mid-batch crash test and the
 # replication suite's kill-mid-ship twin test with them), then a
-# ThreadSanitizer build of the batch-engine and index-concurrency tests to
-# prove the parallel drain and the lock-free snapshot publication are
-# race-free. Run from the repo root.
+# ThreadSanitizer build of the batch-engine, index-concurrency and
+# paged-writeback tests to prove the parallel drain, the lock-free snapshot
+# publication and the background writeback thread are race-free. Run from
+# the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -40,11 +41,23 @@ echo "=== perf-smoke: beyond-RAM paged store floors (E19 --smoke, 4x footprint) 
 ./build/bench/exp19_paged_store --smoke
 
 echo
+echo "=== perf-smoke: paged hot-path floors (E20 --smoke: writeback/swizzle/codec) ==="
+./build/bench/exp20_paged_hotpath --smoke
+
+echo
 echo "=== paged: recovery + replication + engine suites on the PagedEngine ==="
 # The same durability and replication properties, with every warehouse
 # delegate store and follower re-pointed at the on-disk paged engine
 # (tiny pool, so eviction runs constantly) through the env seam.
 GSV_STORAGE_ENGINE=paged:8:4096 \
+  ctest --test-dir build --output-on-failure -j "${JOBS}" -L paged
+
+echo
+echo "=== paged-compressed: the same suites with the gsvz codec on every page ==="
+# Second pass through the env seam with compression in the writeback
+# path: encode/decode now sit on every eviction and fault, so the twin
+# byte-identity and crash-recovery properties vet the codec end to end.
+GSV_STORAGE_ENGINE=paged:8:4096:compressed \
   ctest --test-dir build --output-on-failure -j "${JOBS}" -L paged
 
 echo
@@ -56,10 +69,10 @@ cmake --build build-asan -j "${JOBS}" --target gsv_robustness_test \
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L asan
 
 echo
-echo "=== tsan: batch-engine + index-concurrency tests under -fsanitize=thread ==="
+echo "=== tsan: batch-engine + index-concurrency + paged-writeback tests under -fsanitize=thread ==="
 cmake -B build-tsan -S . -DGSV_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}" --target gsv_batch_test \
-  --target gsv_index_concurrency_test
+  --target gsv_index_concurrency_test --target gsv_paged_concurrency_test
 ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L tsan
 
 echo

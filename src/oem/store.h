@@ -38,6 +38,8 @@ struct StoreMetrics {
   std::atomic<int64_t> page_evictions{0};   // frames dropped from the pool
   std::atomic<int64_t> page_writeback_bytes{0};  // dirty payload written out
   std::atomic<int64_t> pages_pinned_peak{0};     // high-water of pinned frames
+  std::atomic<int64_t> swizzle_hits{0};    // point reads served by a direct ptr
+  std::atomic<int64_t> swizzle_misses{0};  // point reads that took the slow path
 
   StoreMetrics() = default;
   StoreMetrics(const StoreMetrics& other) { *this = other; }
@@ -54,6 +56,8 @@ struct StoreMetrics {
         other.page_writeback_bytes.load(std::memory_order_relaxed);
     pages_pinned_peak =
         other.pages_pinned_peak.load(std::memory_order_relaxed);
+    swizzle_hits = other.swizzle_hits.load(std::memory_order_relaxed);
+    swizzle_misses = other.swizzle_misses.load(std::memory_order_relaxed);
     return *this;
   }
 
@@ -76,6 +80,8 @@ struct StoreMetrics {
     add(&page_faults, other.page_faults);
     add(&page_evictions, other.page_evictions);
     add(&page_writeback_bytes, other.page_writeback_bytes);
+    add(&swizzle_hits, other.swizzle_hits);
+    add(&swizzle_misses, other.swizzle_misses);
     // A high-water mark merges as a max: the fleet's peak is the worst
     // shard's peak, not their sum.
     int64_t other_peak =

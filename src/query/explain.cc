@@ -31,6 +31,10 @@ std::string QueryExplanation::ToString() const {
   if (total_page_faults > 0) {
     out << ", " << total_page_faults << " page faults";
   }
+  if (total_swizzle_hits > 0 || total_swizzle_misses > 0) {
+    out << ", swizzle " << total_swizzle_hits << "/"
+        << (total_swizzle_hits + total_swizzle_misses) << " hits";
+  }
   return out.str();
 }
 
@@ -67,6 +71,8 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
   int64_t probes_base = metrics.index_probes;
   int64_t fallbacks_base = metrics.index_fallbacks;
   int64_t faults_base = metrics.page_faults;
+  int64_t swizzle_hits_base = metrics.swizzle_hits;
+  int64_t swizzle_misses_base = metrics.swizzle_misses;
   explanation.plan.select =
       store.options().enable_label_index && query.select_path.IsConstant()
           ? QueryPlan::Select::kIndexProbe
@@ -138,6 +144,9 @@ Result<QueryExplanation> ExplainQuery(const ObjectStore& store,
   explanation.plan.index_probes = metrics.index_probes - probes_base;
   explanation.plan.index_fallbacks = metrics.index_fallbacks - fallbacks_base;
   explanation.total_page_faults = metrics.page_faults - faults_base;
+  explanation.total_swizzle_hits = metrics.swizzle_hits - swizzle_hits_base;
+  explanation.total_swizzle_misses =
+      metrics.swizzle_misses - swizzle_misses_base;
   return explanation;
 }
 

@@ -40,6 +40,10 @@ struct QueryExplanation {
   // Buffer-pool faults this evaluation caused (paged storage engine only;
   // always 0 on the memory engine, and then omitted from ToString).
   int64_t total_page_faults = 0;
+  // Point reads served straight from the swizzle table vs the routed slow
+  // path (paged engine only; both 0 — and omitted — on the memory engine).
+  int64_t total_swizzle_hits = 0;
+  int64_t total_swizzle_misses = 0;
 
   std::string ToString() const;
 };

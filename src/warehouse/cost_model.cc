@@ -40,6 +40,8 @@ WarehouseCosts& WarehouseCosts::Merge(const WarehouseCosts& other) {
   Accumulate(&store_page_faults, other.store_page_faults);
   Accumulate(&store_page_evictions, other.store_page_evictions);
   Accumulate(&store_writeback_bytes, other.store_writeback_bytes);
+  Accumulate(&store_swizzle_hits, other.store_swizzle_hits);
+  Accumulate(&store_swizzle_misses, other.store_swizzle_misses);
   return *this;
 }
 
@@ -87,6 +89,10 @@ std::string WarehouseCosts::ToString() const {
     out << " page_faults=" << store_page_faults
         << " page_evictions=" << store_page_evictions
         << " writeback_bytes=" << store_writeback_bytes;
+  }
+  if (store_swizzle_hits > 0 || store_swizzle_misses > 0) {
+    out << " swizzle_hits=" << store_swizzle_hits
+        << " swizzle_misses=" << store_swizzle_misses;
   }
   return out.str();
 }

@@ -58,6 +58,8 @@ struct WarehouseCosts {
   std::atomic<int64_t> store_page_faults{0};
   std::atomic<int64_t> store_page_evictions{0};
   std::atomic<int64_t> store_writeback_bytes{0};
+  std::atomic<int64_t> store_swizzle_hits{0};    // reads via direct pointer
+  std::atomic<int64_t> store_swizzle_misses{0};  // reads via route+probe
 
   WarehouseCosts() = default;
   WarehouseCosts(const WarehouseCosts& other) { *this = other; }
@@ -106,6 +108,10 @@ struct WarehouseCosts {
         other.store_page_evictions.load(std::memory_order_relaxed);
     store_writeback_bytes =
         other.store_writeback_bytes.load(std::memory_order_relaxed);
+    store_swizzle_hits =
+        other.store_swizzle_hits.load(std::memory_order_relaxed);
+    store_swizzle_misses =
+        other.store_swizzle_misses.load(std::memory_order_relaxed);
     return *this;
   }
 

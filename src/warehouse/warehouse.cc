@@ -772,15 +772,24 @@ void Warehouse::StorageQuiescent() {
   int64_t evictions = metrics.page_evictions.load(std::memory_order_relaxed);
   int64_t writeback =
       metrics.page_writeback_bytes.load(std::memory_order_relaxed);
+  int64_t swizzle_hits = metrics.swizzle_hits.load(std::memory_order_relaxed);
+  int64_t swizzle_misses =
+      metrics.swizzle_misses.load(std::memory_order_relaxed);
   costs_.store_page_faults.fetch_add(faults - flushed_page_faults_,
                                      std::memory_order_relaxed);
   costs_.store_page_evictions.fetch_add(evictions - flushed_page_evictions_,
                                         std::memory_order_relaxed);
   costs_.store_writeback_bytes.fetch_add(writeback - flushed_writeback_bytes_,
                                          std::memory_order_relaxed);
+  costs_.store_swizzle_hits.fetch_add(swizzle_hits - flushed_swizzle_hits_,
+                                      std::memory_order_relaxed);
+  costs_.store_swizzle_misses.fetch_add(
+      swizzle_misses - flushed_swizzle_misses_, std::memory_order_relaxed);
   flushed_page_faults_ = faults;
   flushed_page_evictions_ = evictions;
   flushed_writeback_bytes_ = writeback;
+  flushed_swizzle_hits_ = swizzle_hits;
+  flushed_swizzle_misses_ = swizzle_misses;
 }
 
 ThreadPool* Warehouse::Pool(size_t threads) {

@@ -481,6 +481,8 @@ class Warehouse {
   int64_t flushed_page_faults_ = 0;
   int64_t flushed_page_evictions_ = 0;
   int64_t flushed_writeback_bytes_ = 0;
+  int64_t flushed_swizzle_hits_ = 0;
+  int64_t flushed_swizzle_misses_ = 0;
   // Durability state (WAL, stats, recovery report); null when disabled.
   std::unique_ptr<WarehouseDurability> durability_;
 };

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/virtual_view.h"
+#include "oem/page_codec.h"
 #include "oem/paged_engine.h"
 #include "oem/serialize.h"
 #include "oem/storage_engine.h"
@@ -29,6 +30,7 @@
 #include "storage/checkpoint.h"
 #include "storage/wal.h"
 #include "warehouse/aux_cache.h"
+#include "warehouse/sharded_warehouse.h"
 #include "warehouse/sharding.h"
 #include "warehouse/warehouse.h"
 #include "workload/tree_gen.h"
@@ -228,7 +230,10 @@ TEST(PagedEngineTest, VerifyPagedImageCatchesCorruption) {
 
   std::ostringstream report;
   ASSERT_TRUE(VerifyPagedImage(status.dir, &report).ok());
-  EXPECT_NE(report.str().find("all CRCs ok"), std::string::npos);
+  EXPECT_NE(report.str().find("all pages verify"), std::string::npos);
+  // Per-page codec id and stored/raw ratio appear in the dump.
+  EXPECT_NE(report.str().find("codec 0(identity)"), std::string::npos);
+  EXPECT_NE(report.str().find("ratio"), std::string::npos);
 
   // Flip one payload byte of the first non-empty page in pages.gsp.
   auto directory = ReadPageDirectory(status.dir);
@@ -257,7 +262,246 @@ TEST(PagedEngineTest, VerifyPagedImageCatchesCorruption) {
             StatusCode::kDataLoss);
 }
 
+// ----------------------------------------------------------- page codec
+
+TEST(PageCodecTest, RegistryRoundTrips) {
+  EXPECT_EQ(PageCodecById(0), IdentityPageCodec());
+  EXPECT_EQ(PageCodecById(1), GsvzPageCodec());
+  EXPECT_EQ(PageCodecById(7), nullptr);
+  auto identity = PageCodecByName("identity");
+  ASSERT_TRUE(identity.ok());
+  EXPECT_EQ(identity.value()->id(), 0);
+  auto gsvz = PageCodecByName("gsvz");
+  auto compressed = PageCodecByName("compressed");
+  ASSERT_TRUE(gsvz.ok());
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ(gsvz.value(), compressed.value());
+  EXPECT_EQ(PageCodecByName("zstd").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PageCodecTest, GsvzRoundTripsArbitraryPayloads) {
+  const PageCodec* codec = GsvzPageCodec();
+  std::vector<std::string> payloads = {
+      "",
+      "x",
+      "ab",
+      "abc",
+      std::string(5000, 'z'),                    // long self-overlap run
+      "obj o1 age int 1\nobj o2 age int 2\n",    // checkpoint-like text
+  };
+  // Pseudo-random binary including high bytes and NULs.
+  std::string binary;
+  uint32_t state = 0x2545F491u;
+  for (int i = 0; i < 4096; ++i) {
+    state = state * 1664525u + 1013904223u;
+    binary.push_back(static_cast<char>(state >> 24));
+  }
+  payloads.push_back(binary);
+  for (const std::string& raw : payloads) {
+    std::string stored = codec->Encode(raw);
+    auto decoded = codec->Decode(stored);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value(), raw) << "payload size " << raw.size();
+  }
+}
+
+TEST(PageCodecTest, GsvzCompressesCheckpointText) {
+  // A realistic page payload: repetitive record keywords and OID prefixes.
+  std::string raw;
+  for (int i = 0; i < 200; ++i) {
+    raw += "obj warehouse:member:" + std::to_string(i) +
+           " folder set { child:" + std::to_string(i) + " }\n";
+  }
+  const std::string stored = GsvzPageCodec()->Encode(raw);
+  EXPECT_LT(stored.size(), raw.size() * 6 / 10)
+      << "stored " << stored.size() << " raw " << raw.size();
+  auto decoded = GsvzPageCodec()->Decode(stored);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), raw);
+}
+
+TEST(PageCodecTest, GsvzRejectsMalformedStreams) {
+  const PageCodec* codec = GsvzPageCodec();
+  std::string stored = codec->Encode("the quick brown fox the quick brown");
+  // Truncations at every prefix either decode to the full payload or fail
+  // cleanly — never crash, never return a wrong payload silently.
+  for (size_t cut = 0; cut < stored.size(); ++cut) {
+    auto decoded = codec->Decode(stored.substr(0, cut));
+    if (decoded.ok()) {
+      FAIL() << "truncated stream at " << cut << " decoded";
+    } else {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+    }
+  }
+  EXPECT_EQ(codec->Decode("").status().code(), StatusCode::kDataLoss);
+  // Trailing garbage after the declared size is data loss too.
+  EXPECT_EQ(codec->Decode(stored + "x").status().code(),
+            StatusCode::kDataLoss);
+}
+
+// ------------------------------------------------- free-extent coalescing
+
+// Growing pages into multi-slot extents and then shrinking them back frees
+// adjacent extents; the free list must merge them and trim runs that reach
+// the file tail, so a long-lived home stops fragmenting.
+TEST(PagedEngineTest, FreedExtentsCoalesceAndTailTrims) {
+  ObjectStore store(PagedStoreOptions(TinyPagedOptions("coalesce", 3, 256)));
+  // Ten objects of ~1000 bytes: every page becomes a multi-slot extent.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store
+                    .PutAtomic(Oid("h" + std::to_string(i)), "blob",
+                               Value::Str(std::string(1000, 'a' + i % 26)))
+                    .ok());
+  }
+  store.StorageSafePoint();
+  ASSERT_TRUE(store.FlushStorage().ok());
+  PagedEngineStatus status;
+  ASSERT_TRUE(QueryPagedEngineStatus(store.storage_engine(), &status));
+  const uint64_t fat_slots = status.disk_slots;
+  EXPECT_GT(fat_slots, 10u);
+
+  // Shrink every object to a few bytes: each page's next writeback drops
+  // to a 1-slot extent, freeing its old multi-slot run.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Modify(Oid("h" + std::to_string(i)), Value::Int(i)).ok());
+  }
+  store.StorageSafePoint();
+  ASSERT_TRUE(store.FlushStorage().ok());
+
+  ASSERT_TRUE(QueryPagedEngineStatus(store.storage_engine(), &status));
+  ASSERT_TRUE(status.io_error.ok()) << status.io_error.ToString();
+  EXPECT_GT(status.extent_merges, 0u) << "no adjacent frees merged";
+  EXPECT_GT(status.slots_reclaimed, 0u) << "tail run never trimmed";
+  EXPECT_LT(status.disk_slots, fat_slots) << "file never shrank";
+  // The shrunken image still verifies offline.
+  EXPECT_TRUE(VerifyPagedImage(status.dir, nullptr).ok());
+  // And everything still reads back.
+  for (int i = 0; i < 10; ++i) {
+    const Object* object = store.Get(Oid("h" + std::to_string(i)));
+    ASSERT_NE(object, nullptr);
+    EXPECT_EQ(object->value().AsInt(), i);
+  }
+}
+
+// ------------------------------------------------------------ swizzling
+
+TEST(PagedEngineTest, SwizzledReadsHitAfterFirstTouch) {
+  ObjectStore store(PagedStoreOptions(TinyPagedOptions("swizzle", 4)));
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        store.PutAtomic(Oid("s" + std::to_string(i)), "age", Value::Int(i))
+            .ok());
+  }
+  store.StorageSafePoint();
+
+  // First read of an object takes the routed slow path (a miss); repeats
+  // are direct-pointer hits.
+  const int64_t hits_before = store.metrics().swizzle_hits.load();
+  const Object* first = store.Get(Oid("s7"));
+  ASSERT_NE(first, nullptr);
+  const Object* second = store.Get(Oid("s7"));
+  ASSERT_EQ(first, second);  // same address: served from the swizzle table
+  EXPECT_GT(store.metrics().swizzle_hits.load(), hits_before);
+  EXPECT_GT(store.metrics().swizzle_misses.load(), 0);
+
+  // A swizzled-path mutation marks the frame dirty for real: the change
+  // survives writeback and a full eviction round trip.
+  ASSERT_TRUE(store.Modify(Oid("s7"), Value::Int(700)).ok());
+  store.StorageSafePoint();
+  ASSERT_TRUE(store.FlushStorage().ok());
+  store.StorageSafePoint();
+  EXPECT_EQ(store.Get(Oid("s7"))->value().AsInt(), 700);
+
+  // Erase drops the entry — the OID resolves to null, not a stale pointer.
+  ASSERT_TRUE(store.Remove(Oid("s7")).ok());
+  EXPECT_EQ(store.Get(Oid("s7")), nullptr);
+
+  PagedEngineStatus status;
+  ASSERT_TRUE(QueryPagedEngineStatus(store.storage_engine(), &status));
+  EXPECT_GT(status.swizzle_entries, 0u);
+}
+
+// ---------------------------------------------------- eviction under pin
+
+// A scan whose callback issues point reads forces faults (and evictions)
+// while the cursor frame is pinned: the pinned frame must never be
+// evicted out from under the scan, and every nested read must be correct.
+TEST(PagedEngineTest, EvictionUnderPinStress) {
+  PagedEngineOptions options = TinyPagedOptions("pin_stress", 2);
+  options.codec = "compressed";
+  options.writeback_queue = 2;  // force steals and fallbacks too
+  ObjectStore store(PagedStoreOptions(std::move(options)));
+  constexpr int kObjects = 120;
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE(
+        store.PutAtomic(Oid("p" + std::to_string(i)), "age", Value::Int(i))
+            .ok());
+  }
+  store.StorageSafePoint();
+
+  size_t visited = 0;
+  store.ScanInOrder([&](const Object& object) {
+    // Read a spread of other objects mid-scan; most live on other pages,
+    // so this churns the two-frame pool under the scan's pin.
+    const int base = static_cast<int>(visited * 37);
+    for (int k = 0; k < 3; ++k) {
+      const int target = (base + k * 41) % kObjects;
+      const Object* other = store.Get(Oid("p" + std::to_string(target)));
+      ASSERT_NE(other, nullptr) << "p" << target;
+      EXPECT_EQ(other->value().AsInt(), target);
+    }
+    // The cursor object stays addressable after the nested faults.
+    EXPECT_FALSE(object.oid().str().empty());
+    ++visited;
+  });
+  EXPECT_EQ(visited, static_cast<size_t>(kObjects));
+
+  store.StorageSafePoint();
+  PagedEngineStatus status;
+  ASSERT_TRUE(QueryPagedEngineStatus(store.storage_engine(), &status));
+  ASSERT_TRUE(status.io_error.ok()) << status.io_error.ToString();
+  EXPECT_LE(status.pages_resident, status.pool_pages);
+  EXPECT_GT(store.metrics().page_faults.load(), 0);
+}
+
 // ------------------------------------------------------------- env seam
+
+TEST(PagedEngineTest, StrictSpecParsing) {
+  // Well-formed specs.
+  auto unset = ParseStorageEngineSpec("");
+  ASSERT_TRUE(unset.ok());
+  EXPECT_EQ(unset.value(), nullptr);
+  auto memory = ParseStorageEngineSpec("memory");
+  ASSERT_TRUE(memory.ok());
+  EXPECT_EQ(memory.value(), nullptr);
+  for (const char* spec :
+       {"paged", "paged:8", "paged:8:4096", "paged:8:4096:compressed",
+        "paged:8:4096:gsvz", "paged:8:4096:identity"}) {
+    auto parsed = ParseStorageEngineSpec(spec);
+    ASSERT_TRUE(parsed.ok()) << spec << ": " << parsed.status().ToString();
+    ASSERT_NE(parsed.value(), nullptr) << spec;
+    auto engine = parsed.value()();
+    ASSERT_NE(engine, nullptr) << spec;
+    EXPECT_STREQ(engine->EngineName(), "paged");
+    ASSERT_TRUE(engine->Put(Object(Oid("e"), "age", Value::Int(1))).ok());
+    ASSERT_TRUE(engine->Flush().ok()) << spec;
+  }
+
+  // Malformed specs are kInvalidArgument naming the offense — never a
+  // silent fall-back to defaults.
+  for (const char* spec :
+       {"pagedd", "Paged", "paged:", "paged:0", "paged:-2", "paged:x",
+        "paged:8:", "paged:8:0", "paged:8:bytes", "paged:8:4096:zstd",
+        "paged:8:4096:compressed:extra", "memory:1"}) {
+    auto parsed = ParseStorageEngineSpec(spec);
+    EXPECT_FALSE(parsed.ok()) << spec << " parsed";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << spec;
+    }
+  }
+}
 
 TEST(PagedEngineTest, EngineFactoryFromEnv) {
   const char* saved = std::getenv("GSV_STORAGE_ENGINE");
@@ -279,6 +523,20 @@ TEST(PagedEngineTest, EngineFactoryFromEnv) {
     EXPECT_EQ(engine->Size(), 1u);
   }
 
+  // The 4-field form selects the page codec (what the ci.sh
+  // paged:8:4096:compressed stage runs the whole paged suite under).
+  ::setenv("GSV_STORAGE_ENGINE", "paged:4:1024:compressed", 1);
+  StorageEngineFactory compressed = MakeEngineFactoryFromEnv();
+  ASSERT_NE(compressed, nullptr);
+  {
+    auto engine = compressed();
+    ASSERT_TRUE(engine->Put(Object(Oid("e"), "age", Value::Int(1))).ok());
+    ASSERT_TRUE(engine->Flush().ok());
+    PagedEngineStatus status;
+    ASSERT_TRUE(QueryPagedEngineStatus(engine.get(), &status));
+    EXPECT_EQ(status.codec, "gsvz");
+  }
+
   if (saved != nullptr) {
     ::setenv("GSV_STORAGE_ENGINE", saved_value.c_str(), 1);
   } else {
@@ -291,11 +549,13 @@ TEST(PagedEngineTest, EngineFactoryFromEnv) {
 // The same generated tree and the same random update stream applied to a
 // memory-engine store and a paged-engine store (pool so small every batch
 // evicts): contents, checkpoint images, and the on-disk page image are
-// byte-identical at every watermark.
+// byte-identical at every watermark. `engine_options` selects the paged
+// configuration under test (codec, background writeback, swizzling).
 void RunTwinStoreStream(UpdateMode mode, const std::string& tag,
-                        uint64_t seed) {
+                        uint64_t seed,
+                        PagedEngineOptions engine_options) {
   ObjectStore memory_store;
-  ObjectStore paged_store(PagedStoreOptions(TinyPagedOptions(tag)));
+  ObjectStore paged_store(PagedStoreOptions(engine_options));
 
   TreeGenOptions tree_options;
   tree_options.levels = 4;
@@ -333,8 +593,11 @@ void RunTwinStoreStream(UpdateMode mode, const std::string& tag,
   ASSERT_TRUE(image_p.ok());
   EXPECT_EQ(image_p.value(), image_m.value());
 
-  // Bulk-load the image into a fresh paged store: same bytes again.
-  ObjectStore reloaded(PagedStoreOptions(TinyPagedOptions(tag + "_reload")));
+  // Bulk-load the image into a fresh paged store (same engine config):
+  // same bytes again.
+  PagedEngineOptions reload_options = engine_options;
+  reload_options.dir = TempDir(tag + "_reload");
+  ObjectStore reloaded(PagedStoreOptions(std::move(reload_options)));
   ASSERT_TRUE(ImportStoreImage(image_m.value(), &reloaded).ok());
   reloaded.StorageSafePoint();
   EXPECT_EQ(StoreToString(reloaded), StoreToString(memory_store));
@@ -347,11 +610,42 @@ void RunTwinStoreStream(UpdateMode mode, const std::string& tag,
 }
 
 TEST(EngineTwinTest, TreeStreamByteIdentical) {
-  RunTwinStoreStream(UpdateMode::kTreePreserving, "twin_tree", 17);
+  RunTwinStoreStream(UpdateMode::kTreePreserving, "twin_tree", 17,
+                     TinyPagedOptions("twin_tree"));
 }
 
 TEST(EngineTwinTest, DagStreamByteIdentical) {
-  RunTwinStoreStream(UpdateMode::kDagPreserving, "twin_dag", 23);
+  RunTwinStoreStream(UpdateMode::kDagPreserving, "twin_dag", 23,
+                     TinyPagedOptions("twin_dag"));
+}
+
+// The same twins with every hot-path feature engaged at once: background
+// writeback draining through a 2-deep queue (forcing steals and sync
+// fallbacks), the compressed codec on every page, swizzled reads.
+void RunHotPathTwin(UpdateMode mode, const std::string& tag, uint64_t seed) {
+  PagedEngineOptions options = TinyPagedOptions(tag);
+  options.codec = "compressed";
+  options.writeback_queue = 2;
+  RunTwinStoreStream(mode, tag, seed, std::move(options));
+}
+
+TEST(EngineTwinTest, CompressedHotPathTreeStreamByteIdentical) {
+  RunHotPathTwin(UpdateMode::kTreePreserving, "twin_hot_tree", 43);
+}
+
+TEST(EngineTwinTest, CompressedHotPathDagStreamByteIdentical) {
+  RunHotPathTwin(UpdateMode::kDagPreserving, "twin_hot_dag", 47);
+}
+
+// The PR 7 baseline configuration (synchronous writeback, no swizzle
+// table) must keep producing the same bytes too — E20 uses it as its
+// comparison arm.
+TEST(EngineTwinTest, SynchronousBaselineTreeStreamByteIdentical) {
+  PagedEngineOptions options = TinyPagedOptions("twin_sync_tree");
+  options.background_writeback = false;
+  options.enable_swizzle = false;
+  RunTwinStoreStream(UpdateMode::kTreePreserving, "twin_sync_tree", 17,
+                     std::move(options));
 }
 
 // -------------------------------------------------- twin: full warehouse
@@ -555,6 +849,141 @@ TEST(EngineTwinTest, ReplicaCatchesUpOnPagedEngine) {
   }
   EXPECT_GT(replica.store().metrics().page_faults.load(), 0);
   EXPECT_EQ(replica.stats().self_heals, 0);
+}
+
+// ------------------------------------------- twin: kill mid-writeback
+
+// The writeback queue is scratch state: killing the process while jobs are
+// still queued (simulated by abandon_queue_on_close — queued pages never
+// reach pages.gsp) must not perturb recovery, because durable truth is the
+// WAL + checkpoints and the engine home is rebuilt by bulk load. A sharded
+// warehouse whose shard delegate stores run the full hot path (background
+// writeback through a 2-deep queue, compressed codec, 2-frame pools) is
+// killed with a committed-but-not-checkpointed tail, recovered, and must
+// match a memory-engine twin that never died — then keep matching as new
+// events flow. Randomized over seeds per mode/shard-count.
+void RunKillMidWritebackRecovery(UpdateMode mode, uint32_t shards,
+                                 uint64_t seed, const std::string& tag) {
+  const std::string wal_dir = TempDir(tag + "_wal");
+
+  TreeGenOptions tree_options;
+  tree_options.levels = 4;
+  tree_options.fanout = 3;
+  tree_options.seed = seed;
+  ObjectStore source;
+  auto tree = GenerateTree(&source, tree_options);
+  ASSERT_TRUE(tree.ok());
+  const Oid root = tree->root;
+  const std::string definition = TreeViewDefinition("KWV", root, 3, 4, 500);
+
+  ObjectStore twin_store;
+  Warehouse twin(&twin_store);
+  ASSERT_TRUE(
+      twin.ConnectSource(&source, root, ReportingLevel::kWithValues).ok());
+  twin.set_deferred(true);
+  ASSERT_TRUE(twin.DefineView(definition).ok());
+
+  auto paged_factory = [&](const std::string& suffix) {
+    PagedEngineOptions options = TinyPagedOptions(tag + suffix, 2);
+    options.codec = "compressed";
+    options.writeback_queue = 2;
+    options.abandon_queue_on_close = true;  // the "kill"
+    return MakePagedEngineFactory(std::move(options));
+  };
+
+  UpdateGenOptions gen_options;
+  gen_options.mode = mode;
+  gen_options.seed = seed + 1;
+  UpdateGenerator gen(&source, root, gen_options);
+
+  {
+    ShardedWarehouse::Options options;
+    options.engine_factory = paged_factory("_live");
+    ShardedWarehouse durable(shards, options);
+    ASSERT_TRUE(durable.init_status().ok());
+    ASSERT_TRUE(
+        durable.ConnectSource(&source, root, ReportingLevel::kWithValues)
+            .ok());
+    durable.set_deferred(true);
+    ShardedWarehouse::DurabilityOptions durability;
+    durability.dir = wal_dir;
+    durability.fsync = FsyncPolicy::kCommit;
+    ASSERT_TRUE(durable.EnableDurability(durability).ok());
+    ASSERT_TRUE(durable.DefineView(definition).ok());
+
+    for (int burst = 0; burst < 3; ++burst) {
+      ASSERT_TRUE(gen.Run(25).ok());
+      ASSERT_TRUE(twin.ProcessPendingBatch().ok());
+      ASSERT_TRUE(durable.ProcessPendingBatch(shards).ok());
+    }
+    ASSERT_TRUE(durable.WriteCheckpoint().ok());
+    // A committed tail past the checkpoint: recovery must replay it.
+    ASSERT_TRUE(gen.Run(25).ok());
+    ASSERT_TRUE(twin.ProcessPendingBatch().ok());
+    ASSERT_TRUE(durable.ProcessPendingBatch(shards).ok());
+    MaterializedView* view = twin.view("KWV");
+    ASSERT_NE(view, nullptr);
+    ASSERT_EQ(durable.ViewContents("KWV"), ViewContentLines(*view));
+    // Destructor: engines drop whatever writeback jobs are still queued —
+    // on-disk pages.gsp is torn mid-writeback, exactly like a kill.
+  }
+
+  ShardedWarehouse::Options recovered_options;
+  recovered_options.engine_factory = paged_factory("_rec");
+  ShardedWarehouse recovered(shards, recovered_options);
+  ASSERT_TRUE(recovered.init_status().ok());
+  ASSERT_TRUE(
+      recovered.ConnectSource(&source, root, ReportingLevel::kWithValues)
+          .ok());
+  recovered.set_deferred(true);
+  ShardedWarehouse::DurabilityOptions durability;
+  durability.dir = wal_dir;
+  ASSERT_TRUE(recovered.EnableDurability(durability).ok());
+
+  MaterializedView* view = twin.view("KWV");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(recovered.ViewContents("KWV"), ViewContentLines(*view));
+
+  // The recovered warehouse keeps pace with the twin on fresh events.
+  ASSERT_TRUE(gen.Run(25).ok());
+  ASSERT_TRUE(twin.ProcessPendingBatch().ok());
+  ASSERT_TRUE(recovered.ProcessPendingBatch(shards).ok());
+  EXPECT_EQ(recovered.ViewContents("KWV"), ViewContentLines(*twin.view("KWV")));
+  const WarehouseCosts costs = recovered.MergedCosts();
+  EXPECT_EQ(costs.events_duplicate_dropped.load(), 0);
+  EXPECT_EQ(costs.events_gap_detected.load(), 0);
+}
+
+TEST(KillMidWritebackTest, TreeK1) {
+  for (uint64_t seed : {59u, 61u}) {
+    ASSERT_NO_FATAL_FAILURE(RunKillMidWritebackRecovery(
+        UpdateMode::kTreePreserving, 1, seed,
+        "kill_tree_k1_" + std::to_string(seed)));
+  }
+}
+
+TEST(KillMidWritebackTest, TreeK4) {
+  for (uint64_t seed : {67u, 71u}) {
+    ASSERT_NO_FATAL_FAILURE(RunKillMidWritebackRecovery(
+        UpdateMode::kTreePreserving, 4, seed,
+        "kill_tree_k4_" + std::to_string(seed)));
+  }
+}
+
+TEST(KillMidWritebackTest, DagK1) {
+  for (uint64_t seed : {73u, 79u}) {
+    ASSERT_NO_FATAL_FAILURE(RunKillMidWritebackRecovery(
+        UpdateMode::kDagPreserving, 1, seed,
+        "kill_dag_k1_" + std::to_string(seed)));
+  }
+}
+
+TEST(KillMidWritebackTest, DagK4) {
+  for (uint64_t seed : {83u, 89u}) {
+    ASSERT_NO_FATAL_FAILURE(RunKillMidWritebackRecovery(
+        UpdateMode::kDagPreserving, 4, seed,
+        "kill_dag_k4_" + std::to_string(seed)));
+  }
 }
 
 }  // namespace

@@ -11,8 +11,11 @@
 //                                   checksums of their committed states
 //                                   (primary vs replica divergence check)
 //   wal_inspect pages <dir>         dump a paged storage engine's page
-//                                   directory and CRC-verify every on-disk
-//                                   page against it; <dir> is an engine
+//                                   directory — per-page codec id and
+//                                   stored/raw compression ratio included —
+//                                   and audit every on-disk page: CRC over
+//                                   the stored bytes, then a decode check
+//                                   for known codecs; <dir> is an engine
 //                                   home (holds PAGEDIR) or a parent whose
 //                                   subdirectories are engine homes
 //
@@ -266,11 +269,12 @@ int Diff(const std::string& dir_a, const std::string& dir_b) {
   return 1;
 }
 
-// Dumps and CRC-verifies a paged storage engine image (oem/paged_engine.h):
-// every PAGEDIR entry is printed, and each resident page's extent is read
-// back from pages.gsp and checked against the directory's CRC. Exit 1 on
-// corruption (directory trailer or page CRC mismatch), 2 when no image
-// exists at all.
+// Dumps and audits a paged storage engine image (oem/paged_engine.h):
+// every PAGEDIR entry is printed (with its codec and stored/raw ratio),
+// each page's extent is read back from pages.gsp, CRC-checked against the
+// directory, and decode-checked when the codec is known. Exit 1 on
+// corruption (trailer/page CRC mismatch, failed decode) or a codec id this
+// build does not recognize; 2 when no image exists at all.
 int PagesOne(const std::string& home) {
   std::ostringstream out;
   gsv::Status status = gsv::VerifyPagedImage(home, &out);
