@@ -1,0 +1,209 @@
+// E21 — Discrimination-network maintenance vs recompute fallback.
+//
+// The §6 view classes (path-expression select paths, AND/OR conditions,
+// DAG bases) are exactly the shapes Algorithm 1 refuses; before the GDN
+// engine their only honest maintenance strategy was recomputing the view
+// after every base update. This experiment prices that gap: one generated
+// tree, one deterministic update stream (generated once, replayed on an
+// identical twin world), and the view `SELECT <root>.* X WHERE age <= 50`
+// maintained two ways —
+//
+//   gdn        the warehouse's discrimination network, inline mode: each
+//              event propagates through the cached partial-match memos and
+//              emits only the membership delta.
+//   recompute  §4.4 fallback: re-evaluate the whole view after every
+//              update (what "stay current" meant for these classes before
+//              the network existed).
+//
+// Final view contents must be byte-identical between the two runs — the
+// network is a speedup, never an answer change. Reported: wall time per
+// variant, propagations and match-node churn from the engine counters, and
+// the speedup ratio.
+//
+// Acceptance bar: gdn must clear 5x recompute on the full sweep. `--smoke`
+// runs a scaled-down world with a loose 1.5x bar and a nonzero exit below
+// it (wired into ci.sh as a perf-smoke stage).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/materialized_view.h"
+#include "core/recompute.h"
+#include "core/view_definition.h"
+#include "ivm/gdn_network.h"
+#include "oem/store.h"
+#include "util/stopwatch.h"
+#include "warehouse/warehouse.h"
+#include "workload/tree_gen.h"
+#include "workload/update_gen.h"
+
+namespace {
+
+struct Shape {
+  const char* name;
+  size_t levels;
+  size_t fanout;
+  size_t updates;
+};
+
+struct RunResult {
+  int64_t maint_micros = 0;
+  int64_t propagations = 0;
+  int64_t matches_created = 0;
+  std::vector<std::pair<gsv::Oid, std::string>> contents;
+};
+
+gsv::GeneratedTree BuildWorld(gsv::ObjectStore* store, const Shape& shape) {
+  using namespace gsv;  // NOLINT(build/namespaces)
+  TreeGenOptions tree_options;
+  tree_options.levels = shape.levels;
+  tree_options.fanout = shape.fanout;
+  tree_options.label_variety = 2;
+  tree_options.seed = 211;
+  tree_options.oid_prefix = "e21_";
+  auto tree = GenerateTree(store, tree_options);
+  bench::Check(tree.status());
+  return *tree;
+}
+
+// Both variants replay the same stream from identical twin worlds (same
+// tree seed -> same OIDs), so the generator's choices line up step for
+// step and the final stores are equal.
+gsv::UpdateGenerator MakeGenerator(gsv::ObjectStore* store,
+                                   const gsv::Oid& root) {
+  gsv::UpdateGenOptions gen_options;
+  gen_options.seed = 213;
+  gen_options.oid_prefix = "e21_u";
+  return gsv::UpdateGenerator(store, root, gen_options);
+}
+
+RunResult RunGdn(const Shape& shape, const std::string& definition) {
+  using namespace gsv;  // NOLINT(build/namespaces)
+  ObjectStore source;
+  GeneratedTree tree = BuildWorld(&source, shape);
+
+  ObjectStore store;
+  Warehouse warehouse(&store);
+  bench::Check(
+      warehouse.ConnectSource(&source, tree.root, ReportingLevel::kOidsOnly));
+  bench::Check(warehouse.DefineView(definition));
+  if (warehouse.view_engine("E21") != Warehouse::EngineKind::kGdn) {
+    std::fprintf(stderr, "E21 did not select the gdn engine\n");
+    std::exit(1);
+  }
+
+  UpdateGenerator gen = MakeGenerator(&source, tree.root);
+  RunResult result;
+  Stopwatch timer;
+  for (size_t i = 0; i < shape.updates; ++i) {
+    bench::Check(gen.Step());
+  }
+  result.maint_micros = timer.ElapsedMicros();
+  bench::Check(warehouse.last_status());
+
+  const GdnEngine* engine = warehouse.gdn_engine("E21");
+  result.propagations = static_cast<int64_t>(engine->stats().propagations);
+  result.matches_created =
+      static_cast<int64_t>(engine->stats().matches_created);
+  result.contents = ViewContentLines(*warehouse.view("E21"));
+  return result;
+}
+
+RunResult RunRecompute(const Shape& shape, const std::string& definition) {
+  using namespace gsv;  // NOLINT(build/namespaces)
+  ObjectStore source;
+  GeneratedTree tree = BuildWorld(&source, shape);
+
+  auto def = ViewDefinition::Parse(definition);
+  bench::Check(def.status());
+  ObjectStore view_store;
+  MaterializedView view(&view_store, *def);
+  bench::Check(view.Initialize(source));
+  RecomputeMaintainer maintainer(&view, &source);
+
+  UpdateGenerator gen = MakeGenerator(&source, tree.root);
+  RunResult result;
+  Stopwatch timer;
+  for (size_t i = 0; i < shape.updates; ++i) {
+    bench::Check(gen.Step());
+    bench::Check(maintainer.Recompute());
+  }
+  result.maint_micros = timer.ElapsedMicros();
+  result.contents = ViewContentLines(view);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gsv;         // NOLINT(build/namespaces)
+  using namespace gsv::bench;  // NOLINT(build/namespaces)
+
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const Shape kFull = {"full", 4, 4, 600};
+  const Shape kSmoke = {"smoke", 3, 3, 150};
+  const Shape& shape = smoke ? kSmoke : kFull;
+  const double bar = smoke ? 1.5 : 5.0;
+
+  std::printf("E21: discrimination-network vs per-update recompute, %s\n\n",
+              shape.name);
+
+  // A '*' select path over the whole tree: every object is a candidate,
+  // which is the worst case for recompute and the bread-and-butter case
+  // for the network's cached reachability memo.
+  ObjectStore probe;
+  GeneratedTree tree = BuildWorld(&probe, shape);
+  const std::string definition = "define mview E21 as: SELECT " +
+                                 tree.root.str() + ".* X WHERE X.age <= 50";
+
+  RunResult gdn = RunGdn(shape, definition);
+  RunResult recompute = RunRecompute(shape, definition);
+
+  if (gdn.contents != recompute.contents) {
+    std::fprintf(stderr,
+                 "view contents diverged (gdn=%zu, recompute=%zu members)\n",
+                 gdn.contents.size(), recompute.contents.size());
+    return 1;
+  }
+
+  double speedup =
+      gdn.maint_micros > 0
+          ? static_cast<double>(recompute.maint_micros) / gdn.maint_micros
+          : 0.0;
+
+  JsonLines json(json_path, "gsv.exp21.v1", /*seed=*/211);
+  TablePrinter table(
+      {"variant", "maint_us", "propagations", "matches", "speedup"});
+  table.Row({"recompute", Num(recompute.maint_micros), "-", "-", Ratio(1.0)});
+  table.Row({"gdn", Num(gdn.maint_micros), Num(gdn.propagations),
+             Num(gdn.matches_created), Ratio(speedup)});
+  json.Record({{"exp", Quoted("exp21_gdn")},
+               {"shape", Quoted(shape.name)},
+               {"levels", Num(shape.levels)},
+               {"fanout", Num(shape.fanout)},
+               {"updates", Num(shape.updates)},
+               {"members", Num(gdn.contents.size())},
+               {"maint_micros_gdn", Num(gdn.maint_micros)},
+               {"maint_micros_recompute", Num(recompute.maint_micros)},
+               {"gdn_propagations", Num(gdn.propagations)},
+               {"gdn_matches_created", Num(gdn.matches_created)},
+               {"speedup", Micros(speedup)}});
+
+  std::printf("\nspeedup %s (bar %.1fx), %zu members, identical contents\n",
+              Ratio(speedup).c_str(), bar, gdn.contents.size());
+  if (speedup < bar) {
+    std::fprintf(stderr, "gdn speedup %s below the %.1fx bar\n",
+                 Ratio(speedup).c_str(), bar);
+    return 1;
+  }
+  return 0;
+}

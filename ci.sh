@@ -8,8 +8,9 @@
 # replication suite's kill-mid-ship twin test with them), then a
 # ThreadSanitizer build of the batch-engine, index-concurrency and
 # paged-writeback tests to prove the parallel drain, the lock-free snapshot
-# publication and the background writeback thread are race-free. Run from
-# the repo root.
+# publication and the background writeback thread are race-free. The
+# discrimination-network (gdn) suite rides along in BOTH sanitizer stages.
+# Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -45,6 +46,10 @@ echo "=== perf-smoke: paged hot-path floors (E20 --smoke: writeback/swizzle/code
 ./build/bench/exp20_paged_hotpath --smoke
 
 echo
+echo "=== perf-smoke: discrimination-network floor (E21 --smoke, 1.5x bar) ==="
+./build/bench/exp21_gdn --smoke
+
+echo
 echo "=== paged: recovery + replication + engine suites on the PagedEngine ==="
 # The same durability and replication properties, with every warehouse
 # delegate store and follower re-pointed at the on-disk paged engine
@@ -65,15 +70,21 @@ echo "=== asan: robustness + fault-injection + durability + replication tests un
 cmake -B build-asan -S . -DGSV_SANITIZE="address;undefined" >/dev/null
 cmake --build build-asan -j "${JOBS}" --target gsv_robustness_test \
   --target gsv_fault_tolerance_test --target gsv_recovery_test \
-  --target gsv_replication_test --target gsv_storage_engine_test
-ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L asan
+  --target gsv_replication_test --target gsv_storage_engine_test \
+  --target gsv_ivm_test
+# The gdn suite runs under ASan too: memo images load from checkpoint
+# bytes and poisoned networks rebuild in place.
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -L 'asan|gdn'
 
 echo
 echo "=== tsan: batch-engine + index-concurrency + paged-writeback tests under -fsanitize=thread ==="
 cmake -B build-tsan -S . -DGSV_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}" --target gsv_batch_test \
-  --target gsv_index_concurrency_test --target gsv_paged_concurrency_test
-ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L tsan
+  --target gsv_index_concurrency_test --target gsv_paged_concurrency_test \
+  --target gsv_ivm_test
+# The gdn suite runs under TSan too: a parallel drain propagates many
+# networks concurrently against one frozen source.
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" -L 'tsan|gdn'
 
 echo
 echo "ci.sh: all checks passed"

@@ -1,9 +1,28 @@
 #include "core/general_maintainer.h"
 
+#include <atomic>
+#include <cstdio>
 #include <deque>
 #include <unordered_set>
 
 namespace gsv {
+
+namespace {
+
+// A truncated search means candidates may have been missed; say so once
+// per process rather than silently degrading to sweep-only correctness.
+void WarnCapsHitOnce(const char* where) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "gsv: general maintainer hit a safety cap (%s); candidate "
+                 "search was truncated — membership converges at the next "
+                 "verification sweep (counted in stats().caps_hit)\n",
+                 where);
+  }
+}
+
+}  // namespace
 
 GeneralMaintainer::GeneralMaintainer(ViewStorage* view,
                                      const ObjectStore* base,
@@ -58,6 +77,13 @@ void GeneralMaintainer::CollectConditionCandidates(const Oid& n,
     }
     frontier = std::move(next);
   }
+  // Truncated only when max_depth cut the climb short of the condition
+  // reach; stopping at the natural reach with parents left is exhaustive.
+  if (!frontier.empty() &&
+      (cond_reach_ == SIZE_MAX || cond_reach_ > options_.max_depth)) {
+    ++stats_.caps_hit;
+    WarnCapsHitOnce("condition climb max_depth");
+  }
 }
 
 void GeneralMaintainer::CollectReachabilityCandidates(
@@ -83,6 +109,10 @@ void GeneralMaintainer::CollectReachabilityCandidates(
     frontier = std::move(next);
     ++depth;
   }
+  if (!frontier.empty()) {
+    ++stats_.caps_hit;
+    WarnCapsHitOnce("descendant scan max_depth");
+  }
 }
 
 bool GeneralMaintainer::IsSelected(const Oid& y) const {
@@ -91,6 +121,10 @@ bool GeneralMaintainer::IsSelected(const Oid& y) const {
   std::vector<Path> paths =
       PathsFromTo(*base_, root_, y, options_.max_paths_per_check,
                   options_.max_depth, filter);
+  if (paths.size() >= options_.max_paths_per_check) {
+    ++stats_.caps_hit;
+    WarnCapsHitOnce("derivation paths max_paths_per_check");
+  }
   bool reachable = false;
   for (const Path& path : paths) {
     if (def_.query().select_path.Matches(path)) {

@@ -44,6 +44,11 @@ class GeneralMaintainer : public UpdateListener {
     int64_t candidates_checked = 0;
     int64_t v_inserts = 0;
     int64_t v_deletes = 0;
+    // Times a safety cap truncated a search (max_paths_per_check or
+    // max_depth with work left in the frontier). A nonzero count means
+    // candidates may have been missed — correctness now leans on the
+    // deferred-drain verification sweep, and the first hit warns once.
+    int64_t caps_hit = 0;
   };
 
   // The maintainer reads the base store directly (centralized setting).
@@ -81,7 +86,8 @@ class GeneralMaintainer : public UpdateListener {
   Oid root_;
   size_t cond_reach_;       // max labels any predicate path can span;
                             // SIZE_MAX when some predicate has '*'
-  Stats stats_;
+  // Candidate collection is logically const but counts its cap hits.
+  mutable Stats stats_;
   Status last_status_;
 };
 

@@ -28,10 +28,14 @@ struct Query {
   std::optional<std::string> ans_int_db; // ANS INT DB2
 
   // True if the query has the "simple view" shape that Algorithm 1
-  // maintains (§4.2): constant select path, and a WHERE that is a single
-  // predicate over a constant path (or absent).
+  // maintains (§4.2): constant select path, a WHERE that is a single
+  // predicate over a constant path (or absent), and no scoping clause —
+  // WITHIN/ANS INT are §6 relaxations Algorithm 1 never consults, so a
+  // scoped view must take a general maintainer or stay virtual.
   bool IsSimple() const {
-    return select_path.IsConstant() && (where.IsTrivial() || where.IsSimple());
+    return select_path.IsConstant() &&
+           (where.IsTrivial() || where.IsSimple()) &&
+           !within_db.has_value() && !ans_int_db.has_value();
   }
 
   std::string ToString() const;

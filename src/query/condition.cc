@@ -125,6 +125,27 @@ bool Condition::EvaluateNode(const Node& node, const ObjectStore& store,
   return false;
 }
 
+bool Condition::EvaluateWith(
+    const std::function<bool(const Predicate&)>& holds) const {
+  if (root_ == nullptr) return true;
+  return EvaluateNodeWith(*root_, holds);
+}
+
+bool Condition::EvaluateNodeWith(
+    const Node& node, const std::function<bool(const Predicate&)>& holds) {
+  switch (node.kind) {
+    case Node::Kind::kPredicate:
+      return holds(*node.predicate);
+    case Node::Kind::kAnd:
+      return EvaluateNodeWith(*node.lhs, holds) &&
+             EvaluateNodeWith(*node.rhs, holds);
+    case Node::Kind::kOr:
+      return EvaluateNodeWith(*node.lhs, holds) ||
+             EvaluateNodeWith(*node.rhs, holds);
+  }
+  return false;
+}
+
 std::string Condition::NodeToString(const Node& node,
                                     const std::string& binder) {
   switch (node.kind) {

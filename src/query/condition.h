@@ -1,6 +1,7 @@
 #ifndef GSV_QUERY_CONDITION_H_
 #define GSV_QUERY_CONDITION_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -78,6 +79,12 @@ class Condition {
   bool Evaluate(const ObjectStore& store, const Oid& x,
                 const OidFilter& filter = nullptr) const;
 
+  // Evaluates the AND/OR tree with `holds` deciding each leaf predicate —
+  // the hook a memoizing maintainer uses to answer predicates from cached
+  // partial matches instead of traversals. Trivial conditions are true.
+  bool EvaluateWith(
+      const std::function<bool(const Predicate&)>& holds) const;
+
   std::string ToString(const std::string& binder = "X") const;
 
  private:
@@ -94,6 +101,8 @@ class Condition {
 
   static bool EvaluateNode(const Node& node, const ObjectStore& store,
                            const Oid& x, const OidFilter& filter);
+  static bool EvaluateNodeWith(
+      const Node& node, const std::function<bool(const Predicate&)>& holds);
   static void CollectPredicates(const Node& node,
                                 std::vector<const Predicate*>* out);
   static std::string NodeToString(const Node& node, const std::string& binder);

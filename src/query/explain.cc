@@ -170,6 +170,19 @@ std::string ShardedViewExplanation::ToString() const {
   out << "  cross-shard traffic: " << cross_shard_exports << " exported, "
       << cross_shard_applies << " applied, " << cross_shard_probes
       << " membership probes\n";
+  if (!engine.empty()) {
+    out << "  engine: " << engine;
+    if (engine == "gdn") {
+      out << " (" << gdn_nodes << " memo node" << (gdn_nodes == 1 ? "" : "s")
+          << ", " << gdn_matches << " partial match"
+          << (gdn_matches == 1 ? "" : "es") << ", " << gdn_propagations
+          << " propagations, " << gdn_rebuilds << " rebuild"
+          << (gdn_rebuilds == 1 ? "" : "s") << ")";
+    } else if (engine == "general") {
+      out << " (" << general_caps_hit << " caps hit)";
+    }
+    out << "\n";
+  }
   return out.str();
 }
 

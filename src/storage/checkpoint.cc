@@ -41,6 +41,10 @@ std::string CacheFileName(const std::string& view) {
   return "cache-" + view + ".gsv";
 }
 
+std::string GdnFileName(const std::string& view) {
+  return "gdn-" + view + ".gsv";
+}
+
 // Writes `content` to `path` and fsyncs it before closing — a checkpoint
 // file must be on disk before the manifest (and the manifest before the
 // rename) for the atomicity argument to hold.
@@ -123,6 +127,10 @@ Result<LoadedCheckpoint> LoadCheckpointDir(const std::string& path,
       std::string view =
           file_name.substr(6, file_name.size() - 6 - 4);  // "cache-"..".gsv"
       loaded.cache_texts[view] = std::move(content);
+    } else if (StartsWith(file_name, "gdn-") && EndsWith(file_name, ".gsv")) {
+      std::string view =
+          file_name.substr(4, file_name.size() - 4 - 4);  // "gdn-"..".gsv"
+      loaded.gdn_texts[view] = std::move(content);
     }
   }
   if (loaded.store_text.empty() &&
@@ -274,6 +282,9 @@ Status PersistCheckpoint(const std::string& dir,
   files.emplace_back(kStoreName, capture.store_text);
   for (const auto& [view, text] : capture.cache_texts) {
     files.emplace_back(CacheFileName(view), text);
+  }
+  for (const auto& [view, text] : capture.gdn_texts) {
+    files.emplace_back(GdnFileName(view), text);
   }
   for (const auto& [file_name, content] : files) {
     GSV_RETURN_IF_ERROR(

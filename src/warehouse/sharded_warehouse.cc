@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
+#include "core/virtual_view.h"
 #include "query/evaluator.h"
 
 namespace gsv {
@@ -93,6 +95,146 @@ void ShardedWarehouse::Directory::Freeze() {
   frozen_ = true;
 }
 
+// ---- Coordinator-owned general engines ----
+
+bool ShardedWarehouse::CoordStorage::ContainsBase(const Oid& base_oid) const {
+  Warehouse& owner = *owner_->shards_[ShardOfOid(base_oid, owner_->mask_)];
+  MaterializedView* slice = owner.view(view_);
+  return slice != nullptr && slice->ContainsBase(base_oid);
+}
+
+Status ShardedWarehouse::CoordStorage::VInsert(const Object& base_object) {
+  ForeignViewOp op;
+  op.kind = ForeignViewOp::Kind::kVInsert;
+  op.view = view_;
+  op.object = base_object;
+  owner_->coord_outbox_.push_back(std::move(op));
+  return Status::Ok();
+}
+
+Status ShardedWarehouse::CoordStorage::VDelete(const Oid& base_oid) {
+  ForeignViewOp op;
+  op.kind = ForeignViewOp::Kind::kVDelete;
+  op.view = view_;
+  op.base_oid = base_oid;
+  owner_->coord_outbox_.push_back(std::move(op));
+  return Status::Ok();
+}
+
+OidSet ShardedWarehouse::CoordStorage::BaseMembers() const {
+  OidSet members;
+  for (auto& shard : owner_->shards_) {
+    MaterializedView* slice = shard->view(view_);
+    if (slice != nullptr) members = OidSet::Union(members, slice->BaseMembers());
+  }
+  return members;
+}
+
+Status ShardedWarehouse::EnsureCoordView(const std::string& name) {
+  Warehouse& shard0 = *shards_[0];
+  if (shard0.view_engine(name) == Warehouse::EngineKind::kAlgorithm1) {
+    return Status::Ok();
+  }
+  for (const auto& view : coord_views_) {
+    if (view->name == name) return Status::Ok();
+  }
+  GSV_ASSIGN_OR_RETURN(ViewDefinition def,
+                       ViewDefinition::Parse(shard0.view_definition_text(name)));
+  const std::string source_name = shard0.view_source(name);
+  size_t source_index = sources_.size();
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i]->name == source_name) {
+      source_index = i;
+      break;
+    }
+  }
+  if (source_index == sources_.size()) {
+    return Status::NotFound("source '" + source_name +
+                            "' of coordinator view " + name +
+                            " is not connected");
+  }
+  MaterializedView* slice = shard0.view(name);
+  if (slice == nullptr) {
+    return Status::NotFound("view " + name + " missing from shard 0");
+  }
+  SourceRoute& route = *sources_[source_index];
+  auto view = std::make_unique<CoordView>();
+  view->name = name;
+  view->source_index = source_index;
+  view->def = std::make_unique<ViewDefinition>(std::move(def));
+  view->engine = shard0.view_engine(name);
+  view->storage = std::make_unique<CoordStorage>(this, name, slice->view_oid());
+  if (view->engine == Warehouse::EngineKind::kGdn) {
+    view->gdn = std::make_unique<GdnEngine>(route.store, *view->def, route.root);
+    GSV_RETURN_IF_ERROR(view->gdn->Initialize());
+  } else {
+    view->general = std::make_unique<GeneralMaintainer>(
+        view->storage.get(), route.store, *view->def, route.root);
+  }
+  coord_views_.push_back(std::move(view));
+  return Status::Ok();
+}
+
+void ShardedWarehouse::ApplyCoordEvent(size_t source_index,
+                                       const UpdateEvent& event) {
+  Update update = event.ToUpdate();
+  if (update.kind == UpdateKind::kModify) {
+    // The engines re-read store truth, so re-stamp the new value from the
+    // source — level-1 events carry none.
+    const Object* object = sources_[source_index]->store->Get(update.parent);
+    if (object != nullptr && object->IsAtomic()) {
+      update = Update::Modify(update.parent, update.old_value, object->value());
+    }
+  }
+  for (auto& view : coord_views_) {
+    if (view->source_index != source_index) continue;
+    Status status;
+    if (view->gdn != nullptr) {
+      status = view->gdn->Apply(update, view->storage.get());
+      if (!status.ok() && view->gdn->poisoned()) {
+        // Self-heal in place: rebuild from the current base state, then
+        // emit whatever deltas the shard slices are missing. Duplicate ops
+        // are §4.3 no-ops at the owners, so healing mid-batch is safe.
+        status = view->gdn->Rebuild();
+        if (status.ok()) status = view->gdn->Reconcile(view->storage.get());
+      }
+    } else if (view->general != nullptr) {
+      status = view->general->Maintain(update);
+    }
+    if (!status.ok() && coord_error_.ok()) coord_error_ = status;
+  }
+}
+
+Status ShardedWarehouse::ApplyCoordPending() {
+  std::vector<std::pair<size_t, UpdateEvent>> pending;
+  pending.swap(coord_pending_);
+  for (const auto& [source_index, event] : pending) {
+    ApplyCoordEvent(source_index, event);
+  }
+  return std::exchange(coord_error_, Status::Ok());
+}
+
+Status ShardedWarehouse::ReconcileCoordView(CoordView& view) {
+  if (view.gdn != nullptr) return view.gdn->Reconcile(view.storage.get());
+  // GeneralMaintainer keeps no network state; diff a fresh §4.4 evaluation
+  // against the recovered slices instead.
+  SourceRoute& route = *sources_[view.source_index];
+  GSV_ASSIGN_OR_RETURN(OidSet truth, EvaluateView(*route.store, *view.def));
+  const OidSet current = view.storage->BaseMembers();
+  for (const Oid& member : truth) {
+    if (current.Contains(member)) continue;
+    const Object* object = route.store->Get(member);
+    if (object == nullptr) continue;
+    GSV_RETURN_IF_ERROR(view.storage->VInsert(*object));
+  }
+  for (const Oid& member : current) {
+    if (!truth.Contains(member)) {
+      GSV_RETURN_IF_ERROR(view.storage->VDelete(member));
+    }
+  }
+  return Status::Ok();
+}
+
 // ---- Topology ----
 
 Status ShardedWarehouse::ConnectSource(ObjectStore* source, Oid source_root,
@@ -106,6 +248,7 @@ Status ShardedWarehouse::ConnectSource(ObjectStore* source, Oid source_root,
   auto route = std::make_unique<SourceRoute>();
   route->name = name;
   route->store = source;
+  route->root = source_root;  // before the move below consumes it
   route->next_out.assign(shards_.size(), 0);
   size_t index = sources_.size();
   route->monitor = std::make_unique<SourceMonitor>(
@@ -126,6 +269,9 @@ Status ShardedWarehouse::DefineView(std::string_view definition,
                           source_name));
   }
   view_names_.push_back(def.name());
+  // Non-simple views get a coordinator-owned engine; the per-shard entries
+  // above are "external" (delegate slices + value sync only).
+  GSV_RETURN_IF_ERROR(EnsureCoordView(def.name()));
   return Status::Ok();
 }
 
@@ -156,6 +302,16 @@ void ShardedWarehouse::RouteEvent(size_t source_index,
   // exactly as an unsharded warehouse would on the monitor's numbering.
   stamped.sequence = ++route.next_out[target];
   shards_[target]->InjectRoutedEvent(source_index, stamped);
+  if (!coord_views_.empty()) {
+    // The coordinator engines see every routed event — ahead of the
+    // per-shard fault injectors, so a dropped delivery can stale a shard's
+    // slice (the resync path heals it) but never the network state.
+    if (deferred_) {
+      coord_pending_.emplace_back(source_index, event);
+    } else {
+      ApplyCoordEvent(source_index, event);
+    }
+  }
   if (!deferred_) {
     // Inline dispatch already applied the event at the owner; deliver its
     // cross-shard effects (and commit the shards they landed on) now so
@@ -164,12 +320,20 @@ void ShardedWarehouse::RouteEvent(size_t source_index,
   }
 }
 
-Status ShardedWarehouse::FlushForeignOps(bool commit_targets) {
-  std::vector<std::vector<ForeignViewOp>> taken(shards_.size());
-  std::vector<bool> owes(shards_.size(), false);
+Status ShardedWarehouse::FlushForeignOps(bool commit_targets,
+                                         std::vector<bool>* applied_out) {
+  std::vector<std::vector<ForeignViewOp>> taken;
+  taken.reserve(shards_.size() + 1);
+  // The coordinator engines' outbox delivers first, then each producer
+  // shard's, in deterministic (producer, op) order.
+  taken.push_back(std::move(coord_outbox_));
+  coord_outbox_.clear();
   for (size_t i = 0; i < shards_.size(); ++i) {
-    taken[i] = shards_[i]->TakeForeignOps();
-    for (const ForeignViewOp& op : taken[i]) {
+    taken.push_back(shards_[i]->TakeForeignOps());
+  }
+  std::vector<bool> owes(shards_.size(), false);
+  for (const std::vector<ForeignViewOp>& ops : taken) {
+    for (const ForeignViewOp& op : ops) {
       owes[OwnerOfOp(op, mask_)] = true;
     }
   }
@@ -180,6 +344,7 @@ Status ShardedWarehouse::FlushForeignOps(bool commit_targets) {
       Status status = shards_[i]->ApplyForeignOps(ops);
       if (!status.ok() && first_error.ok()) first_error = status;
     }
+    if (applied_out != nullptr) (*applied_out)[i] = true;
     if (commit_targets) shards_[i]->CommitDurable();
   }
   return first_error;
@@ -276,6 +441,16 @@ Status ShardedWarehouse::ProcessPendingBatch(size_t threads) {
   }
   directory_.Thaw();
 
+  // Phase B2: the coordinator-owned engines for the generalized views apply
+  // the batch against the final source state (each Apply re-reads store
+  // truth, so interleaving across sources is immaterial) and queue their
+  // membership deltas; the flush below delivers them before commit. Runs on
+  // the coordinator thread — one engine per view, no shard writes.
+  if (!coord_pending_.empty()) {
+    Status coord_status = ApplyCoordPending();
+    if (!coord_status.ok() && first_error.ok()) first_error = coord_status;
+  }
+
   // Phase C: verification sweeps, parallel again. Only shards that saw
   // events, applied foreign ops, or resynced can hold stale extras; a sweep
   // of a consistent view is a no-op, so skipping the rest preserves
@@ -295,13 +470,16 @@ Status ShardedWarehouse::ProcessPendingBatch(size_t threads) {
     if (!status.ok() && first_error.ok()) first_error = status;
   }
 
-  // A resync during the drain prologue exports recompute-derived members;
-  // deliver any not already covered by phase B, then close every
-  // participating shard's durability group.
-  Status flush_status = FlushForeignOps(/*commit_targets=*/false);
+  // A resync during the drain prologue exports recompute-derived members,
+  // and Phase B2 queued the coordinator engines' deltas; deliver both, then
+  // close every participating shard's durability group — including shards
+  // whose only change this batch was a coordinator delta landing on them.
+  std::vector<bool> flush_applied(shard_count, false);
+  Status flush_status = FlushForeignOps(/*commit_targets=*/false,
+                                        &flush_applied);
   if (!flush_status.ok() && first_error.ok()) first_error = flush_status;
   for (size_t i = 0; i < shard_count; ++i) {
-    if (active[i] || applied[i]) shards_[i]->CommitDurable();
+    if (active[i] || applied[i] || flush_applied[i]) shards_[i]->CommitDurable();
   }
 
   const int64_t end = NowMicros();
@@ -329,7 +507,7 @@ size_t ShardedWarehouse::stale_view_count() const {
 }
 
 Status ShardedWarehouse::ResyncStaleViews() {
-  Status first_error;
+  Status first_error = std::exchange(coord_error_, Status::Ok());
   for (auto& shard : shards_) {
     Status status = shard->ResyncStaleViews();
     if (!status.ok() && first_error.ok()) first_error = status;
@@ -379,20 +557,33 @@ Status ShardedWarehouse::EnableDurability(const DurabilityOptions& options) {
     }
   }
   if (recovered) {
-    // Per-shard recovery replays ran against live peers that may not have
-    // been recovered yet; redistribute what they exported and sweep so the
-    // fleet settles on the current source state.
-    GSV_RETURN_IF_ERROR(FlushForeignOps(/*commit_targets=*/false));
-    for (auto& shard : shards_) {
-      GSV_RETURN_IF_ERROR(shard->RunVerificationSweep());
-      shard->CommitDurable();
-    }
-    // Recovered shards can also have restored views_ the coordinator has
-    // not seen (DefineView was never called on this instance); learn them.
+    // Recovered shards can have restored views the coordinator has not
+    // seen (DefineView was never called on this instance); learn them.
     view_names_.clear();
     // Shard 0 has every view: all shards define the same set.
     for (const std::string& name : shards_[0]->view_names()) {
       view_names_.push_back(name);
+    }
+    // Rebuild the coordinator-owned engines for the generalized views.
+    // Their network state is not checkpointed at the shard level, so they
+    // re-derive it from the current source; Reconcile then queues whatever
+    // deltas the recovered slices are missing (WAL tail events the shards
+    // replayed only as value syncs).
+    coord_views_.clear();
+    for (const std::string& name : view_names_) {
+      GSV_RETURN_IF_ERROR(EnsureCoordView(name));
+    }
+    for (auto& view : coord_views_) {
+      GSV_RETURN_IF_ERROR(ReconcileCoordView(*view));
+    }
+    // Per-shard recovery replays ran against live peers that may not have
+    // been recovered yet; redistribute what they exported (plus the
+    // coordinator reconcile fixes) and sweep so the fleet settles on the
+    // current source state.
+    GSV_RETURN_IF_ERROR(FlushForeignOps(/*commit_targets=*/false));
+    for (auto& shard : shards_) {
+      GSV_RETURN_IF_ERROR(shard->RunVerificationSweep());
+      shard->CommitDurable();
     }
   }
   return Status::Ok();
@@ -457,6 +648,24 @@ ShardedViewExplanation ShardedWarehouse::ExplainView(const std::string& name) {
     explanation.members_per_shard.push_back(size);
     explanation.total_members += size;
   }
+  for (const auto& view : coord_views_) {
+    if (view->name != name) continue;
+    explanation.engine =
+        view->engine == Warehouse::EngineKind::kGdn ? "gdn" : "general";
+    if (view->gdn != nullptr) {
+      explanation.gdn_nodes = view->gdn->node_count();
+      explanation.gdn_matches = view->gdn->match_count();
+      explanation.gdn_propagations = view->gdn->stats().propagations;
+      explanation.gdn_rebuilds = view->gdn->stats().rebuilds;
+    }
+    if (view->general != nullptr) {
+      explanation.general_caps_hit = view->general->stats().caps_hit;
+    }
+    break;
+  }
+  if (explanation.engine.empty() && shards_[0]->view(name) != nullptr) {
+    explanation.engine = "algorithm1";
+  }
   WarehouseCosts merged = MergedCosts();
   explanation.cross_shard_exports =
       merged.cross_shard_exports.load(std::memory_order_relaxed);
@@ -470,6 +679,25 @@ ShardedViewExplanation ShardedWarehouse::ExplainView(const std::string& name) {
 WarehouseCosts ShardedWarehouse::MergedCosts() const {
   WarehouseCosts merged;
   for (const auto& shard : shards_) merged.Merge(shard->costs());
+  // The coordinator-owned engines sit on no shard's sheet; fold their
+  // counters in here (shard entries for these views carry no engines, so
+  // nothing double-counts).
+  for (const auto& view : coord_views_) {
+    if (view->gdn != nullptr) {
+      const GdnEngine::Stats& stats = view->gdn->stats();
+      merged.gdn_propagations.fetch_add(stats.propagations,
+                                        std::memory_order_relaxed);
+      merged.gdn_matches_created.fetch_add(stats.matches_created,
+                                           std::memory_order_relaxed);
+      merged.gdn_matches_freed.fetch_add(stats.matches_freed,
+                                         std::memory_order_relaxed);
+      merged.gdn_rebuilds.fetch_add(stats.rebuilds, std::memory_order_relaxed);
+    }
+    if (view->general != nullptr) {
+      merged.general_caps_hit.fetch_add(view->general->stats().caps_hit,
+                                        std::memory_order_relaxed);
+    }
+  }
   return merged;
 }
 

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/view_storage.h"
 #include "query/explain.h"
 #include "warehouse/sharding.h"
 #include "warehouse/warehouse.h"
@@ -161,17 +162,73 @@ class ShardedWarehouse {
   struct SourceRoute {
     std::string name;
     ObjectStore* store = nullptr;
+    Oid root;  // resolved entry object; coordinator engines anchor here
     std::unique_ptr<SourceMonitor> monitor;
     // Next sequence to hand out per shard (the router owns the per-shard
     // sequence domains; shard i's events are numbered 1.. independently).
     std::vector<uint64_t> next_out;
   };
 
+  // ViewStorage adapter the coordinator-owned engines emit into: membership
+  // deltas become foreign-view ops in the coordinator outbox (delivered to
+  // their owning shards through the existing ApplyForeignOps channel, which
+  // filters by owner), and membership probes resolve against the owning
+  // shard's live slice. Value sync is a no-op here — each shard's external
+  // entry syncs its own delegates from the routed events it owns.
+  class CoordStorage : public ViewStorage {
+   public:
+    CoordStorage(ShardedWarehouse* owner, std::string view, Oid view_oid)
+        : owner_(owner), view_(std::move(view)), view_oid_(view_oid) {}
+    const Oid& view_oid() const override { return view_oid_; }
+    bool ContainsBase(const Oid& base_oid) const override;
+    Status VInsert(const Object& base_object) override;
+    Status VDelete(const Oid& base_oid) override;
+    OidSet BaseMembers() const override;
+
+   private:
+    ShardedWarehouse* owner_;
+    std::string view_;
+    Oid view_oid_;
+  };
+
+  // One coordinator-owned general engine per non-simple view (DESIGN.md
+  // §4j). The shards keep "external" entries for these views (delegate
+  // slices + value sync only); the coordinator runs the single network over
+  // the shared source store — it sees every routed event before the
+  // per-shard fault injectors, so engine state never diverges on a dropped
+  // delivery — and its deltas fan out through the foreign-op channel.
+  struct CoordView {
+    std::string name;
+    size_t source_index = 0;
+    // Engines hold references into this copy; unique_ptr keeps it stable.
+    std::unique_ptr<ViewDefinition> def;
+    Warehouse::EngineKind engine = Warehouse::EngineKind::kGdn;
+    std::unique_ptr<CoordStorage> storage;
+    std::unique_ptr<GdnEngine> gdn;
+    std::unique_ptr<GeneralMaintainer> general;
+  };
+
   void RouteEvent(size_t source_index, const UpdateEvent& event);
-  // Drains every shard's outbox and applies each op at its owner, in
-  // deterministic (producer, op) order. With `commit_targets`, closes the
-  // durability group of every shard that applied something.
-  Status FlushForeignOps(bool commit_targets);
+  // Drains the coordinator outbox and every shard's outbox, applying each
+  // op at its owner in deterministic (producer, op) order. With
+  // `commit_targets`, closes the durability group of every shard that
+  // applied something; `applied_out` (when non-null) is marked true for
+  // those shards instead.
+  Status FlushForeignOps(bool commit_targets,
+                         std::vector<bool>* applied_out = nullptr);
+  // Builds the coordinator engine for a non-simple view (no-op when one
+  // already exists, or when shard 0 maintains the view with Algorithm 1).
+  Status EnsureCoordView(const std::string& name);
+  // Runs every coordinator engine bound to `source_index` over one routed
+  // event (re-stamping modify values from the source — the engines re-read
+  // store truth, so level 1 suffices). A poisoned network self-heals in
+  // place: Rebuild + Reconcile, whose duplicate deltas are §4.3 no-ops.
+  void ApplyCoordEvent(size_t source_index, const UpdateEvent& event);
+  // Drains the deferred coordinator event queue (deferred-mode Phase B2).
+  Status ApplyCoordPending();
+  // Recovery: re-derives the engine's member set from the current source
+  // and emits whatever deltas the recovered shard slices are missing.
+  Status ReconcileCoordView(CoordView& view);
   ThreadPool* Pool(size_t threads);
 
   uint32_t mask_ = 0;
@@ -181,6 +238,14 @@ class ShardedWarehouse {
   std::vector<std::unique_ptr<Warehouse>> shards_;
   std::vector<std::unique_ptr<SourceRoute>> sources_;
   std::vector<std::string> view_names_;
+  std::vector<std::unique_ptr<CoordView>> coord_views_;
+  // Coordinator engine deltas awaiting delivery to their owning shards.
+  std::vector<ForeignViewOp> coord_outbox_;
+  // Deferred mode queues (source, event) here; a drain's Phase B2 applies
+  // them against the final source state.
+  std::vector<std::pair<size_t, UpdateEvent>> coord_pending_;
+  // First engine failure not yet surfaced through a drain/resync return.
+  Status coord_error_;
   Directory directory_{this};
   std::vector<DrainTiming> timings_;
   std::unique_ptr<ThreadPool> pool_;

@@ -1,5 +1,7 @@
 #include "warehouse/warehouse.h"
 
+#include <cstdlib>
+
 #include "core/recompute.h"
 #include "util/retry.h"
 
@@ -181,6 +183,9 @@ SourceMonitor* Warehouse::monitor() {
 }
 
 void Warehouse::RecomputeRelevantLabels(ViewEntry& entry) {
+  // Only Algorithm 1 views have the constant corridor the screening labels
+  // come from (and only their entries may call the IsSimple projections).
+  if (entry.engine != EngineKind::kAlgorithm1) return;
   entry.relevant_labels.clear();
   const SourceEntry& source = *sources_[entry.source_index];
   const Object* root_object = source.store->Get(source.root);
@@ -218,7 +223,15 @@ Result<std::unique_ptr<Warehouse::ViewEntry>> Warehouse::BuildViewEntry(
   SourceEntry& source = *sources_[source_index];
 
   GSV_ASSIGN_OR_RETURN(ViewDefinition def, ViewDefinition::Parse(definition));
-  GSV_RETURN_IF_ERROR(Algorithm1Maintainer::ValidateDefinition(def));
+  // Simple views (§4.2) run Algorithm 1; every other accepted shape runs
+  // the discrimination network (or the query-back general maintainer under
+  // the GSV_GENERAL_ENGINE=general override, mostly for twin testing).
+  const bool simple = def.IsSimple();
+  if (simple) {
+    GSV_RETURN_IF_ERROR(Algorithm1Maintainer::ValidateDefinition(def));
+  } else {
+    GSV_RETURN_IF_ERROR(GdnEngine::ValidateDefinition(def));
+  }
   Oid entry_oid = source.store->DatabaseOid(def.query().entry);
   if (!entry_oid.valid()) entry_oid = Oid(def.query().entry);
   if (entry_oid != source.root) {
@@ -232,13 +245,29 @@ Result<std::unique_ptr<Warehouse::ViewEntry>> Warehouse::BuildViewEntry(
   entry->source_index = source_index;
   entry->definition_text = std::string(definition);
   entry->cache_mode = cache_mode;
-  entry->sel_path = def.sel_path();
-  entry->cond_path = def.cond_path();
-  entry->full_path = def.full_path();
-  RecomputeRelevantLabels(*entry);
+  if (simple) {
+    entry->engine = EngineKind::kAlgorithm1;
+    // The constant-path projections (and the screening labels derived from
+    // them) exist only for the simple shape.
+    entry->sel_path = def.sel_path();
+    entry->cond_path = def.cond_path();
+    entry->full_path = def.full_path();
+    RecomputeRelevantLabels(*entry);
+  } else {
+    const char* env = std::getenv("GSV_GENERAL_ENGINE");
+    entry->engine = env != nullptr && std::string_view(env) == "general"
+                        ? EngineKind::kGeneral
+                        : EngineKind::kGdn;
+  }
 
   entry->view = std::make_unique<MaterializedView>(store_, def);
   if (cache_mode != CacheMode::kNone) {
+    if (entry->engine != EngineKind::kAlgorithm1) {
+      // Corridor caches mirror the single constant select/condition
+      // corridor; the general view classes have no such corridor.
+      return Status::InvalidArgument(
+          "auxiliary caches require a simple (Algorithm 1) view");
+    }
     // Corridor caches hold whole-source subtrees, which cuts across the
     // ownership partition; a sharded deployment runs cache-less shards.
     if (binding_.has_value()) {
@@ -258,8 +287,22 @@ Result<std::unique_ptr<Warehouse::ViewEntry>> Warehouse::BuildViewEntry(
   entry->accessor =
       std::make_unique<RemoteAccessor>(source.wrapper.get(), &costs_);
   if (entry->cache != nullptr) entry->accessor->set_cache(entry->cache.get());
-  entry->maintainer = std::make_unique<Algorithm1Maintainer>(
-      entry->storage(), entry->accessor.get(), def, source.root);
+  if (entry->engine == EngineKind::kAlgorithm1) {
+    entry->maintainer = std::make_unique<Algorithm1Maintainer>(
+        entry->storage(), entry->accessor.get(), def, source.root);
+  } else if (!binding_.has_value()) {
+    // General engines read the base store directly (centralized setting;
+    // query-backs are not metered for them — see DESIGN.md §4j). A
+    // shard-bound warehouse constructs neither: the coordinator owns one
+    // engine per general view and redistributes its deltas.
+    if (entry->engine == EngineKind::kGeneral) {
+      entry->general = std::make_unique<GeneralMaintainer>(
+          entry->storage(), source.store, def, source.root);
+    } else {
+      entry->gdn =
+          std::make_unique<GdnEngine>(source.store, def, source.root);
+    }
+  }
   return entry;
 }
 
@@ -290,6 +333,11 @@ Status Warehouse::DefineView(std::string_view definition,
   PruneForeignMembers(*entry, /*export_members=*/false);
   if (entry->cache != nullptr) {
     GSV_RETURN_IF_ERROR(entry->cache->Initialize(source.wrapper.get()));
+  }
+  // The discrimination network seeds its memo tables from the same base
+  // state the view just materialized from; both derive the same members.
+  if (entry->gdn != nullptr) {
+    GSV_RETURN_IF_ERROR(entry->gdn->Initialize());
   }
   views_.push_back(std::move(entry));
   LogCommit();
@@ -324,6 +372,76 @@ const AuxiliaryCache* Warehouse::cache(const std::string& name) const {
     if (entry->def.name() == name) return entry->cache.get();
   }
   return nullptr;
+}
+
+Warehouse::EngineKind Warehouse::view_engine(const std::string& name) const {
+  for (const auto& entry : views_) {
+    if (entry->def.name() == name) return entry->engine;
+  }
+  return EngineKind::kAlgorithm1;
+}
+
+const GdnEngine* Warehouse::gdn_engine(const std::string& name) const {
+  for (const auto& entry : views_) {
+    if (entry->def.name() == name) return entry->gdn.get();
+  }
+  return nullptr;
+}
+
+const GeneralMaintainer* Warehouse::general_maintainer(
+    const std::string& name) const {
+  for (const auto& entry : views_) {
+    if (entry->def.name() == name) return entry->general.get();
+  }
+  return nullptr;
+}
+
+std::string Warehouse::view_definition_text(const std::string& name) const {
+  for (const auto& entry : views_) {
+    if (entry->def.name() == name) return entry->definition_text;
+  }
+  return std::string();
+}
+
+std::string Warehouse::view_source(const std::string& name) const {
+  for (const auto& entry : views_) {
+    if (entry->def.name() == name) return sources_[entry->source_index]->name;
+  }
+  return std::string();
+}
+
+ShardedViewExplanation Warehouse::ExplainView(const std::string& name) const {
+  ShardedViewExplanation out;
+  out.view = name;
+  out.shards = 1;
+  for (const auto& entry : views_) {
+    if (entry->def.name() != name) continue;
+    const OidSet members = entry->view->BaseMembers();
+    out.total_members = members.size();
+    out.members_per_shard = {members.size()};
+    switch (entry->engine) {
+      case EngineKind::kAlgorithm1: out.engine = "algorithm1"; break;
+      case EngineKind::kGeneral: out.engine = "general"; break;
+      case EngineKind::kGdn: out.engine = "gdn"; break;
+    }
+    if (entry->gdn != nullptr) {
+      out.gdn_nodes = entry->gdn->node_count();
+      out.gdn_matches = entry->gdn->match_count();
+      out.gdn_propagations = entry->gdn->stats().propagations;
+      out.gdn_rebuilds = entry->gdn->stats().rebuilds;
+    }
+    if (entry->general != nullptr) {
+      out.general_caps_hit = entry->general->stats().caps_hit;
+    }
+    break;
+  }
+  out.cross_shard_exports =
+      costs_.cross_shard_exports.load(std::memory_order_relaxed);
+  out.cross_shard_applies =
+      costs_.cross_shard_applies.load(std::memory_order_relaxed);
+  out.cross_shard_probes =
+      costs_.cross_shard_probes.load(std::memory_order_relaxed);
+  return out;
 }
 
 void Warehouse::OnEvent(size_t source_index, const UpdateEvent& event) {
@@ -394,9 +512,12 @@ void Warehouse::DispatchEvent(size_t source_index, const UpdateEvent& event) {
     Status status = HandleEventForView(*entry, event);
     if (status.ok()) status = entry->accessor->last_error();
     if (!status.ok()) {
-      if (IsSourceFailure(status)) {
+      if (IsSourceFailure(status) ||
+          (entry->gdn != nullptr && entry->gdn->poisoned())) {
         // Graceful degradation: the view keeps serving its last consistent
-        // state; the event replays after resync.
+        // state; the event replays after resync. A poisoned network (its
+        // propagation budget blew) takes the same road — the resync
+        // recompute + Rebuild() restores it.
         Quarantine(*entry, status);
         BufferStaleEvent(*entry, event);
       } else {
@@ -493,6 +614,16 @@ Status Warehouse::TryResyncView(ViewEntry& entry, bool force) {
     if (!status.ok()) {
       ++costs_.resync_failures;
       return status;  // stay quarantined until the corridor rebuilds too
+    }
+  }
+  if (entry.gdn != nullptr) {
+    // Rebuild the memo network from the same current state the recompute
+    // read (this also clears a poisoned engine); the buffered replay below
+    // is then a convergent no-op for it, like for Algorithm 1.
+    status = entry.gdn->Rebuild();
+    if (!status.ok()) {
+      ++costs_.resync_failures;
+      return status;
     }
   }
   entry.stale = false;
@@ -602,6 +733,11 @@ size_t Warehouse::CompactPending() {
 Status Warehouse::CollectUnderivable(ViewEntry& entry,
                                      RemoteAccessor* accessor,
                                      std::vector<Oid>* doomed) {
+  // The sweep re-derives members along the simple corridor; general views
+  // have none, and their engines already keep membership exact (the GDN by
+  // reconciliation against final state, the general maintainer by
+  // candidate recheck against final state).
+  if (entry.engine != EngineKind::kAlgorithm1) return Status::Ok();
   const SourceEntry& source = *sources_[entry.source_index];
   const OidSet members = entry.view->BaseMembers();
   for (const Oid& member : members) {
@@ -671,6 +807,28 @@ Status Warehouse::ProcessPending() {
 Status Warehouse::HandleEventForView(ViewEntry& entry,
                                      const UpdateEvent& event) {
   SourceEntry& source = SourceOf(entry);
+
+  if (entry.engine != EngineKind::kAlgorithm1) {
+    // General engines skip §5.1 screening: a discrimination network must
+    // see every event to keep its memos aligned with the base, and the
+    // candidate-recheck maintainer's affected set is not label-bounded.
+    // Both re-read values from the source store, so a modify event is
+    // re-stamped with the store's current value — level 1 suffices and
+    // deferred drains stay convergent.
+    Update update = event.ToUpdate();
+    if (update.kind == UpdateKind::kModify) {
+      const Object* object = source.store->Get(update.parent);
+      if (object != nullptr && object->IsAtomic()) {
+        update =
+            Update::Modify(update.parent, update.old_value, object->value());
+      }
+    }
+    if (entry.gdn != nullptr) return entry.gdn->Apply(update, entry.storage());
+    if (entry.general != nullptr) return entry.general->Maintain(update);
+    // Shard-bound "external" entry: the coordinator's engine computes the
+    // membership deltas; only the delegate values track the base here.
+    return entry.storage()->SyncUpdate(update);
+  }
 
   // 1. Keep the auxiliary structure current (§5.2: "the auxiliary structure
   //    itself needs to be maintained"). For deletes this updates corridor
@@ -762,6 +920,32 @@ void Warehouse::StorageQuiescent() {
   store_->StorageSafePoint();
   for (auto& entry : views_) {
     if (entry->cache != nullptr) entry->cache->StorageSafePoint();
+  }
+  // Flush the generalized engines' counter deltas onto the cost sheet (the
+  // same delta pattern as the paging counters below).
+  for (auto& entry : views_) {
+    if (entry->gdn != nullptr) {
+      const GdnEngine::Stats& s = entry->gdn->stats();
+      costs_.gdn_propagations.fetch_add(
+          s.propagations - entry->gdn_flushed.propagations,
+          std::memory_order_relaxed);
+      costs_.gdn_matches_created.fetch_add(
+          s.matches_created - entry->gdn_flushed.matches_created,
+          std::memory_order_relaxed);
+      costs_.gdn_matches_freed.fetch_add(
+          s.matches_freed - entry->gdn_flushed.matches_freed,
+          std::memory_order_relaxed);
+      costs_.gdn_rebuilds.fetch_add(
+          s.rebuilds - entry->gdn_flushed.rebuilds,
+          std::memory_order_relaxed);
+      entry->gdn_flushed = s;
+    }
+    if (entry->general != nullptr) {
+      int64_t caps = entry->general->stats().caps_hit;
+      costs_.general_caps_hit.fetch_add(caps - entry->general_caps_flushed,
+                                        std::memory_order_relaxed);
+      entry->general_caps_flushed = caps;
+    }
   }
   // Flush the delegate store's buffer-pool deltas onto the cost sheet so
   // maintenance reports show the paging the drain actually caused. (Cache

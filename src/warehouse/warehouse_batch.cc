@@ -95,9 +95,13 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
     std::unordered_map<std::string, bool> edge_labels;
     std::unordered_map<std::string, bool> modify_labels;
     // Storage-level membership so a sharded slice answers for the whole
-    // view (the root's delegate may live at a peer shard).
-    const bool view_splittable =
-        split && !entry.storage()->ContainsBase(source.root);
+    // view (the root's delegate may live at a peer shard). General-engine
+    // views never split: a discrimination network is one stateful engine
+    // per view (and DAG subtrees are not independent anyway), so the whole
+    // view is one task — engines of different views still run in parallel.
+    const bool view_splittable = split &&
+                                 entry.engine == EngineKind::kAlgorithm1 &&
+                                 !entry.storage()->ContainsBase(source.root);
     std::map<uint32_t, size_t> group_index;  // ordered => deterministic replay
     auto* task_base = &eval_tasks;  // indices stay valid; pointers may not
 
@@ -125,7 +129,10 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
       }
 
       bool relevant = true;
-      if (event.level >= ReportingLevel::kWithValues) {
+      // §5.1 screening applies to Algorithm 1 corridors only; a general
+      // engine must see every event (its screening memo IS the network).
+      if (entry.engine == EngineKind::kAlgorithm1 &&
+          event.level >= ReportingLevel::kWithValues) {
         if (event.kind == UpdateKind::kModify) {
           const std::string label = event.parent_object.has_value()
                                         ? event.parent_object->label()
@@ -165,6 +172,39 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
     pool->Submit([this, &task] {
       ViewEntry& entry = *views_[task.view_index];
       SourceEntry& source = *sources_[entry.source_index];
+      if (entry.engine != EngineKind::kAlgorithm1) {
+        // One task per general view (never subtree-split), so this worker
+        // is the only one touching the view's engine; it reads the frozen
+        // final source state and buffers its deltas like any other task.
+        GeneralMaintainer general(task.buffer.get(), source.store, entry.def,
+                                  source.root);
+        for (const auto& [event, relevant] : task.events) {
+          Update update = event->ToUpdate();
+          if (update.kind == UpdateKind::kModify) {
+            const Object* object = source.store->Get(update.parent);
+            if (object != nullptr && object->IsAtomic()) {
+              update = Update::Modify(update.parent, update.old_value,
+                                      object->value());
+            }
+          }
+          Status status;
+          if (entry.gdn != nullptr) {
+            status = entry.gdn->Apply(update, task.buffer.get());
+          } else if (entry.general != nullptr) {
+            status = general.Maintain(update);
+          } else {
+            // Shard-bound external entry: delegate values only.
+            status = task.buffer->SyncUpdate(update);
+          }
+          if (!status.ok() && task.status.ok()) task.status = status;
+        }
+        if (entry.general != nullptr) {
+          // The per-task maintainer dies here; bank its cap hits now.
+          costs_.general_caps_hit.fetch_add(general.stats().caps_hit,
+                                            std::memory_order_relaxed);
+        }
+        return;
+      }
       RemoteAccessor accessor(source.wrapper.get(), &costs_);
       if (entry.cache != nullptr) accessor.set_cache(entry.cache.get());
       Algorithm1Maintainer maintainer(task.buffer.get(), &accessor, entry.def,
@@ -203,8 +243,14 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
   // in a state no source history ever produced. The whole batch slice
   // buffers for post-resync replay instead, and the view quarantines.
   for (EvalTask& task : eval_tasks) {
-    if (task.status.ok() || !IsSourceFailure(task.status)) continue;
-    Quarantine(*views_[task.view_index], task.status);
+    if (task.status.ok()) continue;
+    ViewEntry& entry = *views_[task.view_index];
+    // A poisoned network quarantines like a down source: its buffered
+    // deltas are partial and must not replay; the resync recompute +
+    // Rebuild() restores the view and the network together.
+    const bool gdn_poisoned = entry.gdn != nullptr && entry.gdn->poisoned();
+    if (!IsSourceFailure(task.status) && !gdn_poisoned) continue;
+    Quarantine(entry, task.status);
   }
   for (EvalTask& task : eval_tasks) {
     ViewEntry& entry = *views_[task.view_index];
@@ -219,7 +265,7 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
     // view, foreign ops queue in the outbox — still single-threaded here.
     Status status = task.buffer->ReplayInto(entry.storage());
     if (!status.ok() && first_error.ok()) first_error = status;
-    entry.maintainer->MergeStats(task.stats);
+    if (entry.maintainer != nullptr) entry.maintainer->MergeStats(task.stats);
   }
   for (auto& entry : views_) {
     if (touched[entry->source_index] && !entry->stale &&
@@ -238,6 +284,9 @@ Status Warehouse::ProcessPendingBatch(const BatchOptions& options) {
     for (size_t view_index = 0; view_index < views_.size(); ++view_index) {
       if (!touched[views_[view_index]->source_index]) continue;
       if (views_[view_index]->stale) continue;  // swept after resync instead
+      // General engines keep membership exact against final state; only
+      // Algorithm 1 views need the disclaimed-responsibility sweep.
+      if (views_[view_index]->engine != EngineKind::kAlgorithm1) continue;
       SweepTask task;
       task.view_index = view_index;
       sweep_tasks.push_back(std::move(task));

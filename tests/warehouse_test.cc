@@ -395,14 +395,17 @@ TEST_F(WarehouseTest, RequiresSourceBeforeViews) {
             StatusCode::kNotFound);
 }
 
-TEST_F(WarehouseTest, RejectsNonRootEntryAndNonSimpleViews) {
+TEST_F(WarehouseTest, RejectsNonRootEntryButAcceptsGeneralViews) {
   Connect(ReportingLevel::kWithValues);
   EXPECT_FALSE(
       warehouse_->DefineView("define mview V2 as: SELECT P1.student X").ok());
-  EXPECT_FALSE(
+  // Non-simple definitions are no longer rejected: they bypass Algorithm 1
+  // and get the discrimination-network engine instead.
+  ASSERT_TRUE(
       warehouse_
           ->DefineView("define mview V3 as: SELECT ROOT.* X WHERE X.age > 1")
           .ok());
+  EXPECT_EQ(warehouse_->view_engine("V3"), Warehouse::EngineKind::kGdn);
 }
 
 TEST_F(WarehouseTest, MaintainsCorrectlyAtEveryLevel) {

@@ -38,6 +38,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "oem/paged_engine.h"
@@ -105,6 +106,27 @@ int Verify(const std::string& dir) {
   return 1;
 }
 
+// Prints the per-view data images a checkpoint carries (§5.2 auxiliary
+// caches, discrimination-network memos): header line, size, line count —
+// enough to see what recovery will adopt without flooding the terminal.
+void DumpImages(const char* kind,
+                const std::unordered_map<std::string, std::string>& images) {
+  std::vector<std::string> names;
+  names.reserve(images.size());
+  for (const auto& [name, text] : images) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const std::string& text = images.at(name);
+    const size_t newline = text.find('\n');
+    const std::string header =
+        newline == std::string::npos ? text : text.substr(0, newline);
+    const size_t lines =
+        static_cast<size_t>(std::count(text.begin(), text.end(), '\n'));
+    std::printf("  %s %s: \"%s\", %zu byte(s), %zu line(s)\n", kind,
+                name.c_str(), header.c_str(), text.size(), lines);
+  }
+}
+
 int Checkpoints(const std::string& dir) {
   auto list = gsv::ListCheckpoints(dir);
   if (!list.ok()) {
@@ -134,6 +156,8 @@ int Checkpoints(const std::string& dir) {
                 view.name.c_str(), view.source.c_str(), view.cache_mode,
                 view.stale ? ", STALE" : "", view.definition.c_str());
   }
+  DumpImages("cache image", latest.value().cache_texts);
+  DumpImages("gdn memo", latest.value().gdn_texts);
   return 0;
 }
 
